@@ -1,0 +1,33 @@
+"""Fig. 1 — latency vs message size: memcpy, RDMA write, IPoIB, GigE.
+
+Regenerates the paper's microbenchmark curves from the calibrated cost
+models and checks the orderings the paper's narrative relies on.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.experiments import fig01_latency
+from repro.units import KiB
+
+
+def test_fig01_latency_curves(benchmark):
+    data = benchmark.pedantic(fig01_latency, rounds=1, iterations=1)
+    sizes = data["sizes"]
+    rows = [
+        [int(s), data["memcpy"][i], data["rdma_write"][i],
+         data["ipoib"][i], data["gige"][i]]
+        for i, s in enumerate(sizes)
+    ]
+    print("\nFig. 1 — one-way latency (µs) vs size (B)")
+    print(format_table(["size", "memcpy", "rdma_write", "ipoib", "gige"], rows))
+
+    # Shape assertions: the orderings visible in the paper's figure.
+    for i in range(len(sizes)):
+        assert data["memcpy"][i] < data["rdma_write"][i]
+        assert data["rdma_write"][i] < data["ipoib"][i]
+        assert data["ipoib"][i] < data["gige"][i]
+    # RDMA write at 128 KiB is within ~2.5x of memcpy ("comparable").
+    assert data["rdma_write"][-1] < 2.5 * data["memcpy"][-1]
+    benchmark.extra_info["rdma_write_128k_usec"] = float(data["rdma_write"][-1])
+    benchmark.extra_info["memcpy_128k_usec"] = float(data["memcpy"][-1])

@@ -1,0 +1,31 @@
+"""Fig. 3 — memory registration vs memcpy cost.
+
+The crossover argument behind HPBD's copy-through-pool design (§4.1):
+registering on the fly costs more than copying for every size a swap
+request can take (4 KiB – 127 KiB).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.experiments import fig03_registration
+
+
+def test_fig03_registration_vs_memcpy(benchmark):
+    data = benchmark.pedantic(fig03_registration, rounds=1, iterations=1)
+    rows = [
+        [int(s), data["registration"][i], data["memcpy"][i],
+         data["registration"][i] / data["memcpy"][i]]
+        for i, s in enumerate(data["sizes"])
+    ]
+    print("\nFig. 3 — registration vs memcpy cost (µs)")
+    print(format_table(["size", "registration", "memcpy", "ratio"], rows))
+
+    # The paper's claim: registration dominates across the swap range.
+    assert all(
+        data["registration"][i] > data["memcpy"][i]
+        for i in range(len(data["sizes"]))
+    )
+    benchmark.extra_info["ratio_at_4k"] = float(
+        data["registration"][0] / data["memcpy"][0]
+    )

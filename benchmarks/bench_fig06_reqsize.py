@@ -1,0 +1,49 @@
+"""Fig. 6 — testswap average request size per request cluster.
+
+The paper profiles the HPBD request stream during testswap and finds
+"mostly ... messages around 120K": kswapd's clustered page-outs merge
+into near-128 KiB block requests.  This bench regenerates the
+per-cluster average-size series.
+"""
+
+from __future__ import annotations
+
+from conftest import record, scale
+
+from repro.analysis import cluster_requests, format_table, size_histogram
+from repro.experiments import fig06_reqsize_run
+from repro.units import KiB
+
+
+def test_fig06_request_size_per_cluster(benchmark):
+    s = scale()
+    result = benchmark.pedantic(
+        fig06_reqsize_run, args=(s,), rounds=1, iterations=1
+    )
+    clusters = cluster_requests(result.request_trace, op="write")
+    print(f"\nFig. 6 — request clusters (testswap over HPBD, scale=1/{s})")
+    shown = clusters[:: max(1, len(clusters) // 20)]
+    print(
+        format_table(
+            ["cluster", "t (ms)", "requests", "avg size (KiB)"],
+            [
+                [c.index, c.start_usec / 1000.0, c.count, c.mean_bytes / KiB]
+                for c in shown
+            ],
+        )
+    )
+    hist = size_histogram(result.request_trace, op="write")
+    print("size histogram (KiB: count):",
+          {k // KiB: v for k, v in hist.items()})
+
+    # The paper's observation: requests are predominantly ~120-128 KiB.
+    overall_mean = result.mean_write_request
+    assert overall_mean > 100 * KiB
+    big_clusters = [c for c in clusters if c.mean_bytes > 100 * KiB]
+    assert len(big_clusters) / len(clusters) > 0.8
+    record(
+        benchmark,
+        mean_write_request_kib=overall_mean / KiB,
+        paper_observation="mostly around 120K",
+        clusters=len(clusters),
+    )

@@ -1,0 +1,50 @@
+"""Fig. 7 — quick sort (256 Mi ints) execution time across devices.
+
+Paper numbers: local 94 s, HPBD 138 s (1.47x), NBD-IPoIB 1.13x HPBD,
+NBD-GigE 1.36x HPBD, disk 4.5x HPBD.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import record, scale
+
+from repro.analysis import comparison_table
+from repro.experiments import PAPER_FIG7, fig07_quicksort
+
+
+def test_fig07_quicksort(benchmark):
+    s = scale()
+    results = benchmark.pedantic(
+        fig07_quicksort, args=(s,), rounds=1, iterations=1
+    )
+    by = {r.label: r for r in results}
+    print(f"\nFig. 7 — quick sort (scale=1/{s}; seconds shown x{s})")
+    scaled = [
+        dataclasses.replace(r, elapsed_usec=r.elapsed_usec * s)
+        for r in results
+    ]
+    print(comparison_table(scaled, paper=PAPER_FIG7))
+
+    local, hpbd = by["local"], by["hpbd"]
+    assert 1.2 < hpbd.slowdown_vs(local) < 2.0  # paper 1.47
+    assert by["disk"].slowdown_vs(hpbd) > 2.5  # paper 4.5
+    assert by["nbd-gige"].slowdown_vs(hpbd) > 1.2  # paper 1.36
+    assert by["nbd-ipoib"].slowdown_vs(hpbd) > 1.05  # paper 1.13
+    # ordering
+    assert (
+        local.elapsed_usec
+        < hpbd.elapsed_usec
+        < by["nbd-ipoib"].elapsed_usec
+        < by["nbd-gige"].elapsed_usec
+        < by["disk"].elapsed_usec
+    )
+    for label, r in by.items():
+        record(
+            benchmark,
+            **{
+                f"{label}_sec_fullscale": r.elapsed_sec * s,
+                f"{label}_paper_sec": PAPER_FIG7[label],
+            },
+        )

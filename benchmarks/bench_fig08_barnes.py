@@ -1,0 +1,50 @@
+"""Fig. 8 — Barnes (SPLASH-2) execution time across devices.
+
+The paper's Fig. 8 y-axis values are not recoverable from the text; the
+reproduction targets are the stated trends: "similar trends are
+observed" (same device ordering as quick sort) but "the improvement is
+less evident" because Barnes barely exceeds local memory (516 MiB peak
+vs 512 MiB RAM).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import record, scale
+
+from repro.analysis import comparison_table
+from repro.experiments import fig08_barnes
+
+
+def test_fig08_barnes(benchmark):
+    s = max(1, scale() // 2)  # Barnes's 4 MiB margin is noise below 1/4
+    results = benchmark.pedantic(fig08_barnes, args=(s,), rounds=1, iterations=1)
+    by = {r.label: r for r in results}
+    print(f"\nFig. 8 — Barnes (scale=1/{s}; seconds shown x{s})")
+    scaled = [
+        dataclasses.replace(r, elapsed_usec=r.elapsed_usec * s)
+        for r in results
+    ]
+    print(comparison_table(scaled))
+
+    local, hpbd = by["local"], by["hpbd"]
+    # Same ordering as the other workloads...
+    assert (
+        local.elapsed_usec
+        <= hpbd.elapsed_usec
+        < by["nbd-gige"].elapsed_usec
+        < by["disk"].elapsed_usec
+    )
+    # ...but the gaps are small ("less evident"): HPBD within 15 % of
+    # local, disk within 2x (vs 4.5x for quick sort).
+    assert hpbd.slowdown_vs(local) < 1.15
+    assert by["disk"].slowdown_vs(local) < 2.5
+    # Barnes does swap (the figure exists because it swaps a little).
+    assert hpbd.swapout_pages > 0
+    record(
+        benchmark,
+        hpbd_vs_local=hpbd.slowdown_vs(local),
+        disk_vs_local=by["disk"].slowdown_vs(local),
+        paper_observation="similar trends, less evident improvement",
+    )

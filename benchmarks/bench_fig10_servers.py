@@ -1,0 +1,38 @@
+"""Fig. 10 — quick sort vs number of memory servers (1–16).
+
+Paper: "HPBD performs similarly up to 8 servers.  For 16 nodes server
+there is some degradation.  This is due to the HCA design for multiple
+queue pair processing." — reproduced via the QP-context-cache penalty in
+the HCA model.
+"""
+
+from __future__ import annotations
+
+from conftest import record, scale
+
+from repro.analysis import format_table
+from repro.experiments import fig10_servers
+
+
+def test_fig10_multi_server_scaling(benchmark):
+    s = scale()
+    results = benchmark.pedantic(fig10_servers, args=(s,), rounds=1, iterations=1)
+    base = results[0][1]
+    print(f"\nFig. 10 — quick sort vs #servers (scale=1/{s})")
+    print(format_table(
+        ["servers", f"time (s, x{s})", "vs 1 server"],
+        [[n, r.elapsed_sec * s, r.slowdown_vs(base)] for n, r in results],
+    ))
+
+    by = dict(results)
+    # Flat through 8 servers (±5 %).
+    for n in (2, 4, 8):
+        assert abs(by[n].slowdown_vs(base) - 1.0) < 0.05
+    # Visible degradation at 16.
+    ratio16 = by[16].slowdown_vs(base)
+    assert 1.01 < ratio16 < 1.25
+    record(
+        benchmark,
+        degradation_at_16=ratio16,
+        paper_observation="similar up to 8, some degradation at 16",
+    )

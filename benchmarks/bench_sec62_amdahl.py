@@ -1,0 +1,91 @@
+"""§6.2 — the Amdahl's-law decomposition of swap overhead.
+
+Paper: with testswap's ~120 KiB messages, "network overhead is about 48
+percent of the overhead of GigE and only 34.5 % for IPoIB" and "with
+HPBD, the network cost is less than 30 %, thus host overhead is more
+dominant" — the paper's central conclusion.
+
+Two calculations are printed: the simulator's ground-truth wire-time
+share, and the paper's own inference method applied to the simulated
+run times (NBD-GigE vs NBD-IPoIB share one code path; the wire speed
+ratio for 120 KiB messages comes from the calibrated models).
+"""
+
+from __future__ import annotations
+
+from conftest import record, scale
+
+from repro.analysis import format_table
+from repro.analysis.amdahl import (
+    direct_network_fraction,
+    infer_network_fraction,
+    tcp_wire_cost,
+)
+from repro.experiments import sec62_runs
+from repro.net import GIGE_DEFAULT, IB_DEFAULT, IPOIB_DEFAULT
+from repro.units import KiB
+
+
+def test_sec62_network_share(benchmark):
+    s = scale()
+    runs = benchmark.pedantic(sec62_runs, args=(s,), rounds=1, iterations=1)
+    local = runs["local"]
+
+    gige_f = direct_network_fraction(
+        runs["nbd-gige"], local, tcp_wire_cost(GIGE_DEFAULT)
+    )
+    ipoib_f = direct_network_fraction(
+        runs["nbd-ipoib"], local, tcp_wire_cost(IPOIB_DEFAULT)
+    )
+    hpbd_f = direct_network_fraction(
+        runs["hpbd"], local, lambda n: IB_DEFAULT.rdma_write_cost(n)
+    )
+
+    # The paper's inference: GigE vs IPoIB run times + relative wire
+    # speed for the dominant 120 KiB message size.
+    msg = 120 * KiB
+    wire_speedup = (
+        tcp_wire_cost(GIGE_DEFAULT)(msg) / tcp_wire_cost(IPOIB_DEFAULT)(msg)
+    )
+    inferred_gige = infer_network_fraction(
+        runs["nbd-gige"].elapsed_sec,
+        runs["nbd-ipoib"].elapsed_sec,
+        local.elapsed_sec,
+        wire_speedup,
+    )
+
+    print("\n§6.2 — wire-time share of swap overhead (simulator ground truth)")
+    print(format_table(
+        ["transport", "wire share", "host share", "paper ('network')"],
+        [
+            ["NBD-GigE", gige_f, 1 - gige_f, "48%"],
+            ["NBD-IPoIB", ipoib_f, 1 - ipoib_f, "34.5%"],
+            ["HPBD", hpbd_f, 1 - hpbd_f, "<30%"],
+        ],
+    ))
+    print(f"paper-method inference for GigE (from run-time pair): "
+          f"{inferred_gige:.0%} (paper: 48%)")
+    print("note: the paper's 'network' share for IPoIB includes IB-stack "
+          "processing below IP; the ground-truth wire share isolates "
+          "serialization+latency, making IPoIB's host dominance even "
+          "starker — the same conclusion, sharper.")
+
+    # The paper's §6.2 claims, on ground-truth wire time:
+    # 1. "with HPBD, the network cost is less than 30%, thus host
+    #    overhead is more dominant".
+    assert hpbd_f < 0.30
+    # 2. For slow-wire TCP (GigE) the wire genuinely dominates overhead.
+    assert gige_f > 0.45
+    assert gige_f > hpbd_f
+    # 3. "simply using TCP/IP over high performance network can not
+    #    benefit from the low latency feature": IPoIB's overhead is
+    #    mostly host-side stack processing.
+    assert (1 - ipoib_f) > 0.60
+    record(
+        benchmark,
+        gige_fraction=gige_f,
+        ipoib_fraction=ipoib_f,
+        hpbd_fraction=hpbd_f,
+        inferred_gige_fraction=inferred_gige,
+        paper_gige=0.48, paper_ipoib=0.345, paper_hpbd_bound=0.30,
+    )

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the simulation kernel itself.
+
+Unlike the figure benches (single deterministic runs), these measure
+the host-side speed of the DES — useful when deciding how large a
+``REPRO_SCALE=1`` run is affordable.  pytest-benchmark runs them with
+real statistical rounds.
+"""
+
+from __future__ import annotations
+
+from repro.simulator import Resource, Simulator, Store
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw timeout churn: one process sleeping 10k times."""
+
+    def run():
+        sim = Simulator()
+
+        def proc(sim):
+            for _ in range(10_000):
+                yield sim.timeout(1.0)
+
+        p = sim.spawn(proc(sim))
+        sim.run(until=p)
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events >= 10_000
+
+
+def test_resource_handoff_throughput(benchmark):
+    """Contended acquire/release ping-pong between 8 processes."""
+
+    def run():
+        sim = Simulator()
+        res = Resource(sim, 1)
+
+        def proc(sim):
+            for _ in range(500):
+                yield res.acquire()
+                yield sim.timeout(0.1)
+                res.release()
+
+        procs = [sim.spawn(proc(sim)) for _ in range(8)]
+        sim.run_all(procs)
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events > 4_000
+
+
+def test_store_pipeline_throughput(benchmark):
+    """Producer/consumer handoff through a Store."""
+
+    def run():
+        sim = Simulator()
+        st = Store(sim)
+
+        def producer(sim):
+            for i in range(5_000):
+                st.put(i)
+                yield sim.timeout(0.1)
+
+        def consumer(sim):
+            for _ in range(5_000):
+                yield st.get()
+
+        sim.spawn(producer(sim))
+        c = sim.spawn(consumer(sim))
+        sim.run(until=c)
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events > 5_000

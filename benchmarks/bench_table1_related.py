@@ -1,0 +1,18 @@
+"""Table 1 — the related-work taxonomy, regenerated from data."""
+
+from __future__ import annotations
+
+from repro.analysis import TABLE1, render_table1
+
+
+def test_table1_related_work(benchmark):
+    text = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    print("\nTable 1 — modern work in designing remote memory systems")
+    print(text)
+    assert len(TABLE1) == 10
+    hpbd = next(s for s in TABLE1 if s.name == "HPBD")
+    # HPBD's distinguishing cell pattern in the paper's table:
+    # implementation-based, no global management, kernel level, ULP.
+    assert (hpbd.simulation_based, hpbd.global_management,
+            hpbd.kernel_level, hpbd.tcp_based, hpbd.ulp_based) == (
+        False, "N", "Y", "N", "Y")

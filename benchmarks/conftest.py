@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and
+records measured-vs-paper values in ``benchmark.extra_info`` (visible in
+``pytest-benchmark``'s JSON output) as well as printing a table.
+
+Scale: set ``REPRO_SCALE`` (a divisor on data/memory sizes; default 8,
+Barnes uses max(scale/2, 1)).  ``REPRO_SCALE=1`` reproduces the paper's
+full sizes — expect several minutes per figure.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def scale() -> int:
+    return int(os.environ.get("REPRO_SCALE", "8"))
+
+
+@pytest.fixture(scope="session")
+def repro_scale() -> int:
+    return scale()
+
+
+def record(benchmark, **info) -> None:
+    """Stash measured/paper values in the benchmark JSON."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

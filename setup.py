@@ -1,0 +1,12 @@
+"""Legacy setuptools entry point (fallback only).
+
+The supported install path is ``pip install -e .``, served by the
+vendored stdlib-only backend in ``_build_backend/backend.py`` (see
+pyproject.toml).  This file exists so ``python setup.py develop`` also
+works as a last-resort fallback in unusual environments; metadata for
+that path lives in setup.cfg and mirrors the backend's.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — full-system reproduction of *Swapping to Remote Memory over
+InfiniBand: An Approach using a High Performance Network Block Device*
+(Liang, Noronha, Panda — IEEE Cluster 2005).
+
+The package simulates, at event granularity, everything the paper's
+evaluation exercises:
+
+* a Linux-2.4-style VM (``repro.kernel``): faults, LRU reclaim, kswapd,
+  swap-slot clustering, block-layer merging/plugging/elevator;
+* InfiniBand verbs (``repro.ib``): RC queue pairs, CQs with solicited
+  events, memory registration, RDMA read/write;
+* **HPBD** itself (``repro.hpbd``): the client block driver with its
+  registration buffer pool, credit flow control and event-driven
+  threads, plus RamDisk-backed memory servers doing server-initiated
+  RDMA;
+* the baselines: NBD over simulated TCP/IP (``repro.nbd``,
+  ``repro.tcpip``) on GigE/IPoIB, and a seek-accurate local disk
+  (``repro.disk``);
+* the paper's workloads (``repro.workloads``): testswap, quick sort of
+  256 Mi ints, and SPLASH-2 Barnes.
+
+Quick start::
+
+    from repro import (
+        ScenarioConfig, HPBD, run_scenario, TestswapWorkload, GiB, MiB,
+    )
+    w = TestswapWorkload(size_bytes=GiB // 8)
+    cfg = ScenarioConfig([w], HPBD(), mem_bytes=512 * MiB // 8,
+                         swap_bytes=GiB // 8, mem_reserved_bytes=3 * MiB)
+    result = run_scenario(cfg)
+    print(result.summary())
+
+One preset per paper figure lives in :mod:`repro.experiments`.
+"""
+
+from .config import HPBD, LocalDisk, LocalMemory, NBD, ScenarioConfig
+from .results import InstanceResult, ScenarioResult
+from .runner import build_scenario, run_scenario
+from .units import GiB, KiB, MiB, PAGE_SIZE
+from .workloads import (
+    BarnesWorkload,
+    QuicksortWorkload,
+    TestswapWorkload,
+    Workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScenarioConfig",
+    "LocalMemory",
+    "HPBD",
+    "NBD",
+    "LocalDisk",
+    "run_scenario",
+    "build_scenario",
+    "ScenarioResult",
+    "InstanceResult",
+    "Workload",
+    "TestswapWorkload",
+    "QuicksortWorkload",
+    "BarnesWorkload",
+    "KiB",
+    "MiB",
+    "GiB",
+    "PAGE_SIZE",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Analysis of run results: the paper's §6.2 decomposition, Fig. 6
+request clustering, Table 1 data, and text reporting."""
+
+from .amdahl import (
+    AmdahlReport,
+    amdahl_report,
+    direct_network_fraction,
+    infer_network_fraction,
+)
+from .related import TABLE1, RelatedSystem, render_table1
+from .export import (
+    clusters_to_csv,
+    results_to_csv,
+    series_to_csv,
+    trace_to_csv,
+    write_csv,
+)
+from .report import comparison_table, format_table, ratio
+from .reqsize import RequestCluster, cluster_requests, size_histogram
+
+__all__ = [
+    "AmdahlReport",
+    "amdahl_report",
+    "infer_network_fraction",
+    "direct_network_fraction",
+    "RequestCluster",
+    "cluster_requests",
+    "size_histogram",
+    "RelatedSystem",
+    "TABLE1",
+    "render_table1",
+    "format_table",
+    "comparison_table",
+    "ratio",
+    "series_to_csv",
+    "results_to_csv",
+    "clusters_to_csv",
+    "trace_to_csv",
+    "write_csv",
+]

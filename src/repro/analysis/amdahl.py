@@ -1,0 +1,128 @@
+"""The §6.2 Amdahl decomposition: how much of swapping is network time?
+
+The paper's method: NBD over GigE and NBD over IPoIB "follow identical
+code path above the IP protocol layer", so the run-time difference is
+purely wire speed.  With testswap's ~120 KiB messages, Amdahl's law
+yields the network share of each transport's overhead: ≈48 % for GigE,
+≈34.5 % for IPoIB, and (by a rougher estimate) <30 % for HPBD — leading
+to the paper's conclusion that *host* overhead dominates once the
+network is fast.
+
+Two calculators live here:
+
+* :func:`infer_network_fraction` — the paper's inference from two
+  run times plus the relative wire speed (usable on real measurements);
+* :func:`direct_network_fraction` — the simulator's ground truth,
+  computed from the bytes moved and the transport's wire cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.fabrics import TCPParams
+from ..results import ScenarioResult
+
+__all__ = [
+    "infer_network_fraction",
+    "direct_network_fraction",
+    "AmdahlReport",
+    "amdahl_report",
+]
+
+
+def infer_network_fraction(
+    t_slow_sec: float,
+    t_fast_sec: float,
+    t_base_sec: float,
+    wire_speedup: float,
+) -> float:
+    """The paper's Amdahl inference.
+
+    Given run times over a slow and a fast wire (same code path), the
+    baseline (in-memory) time, and how much faster the fast wire moves
+    the workload's messages, solve for the network share of the *slow*
+    transport's swap overhead:
+
+    ``overhead = t - t_base``;
+    ``overhead_fast = overhead_slow * (1 - f + f / wire_speedup)``
+    → ``f = (1 - oh_fast/oh_slow) / (1 - 1/wire_speedup)``.
+    """
+    if wire_speedup <= 1.0:
+        raise ValueError(f"wire_speedup must exceed 1, got {wire_speedup}")
+    oh_slow = t_slow_sec - t_base_sec
+    oh_fast = t_fast_sec - t_base_sec
+    if oh_slow <= 0 or oh_fast <= 0:
+        raise ValueError("both transports must show positive swap overhead")
+    if oh_fast > oh_slow:
+        raise ValueError("the fast transport must not be slower overall")
+    return (1.0 - oh_fast / oh_slow) / (1.0 - 1.0 / wire_speedup)
+
+
+def direct_network_fraction(
+    result: ScenarioResult,
+    base_result: ScenarioResult,
+    wire_usec_of: "callable[[int], float]",
+) -> float:
+    """Ground-truth network share of the swap overhead for one run.
+
+    ``wire_usec_of(nbytes)`` is the wire-only (serialization + latency)
+    cost of one message of that size; host processing is excluded.
+    """
+    overhead = result.elapsed_usec - base_result.elapsed_usec
+    if overhead <= 0:
+        raise ValueError("no swap overhead to decompose")
+    wire = 0.0
+    for _t, _op, nbytes in result.request_trace:
+        wire += wire_usec_of(nbytes)
+    return min(1.0, wire / overhead)
+
+
+def tcp_wire_cost(params: TCPParams):
+    """Wire-only message cost for a TCP transport (no host terms)."""
+
+    def cost(nbytes: int) -> float:
+        return params.wire_latency + params.wire_byte_time * nbytes
+
+    return cost
+
+
+@dataclass
+class AmdahlReport:
+    """The §6.2 table: network share per transport."""
+
+    gige_fraction: float
+    ipoib_fraction: float
+    hpbd_fraction: float
+
+    PAPER_GIGE = 0.48
+    PAPER_IPOIB = 0.345
+    PAPER_HPBD_BOUND = 0.30
+
+    def rows(self) -> list[tuple[str, float, str]]:
+        return [
+            ("NBD-GigE", self.gige_fraction, f"{self.PAPER_GIGE:.0%}"),
+            ("NBD-IPoIB", self.ipoib_fraction, f"{self.PAPER_IPOIB:.1%}"),
+            ("HPBD", self.hpbd_fraction, f"<{self.PAPER_HPBD_BOUND:.0%}"),
+        ]
+
+
+def amdahl_report(
+    local: ScenarioResult,
+    hpbd: ScenarioResult,
+    ipoib: ScenarioResult,
+    gige: ScenarioResult,
+    gige_params: TCPParams,
+    ipoib_params: TCPParams,
+    ib_wire_usec_of: "callable[[int], float]",
+) -> AmdahlReport:
+    """Build the §6.2 decomposition from the four testswap runs."""
+    return AmdahlReport(
+        gige_fraction=direct_network_fraction(
+            gige, local, tcp_wire_cost(gige_params)
+        ),
+        ipoib_fraction=direct_network_fraction(
+            ipoib, local, tcp_wire_cost(ipoib_params)
+        ),
+        hpbd_fraction=direct_network_fraction(hpbd, local, ib_wire_usec_of),
+    )

@@ -1,0 +1,94 @@
+"""Export experiment data as CSV for external plotting.
+
+Each paper figure maps to one CSV with the obvious columns; files are
+deterministic (no timestamps) so they diff cleanly across runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from ..results import ScenarioResult
+from .reqsize import cluster_requests
+
+__all__ = [
+    "series_to_csv",
+    "results_to_csv",
+    "clusters_to_csv",
+    "trace_to_csv",
+    "write_csv",
+]
+
+
+def write_csv(path: str | Path, header: Sequence[str], rows) -> Path:
+    """Write rows to ``path`` (parent directories created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def series_to_csv(data: Mapping[str, np.ndarray], x_key: str = "sizes") -> str:
+    """Fig. 1 / Fig. 3-style dict of parallel arrays → CSV text."""
+    if x_key not in data:
+        raise KeyError(f"missing x column {x_key!r}")
+    keys = [x_key] + sorted(k for k in data if k != x_key)
+    n = len(data[x_key])
+    for k in keys:
+        if len(data[k]) != n:
+            raise ValueError(f"column {k!r} length {len(data[k])} != {n}")
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(keys)
+    for i in range(n):
+        writer.writerow([data[k][i] for k in keys])
+    return buf.getvalue()
+
+
+def results_to_csv(results: Sequence[ScenarioResult]) -> str:
+    """Per-device scenario results → CSV text (Fig. 5/7/8 shape)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["device", "elapsed_sec", "swapout_pages", "swapin_pages",
+         "mean_write_request", "mean_read_request"]
+    )
+    for r in results:
+        writer.writerow([
+            r.label, f"{r.elapsed_sec:.6f}", r.swapout_pages, r.swapin_pages,
+            f"{r.mean_write_request:.1f}", f"{r.mean_read_request:.1f}",
+        ])
+    return buf.getvalue()
+
+
+def clusters_to_csv(
+    trace: list[tuple[float, str, int]], gap_usec: float = 2_000.0,
+    op: str | None = "write",
+) -> str:
+    """Fig. 6 shape: per-cluster average request sizes → CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["cluster", "start_usec", "count", "mean_bytes"])
+    for c in cluster_requests(trace, gap_usec=gap_usec, op=op):
+        writer.writerow(
+            [c.index, f"{c.start_usec:.1f}", c.count, f"{c.mean_bytes:.0f}"]
+        )
+    return buf.getvalue()
+
+
+def trace_to_csv(trace: list[tuple[float, str, int]]) -> str:
+    """Raw request trace → CSV text (time, op, bytes)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["dispatch_usec", "op", "nbytes"])
+    for t, op, nbytes in trace:
+        writer.writerow([f"{t:.1f}", op, nbytes])
+    return buf.getvalue()

@@ -1,0 +1,56 @@
+"""Table 1: the paper's taxonomy of remote-memory systems.
+
+Reproduced as data so the benchmark harness can regenerate the table.
+Classification axes (§2): simulation vs implementation; global resource
+management vs point-to-point sharing; kernel- vs user-level design;
+TCP/IP vs user-level-protocol (ULP) transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RelatedSystem", "TABLE1", "render_table1"]
+
+NA = "N/A"
+
+
+@dataclass(frozen=True)
+class RelatedSystem:
+    name: str
+    citation: str
+    simulation_based: bool
+    global_management: str  # "Y" / "N"
+    kernel_level: str  # "Y" / "N" / "N/A"
+    tcp_based: str  # "Y" / "N" / "Y(UDP)" / "N/A"
+    ulp_based: str  # "Y" / "N" / "N/A"
+
+
+TABLE1: tuple[RelatedSystem, ...] = (
+    RelatedSystem("COCA", "[4]", True, "Y", NA, NA, NA),
+    RelatedSystem("PNR", "[17]", True, "Y", NA, NA, NA),
+    RelatedSystem("JMNRM", "[24]", True, "Y", NA, NA, NA),
+    RelatedSystem("NRAM", "[5]", False, "N", "N", "Y", "N"),
+    RelatedSystem("NRD", "[12]", False, "N", "Y", "Y", "N"),
+    RelatedSystem("RRMP", "[14]", False, "N", "Y", "Y", "N"),
+    RelatedSystem("MOSIX", "[3]", False, "Y", "Y", "Y", "N"),
+    RelatedSystem("GMM", "[7]", False, "Y", "Y", "Y(UDP)", "N"),
+    RelatedSystem("DoDo", "[10]", False, "Y", "N", "Y", "Y"),
+    RelatedSystem("HPBD", "(this)", False, "N", "Y", "N", "Y"),
+)
+
+
+def render_table1() -> str:
+    """The paper's Table 1 as fixed-width text."""
+    header = (
+        f"{'System':8s} {'Based on':14s} {'GlobalMgmt':10s} "
+        f"{'KernelLevel':11s} {'TCP/IP':8s} {'ULP':5s}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in TABLE1:
+        basis = "Simulation" if s.simulation_based else "Implementation"
+        lines.append(
+            f"{s.name:8s} {basis:14s} {s.global_management:10s} "
+            f"{s.kernel_level:11s} {s.tcp_based:8s} {s.ulp_based:5s}"
+        )
+    return "\n".join(lines)

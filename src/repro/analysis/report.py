@@ -1,0 +1,64 @@
+"""Plain-text reporting helpers shared by benches and examples."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..results import ScenarioResult
+
+__all__ = ["format_table", "comparison_table", "ratio"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width text table (no external deps, stable for diffing)."""
+    cols = len(headers)
+    for row in rows:
+        if len(row) != cols:
+            raise ValueError(f"row {row!r} does not match {cols} headers")
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(cols)]
+    out = []
+    for j, row in enumerate(cells):
+        out.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+        if j == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ratio(a: ScenarioResult, b: ScenarioResult) -> float:
+    """a's run time as a multiple of b's."""
+    return a.elapsed_usec / b.elapsed_usec
+
+
+def comparison_table(
+    results: Sequence[ScenarioResult],
+    baseline_label: str = "local",
+    paper: dict[str, float] | None = None,
+) -> str:
+    """Execution-time table with slowdowns vs a baseline and, when
+    given, the paper's numbers side by side."""
+    base = next((r for r in results if r.label == baseline_label), None)
+    headers = ["device", "time (s)", "vs " + baseline_label]
+    if paper:
+        headers += ["paper (s)", "paper ratio"]
+    rows = []
+    for r in results:
+        row: list[object] = [r.label, r.elapsed_sec]
+        row.append(r.elapsed_usec / base.elapsed_usec if base else float("nan"))
+        if paper:
+            p = paper.get(r.label)
+            pb = paper.get(baseline_label)
+            row.append(p if p is not None else "-")
+            row.append(p / pb if (p and pb) else "-")
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,82 @@
+"""Fig. 6: average request size per request *cluster*.
+
+The paper profiles testswap's block requests and groups them into
+clusters — bursts of requests close together in time (one kswapd
+reclaim wave produces one cluster).  Fig. 6 plots the average request
+size of each successive cluster, showing testswap "involves mostly …
+messages around 120K".
+
+``cluster_requests`` reproduces that grouping from a request trace:
+requests whose dispatch times are within ``gap_usec`` of their
+predecessor share a cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RequestCluster", "cluster_requests", "size_histogram"]
+
+
+@dataclass(frozen=True)
+class RequestCluster:
+    """One burst of near-simultaneous block requests."""
+
+    index: int
+    start_usec: float
+    end_usec: float
+    count: int
+    total_bytes: int
+
+    @property
+    def mean_bytes(self) -> float:
+        return self.total_bytes / self.count
+
+
+def cluster_requests(
+    trace: list[tuple[float, str, int]],
+    gap_usec: float = 2_000.0,
+    op: str | None = None,
+) -> list[RequestCluster]:
+    """Group a ``(time, op, nbytes)`` trace into clusters.
+
+    ``op`` filters to one direction ("read"/"write"); ``None`` keeps
+    both.  A new cluster starts whenever the inter-request gap exceeds
+    ``gap_usec``.
+    """
+    if gap_usec <= 0:
+        raise ValueError(f"gap must be positive, got {gap_usec}")
+    rows = [(t, n) for (t, o, n) in trace if op is None or o == op]
+    rows.sort(key=lambda r: r[0])
+    clusters: list[RequestCluster] = []
+    if not rows:
+        return clusters
+    start = prev = rows[0][0]
+    count = 0
+    total = 0
+    for t, nbytes in rows:
+        if t - prev > gap_usec and count:
+            clusters.append(
+                RequestCluster(len(clusters), start, prev, count, total)
+            )
+            start = t
+            count = 0
+            total = 0
+        count += 1
+        total += nbytes
+        prev = t
+    clusters.append(RequestCluster(len(clusters), start, prev, count, total))
+    return clusters
+
+
+def size_histogram(
+    trace: list[tuple[float, str, int]], op: str | None = None
+) -> dict[int, int]:
+    """Request-size → count histogram (exact sizes, bytes)."""
+    out: dict[int, int] = {}
+    for _t, o, nbytes in trace:
+        if op is None or o == op:
+            out[nbytes] = out.get(nbytes, 0) + 1
+    return dict(sorted(out.items()))

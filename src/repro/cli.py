@@ -1,0 +1,261 @@
+"""Command-line interface: run paper experiments from the shell.
+
+::
+
+    python -m repro list
+    python -m repro run fig05 --scale 8
+    python -m repro run fig10 --scale 16 --json out.json
+    python -m repro run all
+    python -m repro table1
+
+Each experiment prints the same paper-vs-measured table its benchmark
+prints; ``--json`` additionally dumps the raw numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from collections.abc import Callable, Sequence
+
+from . import experiments
+from .analysis import (
+    cluster_requests,
+    comparison_table,
+    format_table,
+    render_table1,
+)
+from .results import ScenarioResult
+from .units import KiB
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _scaled(results: list[ScenarioResult], scale: int) -> list[ScenarioResult]:
+    return [
+        dataclasses.replace(r, elapsed_usec=r.elapsed_usec * scale)
+        for r in results
+    ]
+
+
+def _run_fig01(scale: int) -> dict:
+    data = experiments.fig01_latency()
+    rows = [
+        [int(s), data["memcpy"][i], data["rdma_write"][i],
+         data["ipoib"][i], data["gige"][i]]
+        for i, s in enumerate(data["sizes"])
+    ]
+    print("Fig. 1 — one-way latency (µs) vs size (B)")
+    print(format_table(["size", "memcpy", "rdma_write", "ipoib", "gige"], rows))
+    return {k: list(map(float, v)) for k, v in data.items()}
+
+
+def _run_fig03(scale: int) -> dict:
+    data = experiments.fig03_registration()
+    print("Fig. 3 — registration vs memcpy cost (µs)")
+    print(format_table(
+        ["size", "registration", "memcpy"],
+        [[int(s), data["registration"][i], data["memcpy"][i]]
+         for i, s in enumerate(data["sizes"])],
+    ))
+    return {k: list(map(float, v)) for k, v in data.items()}
+
+
+def _run_fig05(scale: int) -> dict:
+    results = experiments.fig05_testswap(scale)
+    print(f"Fig. 5 — testswap (scale=1/{scale}; seconds shown x{scale})")
+    print(comparison_table(_scaled(results, scale), paper=experiments.PAPER_FIG5))
+    return {r.label: r.elapsed_sec * scale for r in results}
+
+
+def _run_fig06(scale: int) -> dict:
+    result = experiments.fig06_reqsize_run(scale)
+    clusters = cluster_requests(result.request_trace, op="write")
+    print(f"Fig. 6 — request clusters (testswap over HPBD, scale=1/{scale})")
+    print(format_table(
+        ["cluster", "requests", "avg size (KiB)"],
+        [[c.index, c.count, c.mean_bytes / KiB]
+         for c in clusters[:: max(1, len(clusters) // 20)]],
+    ))
+    return {
+        "mean_write_request_kib": result.mean_write_request / KiB,
+        "clusters": len(clusters),
+    }
+
+
+def _run_fig07(scale: int) -> dict:
+    results = experiments.fig07_quicksort(scale)
+    print(f"Fig. 7 — quick sort (scale=1/{scale}; seconds shown x{scale})")
+    print(comparison_table(_scaled(results, scale), paper=experiments.PAPER_FIG7))
+    return {r.label: r.elapsed_sec * scale for r in results}
+
+
+def _run_fig08(scale: int) -> dict:
+    s = max(1, scale // 2)
+    results = experiments.fig08_barnes(s)
+    print(f"Fig. 8 — Barnes (scale=1/{s}; seconds shown x{s})")
+    print(comparison_table(_scaled(results, s)))
+    return {r.label: r.elapsed_sec * s for r in results}
+
+
+def _run_fig09(scale: int) -> dict:
+    cells = experiments.fig09_concurrent(scale)
+    print(f"Fig. 9 — two concurrent quick sorts (scale=1/{scale})")
+    print(format_table(
+        ["device", "memory", "vs local"],
+        [[c.label, c.memory, c.slowdown] for c in cells],
+    ))
+    return {f"{c.label}@{c.memory}": c.slowdown for c in cells}
+
+
+def _run_fig10(scale: int) -> dict:
+    results = experiments.fig10_servers(scale)
+    base = results[0][1]
+    print(f"Fig. 10 — quick sort vs #servers (scale=1/{scale})")
+    print(format_table(
+        ["servers", f"time (s, x{scale})", "vs 1 server"],
+        [[n, r.elapsed_sec * scale, r.slowdown_vs(base)] for n, r in results],
+    ))
+    return {str(n): r.elapsed_sec * scale for n, r in results}
+
+
+def _run_table1(scale: int) -> dict:
+    print(render_table1())
+    return {"systems": 10}
+
+
+EXPERIMENTS: dict[str, tuple[Callable[[int], dict], str]] = {
+    "table1": (_run_table1, "related-work taxonomy"),
+    "fig01": (_run_fig01, "latency vs size microbenchmark"),
+    "fig03": (_run_fig03, "registration vs memcpy cost"),
+    "fig05": (_run_fig05, "testswap across devices"),
+    "fig06": (_run_fig06, "testswap request-size clusters"),
+    "fig07": (_run_fig07, "quick sort across devices"),
+    "fig08": (_run_fig08, "Barnes across devices"),
+    "fig09": (_run_fig09, "two concurrent quick sorts"),
+    "fig10": (_run_fig10, "quick sort vs number of servers"),
+}
+
+
+def _write_csv(name: str, scale: int, outdir: str) -> None:
+    """Write the plot-ready CSV for one experiment, if it has one."""
+    from pathlib import Path
+
+    from .analysis.export import (
+        clusters_to_csv,
+        results_to_csv,
+        series_to_csv,
+    )
+
+    path = Path(outdir) / f"{name}.csv"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if name == "fig01":
+        path.write_text(series_to_csv(experiments.fig01_latency()))
+    elif name == "fig03":
+        path.write_text(series_to_csv(experiments.fig03_registration()))
+    elif name == "fig05":
+        path.write_text(results_to_csv(experiments.fig05_testswap(scale)))
+    elif name == "fig06":
+        run = experiments.fig06_reqsize_run(scale)
+        path.write_text(clusters_to_csv(run.request_trace))
+    elif name == "fig07":
+        path.write_text(results_to_csv(experiments.fig07_quicksort(scale)))
+    elif name == "fig08":
+        path.write_text(
+            results_to_csv(experiments.fig08_barnes(max(1, scale // 2)))
+        )
+    else:
+        return
+    print(f"wrote {path}")
+
+
+def _report(scale: int, output: str) -> int:
+    """Run every experiment, capturing the printed tables into markdown."""
+    import contextlib
+    import io
+
+    sections: list[str] = [
+        "# HPBD reproduction report",
+        "",
+        f"Generated by `repro report --scale {scale}` "
+        f"(sizes divided by {scale}; run times shown scaled back).",
+        "",
+    ]
+    for name, (fn, desc) in EXPERIMENTS.items():
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            fn(scale)
+        sections.append(f"## {name} — {desc}")
+        sections.append("")
+        sections.append("```")
+        sections.append(buf.getvalue().rstrip())
+        sections.append("```")
+        sections.append("")
+        print(f"{name} done")
+    with open(output, "w") as fh:
+        fh.write("\n".join(sections))
+    print(f"wrote {output}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPBD (Cluster 2005) reproduction: run paper experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("table1", help="print the related-work taxonomy")
+    rep = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    rep.add_argument("--scale", type=int, default=8)
+    rep.add_argument("-o", "--output", default="REPORT.md")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument(
+        "--scale", type=int, default=8,
+        help="size divisor; 1 = full paper sizes (default: 8)",
+    )
+    run.add_argument("--json", metavar="PATH", help="dump raw numbers as JSON")
+    run.add_argument(
+        "--csv", metavar="DIR",
+        help="also write plot-ready CSV files into DIR (fig01/03/05/06/07/08)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print(format_table(
+            ["experiment", "description"],
+            [[name, desc] for name, (_fn, desc) in EXPERIMENTS.items()],
+        ))
+        return 0
+    if args.command == "table1":
+        print(render_table1())
+        return 0
+    if args.command == "report":
+        if args.scale < 1:
+            parser.error("--scale must be >= 1")
+        return _report(args.scale, args.output)
+
+    if args.scale < 1:
+        parser.error("--scale must be >= 1")
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    payload: dict[str, dict] = {}
+    for name in names:
+        fn, _desc = EXPERIMENTS[name]
+        payload[name] = fn(args.scale)
+        if args.csv:
+            _write_csv(name, args.scale, args.csv)
+        print()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"scale": args.scale, "results": payload}, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Scenario configuration: which swap device, how much memory, who runs.
+
+A scenario is one simulated machine ("the compute node") running one or
+more workload instances, with its swap attached to one of the paper's
+four device kinds:
+
+* ``LocalMemory``  — enough RAM, no swapping (the baseline);
+* ``HPBD``         — the paper's device over N memory servers;
+* ``NBD``          — the TCP block device over GigE or IPoIB (1 server);
+* ``LocalDisk``    — the node's ATA disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .disk.model import DiskParams, ST340014A
+from .kernel.params import DEFAULT_VM_PARAMS, VMParams
+from .net.fabrics import (
+    GIGE_DEFAULT,
+    IB_DEFAULT,
+    IPOIB_DEFAULT,
+    IBParams,
+    TCPParams,
+)
+from .units import GiB, KiB, MiB
+from .workloads.base import Workload
+
+__all__ = [
+    "LocalMemory",
+    "HPBD",
+    "NBD",
+    "LocalDisk",
+    "DeviceConfig",
+    "ScenarioConfig",
+]
+
+
+@dataclass(frozen=True)
+class LocalMemory:
+    """No swap: the node has enough RAM (the 2 GiB baseline runs)."""
+
+    label: str = "local"
+
+
+@dataclass(frozen=True)
+class HPBD:
+    """The paper's high performance block device."""
+
+    nservers: int = 1
+    pool_bytes: int = MiB  # §4.2.2: "default pool size of 1MB"
+    credits_per_server: int = 16
+    server_store_bytes: int | None = None  # default: an equal share + slack
+    staging_pool_bytes: int = 4 * MiB
+    max_outstanding_rdma: int = 8
+    ib: IBParams = IB_DEFAULT
+    #: ablation (§4.1): per-request registration instead of the pool
+    register_on_fly: bool = False
+    #: ablation (§4.2.5): stripe size in bytes (None = blocking layout)
+    stripe_bytes: int | None = None
+    #: reliability extension: synchronous write mirroring + read failover
+    mirror: bool = False
+    label: str = "hpbd"
+
+
+@dataclass(frozen=True)
+class NBD:
+    """The TCP network block device baseline (single server in 2.4)."""
+
+    transport: str = "gige"  # "gige" | "ipoib"
+    tcp: TCPParams | None = None
+
+    def params(self) -> TCPParams:
+        if self.tcp is not None:
+            return self.tcp
+        if self.transport == "gige":
+            return GIGE_DEFAULT
+        if self.transport == "ipoib":
+            return IPOIB_DEFAULT
+        raise ValueError(f"unknown NBD transport {self.transport!r}")
+
+    @property
+    def label(self) -> str:
+        return f"nbd-{self.transport}"
+
+
+@dataclass(frozen=True)
+class LocalDisk:
+    """Swap to the node's own ATA disk."""
+
+    params: DiskParams = ST340014A
+    label: str = "disk"
+
+
+DeviceConfig = LocalMemory | HPBD | NBD | LocalDisk
+
+
+@dataclass
+class ScenarioConfig:
+    """One full experiment configuration."""
+
+    workloads: list[Workload]
+    device: DeviceConfig
+    mem_bytes: int
+    swap_bytes: int = GiB
+    ncpus: int = 2
+    vm_params: VMParams = DEFAULT_VM_PARAMS
+    #: frames the kernel itself pins (text, slab, page tables...) — the
+    #: app never sees the full DIMM size.
+    mem_reserved_bytes: int = 24 * MiB
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ValueError("scenario needs at least one workload instance")
+        if self.mem_bytes <= self.mem_reserved_bytes:
+            raise ValueError(
+                f"memory {self.mem_bytes} does not cover the kernel reserve "
+                f"{self.mem_reserved_bytes}"
+            )
+        if self.swap_bytes < 0:
+            raise ValueError("negative swap size")
+        if isinstance(self.device, LocalMemory) and self.swap_bytes:
+            # Local runs simply ignore the swap size.
+            self.swap_bytes = 0
+
+    @property
+    def usable_mem_bytes(self) -> int:
+        return self.mem_bytes - self.mem_reserved_bytes
+
+    @property
+    def label(self) -> str:
+        return self.device.label
+
+    def with_device(self, device: DeviceConfig) -> "ScenarioConfig":
+        """Same scenario on a different swap device."""
+        return replace(self, device=device)

@@ -1,0 +1,6 @@
+"""Local ATA disk model and driver (the paper's slow baseline)."""
+
+from .driver import DiskDevice
+from .model import ST340014A, DiskModel, DiskParams
+
+__all__ = ["DiskDevice", "DiskModel", "DiskParams", "ST340014A"]

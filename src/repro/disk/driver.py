@@ -1,0 +1,56 @@
+"""Local-disk block driver: serves one request at a time (ATA, no NCQ)."""
+
+from __future__ import annotations
+
+from ..kernel.blockdev import RequestQueue
+from ..simulator import Simulator, StatsRegistry
+from ..units import SECTOR_SIZE
+from .model import DiskModel, DiskParams, ST340014A
+
+__all__ = ["DiskDevice"]
+
+
+class DiskDevice:
+    """An ATA disk behind a standard request queue.
+
+    ``swap_partition_bytes`` bounds the sector space exposed to the swap
+    area; the partition starts at ``partition_offset`` sectors (swap
+    partitions typically sat after the root filesystem — distance
+    matters only via seek deltas, which are relative, so the default 0
+    is fine).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "hda",
+        params: DiskParams = ST340014A,
+        swap_partition_bytes: int | None = None,
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.params = params
+        self.model = DiskModel(params)
+        self.stats = stats if stats is not None else StatsRegistry()
+        capacity = (
+            swap_partition_bytes // SECTOR_SIZE
+            if swap_partition_bytes is not None
+            else params.capacity_sectors
+        )
+        self.queue = RequestQueue(
+            sim, name=f"{name}.rq", capacity_sectors=capacity, stats=self.stats
+        )
+        self.busy_usec = 0.0
+        self.requests_served = 0
+        self._proc = sim.spawn(self._serve(), name=f"{name}.driver")
+
+    def _serve(self):
+        while True:
+            req = yield self.queue.next_request()
+            t = self.model.service_time(req.sector, req.nsectors)
+            yield self.sim.timeout(t)
+            self.busy_usec += t
+            self.requests_served += 1
+            self.stats.tally(f"{self.name}.service_usec").record(t)
+            self.queue.complete(req)

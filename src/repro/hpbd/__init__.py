@@ -1,0 +1,47 @@
+"""HPBD — the High Performance Block Device (the paper's contribution).
+
+Client block driver + remote memory servers over simulated InfiniBand:
+registration buffer pool, server-initiated RDMA, event-driven threads,
+credit flow control, and multi-server blocking distribution.
+"""
+
+from .client import HPBDClient
+from .cooperative import Advertisement, MemoryBroker, WeightedDistribution
+from .pool import PoolBuffer, PoolError, RegisteredPool
+from .protocol import (
+    CTRL_MSG_BYTES,
+    OP_READ,
+    OP_WRITE,
+    PageReply,
+    PageRequest,
+    ProtocolError,
+    STATUS_ERROR,
+    STATUS_OK,
+)
+from .ramdisk import RamDisk, RamDiskError
+from .server import HPBDServer
+from .striping import BlockingDistribution, Segment, StripedDistribution
+
+__all__ = [
+    "HPBDClient",
+    "MemoryBroker",
+    "Advertisement",
+    "WeightedDistribution",
+    "HPBDServer",
+    "RegisteredPool",
+    "PoolBuffer",
+    "PoolError",
+    "RamDisk",
+    "RamDiskError",
+    "BlockingDistribution",
+    "StripedDistribution",
+    "Segment",
+    "PageRequest",
+    "PageReply",
+    "ProtocolError",
+    "OP_READ",
+    "OP_WRITE",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "CTRL_MSG_BYTES",
+]

@@ -1,0 +1,408 @@
+"""The HPBD client: a block-device driver over native InfiniBand verbs.
+
+Structure follows §4.2.3/§5 of the paper:
+
+* the driver exposes a standard request queue to the VM (so all the
+  block-layer merging/plugging applies untouched);
+* a **sender thread** takes merged requests off the queue, splits each
+  into per-server *physical requests* (blocking distribution), copies
+  swap-out data into the pre-registered pool, takes a flow-control
+  credit, and posts the control message;
+* a **receiver thread** sleeps on the reply completion queue (one CQ
+  shared by all server QPs), is woken by solicited-completion events,
+  and drains *all* available replies per wakeup (bursty processing);
+* the **water-mark flow control** (§4.2.4) is a per-server credit
+  bucket sized to the pre-posted receive count — requests queue inside
+  the driver when credits run out;
+* a block request completes when every physical request has been
+  acknowledged ("A request is successfully served when each physical
+  request is replied with successful acknowledgment").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ib import HCA, CompletionQueue, RecvWR, SendWR, connect_endpoints
+from ..kernel.blockdev import BlockRequest, READ, RequestQueue, WRITE
+from ..kernel.node import Node
+from ..net.fabrics import IBParams, IB_DEFAULT, memcpy_cost
+from ..simulator import SimulationError, Simulator, StatsRegistry, TokenBucket
+from ..units import MiB, SECTOR_SIZE
+from .pool import PoolBuffer, RegisteredPool
+from .protocol import (
+    CTRL_MSG_BYTES,
+    OP_READ,
+    OP_WRITE,
+    PageReply,
+    PageRequest,
+)
+from .server import HPBDServer
+from .striping import BlockingDistribution, Segment
+
+__all__ = ["HPBDClient"]
+
+
+@dataclass
+class _Pending:
+    """Book-keeping for one block request in flight."""
+
+    req: BlockRequest
+    nsegs: int
+    done_segs: int = 0
+    submit_time: float = 0.0
+
+
+@dataclass
+class _Inflight:
+    """One physical request awaiting its acknowledgement."""
+
+    pending: _Pending
+    seg: Segment
+    op: str
+    buf: PoolBuffer | None = None  # pool mode
+    mr: object = None  # register-on-the-fly mode (MemoryRegion)
+    sent_at: float = 0.0
+    #: mirroring: how many acknowledgements must still arrive before the
+    #: shared buffer can be released and the segment counted done.
+    copies_left: int = 1
+    #: mirroring: server index holding the replica (read failover target)
+    replica_server: int | None = None
+    #: mirroring: True once this read was already retried on the replica
+    failed_over: bool = False
+
+
+class HPBDClient:
+    """The block-device driver instance (one minor device).
+
+    Construct, then run ``yield from client.connect()`` inside a process
+    before submitting I/O; attach to the VM with
+    ``node.swapon(client.queue, total_bytes)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        servers: list[HPBDServer],
+        total_bytes: int,
+        ib_params: IBParams = IB_DEFAULT,
+        pool_bytes: int = MiB,
+        credits_per_server: int = 16,
+        name: str = "hpbd0",
+        stats: StatsRegistry | None = None,
+        register_on_fly: bool = False,
+        stripe_bytes: int | None = None,
+        server_area_base: int = 0,
+        distribution=None,
+        mirror: bool = False,
+    ) -> None:
+        if not servers:
+            raise ValueError("HPBD needs at least one memory server")
+        if mirror and len(servers) < 2:
+            raise ValueError("mirroring needs at least two servers")
+        if mirror and register_on_fly:
+            raise ValueError("mirror + register_on_fly not supported together")
+        self.sim = sim
+        self.node = node
+        self.servers = servers
+        self.total_bytes = total_bytes
+        self.name = name
+        self.stats = stats if stats is not None else node.stats
+        #: ablation switch (§4.1): register each request's pages on the
+        #: fly instead of copying through the pre-registered pool.
+        self.register_on_fly = register_on_fly
+        #: where this client's area starts inside each server's store
+        #: (lets one server serve several clients, §5).
+        self.server_area_base = server_area_base
+        if distribution is not None:
+            # Custom layout (e.g. the cooperative WeightedDistribution).
+            if distribution.total_bytes != total_bytes:
+                raise ValueError(
+                    f"distribution covers {distribution.total_bytes} bytes, "
+                    f"device is {total_bytes}"
+                )
+            if distribution.nservers != len(servers):
+                raise ValueError(
+                    f"distribution names {distribution.nservers} servers, "
+                    f"got {len(servers)}"
+                )
+            self.dist = distribution
+        elif stripe_bytes is None:
+            self.dist = BlockingDistribution(total_bytes, len(servers))
+        else:
+            # ablation switch (§4.2.5): striped layout the paper rejects
+            from .striping import StripedDistribution
+
+            self.dist = StripedDistribution(
+                total_bytes, len(servers), stripe_bytes
+            )
+        #: reliability extension (§4.1 points at NRD [13] / RRMP): write
+        #: every page to a replica server too; reads fail over to the
+        #: replica if the primary errors.  The replica of server i's
+        #: chunk lives on server i+1 (mod n) at base ``share_of(i+1)``.
+        self.mirror = mirror
+        for i, srv in enumerate(servers):
+            share = self.dist.share_of(i)
+            need = server_area_base + share
+            if mirror:
+                # room for the predecessor's replica behind its own area
+                prev = (i - 1) % len(servers)
+                need += self.dist.share_of(prev)
+            if srv.ramdisk.size < need:
+                raise ValueError(
+                    f"server {srv.name} RamDisk ({srv.ramdisk.size} B) too "
+                    f"small: needs {need} B"
+                    + (" (share + replica area)" if mirror else "")
+                )
+        self.queue = RequestQueue(
+            sim,
+            name=f"{name}.rq",
+            capacity_sectors=total_bytes // SECTOR_SIZE,
+            stats=self.stats,
+        )
+        self.hca = HCA(sim, node.fabric, node.name, params=ib_params, stats=self.stats)
+        self.pd = self.hca.alloc_pd()
+        self.send_cq = self.hca.create_cq(f"{name}.scq")
+        #: single reply CQ shared across all server QPs (§5)
+        self.reply_cq: CompletionQueue = self.hca.create_cq(f"{name}.rcq")
+        self.pool_bytes = pool_bytes
+        self.credits_per_server = credits_per_server
+        self.pool: RegisteredPool | None = None
+        self._qps: list = []
+        self._qp_index: dict[int, int] = {}  # qp_num -> server index
+        self._credits: list[TokenBucket] = []
+        self._inflight: dict[int, _Inflight] = {}
+        self._connected = False
+        # measurement
+        self._t_req = self.stats.tally(f"{name}.request_usec")
+        self._c_phys = self.stats.counter(f"{name}.physical_requests")
+        self._c_split = self.stats.counter(f"{name}.split_requests")
+        self.copy_usec = 0.0  # client-side memcpy (host overhead share)
+
+    # -- setup ---------------------------------------------------------------
+
+    def connect(self):
+        """Register the pool, connect every server, start the threads;
+        generator — run inside a process."""
+        if self._connected:
+            raise SimulationError(f"{self.name} already connected")
+        mr = yield from self.hca.register_mr(self.pd, self.pool_bytes)
+        self.pool = RegisteredPool(
+            self.sim,
+            size=self.pool_bytes,
+            base_addr=mr.addr,
+            rkey=mr.rkey,
+            name=f"{self.name}.pool",
+            stats=self.stats,
+        )
+        for i, srv in enumerate(self.servers):
+            if not srv.started:
+                yield from srv.start()
+            qp_c, qp_s = yield from connect_endpoints(
+                self.hca,
+                self.pd,
+                self.send_cq,
+                self.reply_cq,
+                srv.hca,
+                srv.pd,
+                srv.send_cq,
+                srv.recv_cq,
+                max_recv_wr=max(256, self.credits_per_server),
+            )
+            self._qps.append(qp_c)
+            self._qp_index[qp_c.qp_num] = i
+            self._credits.append(
+                TokenBucket(
+                    self.sim,
+                    self.credits_per_server,
+                    name=f"{self.name}.credits{i}",
+                )
+            )
+            # Pre-post reply receives matching the credit water-mark.
+            for _ in range(self.credits_per_server):
+                qp_c.post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
+            srv.register_client(qp_s, area_base=self.server_area_base)
+        self.sim.spawn(self._sender(), name=f"{self.name}.sender")
+        self.sim.spawn(self._receiver(), name=f"{self.name}.receiver")
+        self._connected = True
+
+    # -- sender thread ---------------------------------------------------------
+
+    def _sender(self):
+        sim = self.sim
+        while True:
+            req = yield self.queue.next_request()
+            segs = self.dist.split(req.sector * SECTOR_SIZE, req.nbytes)
+            if len(segs) > 1:
+                self._c_split.add()
+            pending = _Pending(req=req, nsegs=len(segs), submit_time=sim.now)
+            for seg in segs:
+                token = None
+                if req.op == WRITE:
+                    token = (self.name, req.sector, seg.server_offset, seg.nbytes)
+                if self.register_on_fly:
+                    # Ablation (§4.1's rejected alternative): pin the
+                    # request's pages and expose them directly — no
+                    # copy, but the full registration cost per request.
+                    mr = yield from self.hca.register_mr(self.pd, seg.nbytes)
+                    buf, buf_addr, buf_rkey = None, mr.addr, mr.rkey
+                else:
+                    buf = yield from self.pool.alloc(seg.nbytes)
+                    mr = None
+                    buf_addr = self.pool.buffer_addr(buf)
+                    buf_rkey = self.pool.rkey
+                    if req.op == WRITE:
+                        # Copy the pages into the registered pool (the
+                        # cost HPBD accepts instead of registration).
+                        cost = memcpy_cost(seg.nbytes)
+                        self.copy_usec += cost
+                        yield from self.node.cpus.run(cost)
+                yield self._credits[seg.server].acquire()
+                preq = PageRequest(
+                    op=OP_WRITE if req.op == WRITE else OP_READ,
+                    offset=seg.server_offset,
+                    nbytes=seg.nbytes,
+                    buf_addr=buf_addr,
+                    buf_rkey=buf_rkey,
+                    data_token=token,
+                )
+                mirror_write = self.mirror and req.op == WRITE
+                replica = (
+                    (seg.server + 1) % len(self.servers) if self.mirror else None
+                )
+                entry = _Inflight(
+                    pending=pending,
+                    seg=seg,
+                    op=req.op,
+                    buf=buf,
+                    mr=mr,
+                    sent_at=sim.now,
+                    copies_left=2 if mirror_write else 1,
+                    replica_server=replica,
+                )
+                self._inflight[preq.req_id] = entry
+                self._c_phys.add(seg.nbytes)
+                self._qps[seg.server].post_send(
+                    SendWR(
+                        nbytes=CTRL_MSG_BYTES,
+                        payload=preq,
+                        signaled=False,
+                        solicited=False,
+                    )
+                )
+                if mirror_write:
+                    # Synchronous mirroring: the same pool buffer is
+                    # RDMA-read by both servers; the segment completes
+                    # only when both acknowledge.
+                    yield self._credits[replica].acquire()
+                    rreq = PageRequest(
+                        op=OP_WRITE,
+                        offset=self.dist.share_of(replica) + seg.server_offset,
+                        nbytes=seg.nbytes,
+                        buf_addr=buf_addr,
+                        buf_rkey=buf_rkey,
+                        data_token=token,
+                    )
+                    self._inflight[rreq.req_id] = entry
+                    self._c_phys.add(seg.nbytes)
+                    self._qps[replica].post_send(
+                        SendWR(
+                            nbytes=CTRL_MSG_BYTES,
+                            payload=rreq,
+                            signaled=False,
+                            solicited=False,
+                        )
+                    )
+
+    # -- receiver thread ---------------------------------------------------------
+
+    def _receiver(self):
+        sim = self.sim
+        rcq = self.reply_cq
+        while True:
+            # Arm, then drain once more before sleeping (race-free order).
+            # Solicited-only: replies carry the solicitation bit (§5).
+            rcq.request_notify(solicited_only=True)
+            if len(rcq) == 0:
+                yield rcq.wait_event()
+            # Bursty processing: handle everything available, then sleep.
+            for cqe in rcq.poll():
+                reply: PageReply = cqe.payload
+                reply.validate()
+                entry = self._inflight.pop(reply.req_id, None)
+                if entry is None:
+                    raise SimulationError(
+                        f"{self.name}: reply for unknown request {reply.req_id}"
+                    )
+                server_idx = self._qp_index[cqe.qp_num]
+                # Replenish the consumed reply receive before returning
+                # the credit, keeping posted-receives >= credits.
+                self._qps[server_idx].post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
+                self._credits[server_idx].release()
+                if not reply.ok:
+                    if (
+                        self.mirror
+                        and entry.op == READ
+                        and not entry.failed_over
+                    ):
+                        # Read failover: re-issue against the replica.
+                        entry.failed_over = True
+                        self.stats.counter(f"{self.name}.failovers").add()
+                        sim.spawn(
+                            self._retry_read(entry),
+                            name=f"{self.name}.failover",
+                        )
+                        continue
+                    raise SimulationError(
+                        f"{self.name}: server error on request {reply.req_id}"
+                    )
+                entry.copies_left -= 1
+                if entry.copies_left > 0:
+                    continue  # mirrored write: wait for the other copy
+                if entry.mr is not None:
+                    # Register-on-the-fly ablation: unpin (zero-copy).
+                    yield from self.hca.deregister_mr(self.pd, entry.mr)
+                else:
+                    if entry.op == READ:
+                        # Data already landed in the pool via RDMA
+                        # write; copy it out to the page frames.
+                        cost = memcpy_cost(entry.seg.nbytes)
+                        self.copy_usec += cost
+                        yield from self.node.cpus.run(cost)
+                    self.pool.free(entry.buf)
+                entry.pending.done_segs += 1
+                if entry.pending.done_segs == entry.pending.nsegs:
+                    self._t_req.record(sim.now - entry.pending.submit_time)
+                    self.queue.complete(entry.pending.req)
+
+    def _retry_read(self, entry: _Inflight):
+        """Issue a failed read again, against the replica server."""
+        replica = entry.replica_server
+        yield self._credits[replica].acquire()
+        rreq = PageRequest(
+            op=OP_READ,
+            offset=self.dist.share_of(replica) + entry.seg.server_offset,
+            nbytes=entry.seg.nbytes,
+            buf_addr=self.pool.buffer_addr(entry.buf),
+            buf_rkey=self.pool.rkey,
+        )
+        self._inflight[rreq.req_id] = entry
+        self._c_phys.add(entry.seg.nbytes)
+        self._qps[replica].post_send(
+            SendWR(
+                nbytes=CTRL_MSG_BYTES,
+                payload=rreq,
+                signaled=False,
+                solicited=False,
+            )
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._inflight)
+
+    def credit_stalls(self) -> int:
+        return sum(c.stall_count for c in self._credits)

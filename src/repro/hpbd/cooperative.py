@@ -1,0 +1,180 @@
+"""Cooperative cluster-wide idle memory (the paper's §7 future work).
+
+"In our future work, we plan to ... enable HPBD to utilize cluster wise
+idle memory in a dynamic and cooperative manner."
+
+This module implements the natural design on top of the existing pieces:
+
+* every node in the cluster runs a tiny **advertisement agent** that
+  publishes how much memory it could lend (its free memory minus a
+  self-reserve);
+* a :class:`MemoryBroker` collects advertisements and, when a client
+  wants ``total_bytes`` of remote swap, **selects the servers with the
+  most idle memory** (the memory-ushering idea the paper cites from
+  MOSIX [2]) and sizes each server's share to what it advertised —
+  chunks are therefore *unequal*, unlike the static blocking layout;
+* the resulting :class:`WeightedDistribution` maps device offsets to
+  (server, offset) with contiguous per-server extents, preserving the
+  paper's non-striped blocking property.
+
+Lending is capacity-reserving: a server that lends memory shrinks its
+advertisement so later clients see the truth.  Fully dynamic *revocation*
+(a lender wanting its memory back mid-run) would need page migration
+between servers — out of scope here as it was for the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulator import SimulationError, Simulator
+from ..units import MiB, PAGE_SIZE
+from .striping import Segment
+
+__all__ = ["Advertisement", "MemoryBroker", "WeightedDistribution"]
+
+
+@dataclass
+class Advertisement:
+    """One node's published lendable memory."""
+
+    node: str
+    idle_bytes: int
+    updated_at: float
+
+    def __post_init__(self) -> None:
+        if self.idle_bytes < 0:
+            raise ValueError(f"negative idle memory for {self.node}")
+
+
+class WeightedDistribution:
+    """Blocking layout with per-server chunk sizes.
+
+    ``shares`` maps server index → bytes; server *i*'s extent starts at
+    the running sum of earlier shares.  Interface-compatible with
+    :class:`~repro.hpbd.striping.BlockingDistribution` (``locate`` /
+    ``split`` / ``chunk_bytes`` is replaced by per-server ``share_of``).
+    """
+
+    def __init__(self, shares: list[int]) -> None:
+        if not shares:
+            raise ValueError("need at least one share")
+        if any(s <= 0 for s in shares):
+            raise ValueError(f"shares must be positive: {shares}")
+        if any(s % PAGE_SIZE for s in shares):
+            raise ValueError("shares must be page-aligned")
+        self.shares = list(shares)
+        self.nservers = len(shares)
+        self.total_bytes = sum(shares)
+        self._starts = [0]
+        for s in shares[:-1]:
+            self._starts.append(self._starts[-1] + s)
+
+    def share_of(self, server: int) -> int:
+        return self.shares[server]
+
+    def locate(self, offset: int) -> tuple[int, int]:
+        if not (0 <= offset < self.total_bytes):
+            raise ValueError(f"offset {offset} outside device")
+        # Linear scan is fine: nservers <= 16 in every experiment.
+        for i in range(self.nservers - 1, -1, -1):
+            if offset >= self._starts[i]:
+                return i, offset - self._starts[i]
+        raise AssertionError("unreachable")
+
+    def split(self, offset: int, nbytes: int) -> list[Segment]:
+        if nbytes <= 0:
+            raise ValueError(f"bad extent size {nbytes}")
+        if offset < 0 or offset + nbytes > self.total_bytes:
+            raise ValueError("extent outside device")
+        out: list[Segment] = []
+        pos = offset
+        remaining = nbytes
+        while remaining > 0:
+            server, soff = self.locate(pos)
+            take = min(remaining, self.shares[server] - soff)
+            out.append(Segment(server=server, server_offset=soff, nbytes=take))
+            pos += take
+            remaining -= take
+        return out
+
+
+class MemoryBroker:
+    """Cluster-wide registry of lendable memory."""
+
+    def __init__(self, sim: Simulator, self_reserve_bytes: int = 64 * MiB) -> None:
+        self.sim = sim
+        self.self_reserve_bytes = self_reserve_bytes
+        self._ads: dict[str, Advertisement] = {}
+        self.grants: list[tuple[str, int]] = []  # audit trail
+
+    # -- advertisement side -------------------------------------------------
+
+    def advertise(self, node: str, free_bytes: int) -> Advertisement:
+        """Publish a node's current lendable memory."""
+        idle = max(0, free_bytes - self.self_reserve_bytes)
+        idle = (idle // PAGE_SIZE) * PAGE_SIZE
+        ad = Advertisement(node=node, idle_bytes=idle, updated_at=self.sim.now)
+        self._ads[node] = ad
+        return ad
+
+    def withdraw(self, node: str) -> None:
+        self._ads.pop(node, None)
+
+    def idle_of(self, node: str) -> int:
+        ad = self._ads.get(node)
+        return ad.idle_bytes if ad is not None else 0
+
+    @property
+    def total_idle(self) -> int:
+        return sum(ad.idle_bytes for ad in self._ads.values())
+
+    def snapshot(self) -> list[Advertisement]:
+        return sorted(
+            self._ads.values(), key=lambda a: (-a.idle_bytes, a.node)
+        )
+
+    # -- allocation -----------------------------------------------------------
+
+    def select_servers(
+        self, total_bytes: int, max_servers: int = 8
+    ) -> list[tuple[str, int]]:
+        """Pick lenders for ``total_bytes``, richest-first (memory
+        ushering).  Returns ``(node, share_bytes)`` pairs and *reserves*
+        the granted memory (later callers see reduced advertisements).
+
+        Raises :class:`SimulationError` if the cluster cannot cover the
+        request within ``max_servers`` lenders.
+        """
+        if total_bytes <= 0 or total_bytes % PAGE_SIZE:
+            raise ValueError(f"bad request size {total_bytes}")
+        remaining = total_bytes
+        chosen: list[tuple[str, int]] = []
+        for ad in self.snapshot():
+            if remaining <= 0 or len(chosen) >= max_servers:
+                break
+            if ad.idle_bytes <= 0:
+                continue
+            take = min(ad.idle_bytes, remaining)
+            chosen.append((ad.node, take))
+            remaining -= take
+        if remaining > 0:
+            raise SimulationError(
+                f"cluster cannot lend {total_bytes} bytes "
+                f"({remaining} short within {max_servers} lenders)"
+            )
+        # Commit the reservations.
+        for node, take in chosen:
+            ad = self._ads[node]
+            ad.idle_bytes -= take
+            ad.updated_at = self.sim.now
+            self.grants.append((node, take))
+        return chosen
+
+    def release(self, node: str, nbytes: int) -> None:
+        """Return previously granted memory to a lender's pool."""
+        ad = self._ads.get(node)
+        if ad is None:
+            return
+        ad.idle_bytes += nbytes
+        ad.updated_at = self.sim.now

@@ -1,0 +1,216 @@
+"""The registration buffer pool (§4.2.2).
+
+A pre-registered memory area (default 1 MiB, set at device load time)
+from which data-message buffers are carved by a **first-fit** allocator.
+Freed buffers **merge with free neighbours** so page-sized and 128 KiB
+requests keep finding contiguous space ("This algorithm ensures
+contiguous buffer allocation for page requests.  Its simplicity incurs
+little overhead").
+
+Allocation failure must never fail a swap request, so callers **wait in
+FIFO order** on an allocation wait queue; every deallocation re-examines
+the queue ("Deallocation of data buffers will wake up any threads that
+is in the queue").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..simulator import Event, SimulationError, Simulator, StatsRegistry
+from ..units import MiB
+
+__all__ = ["PoolBuffer", "RegisteredPool", "PoolError"]
+
+
+class PoolError(SimulationError):
+    """Pool misuse: oversized request, double free, foreign buffer."""
+
+
+@dataclass
+class PoolBuffer:
+    """A carved-out slice of the registered pool."""
+
+    offset: int
+    nbytes: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.nbytes
+
+
+class RegisteredPool:
+    """First-fit allocator with merge-on-free over one registered region.
+
+    ``base_addr``/``rkey`` describe the underlying memory region so
+    buffers can be advertised to the remote side for RDMA
+    (``buffer_addr`` = ``base_addr + offset``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        size: int = MiB,
+        base_addr: int = 0,
+        rkey: int = 0,
+        name: str = "pool",
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"pool size must be positive, got {size}")
+        self.sim = sim
+        self.size = size
+        self.base_addr = base_addr
+        self.rkey = rkey
+        self.name = name
+        self.stats = stats if stats is not None else StatsRegistry()
+        #: free extents as (offset, nbytes), ascending offset, disjoint,
+        #: never adjacent (merge invariant).
+        self._free: list[tuple[int, int]] = [(0, size)]
+        self._allocated: dict[int, int] = {}  # offset -> nbytes
+        self._waiters: deque[tuple[Event, int]] = deque()
+        self.alloc_count = 0
+        self.stall_count = 0
+        self._t_stall = self.stats.tally(f"{name}.alloc_stall_usec")
+        self._t_held = self.stats.tally(f"{name}.buffer_held_usec")
+        self._hold_start: dict[int, float] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(n for _o, n in self._free)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._allocated.values())
+
+    @property
+    def fragments(self) -> int:
+        return len(self._free)
+
+    @property
+    def largest_free(self) -> int:
+        return max((n for _o, n in self._free), default=0)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def buffer_addr(self, buf: PoolBuffer) -> int:
+        return self.base_addr + buf.offset
+
+    # -- allocation ----------------------------------------------------------
+
+    def try_alloc(self, nbytes: int) -> PoolBuffer | None:
+        """Non-blocking first-fit; None if nothing fits (or waiters exist
+        — FIFO, no barging past a queued swap request)."""
+        if nbytes <= 0:
+            raise PoolError(f"bad buffer size {nbytes}")
+        if nbytes > self.size:
+            raise PoolError(
+                f"{self.name}: request {nbytes} exceeds pool size {self.size}"
+            )
+        if self._waiters:
+            return None
+        return self._carve(nbytes)
+
+    def _carve(self, nbytes: int) -> PoolBuffer | None:
+        for i, (off, length) in enumerate(self._free):
+            if length >= nbytes:
+                if length == nbytes:
+                    del self._free[i]
+                else:
+                    self._free[i] = (off + nbytes, length - nbytes)
+                self._allocated[off] = nbytes
+                self._hold_start[off] = self.sim.now
+                self.alloc_count += 1
+                return PoolBuffer(offset=off, nbytes=nbytes)
+        return None
+
+    def alloc(self, nbytes: int):
+        """Blocking first-fit allocation; generator — use ``yield from``.
+
+        Returns a :class:`PoolBuffer`.  Waits FIFO when the pool is
+        exhausted or fragmented below ``nbytes``.
+        """
+        t0 = self.sim.now
+        buf = self.try_alloc(nbytes)
+        if buf is None:
+            self.stall_count += 1
+            evt = Event(self.sim, name=f"{self.name}.wait({nbytes})")
+            self._waiters.append((evt, nbytes))
+            buf = yield evt
+        self._t_stall.record(self.sim.now - t0)
+        return buf
+
+    # -- release ---------------------------------------------------------
+
+    def free(self, buf: PoolBuffer) -> None:
+        """Return a buffer; merges with free neighbours, then serves the
+        wait queue head(s) in order."""
+        nbytes = self._allocated.pop(buf.offset, None)
+        if nbytes is None:
+            raise PoolError(f"{self.name}: free of unallocated offset {buf.offset}")
+        if nbytes != buf.nbytes:
+            raise PoolError(
+                f"{self.name}: size mismatch at {buf.offset}: "
+                f"{buf.nbytes} != {nbytes}"
+            )
+        self._t_held.record(self.sim.now - self._hold_start.pop(buf.offset))
+        self._insert_merged(buf.offset, nbytes)
+        # FIFO wakeups: serve from the head while it fits.
+        while self._waiters:
+            evt, want = self._waiters[0]
+            got = self._carve(want)
+            if got is None:
+                break
+            self._waiters.popleft()
+            evt.succeed(got)
+
+    def _insert_merged(self, off: int, nbytes: int) -> None:
+        """Insert a free extent, coalescing with both neighbours."""
+        free = self._free
+        lo, hi = 0, len(free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if free[mid][0] < off:
+                lo = mid + 1
+            else:
+                hi = mid
+        i = lo
+        end = off + nbytes
+        # Overlap would mean a double free slipped through bookkeeping.
+        if i > 0 and free[i - 1][0] + free[i - 1][1] > off:
+            raise PoolError(f"{self.name}: free-extent overlap at {off}")
+        if i < len(free) and end > free[i][0]:
+            raise PoolError(f"{self.name}: free-extent overlap at {off}")
+        merge_prev = i > 0 and free[i - 1][0] + free[i - 1][1] == off
+        merge_next = i < len(free) and free[i][0] == end
+        if merge_prev and merge_next:
+            free[i - 1] = (free[i - 1][0], free[i - 1][1] + nbytes + free[i][1])
+            del free[i]
+        elif merge_prev:
+            free[i - 1] = (free[i - 1][0], free[i - 1][1] + nbytes)
+        elif merge_next:
+            free[i] = (off, nbytes + free[i][1])
+        else:
+            free.insert(i, (off, nbytes))
+
+    def check_invariants(self) -> None:
+        """Free extents ascending, disjoint, non-adjacent; ledger adds up."""
+        prev_end = None
+        for off, n in self._free:
+            if n <= 0:
+                raise PoolError(f"{self.name}: empty free extent at {off}")
+            if prev_end is not None and off <= prev_end:
+                raise PoolError(
+                    f"{self.name}: free list unsorted/adjacent at {off}"
+                )
+            prev_end = off + n
+        if self.free_bytes + self.allocated_bytes != self.size:
+            raise PoolError(
+                f"{self.name}: ledger broken "
+                f"{self.free_bytes}+{self.allocated_bytes} != {self.size}"
+            )

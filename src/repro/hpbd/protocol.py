@@ -1,0 +1,128 @@
+"""HPBD wire protocol: control messages and their validation.
+
+Two message classes exist (§4.2.1): *control* messages (page requests
+and completion acknowledgements, sent over channel semantics into
+pre-posted receives) and *data* messages (the pages themselves, moved by
+server-initiated RDMA).  Control messages carry a signature over their
+own fields — the paper's lightweight integrity check ("message signature
+is used to validate requests and responses").
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from dataclasses import dataclass, field
+
+from ..simulator import SimulationError
+
+__all__ = [
+    "CTRL_MSG_BYTES",
+    "OP_READ",
+    "OP_WRITE",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "PageRequest",
+    "PageReply",
+    "ProtocolError",
+    "sign_request",
+    "sign_reply",
+]
+
+#: Control messages are small and fixed-size: opcode + offset + length +
+#: buffer descriptor (addr, rkey) + ids + signature.
+CTRL_MSG_BYTES = 64
+
+OP_READ = "read"  # swap-in: server pushes data (RDMA write)
+OP_WRITE = "write"  # swap-out: server pulls data (RDMA read)
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+_req_ids = itertools.count(1)
+
+
+class ProtocolError(SimulationError):
+    """Signature mismatch or malformed message."""
+
+
+def _crc(*fields: object) -> int:
+    return zlib.crc32("|".join(repr(f) for f in fields).encode())
+
+
+def sign_request(op: str, offset: int, nbytes: int, addr: int, rkey: int) -> int:
+    return _crc("req", op, offset, nbytes, addr, rkey)
+
+
+def sign_reply(req_id: int, status: int) -> int:
+    return _crc("rep", req_id, status)
+
+
+@dataclass
+class PageRequest:
+    """Client → server: serve one physical page request.
+
+    ``offset`` addresses the *server's* slice of the swap area (bytes);
+    ``(buf_addr, buf_rkey)`` describe the client's registered pool buffer
+    the server should RDMA-read from (OP_WRITE) or RDMA-write into
+    (OP_READ).
+    """
+
+    op: str
+    offset: int
+    nbytes: int
+    buf_addr: int
+    buf_rkey: int
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+    signature: int = 0
+    #: bookkeeping shortcut: the payload that physically travels by RDMA.
+    #: Carried on the request so integrity tests can follow it; it does
+    #: not contribute to the control-message size or signature.
+    data_token: object = None
+
+    def __post_init__(self) -> None:
+        if self.op not in (OP_READ, OP_WRITE):
+            raise ProtocolError(f"bad opcode {self.op!r}")
+        if self.nbytes <= 0 or self.offset < 0:
+            raise ProtocolError(f"bad extent {self.offset}+{self.nbytes}")
+        if self.signature == 0:
+            self.signature = sign_request(
+                self.op, self.offset, self.nbytes, self.buf_addr, self.buf_rkey
+            )
+
+    def validate(self) -> None:
+        expect = sign_request(
+            self.op, self.offset, self.nbytes, self.buf_addr, self.buf_rkey
+        )
+        if self.signature != expect:
+            raise ProtocolError(
+                f"request {self.req_id}: bad signature "
+                f"{self.signature:#x} != {expect:#x}"
+            )
+
+
+@dataclass
+class PageReply:
+    """Server → client: request completion acknowledgement."""
+
+    req_id: int
+    status: int = STATUS_OK
+    signature: int = 0
+    #: see :attr:`PageRequest.data_token` (filled for OP_READ replies).
+    data_token: object = None
+
+    def __post_init__(self) -> None:
+        if self.signature == 0:
+            self.signature = sign_reply(self.req_id, self.status)
+
+    def validate(self) -> None:
+        expect = sign_reply(self.req_id, self.status)
+        if self.signature != expect:
+            raise ProtocolError(
+                f"reply {self.req_id}: bad signature "
+                f"{self.signature:#x} != {expect:#x}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK

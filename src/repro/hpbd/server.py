@@ -1,0 +1,256 @@
+"""The HPBD remote memory server (§4.2.1, §5).
+
+"A RamDisk based user space program, which provides its own local memory
+for paging store and push/pull pages from client using RDMA operations."
+
+Key behaviours modelled:
+
+* **Server-initiated RDMA** — the client cannot know RamDisk addresses,
+  so for a swap-out (OP_WRITE) the server RDMA-*reads* the page out of
+  the client's pool buffer, and for a swap-in (OP_READ) it RDMA-*writes*
+  the page into it (Fig. 4).
+* **RDMA/memcpy overlap** — multiple outstanding RDMA operations are
+  allowed (a counted slot resource); each request is handled by its own
+  process, so one request's RamDisk memcpy overlaps another's RDMA.
+* **Reply ordering** — the completion acknowledgement is posted on the
+  same RC queue pair right after the RDMA write, so channel ordering
+  guarantees the data lands before the client sees the reply (exactly
+  the trick the real driver uses).
+* **Event-based idle** — the server polls its request CQ while busy and,
+  after 200 µs of idle, arms a completion event and yields the CPU;
+  the next request pays the event-notification cost to wake it.
+"""
+
+from __future__ import annotations
+
+from ..ib import HCA, CompletionQueue, RDMAReadWR, RDMAWriteWR, RecvWR, SendWR
+from ..kernel.task import CPUSet
+from ..net.fabrics import IBParams, IB_DEFAULT
+from ..net.link import Fabric
+from ..simulator import Resource, SimulationError, Simulator, StatsRegistry
+from ..units import MiB
+from .pool import RegisteredPool
+from .protocol import (
+    CTRL_MSG_BYTES,
+    OP_READ,
+    OP_WRITE,
+    PageReply,
+    PageRequest,
+    STATUS_ERROR,
+    STATUS_OK,
+)
+from .ramdisk import RamDisk
+
+__all__ = ["HPBDServer"]
+
+
+class HPBDServer:
+    """One memory server daemon on its own node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        name: str,
+        store_bytes: int,
+        ib_params: IBParams = IB_DEFAULT,
+        ncpus: int = 2,
+        staging_pool_bytes: int = 4 * MiB,
+        max_outstanding_rdma: int = 8,
+        idle_sleep_usec: float = 200.0,
+        poll_interval_usec: float = 5.0,
+        credits_per_client: int = 16,
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.hca = HCA(sim, fabric, name, params=ib_params, stats=self.stats)
+        self.pd = self.hca.alloc_pd()
+        self.send_cq = self.hca.create_cq(f"{name}.scq")
+        self.recv_cq = self.hca.create_cq(f"{name}.rcq")
+        self.cpus = CPUSet(sim, ncpus, name=f"{name}.cpus")
+        self.ramdisk = RamDisk(store_bytes, name=f"{name}.ramdisk")
+        self.staging_pool_bytes = staging_pool_bytes
+        self.idle_sleep_usec = idle_sleep_usec
+        self.poll_interval_usec = poll_interval_usec
+        self.credits_per_client = credits_per_client
+        self.pool: RegisteredPool | None = None
+        self._rdma_slots = Resource(
+            sim, max_outstanding_rdma, name=f"{name}.rdma_slots"
+        )
+        self._qp_by_num: dict[int, object] = {}
+        self._area_base: dict[int, int] = {}
+        self._proc = None
+        self.requests_served = 0
+        self.busy_handlers = 0
+        self.sleeps = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self):
+        """Register the staging pool and launch the daemon; generator."""
+        if self._proc is not None:
+            raise SimulationError(f"{self.name} already started")
+        mr = yield from self.hca.register_mr(self.pd, self.staging_pool_bytes)
+        self.pool = RegisteredPool(
+            self.sim,
+            size=self.staging_pool_bytes,
+            base_addr=mr.addr,
+            rkey=mr.rkey,
+            name=f"{self.name}.staging",
+            stats=self.stats,
+        )
+        self._proc = self.sim.spawn(self._main(), name=f"{self.name}.daemon")
+
+    def register_client(self, server_qp, area_base: int = 0) -> None:
+        """Adopt the server side of a freshly connected QP: pre-post the
+        request receives that back the client's credits.
+
+        ``area_base`` places this client's swap area inside the RamDisk
+        — §5: the server "is able to serve multiple clients using
+        different swap areas".
+        """
+        if not (0 <= area_base < self.ramdisk.size):
+            raise SimulationError(
+                f"{self.name}: client area base {area_base} outside store"
+            )
+        self._qp_by_num[server_qp.qp_num] = server_qp
+        self._area_base[server_qp.qp_num] = area_base
+        for _ in range(self.credits_per_client):
+            server_qp.post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
+
+    @property
+    def started(self) -> bool:
+        return self._proc is not None
+
+    # -- daemon ---------------------------------------------------------------
+
+    def _main(self):
+        if self.pool is None:  # pragma: no cover - guarded by start()
+            raise SimulationError(f"{self.name}: start() not called")
+        sim = self.sim
+        rcq = self.recv_cq
+        last_active = sim.now
+        while True:
+            cqe = rcq.poll_one()
+            if cqe is not None:
+                last_active = sim.now
+                req: PageRequest = cqe.payload
+                req.validate()
+                qp = self._qp_by_num[cqe.qp_num]
+                # Replenish the consumed receive before handling, so the
+                # client's credit scheme stays tight.
+                qp.post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
+                self.busy_handlers += 1
+                sim.spawn(self._handle(qp, req), name=f"{self.name}.h{req.req_id}")
+                continue
+            if (
+                self.busy_handlers > 0
+                or sim.now - last_active < self.idle_sleep_usec
+            ):
+                # Busy spin: cheap CQ polls while work is in flight or
+                # within the 200 µs idle window.
+                yield sim.timeout(self.poll_interval_usec)
+                continue
+            # Idle long enough: yield the CPU until a solicited event.
+            self.sleeps += 1
+            rcq.request_notify()
+            cqe = rcq.poll_one()  # re-check: event may have raced the arm
+            if cqe is not None:
+                last_active = sim.now
+                req = cqe.payload
+                req.validate()
+                qp = self._qp_by_num[cqe.qp_num]
+                qp.post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
+                self.busy_handlers += 1
+                sim.spawn(self._handle(qp, req), name=f"{self.name}.h{req.req_id}")
+                continue
+            yield rcq.wait_event()
+            last_active = sim.now
+
+    def _handle(self, qp, req: PageRequest):
+        """Serve one physical page request (own process per request)."""
+        try:
+            # Each client's swap area sits at its own base in the store.
+            offset = self._area_base.get(qp.qp_num, 0) + req.offset
+            # Reliability (§4.1): a malformed extent must produce an
+            # error acknowledgement, never a crashed daemon — "Failure
+            # in page handling can adversely impact system stability".
+            if offset + req.nbytes > self.ramdisk.size:
+                self.stats.counter(f"{self.name}.errors").add()
+                qp.post_send(
+                    SendWR(
+                        nbytes=CTRL_MSG_BYTES,
+                        payload=PageReply(
+                            req_id=req.req_id, status=STATUS_ERROR
+                        ),
+                        signaled=False,
+                        solicited=True,
+                    )
+                )
+                return
+            yield self._rdma_slots.acquire()
+            try:
+                buf = yield from self.pool.alloc(req.nbytes)
+                if req.op == OP_WRITE:
+                    # Swap-out: pull the page(s) out of the client pool,
+                    # then copy into the RamDisk.
+                    yield qp.post_send(
+                        RDMAReadWR(
+                            nbytes=req.nbytes,
+                            remote_addr=req.buf_addr,
+                            rkey=req.buf_rkey,
+                            signaled=False,
+                        )
+                    )
+                    cost = self.ramdisk.write(
+                        offset, req.nbytes, token=req.data_token
+                    )
+                    yield from self.cpus.run(cost)
+                    self.pool.free(buf)
+                    reply = PageReply(req_id=req.req_id, status=STATUS_OK)
+                    qp.post_send(
+                        SendWR(
+                            nbytes=CTRL_MSG_BYTES,
+                            payload=reply,
+                            signaled=False,
+                            solicited=True,
+                        )
+                    )
+                elif req.op == OP_READ:
+                    # Swap-in: RamDisk -> staging, RDMA-write it into the
+                    # client buffer, then the (ordered) reply.
+                    token, cost = self.ramdisk.read(offset, req.nbytes)
+                    yield from self.cpus.run(cost)
+                    rdma_done = qp.post_send(
+                        RDMAWriteWR(
+                            nbytes=req.nbytes,
+                            remote_addr=req.buf_addr,
+                            rkey=req.buf_rkey,
+                            payload=token,
+                            signaled=False,
+                        )
+                    )
+                    reply = PageReply(
+                        req_id=req.req_id, status=STATUS_OK, data_token=token
+                    )
+                    qp.post_send(
+                        SendWR(
+                            nbytes=CTRL_MSG_BYTES,
+                            payload=reply,
+                            signaled=False,
+                            solicited=True,
+                        )
+                    )
+                    # The staging buffer must outlive the RDMA write.
+                    yield rdma_done
+                    self.pool.free(buf)
+                else:  # pragma: no cover - protocol validates earlier
+                    raise SimulationError(f"bad opcode {req.op!r}")
+                self.requests_served += 1
+                self.stats.counter(f"{self.name}.requests").add(req.nbytes)
+            finally:
+                self._rdma_slots.release()
+        finally:
+            self.busy_handlers -= 1

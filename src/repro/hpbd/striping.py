@@ -1,0 +1,145 @@
+"""Multi-server layout: the non-striped *blocking* distribution (§4.2.5).
+
+The paper rejects striping (the 128 KiB request bound and the high IB
+bandwidth make it not worth the extra memcpy/multiplexing) and instead
+"distribute[s] the swap area across the servers in a blocking pattern":
+server *i* owns the contiguous byte range ``[i*chunk, (i+1)*chunk)``.
+
+A block request can still straddle a chunk boundary, in which case it is
+split into *physical requests*, one per server — §5: "A single request
+in the queue may represent multiple physical requests to different
+servers depending on the address range and size of the request."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Segment", "BlockingDistribution", "StripedDistribution"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One server's share of a byte extent."""
+
+    server: int
+    server_offset: int  # bytes into the server's own store
+    nbytes: int
+
+
+class StripedDistribution:
+    """Round-robin striping — the alternative §4.2.5 *rejects*.
+
+    Kept for the ablation benchmark: with stripes smaller than a block
+    request, every request splits into one physical request per stripe
+    touched, multiplying control messages and per-request overhead —
+    which is exactly why the paper chose the blocking pattern under the
+    128 KiB request bound.
+    """
+
+    def __init__(self, total_bytes: int, nservers: int, stripe_bytes: int) -> None:
+        if nservers < 1:
+            raise ValueError(f"need at least one server, got {nservers}")
+        if stripe_bytes < 1:
+            raise ValueError(f"bad stripe size {stripe_bytes}")
+        if total_bytes % (nservers * stripe_bytes):
+            raise ValueError(
+                f"total {total_bytes} not divisible by {nservers} servers "
+                f"x {stripe_bytes} stripe"
+            )
+        self.total_bytes = total_bytes
+        self.nservers = nservers
+        self.stripe_bytes = stripe_bytes
+        self.chunk_bytes = total_bytes // nservers  # per-server store size
+
+    def share_of(self, server: int) -> int:
+        """Bytes of the device stored by ``server``."""
+        if not (0 <= server < self.nservers):
+            raise ValueError(f"no server {server}")
+        return self.chunk_bytes
+
+    def locate(self, offset: int) -> tuple[int, int]:
+        if not (0 <= offset < self.total_bytes):
+            raise ValueError(f"offset {offset} outside device")
+        stripe = offset // self.stripe_bytes
+        server = stripe % self.nservers
+        row = stripe // self.nservers
+        return server, row * self.stripe_bytes + offset % self.stripe_bytes
+
+    def split(self, offset: int, nbytes: int) -> list["Segment"]:
+        if nbytes <= 0:
+            raise ValueError(f"bad extent size {nbytes}")
+        if offset < 0 or offset + nbytes > self.total_bytes:
+            raise ValueError("extent outside device")
+        out: list[Segment] = []
+        pos = offset
+        remaining = nbytes
+        while remaining > 0:
+            server, soff = self.locate(pos)
+            in_stripe = self.stripe_bytes - (pos % self.stripe_bytes)
+            take = min(remaining, in_stripe)
+            # Coalesce with the previous segment when contiguous on the
+            # same server (happens for stripe-aligned multi-row spans).
+            if (
+                out
+                and out[-1].server == server
+                and out[-1].server_offset + out[-1].nbytes == soff
+            ):
+                out[-1] = Segment(server, out[-1].server_offset,
+                                  out[-1].nbytes + take)
+            else:
+                out.append(Segment(server, soff, take))
+            pos += take
+            remaining -= take
+        return out
+
+
+class BlockingDistribution:
+    """Contiguous-chunk layout of ``total_bytes`` over ``nservers``."""
+
+    def __init__(self, total_bytes: int, nservers: int) -> None:
+        if nservers < 1:
+            raise ValueError(f"need at least one server, got {nservers}")
+        if total_bytes < nservers:
+            raise ValueError(
+                f"cannot distribute {total_bytes} bytes over {nservers} servers"
+            )
+        if total_bytes % nservers:
+            raise ValueError(
+                f"total size {total_bytes} not divisible by {nservers} servers"
+            )
+        self.total_bytes = total_bytes
+        self.nservers = nservers
+        self.chunk_bytes = total_bytes // nservers
+
+    def share_of(self, server: int) -> int:
+        """Bytes of the device stored by ``server``."""
+        if not (0 <= server < self.nservers):
+            raise ValueError(f"no server {server}")
+        return self.chunk_bytes
+
+    def locate(self, offset: int) -> tuple[int, int]:
+        """Map a device byte offset to ``(server, server_offset)``."""
+        if not (0 <= offset < self.total_bytes):
+            raise ValueError(f"offset {offset} outside device of {self.total_bytes}")
+        return offset // self.chunk_bytes, offset % self.chunk_bytes
+
+    def split(self, offset: int, nbytes: int) -> list[Segment]:
+        """Split ``[offset, offset+nbytes)`` into per-server segments."""
+        if nbytes <= 0:
+            raise ValueError(f"bad extent size {nbytes}")
+        if offset < 0 or offset + nbytes > self.total_bytes:
+            raise ValueError(
+                f"extent [{offset}, {offset + nbytes}) outside device of "
+                f"{self.total_bytes} bytes"
+            )
+        out: list[Segment] = []
+        pos = offset
+        remaining = nbytes
+        while remaining > 0:
+            server, soff = self.locate(pos)
+            take = min(remaining, self.chunk_bytes - soff)
+            out.append(Segment(server=server, server_offset=soff, nbytes=take))
+            pos += take
+            remaining -= take
+        return out

@@ -1,0 +1,44 @@
+"""Simulated InfiniBand verbs: HCAs, PDs/MRs, CQs with solicited events,
+RC queue pairs with send/recv and RDMA read/write.
+
+The model charges the calibrated :class:`~repro.net.fabrics.IBParams`
+costs and enforces verbs-level invariants (registered-region bounds,
+pre-posted receives, per-QP ordering) so protocol bugs fail loudly.
+"""
+
+from .cm import HANDSHAKE_USEC, ConnectionError_, connect, connect_endpoints
+from .cq import CQE, CompletionQueue, Opcode, WCStatus
+from .hca import HCA
+from .mr import AccessFlags, MemoryRegion, ProtectionDomain, RemoteKeyError
+from .qp import (
+    QueuePair,
+    QPError,
+    RDMAReadWR,
+    RDMAWriteWR,
+    ReceiverNotReady,
+    RecvWR,
+    SendWR,
+)
+
+__all__ = [
+    "HCA",
+    "ProtectionDomain",
+    "MemoryRegion",
+    "AccessFlags",
+    "RemoteKeyError",
+    "CompletionQueue",
+    "CQE",
+    "Opcode",
+    "WCStatus",
+    "QueuePair",
+    "SendWR",
+    "RecvWR",
+    "RDMAWriteWR",
+    "RDMAReadWR",
+    "QPError",
+    "ReceiverNotReady",
+    "connect",
+    "connect_endpoints",
+    "ConnectionError_",
+    "HANDSHAKE_USEC",
+]

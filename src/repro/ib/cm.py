@@ -1,0 +1,66 @@
+"""Connection management: wiring queue pairs together.
+
+The real HPBD exchanges QP numbers/LIDs over a TCP socket at device
+initialization (§5: "A socket interface is created at the initialization
+phase for queue pair information exchange").  Connection setup is off the
+paging critical path, so we model it as a fixed-latency handshake.
+"""
+
+from __future__ import annotations
+
+from ..simulator import SimulationError
+from .cq import CompletionQueue
+from .hca import HCA
+from .mr import ProtectionDomain
+from .qp import QueuePair
+
+__all__ = ["connect", "ConnectionError_", "HANDSHAKE_USEC"]
+
+#: Out-of-band (TCP) QP-info exchange: three-way handshake plus two
+#: small messages on a ~100 µs RTT management network.
+HANDSHAKE_USEC = 500.0
+
+
+class ConnectionError_(SimulationError):
+    """QP wiring violated (double connect, self-connect...)."""
+
+
+def connect(
+    a: QueuePair,
+    b: QueuePair,
+) -> None:
+    """Transition two QPs to RTS, wired to each other (instantaneous)."""
+    if a is b:
+        raise ConnectionError_("cannot connect a QP to itself")
+    if a.peer is not None or b.peer is not None:
+        raise ConnectionError_("QP already connected")
+    if a.hca is b.hca:
+        raise ConnectionError_(
+            "loopback QPs on one HCA not supported by this model"
+        )
+    a.peer = b
+    b.peer = a
+
+
+def connect_endpoints(
+    hca_a: HCA,
+    pd_a: ProtectionDomain,
+    send_cq_a: CompletionQueue,
+    recv_cq_a: CompletionQueue,
+    hca_b: HCA,
+    pd_b: ProtectionDomain,
+    send_cq_b: CompletionQueue,
+    recv_cq_b: CompletionQueue,
+    max_recv_wr: int = 256,
+):
+    """Create and connect a QP pair; generator — use ``yield from``.
+
+    Charges the out-of-band handshake latency, then returns
+    ``(qp_a, qp_b)``.
+    """
+    sim = hca_a.sim
+    yield sim.timeout(HANDSHAKE_USEC)
+    qp_a = hca_a.create_qp(pd_a, send_cq_a, recv_cq_a, max_recv_wr=max_recv_wr)
+    qp_b = hca_b.create_qp(pd_b, send_cq_b, recv_cq_b, max_recv_wr=max_recv_wr)
+    connect(qp_a, qp_b)
+    return qp_a, qp_b

@@ -1,0 +1,125 @@
+"""Completion queues with solicited-event notification.
+
+HPBD's receiver thread does not poll: it arms an event handler on the
+receive CQ (``EVAPI_set_comp_eventh`` in VAPI) and sleeps; the server
+sets the *solicited* bit on its reply sends so the client HCA fires the
+handler, which wakes the thread.  The thread then drains every available
+CQE in one burst before sleeping again — "the overhead of repetitive
+event triggering for clustered replies is avoided" (§4.2.3).
+
+That burst semantics is exactly what :class:`CompletionQueue` models:
+
+* :meth:`push` appends a CQE; if it is solicited and notification is
+  armed, the handler wakeup fires ``event_notify_cost`` later and the
+  arm is consumed (one event per arm, as on real hardware);
+* consumers :meth:`poll` (non-blocking, drains in order) and re-arm with
+  :meth:`request_notify` before sleeping — the classic "arm, drain once
+  more, then sleep" race-free sequence is exercised in the unit tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..simulator import Simulator, WaitQueue
+
+__all__ = ["CQE", "Opcode", "WCStatus", "CompletionQueue"]
+
+
+class Opcode:
+    """Work-completion opcodes (subset of the verbs set)."""
+
+    SEND = "send"
+    RECV = "recv"
+    RDMA_WRITE = "rdma_write"
+    RDMA_READ = "rdma_read"
+
+
+class WCStatus:
+    SUCCESS = "success"
+    ERROR = "error"
+
+
+@dataclass
+class CQE:
+    """One work completion."""
+
+    opcode: str
+    wr_id: int
+    qp_num: int
+    status: str = WCStatus.SUCCESS
+    byte_len: int = 0
+    payload: Any = None  # delivered message for RECV completions
+    solicited: bool = False
+    timestamp: float = field(default=0.0)
+
+
+class CompletionQueue:
+    """An ordered queue of CQEs shared by any number of QPs."""
+
+    def __init__(
+        self, sim: Simulator, name: str, event_notify_cost: float = 0.0
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.event_notify_cost = event_notify_cost
+        self._cqes: deque[CQE] = deque()
+        #: latched wait queue: an event arriving while nobody waits is
+        #: remembered, so the consumer's next wait returns immediately.
+        self.notify = WaitQueue(sim, name=f"{name}.notify", latch=True)
+        self._armed = False
+        self._armed_solicited_only = False
+        self.total_cqes = 0
+        self.events_fired = 0
+
+    def __len__(self) -> int:
+        return len(self._cqes)
+
+    # -- producer side ---------------------------------------------------
+
+    def push(self, cqe: CQE) -> None:
+        cqe.timestamp = self.sim.now
+        self._cqes.append(cqe)
+        self.total_cqes += 1
+        fires = (
+            not self._armed_solicited_only
+            or cqe.solicited
+            or cqe.status != WCStatus.SUCCESS
+        )
+        if self._armed and fires:
+            # One notification per arm; delivery costs an interrupt path.
+            self._armed = False
+            self.events_fired += 1
+            if self.event_notify_cost > 0:
+                self.sim.schedule_call(self.event_notify_cost, self.notify.wake_one)
+            else:
+                self.notify.wake_one()
+
+    # -- consumer side ---------------------------------------------------
+
+    def poll(self, max_entries: int | None = None) -> list[CQE]:
+        """Drain up to ``max_entries`` CQEs (all, if None), oldest first."""
+        if max_entries is None or max_entries >= len(self._cqes):
+            out = list(self._cqes)
+            self._cqes.clear()
+            return out
+        return [self._cqes.popleft() for _ in range(max_entries)]
+
+    def poll_one(self) -> CQE | None:
+        return self._cqes.popleft() if self._cqes else None
+
+    def request_notify(self, solicited_only: bool = False) -> None:
+        """Arm the next completion event (``ReqNotifyCQ``).
+
+        With ``solicited_only`` (VAPI ``SOLIC_COMP``) only completions
+        whose sender set the solicitation bit — or errors — fire the
+        event; otherwise any completion does (``NEXT_COMP``).
+        """
+        self._armed = True
+        self._armed_solicited_only = solicited_only
+
+    def wait_event(self):
+        """Event the consumer thread yields on to sleep until notified."""
+        return self.notify.wait()

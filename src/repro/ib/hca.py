@@ -1,0 +1,101 @@
+"""Host channel adapter: the per-node verbs provider.
+
+One :class:`HCA` per node.  It owns the node's fabric port (the PCI-X
+serialization bottleneck), charges registration costs, and tracks how
+many QPs are active — reproducing the MT23108 QP-context-cache effect the
+paper blames for the 16-server degradation in Fig. 10 ("This is due to
+the HCA design for multiple queue pair processing").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..net.fabrics import DEREGISTRATION, REGISTRATION, IBParams, IB_DEFAULT
+from ..net.link import Fabric, Port
+from ..simulator import Simulator, StatsRegistry
+from .cq import CompletionQueue
+from .mr import AccessFlags, MemoryRegion, ProtectionDomain
+from .qp import QueuePair
+
+__all__ = ["HCA"]
+
+
+class HCA:
+    """Verbs provider for one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        node_name: str,
+        params: IBParams = IB_DEFAULT,
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.node_name = node_name
+        self.params = params
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.port: Port = fabric.port(node_name)
+        self.active_qps = 0
+        #: optional hook invoked when an incoming RDMA write lands:
+        #: ``sink(remote_addr, nbytes, payload)``; wired up by backing
+        #: stores that want to observe delivered data.
+        self.memory_sink: Callable[[int, int, object], None] | None = None
+
+    # -- object factories ---------------------------------------------------
+
+    def alloc_pd(self) -> ProtectionDomain:
+        return ProtectionDomain(self.node_name)
+
+    def create_cq(self, name: str = "") -> CompletionQueue:
+        return CompletionQueue(
+            self.sim,
+            name or f"{self.node_name}.cq",
+            event_notify_cost=self.params.event_notify_cost,
+        )
+
+    def create_qp(
+        self,
+        pd: ProtectionDomain,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        max_recv_wr: int = 256,
+    ) -> QueuePair:
+        qp = QueuePair(self, pd, send_cq, recv_cq, max_recv_wr=max_recv_wr)
+        self.active_qps += 1
+        return qp
+
+    def qp_penalty(self) -> float:
+        """Extra per-WQE cost from QP-context cache pressure (Fig. 10)."""
+        return self.params.qp_penalty(self.active_qps)
+
+    # -- memory registration (blocking: costs simulated time) ----------------
+
+    def register_mr(
+        self, pd: ProtectionDomain, length: int, access: int = AccessFlags.ALL
+    ):
+        """Register ``length`` bytes; generator — use ``yield from``.
+
+        Returns the new :class:`MemoryRegion`.  Charges the Fig. 3
+        registration cost in the caller's (process) context, since
+        registration is a synchronous syscall.
+        """
+        cost = REGISTRATION.cost(length)
+        yield self.sim.timeout(cost)
+        addr = pd.allocate_va(length)
+        mr = pd.register(addr, length, access)
+        self.stats.counter("ib.registrations").add(length)
+        self.stats.tally("ib.registration_usec").record(cost)
+        return mr
+
+    def deregister_mr(self, pd: ProtectionDomain, mr: MemoryRegion):
+        """Deregister; generator — use ``yield from``."""
+        cost = DEREGISTRATION.cost(mr.length)
+        yield self.sim.timeout(cost)
+        pd.deregister(mr)
+        self.stats.counter("ib.deregistrations").add(mr.length)
+
+    def __repr__(self) -> str:
+        return f"<HCA {self.node_name} qps={self.active_qps}>"

@@ -1,0 +1,43 @@
+"""Linux-2.4-style VM / swap / block-layer model (the paging substrate).
+
+The paper changes nothing in the kernel except adding a block driver —
+all of HPBD's behaviour is driven by what this layer emits: page-out
+clusters, swap read-ahead reads, merged 128 KiB requests, and the
+direct-reclaim stalls that couple application speed to device speed.
+"""
+
+from .blockdev import READ, WRITE, Bio, BlockRequest, RequestQueue
+from .frames import FrameAllocator, OutOfFrames
+from .kswapd import Kswapd
+from .lru import PageLRU
+from .node import Node
+from .params import DEFAULT_VM_PARAMS, VMParams
+from .swapmap import OutOfSwap, SwapArea, SwapManager
+from .task import CPUSet
+from .vmm import VMM, AddressSpace
+from .vmstat import SwapStat, VMStat, format_vmstat, vmstat
+
+__all__ = [
+    "Node",
+    "CPUSet",
+    "FrameAllocator",
+    "OutOfFrames",
+    "PageLRU",
+    "VMM",
+    "AddressSpace",
+    "VMStat",
+    "SwapStat",
+    "vmstat",
+    "format_vmstat",
+    "Kswapd",
+    "VMParams",
+    "DEFAULT_VM_PARAMS",
+    "SwapArea",
+    "SwapManager",
+    "OutOfSwap",
+    "RequestQueue",
+    "Bio",
+    "BlockRequest",
+    "READ",
+    "WRITE",
+]

@@ -1,0 +1,92 @@
+"""Physical-frame accounting and reclaim watermarks.
+
+Frames are fungible (a count, not identities) — page identity lives in
+each address space's numpy state vectors.  The allocator tracks the
+``min``/``low``/``high`` free watermarks that drive kswapd, exactly the
+2.4 ``freepages`` triple.
+
+The free-page time series is recorded so experiments can verify the
+steady state the paper's runs operate in (free oscillating between low
+and high while the application streams).
+"""
+
+from __future__ import annotations
+
+from ..simulator import Simulator, StatsRegistry, WaitQueue
+from .params import VMParams
+
+__all__ = ["FrameAllocator", "OutOfFrames"]
+
+
+class OutOfFrames(Exception):
+    """Raised when a non-blocking allocation finds zero free frames."""
+
+
+class FrameAllocator:
+    """Counted physical frames with watermark queries."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        total_frames: int,
+        params: VMParams,
+        stats: StatsRegistry | None = None,
+        name: str = "frames",
+    ) -> None:
+        if total_frames < 64:
+            raise ValueError(f"unreasonably small memory: {total_frames} frames")
+        self.sim = sim
+        self.name = name
+        self.total_frames = total_frames
+        self.free = total_frames
+        self.wm_min = max(8, int(total_frames * params.frac_min))
+        self.wm_low = max(self.wm_min + 1, int(total_frames * params.frac_low))
+        self.wm_high = max(self.wm_low + 1, int(total_frames * params.frac_high))
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._series = self.stats.timeseries(f"{name}.free")
+        #: tasks blocked waiting for memory (direct-reclaim sleepers)
+        self.memory_waiters = WaitQueue(sim, name=f"{name}.waiters")
+        self.alloc_count = 0
+        self.free_count = 0
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        return self.total_frames - self.free
+
+    def below_min(self) -> bool:
+        return self.free <= self.wm_min
+
+    def below_low(self) -> bool:
+        return self.free <= self.wm_low
+
+    def below_high(self) -> bool:
+        return self.free < self.wm_high
+
+    # -- operations ----------------------------------------------------------
+
+    def try_alloc(self, n: int = 1) -> bool:
+        """Take ``n`` frames if available (never dips below zero)."""
+        if n < 1:
+            raise ValueError(f"bad allocation count {n}")
+        if self.free < n:
+            return False
+        self.free -= n
+        self.alloc_count += n
+        self._series.record(self.sim.now, self.free)
+        return True
+
+    def release(self, n: int = 1) -> None:
+        if n < 1:
+            raise ValueError(f"bad free count {n}")
+        self.free += n
+        self.free_count += n
+        if self.free > self.total_frames:
+            raise AssertionError(
+                f"{self.name}: freed more frames than exist "
+                f"({self.free}/{self.total_frames})"
+            )
+        self._series.record(self.sim.now, self.free)
+        # Frames became available: let direct-reclaim sleepers retry.
+        self.memory_waiters.wake_all()

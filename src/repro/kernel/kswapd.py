@@ -1,0 +1,56 @@
+"""kswapd: the background page-out daemon.
+
+Woken when allocations find free memory below the ``low`` watermark (and
+on a slow periodic tick, as in 2.4); reclaims in
+``SWAP_CLUSTER_MAX``-page batches until free memory climbs back above
+``high``.  Because it runs *ahead* of the application, a fast swap device
+lets the application almost never block in direct reclaim — the
+asynchrony the paper leans on when HPBD approaches local-memory speed.
+"""
+
+from __future__ import annotations
+
+from ..simulator import Process, Simulator
+from .vmm import VMM
+
+__all__ = ["Kswapd"]
+
+
+class Kswapd:
+    """The daemon; construct then :meth:`start`."""
+
+    def __init__(self, sim: Simulator, vmm: VMM, name: str = "kswapd") -> None:
+        self.sim = sim
+        self.vmm = vmm
+        self.name = name
+        self.proc: Process | None = None
+        self._ticker: Process | None = None
+        self.rounds = 0
+
+    def start(self) -> None:
+        if self.proc is not None:
+            raise RuntimeError(f"{self.name} already started")
+        self.proc = self.sim.spawn(self._run(), name=self.name)
+        self._ticker = self.sim.spawn(self._tick(), name=f"{self.name}.tick")
+
+    def _tick(self):
+        period = self.vmm.params.kswapd_period
+        while True:
+            yield self.sim.timeout(period)
+            self.vmm.wake_kswapd()
+
+    def _run(self):
+        vmm = self.vmm
+        frames = vmm.frames
+        while True:
+            yield vmm.kswapd_wakeup.wait()
+            self.rounds += 1
+            while frames.below_high():
+                freed = yield from vmm.reclaim_batch()
+                if freed == 0:
+                    if vmm.wb_inflight > 0:
+                        # All cold pages dirty & in flight: wait for the
+                        # device instead of spinning.
+                        yield vmm.wb_waiters.wait()
+                    else:
+                        break  # nothing reclaimable right now

@@ -1,0 +1,69 @@
+"""A cluster node: CPUs + DRAM + VM + its fabric attachment.
+
+Mirrors the testbed box (§6.1): dual Xeon 2.66 GHz, configurable memory
+("we change the total local memory size available to the OS"), one HCA
+port, one ATA disk.  Swap devices are attached with
+:meth:`Node.swapon`, which wires a block-device request queue into the
+VM as a prioritized swap area.
+"""
+
+from __future__ import annotations
+
+from ..net.link import Fabric
+from ..simulator import Simulator, StatsRegistry
+from ..units import PAGE_SIZE, bytes_to_pages
+from .blockdev import RequestQueue
+from .frames import FrameAllocator
+from .kswapd import Kswapd
+from .params import DEFAULT_VM_PARAMS, VMParams
+from .swapmap import SwapArea
+from .task import CPUSet
+from .vmm import VMM
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One machine in the cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        name: str,
+        mem_bytes: int,
+        ncpus: int = 2,
+        vm_params: VMParams = DEFAULT_VM_PARAMS,
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.name = name
+        self.mem_bytes = mem_bytes
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.cpus = CPUSet(sim, ncpus, name=f"{name}.cpus")
+        self.frames = FrameAllocator(
+            sim,
+            bytes_to_pages(mem_bytes),
+            vm_params,
+            stats=self.stats,
+            name=f"{name}.frames",
+        )
+        self.vmm = VMM(
+            sim, self.cpus, self.frames, vm_params, stats=self.stats, name=f"{name}.vm"
+        )
+        self.kswapd = Kswapd(sim, self.vmm, name=f"{name}.kswapd")
+        self.kswapd.start()
+
+    def swapon(
+        self, queue: RequestQueue, size_bytes: int, priority: int = 0
+    ) -> SwapArea:
+        """Attach a block device (via its request queue) as swap."""
+        nslots = size_bytes // PAGE_SIZE
+        return self.vmm.add_swap_area(queue, nslots, priority)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Node {self.name} mem={self.mem_bytes >> 20}MiB "
+            f"cpus={self.cpus.ncpus}>"
+        )

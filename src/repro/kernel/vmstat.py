@@ -1,0 +1,111 @@
+"""Observability: /proc-style snapshots of a node's VM state.
+
+``vmstat(node)`` returns the numbers an operator would read from
+``/proc/vmstat`` + ``/proc/swaps`` + ``/proc/meminfo`` on the real
+system; ``format_vmstat`` renders them.  Used by examples and handy when
+debugging why a scenario behaves unexpectedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import PAGE_SIZE, fmt_bytes
+from .node import Node
+
+__all__ = ["VMStat", "SwapStat", "vmstat", "format_vmstat"]
+
+
+@dataclass(frozen=True)
+class SwapStat:
+    """One swap area's /proc/swaps row."""
+
+    name: str
+    priority: int
+    size_bytes: int
+    used_bytes: int
+
+    @property
+    def used_frac(self) -> float:
+        return self.used_bytes / self.size_bytes if self.size_bytes else 0.0
+
+
+@dataclass(frozen=True)
+class VMStat:
+    """A point-in-time VM snapshot for one node."""
+
+    time_usec: float
+    total_bytes: int
+    free_bytes: int
+    resident_bytes: int
+    writeback_bytes: int
+    swapin_flight_bytes: int
+    # lifetime counters
+    pgfault_minor: int
+    pgfault_major: int
+    pswpin_pages: int
+    pswpout_pages: int
+    kswapd_rounds: int
+    swaps: tuple[SwapStat, ...]
+
+    @property
+    def used_bytes(self) -> int:
+        return self.total_bytes - self.free_bytes
+
+
+def vmstat(node: Node) -> VMStat:
+    """Snapshot a node's VM state (cheap; safe at any simulation time)."""
+    vmm = node.vmm
+    frames = node.frames
+    resident = sum(a.resident_pages for a in vmm._spaces)
+    wb = sum(len(a.writeback) for a in vmm._spaces)
+    sin = sum(len(a.swapin_pending) for a in vmm._spaces)
+
+    def get(name: str) -> int:
+        c = node.stats.get(name)
+        return int(c.total) if c is not None else 0
+
+    return VMStat(
+        time_usec=node.sim.now,
+        total_bytes=frames.total_frames * PAGE_SIZE,
+        free_bytes=frames.free * PAGE_SIZE,
+        resident_bytes=resident * PAGE_SIZE,
+        writeback_bytes=wb * PAGE_SIZE,
+        swapin_flight_bytes=sin * PAGE_SIZE,
+        pgfault_minor=get(f"{node.name}.vm.fault_minor"),
+        pgfault_major=get(f"{node.name}.vm.fault_major"),
+        pswpin_pages=get(f"{node.name}.vm.swapin_pages"),
+        pswpout_pages=get(f"{node.name}.vm.swapout_pages"),
+        kswapd_rounds=node.kswapd.rounds,
+        swaps=tuple(
+            SwapStat(
+                name=a.name,
+                priority=a.priority,
+                size_bytes=a.nslots * PAGE_SIZE,
+                used_bytes=a.used * PAGE_SIZE,
+            )
+            for a in vmm.swap.areas
+        ),
+    )
+
+
+def format_vmstat(stat: VMStat) -> str:
+    """Human-readable multi-line rendering."""
+    lines = [
+        f"t={stat.time_usec / 1e6:.3f}s  "
+        f"mem {fmt_bytes(stat.used_bytes)}/{fmt_bytes(stat.total_bytes)} used, "
+        f"{fmt_bytes(stat.free_bytes)} free",
+        f"  resident {fmt_bytes(stat.resident_bytes)}  "
+        f"writeback {fmt_bytes(stat.writeback_bytes)}  "
+        f"swapin-flight {fmt_bytes(stat.swapin_flight_bytes)}",
+        f"  pgfault {stat.pgfault_minor} minor / {stat.pgfault_major} major  "
+        f"pswpin {stat.pswpin_pages}  pswpout {stat.pswpout_pages}  "
+        f"kswapd rounds {stat.kswapd_rounds}",
+    ]
+    for s in stat.swaps:
+        lines.append(
+            f"  swap {s.name}: {fmt_bytes(s.used_bytes)}/"
+            f"{fmt_bytes(s.size_bytes)} (prio {s.priority}, "
+            f"{s.used_frac:.0%} full)"
+        )
+    return "\n".join(lines)

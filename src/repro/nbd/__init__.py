@@ -1,0 +1,6 @@
+"""NBD: the TCP network block device baseline (over GigE or IPoIB)."""
+
+from .client import NBDClient
+from .server import NBD_REPLY_BYTES, NBD_REQUEST_BYTES, NBDServer
+
+__all__ = ["NBDClient", "NBDServer", "NBD_REQUEST_BYTES", "NBD_REPLY_BYTES"]

@@ -1,0 +1,121 @@
+"""NBD client: the in-kernel TCP block driver (Linux 2.4 behaviour).
+
+As of Linux 2.4 "a single NBD device can only be served by a single
+remote server" and the driver serializes: send request (header + data
+for writes), block for the reply (header + data for reads), complete,
+repeat.  No pipelining, no registration pool, no RDMA — the contrast
+that isolates the transport in Figs. 5 and 7.
+"""
+
+from __future__ import annotations
+
+from ..kernel.blockdev import READ, RequestQueue, WRITE
+from ..kernel.node import Node
+from ..net.fabrics import TCPParams
+from ..simulator import SimulationError, Simulator, StatsRegistry
+from ..tcpip import Connection, TCPStack, connect_tcp
+from ..units import SECTOR_SIZE
+from .server import NBD_REPLY_BYTES, NBD_REQUEST_BYTES, NBDServer
+
+__all__ = ["NBDClient"]
+
+
+class NBDClient:
+    """One NBD device bound to exactly one server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        server: NBDServer,
+        total_bytes: int,
+        tcp_params: TCPParams,
+        name: str = "nbd0",
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        if server.ramdisk.size < total_bytes:
+            raise ValueError(
+                f"server store {server.ramdisk.size} smaller than device "
+                f"{total_bytes}"
+            )
+        self.sim = sim
+        self.node = node
+        self.server = server
+        self.total_bytes = total_bytes
+        self.name = name
+        self.stats = stats if stats is not None else node.stats
+        self.stack = TCPStack(
+            sim,
+            node.fabric,
+            node.name,
+            tcp_params,
+            stats=self.stats,
+            cpu_run=node.cpus.run,
+        )
+        self.queue = RequestQueue(
+            sim,
+            name=f"{name}.rq",
+            capacity_sectors=total_bytes // SECTOR_SIZE,
+            stats=self.stats,
+        )
+        self._conn: Connection | None = None
+        self._t_req = self.stats.tally(f"{name}.request_usec")
+        self.requests_sent = 0
+        #: §3.3: "we note that although we are able to use NBD as a swap
+        #: device in our experiment, deadlock is reported because of
+        #: memory allocation in TCP networking."  The hazard: the TCP
+        #: send path allocates memory while the VM is trying to FREE
+        #: memory through this very device.  We count the occurrences
+        #: (a swap-out sent while free frames sit at/below the min
+        #: watermark) instead of deadlocking the simulation.
+        self._c_deadlock_hazard = self.stats.counter(f"{name}.deadlock_hazards")
+
+    def connect(self):
+        """Establish the TCP session and start the driver; generator."""
+        if self._conn is not None:
+            raise SimulationError(f"{self.name} already connected")
+        self._conn = yield from connect_tcp(
+            self.stack, self.server.listener, name=self.name
+        )
+        self.sim.spawn(self._driver(), name=f"{self.name}.driver")
+
+    def _driver(self):
+        """Strictly serial request loop (the 2.4 nbd-client thread)."""
+        sim = self.sim
+        conn = self._conn
+        while True:
+            req = yield self.queue.next_request()
+            t0 = sim.now
+            self.requests_sent += 1
+            offset = req.sector * SECTOR_SIZE
+            if req.op == WRITE:
+                frames = self.node.frames
+                vmm = self.node.vmm
+                blocked = (
+                    frames.memory_waiters.waiting > 0
+                    or vmm.wb_waiters.waiting > 0
+                )
+                if frames.below_min() or blocked:
+                    # The 2.4 TCP-allocation-under-reclaim hazard: this
+                    # send must allocate socket memory while a task sits
+                    # blocked waiting for the very frames this write
+                    # will free.
+                    self._c_deadlock_hazard.add()
+                token = ("nbd", req.sector, req.nbytes)
+                yield from conn.send(
+                    NBD_REQUEST_BYTES + req.nbytes,
+                    payload=("write", offset, req.nbytes, token),
+                )
+                reply = yield conn.recv()
+            elif req.op == READ:
+                yield from conn.send(
+                    NBD_REQUEST_BYTES, payload=("read", offset, req.nbytes, None)
+                )
+                reply = yield conn.recv()
+            else:  # pragma: no cover - block layer validates
+                raise SimulationError(f"bad request op {req.op!r}")
+            kind, _data = reply.payload
+            if kind != "ack":
+                raise SimulationError(f"{self.name}: unexpected reply {kind!r}")
+            self._t_req.record(sim.now - t0)
+            self.queue.complete(req)

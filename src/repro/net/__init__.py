@@ -1,0 +1,41 @@
+"""Network cost models and the switched fabric.
+
+* :mod:`repro.net.model` — abstract size→µs cost models.
+* :mod:`repro.net.fabrics` — constants calibrated to the paper's testbed
+  (Fig. 1 latency curves, Fig. 3 registration-vs-memcpy).
+* :mod:`repro.net.link` — ports with full-duplex serialization and a
+  non-blocking switch.
+"""
+
+from .fabrics import (
+    DEREGISTRATION,
+    GIGE_DEFAULT,
+    IB_DEFAULT,
+    IPOIB_DEFAULT,
+    MEMCPY,
+    REGISTRATION,
+    IBParams,
+    TCPParams,
+    memcpy_cost,
+    registration_cost,
+)
+from .link import Fabric, Port
+from .model import CostModel, LinearCost, PiecewiseLinearCost
+
+__all__ = [
+    "CostModel",
+    "LinearCost",
+    "PiecewiseLinearCost",
+    "Fabric",
+    "Port",
+    "IBParams",
+    "TCPParams",
+    "IB_DEFAULT",
+    "IPOIB_DEFAULT",
+    "GIGE_DEFAULT",
+    "MEMCPY",
+    "REGISTRATION",
+    "DEREGISTRATION",
+    "memcpy_cost",
+    "registration_cost",
+]

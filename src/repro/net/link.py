@@ -1,0 +1,109 @@
+"""Ports and the switched fabric: where serialization happens.
+
+The paper's testbed is a 144-port non-blocking IB switch, so the only
+contention points are the host ports (HCA/NIC + its PCI-X bus).  We model
+each node's port as a full-duplex pair of unit resources (``tx`` and
+``rx``); a transfer occupies ``src.tx`` and ``dst.rx`` for the
+serialization time, then the payload arrives one wire latency later.
+
+This is what makes the multi-server results (Fig. 10) honest: no matter
+how many memory servers exist, every page still crosses the single client
+port, so striping cannot beat the port bandwidth — the paper's argument
+for the non-striped blocking distribution.
+"""
+
+from __future__ import annotations
+
+from ..simulator import Event, Resource, Simulator, StatsRegistry
+
+__all__ = ["Port", "Fabric"]
+
+
+class Port:
+    """A full-duplex network attachment point for one node."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.tx = Resource(sim, 1, name=f"{name}.tx")
+        self.rx = Resource(sim, 1, name=f"{name}.rx")
+        self.bytes_out = 0
+        self.bytes_in = 0
+
+    def __repr__(self) -> str:
+        return f"<Port {self.name} out={self.bytes_out} in={self.bytes_in}>"
+
+
+class Fabric:
+    """A non-blocking switch connecting named :class:`Port` objects."""
+
+    def __init__(self, sim: Simulator, stats: StatsRegistry | None = None) -> None:
+        self.sim = sim
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._ports: dict[str, Port] = {}
+
+    def port(self, name: str) -> Port:
+        """Get or create the port for node ``name``."""
+        port = self._ports.get(name)
+        if port is None:
+            port = self._ports[name] = Port(self.sim, name)
+        return port
+
+    def ports(self) -> list[str]:
+        return sorted(self._ports)
+
+    def transfer(
+        self,
+        src: Port,
+        dst: Port,
+        nbytes: int,
+        byte_time: float,
+        latency: float,
+        tag: str = "data",
+    ) -> Event:
+        """Move ``nbytes`` from ``src`` to ``dst``.
+
+        Returns an event that succeeds (with ``nbytes``) when the last
+        byte has *arrived* at ``dst``.  The source tx unit and the
+        destination rx unit are both held for the serialization time
+        ``nbytes * byte_time``; delivery completes ``latency`` later
+        (cut-through, no store-and-forward double count).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        if src is dst:
+            raise ValueError(f"self-transfer on port {src.name}")
+        done = Event(self.sim, name=f"xfer:{src.name}->{dst.name}")
+        self.sim.spawn(
+            self._transfer_proc(src, dst, nbytes, byte_time, latency, tag, done),
+            name=f"xfer:{src.name}->{dst.name}",
+        )
+        return done
+
+    def _transfer_proc(
+        self,
+        src: Port,
+        dst: Port,
+        nbytes: int,
+        byte_time: float,
+        latency: float,
+        tag: str,
+        done: Event,
+    ):
+        t_start = self.sim.now
+        # tx and rx pools are disjoint resource classes, so taking one of
+        # each in a fixed (tx-then-rx) order cannot form a cycle.
+        yield src.tx.acquire()
+        yield dst.rx.acquire()
+        serialization = nbytes * byte_time
+        if serialization > 0:
+            yield self.sim.timeout(serialization)
+        src.tx.release()
+        dst.rx.release()
+        src.bytes_out += nbytes
+        dst.bytes_in += nbytes
+        if latency > 0:
+            yield self.sim.timeout(latency)
+        self.stats.counter(f"fabric.bytes.{tag}").add(nbytes)
+        self.stats.tally("fabric.transfer_usec").record(self.sim.now - t_start)
+        done.succeed(nbytes)

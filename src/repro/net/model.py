@@ -1,0 +1,125 @@
+"""Abstract communication cost models.
+
+The paper's analysis (§6.2) splits the cost of moving a page into *host
+overhead* (CPU work: protocol processing, copies, interrupt handling) and
+*network time* (wire latency + serialization).  We keep that split
+explicit in every model so the Amdahl-style decomposition can be computed
+from the same constants the simulator charges.
+
+All models map a message size in bytes to a cost in microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CostModel", "LinearCost", "PiecewiseLinearCost"]
+
+
+class CostModel:
+    """Size → microseconds.  Subclasses define :meth:`cost`."""
+
+    def cost(self, nbytes: int) -> float:
+        raise NotImplementedError
+
+    def cost_array(self, sizes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cost` (used by the Fig. 1 / Fig. 3 benches)."""
+        return np.array([self.cost(int(s)) for s in np.asarray(sizes).ravel()])
+
+    def __call__(self, nbytes: int) -> float:
+        return self.cost(nbytes)
+
+
+@dataclass(frozen=True)
+class LinearCost(CostModel):
+    """``alpha + beta * nbytes`` — the standard alpha-beta (latency +
+    1/bandwidth) model.
+
+    ``alpha`` is in microseconds, ``beta`` in microseconds per byte
+    (i.e. ``1 / bandwidth``, with bandwidth in bytes/µs = MB/s × 1e-6 …
+    use :meth:`from_bandwidth` to avoid unit mistakes).
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError(f"negative cost parameters: {self}")
+
+    @classmethod
+    def from_bandwidth(cls, alpha_usec: float, mb_per_s: float) -> "LinearCost":
+        """Build from a latency (µs) and a bandwidth in MB/s (1e6 B/s)."""
+        if mb_per_s <= 0:
+            raise ValueError(f"bandwidth must be positive, got {mb_per_s}")
+        # MB/s = 1e6 B / 1e6 µs = 1 B/µs, so beta = 1 / mb_per_s.
+        return cls(alpha=alpha_usec, beta=1.0 / mb_per_s)
+
+    @property
+    def bandwidth_mb_s(self) -> float:
+        """Asymptotic bandwidth in MB/s."""
+        return float("inf") if self.beta == 0 else 1.0 / self.beta
+
+    def cost(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError(f"negative size {nbytes}")
+        return self.alpha + self.beta * nbytes
+
+    def cost_array(self, sizes: np.ndarray) -> np.ndarray:
+        sizes = np.asarray(sizes, dtype=np.float64)
+        if (sizes < 0).any():
+            raise ValueError("negative size in cost_array")
+        return self.alpha + self.beta * sizes
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearCost(CostModel):
+    """Linear segments between calibration knots, linear extrapolation.
+
+    Used where measured curves are visibly non-linear (e.g. memcpy has a
+    cache-resident regime below L2 size and a DRAM regime above).
+    ``knots`` is a tuple of (size_bytes, cost_usec) pairs, ascending in
+    size, at least two.
+    """
+
+    knots: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.knots) < 2:
+            raise ValueError("need at least two knots")
+        xs = [k[0] for k in self.knots]
+        if any(b <= a for a, b in zip(xs, xs[1:])):
+            raise ValueError("knot sizes must be strictly increasing")
+
+    def cost(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError(f"negative size {nbytes}")
+        ks = self.knots
+        if nbytes >= ks[-1][0]:
+            (x0, y0), (x1, y1) = ks[-2], ks[-1]
+        elif nbytes <= ks[0][0]:
+            (x0, y0), (x1, y1) = ks[0], ks[1]
+        else:
+            for (x0, y0), (x1, y1) in zip(ks, ks[1:]):
+                if x0 <= nbytes <= x1:
+                    break
+        slope = (y1 - y0) / (x1 - x0)
+        return max(0.0, y0 + slope * (nbytes - x0))
+
+    def cost_array(self, sizes: np.ndarray) -> np.ndarray:
+        sizes = np.asarray(sizes, dtype=np.float64)
+        xs = np.array([k[0] for k in self.knots])
+        ys = np.array([k[1] for k in self.knots])
+        # np.interp clamps at the ends; extend the end segments manually.
+        out = np.interp(sizes, xs, ys)
+        lo = sizes < xs[0]
+        hi = sizes > xs[-1]
+        if lo.any():
+            slope = (ys[1] - ys[0]) / (xs[1] - xs[0])
+            out[lo] = np.maximum(0.0, ys[0] + slope * (sizes[lo] - xs[0]))
+        if hi.any():
+            slope = (ys[-1] - ys[-2]) / (xs[-1] - xs[-2])
+            out[hi] = ys[-1] + slope * (sizes[hi] - xs[-1])
+        return out

@@ -1,0 +1,77 @@
+"""Run results: what an experiment hands back for tables and analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .simulator import StatsRegistry
+from .units import SEC
+
+__all__ = ["InstanceResult", "ScenarioResult"]
+
+
+@dataclass
+class InstanceResult:
+    """One workload instance's outcome."""
+
+    workload: str
+    elapsed_usec: float
+    major_faults: int
+    minor_faults: int
+    stall_usec: float
+
+    @property
+    def elapsed_sec(self) -> float:
+        return self.elapsed_usec / SEC
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's outcome (all instances + device/VM accounting)."""
+
+    label: str
+    instances: list[InstanceResult]
+    elapsed_usec: float  # wall time until the last instance finished
+    swapout_pages: int
+    swapin_pages: int
+    #: dispatched request sizes, bytes (empty for the local-memory case)
+    read_request_bytes: np.ndarray
+    write_request_bytes: np.ndarray
+    #: (dispatch_time_usec, op, nbytes) per request, dispatch order
+    request_trace: list[tuple[float, str, int]]
+    #: network bytes by tag (rdma_read/rdma_write/ib_send/tcp_gige/...)
+    network_bytes: dict[str, int]
+    #: client-side driver copy time (HPBD pool memcpys), µs
+    client_copy_usec: float
+    registry: StatsRegistry = field(repr=False, default_factory=StatsRegistry)
+
+    @property
+    def elapsed_sec(self) -> float:
+        return self.elapsed_usec / SEC
+
+    @property
+    def mean_read_request(self) -> float:
+        return float(self.read_request_bytes.mean()) if len(self.read_request_bytes) else 0.0
+
+    @property
+    def mean_write_request(self) -> float:
+        return float(self.write_request_bytes.mean()) if len(self.write_request_bytes) else 0.0
+
+    def slowdown_vs(self, baseline: "ScenarioResult") -> float:
+        """This scenario's time as a multiple of ``baseline``'s."""
+        if baseline.elapsed_usec <= 0:
+            raise ValueError("degenerate baseline")
+        return self.elapsed_usec / baseline.elapsed_usec
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.label}: {self.elapsed_sec:.2f} s",
+            f"out={self.swapout_pages}p in={self.swapin_pages}p",
+        ]
+        if len(self.write_request_bytes):
+            parts.append(f"wreq~{self.mean_write_request / 1024:.0f}KiB")
+        if len(self.read_request_bytes):
+            parts.append(f"rreq~{self.mean_read_request / 1024:.0f}KiB")
+        return "  ".join(parts)

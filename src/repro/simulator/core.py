@@ -1,0 +1,423 @@
+"""Generator-based discrete-event simulation kernel.
+
+This module is the heart of the reproduction: every hardware and kernel
+component (HCA, disk, kswapd, HPBD client/server threads, ...) is a
+*process* — a Python generator that yields :class:`Event` objects and is
+resumed when they fire.  The design follows the classic SimPy shape but is
+purpose-built and dependency-free:
+
+* time is a ``float`` in **microseconds**;
+* the event queue is a binary heap keyed on ``(time, priority, seq)`` so
+  simultaneous events fire in a deterministic order;
+* events carry either a *value* (success) or an *exception* (failure) to
+  the processes waiting on them;
+* processes are themselves events — they trigger when the generator
+  returns, which makes ``yield other_process`` a join.
+
+Hot-path notes (see the HPC guides): callbacks are stored in plain lists,
+events use ``__slots__``, and the run loop avoids attribute lookups in the
+inner loop.  The simulated workloads are written so that *resident* page
+touches never enter this kernel at all — only misses and I/O become
+events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+from .errors import (
+    AlreadyTriggered,
+    DeadProcess,
+    Interrupted,
+    SchedulingInPast,
+    SimulationError,
+    StopProcess,
+)
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Simulator",
+    "ProcessGen",
+    "NORMAL",
+    "URGENT",
+    "LAZY",
+]
+
+#: Event priorities — lower fires first among simultaneous events.
+URGENT = 0
+NORMAL = 1
+LAZY = 2
+
+#: The type a process body must have.
+ProcessGen = Generator["Event", Any, Any]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; it is *triggered* exactly once, either with
+    :meth:`succeed` (carrying a value) or :meth:`fail` (carrying an
+    exception).  Processes wait on an event by ``yield``-ing it; plain
+    callables can also be attached via :attr:`callbacks`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "name", "abandoned")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        #: callbacks run (in order) when the event fires; each receives
+        #: the event itself.  ``None`` once processed.
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+        #: set when the last process waiting on this event was
+        #: interrupted away — queues treat such waits as cancelled and
+        #: must not grant resources to them (see resources.py).
+        self.abandoned = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire (or has fired)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception carried by the event."""
+        if self._value is _PENDING:
+            raise SimulationError(f"{self!r} not yet triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Schedule the event to fire *now* with ``value``."""
+        if self._value is not _PENDING:
+            raise AlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, 0.0, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        """Schedule the event to fire *now*, raising ``exc`` in waiters."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        if self._value is not _PENDING:
+            raise AlreadyTriggered(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.sim._enqueue(self, 0.0, priority)
+        return self
+
+    def trigger(self, other: "Event") -> None:
+        """Mirror another (triggered) event's outcome onto this one."""
+        if other._ok:
+            self.succeed(other._value)
+        else:
+            self.fail(other._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "pending"
+            if self._value is _PENDING
+            else ("ok" if self._ok else "failed")
+        )
+        label = self.name or type(self).__name__
+        return f"<{label} {state} at t={self.sim.now:.3f}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay.  Created pre-triggered."""
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        value: Any = None,
+        priority: int = NORMAL,
+    ) -> None:
+        if delay < 0:
+            raise SchedulingInPast(sim.now, sim.now + delay)
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay, priority)
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly spawned process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
+        super().__init__(sim, name="init")
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._enqueue(self, 0.0, URGENT)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it terminates.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    succeeds, the generator is resumed with ``event.value``; when it
+    fails, the exception is thrown into the generator.  ``return value``
+    inside the generator becomes the process's own event value, so other
+    processes can ``result = yield proc``.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
+        if not hasattr(gen, "throw"):
+            raise TypeError(
+                f"Process body must be a generator, got {type(gen).__name__}"
+            )
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        #: the event this process is currently blocked on (None if ready)
+        self._waiting_on: Event | None = None
+        Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupted` into the process at the current time.
+
+        A process cannot interrupt itself and a dead process cannot be
+        interrupted.  The interrupt detaches the process from whatever
+        event it was waiting on (the event itself is unaffected and may
+        still fire for other waiters).
+        """
+        if not self.is_alive:
+            raise DeadProcess(f"{self.name} already terminated")
+        if self.sim.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            if not waiting.callbacks:
+                # Nobody is listening any more: let resource queues
+                # know this wait is dead so they skip it.
+                waiting.abandoned = True
+        self._waiting_on = None
+        # Deliver via a dedicated urgent event so ordering stays in the heap.
+        evt = Event(self.sim, name="interrupt")
+        evt.callbacks.append(self._deliver_interrupt)
+        evt._ok = False
+        evt._value = Interrupted(cause)
+        self.sim._enqueue(evt, 0.0, URGENT)
+
+    # -- internals -------------------------------------------------------
+
+    def _deliver_interrupt(self, evt: Event) -> None:
+        if not self.is_alive:  # died before delivery; drop silently
+            return
+        self._step(throw=evt._value)
+
+    def _resume(self, evt: Event) -> None:
+        self._waiting_on = None
+        if evt._ok:
+            self._step(send=evt._value)
+        else:
+            self._step(throw=evt._value)
+
+    def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
+        sim = self.sim
+        prev, sim.active_process = sim.active_process, self
+        try:
+            if throw is not None:
+                target = self._gen.throw(throw)
+            else:
+                target = self._gen.send(send)
+        except StopIteration as stop:
+            sim.active_process = prev
+            self.succeed(stop.value)
+            return
+        except StopProcess:
+            sim.active_process = prev
+            self.succeed(None)
+            return
+        except BaseException as exc:
+            sim.active_process = prev
+            if sim.strict:
+                self.fail(exc)
+                raise
+            self.fail(exc)
+            return
+        finally:
+            sim.active_process = prev
+
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            self._gen.close()
+            self.fail(err)
+            if sim.strict:
+                raise err
+            return
+        if target.callbacks is None:
+            # Already processed: resume immediately-but-not-recursively via
+            # an urgent zero-delay event to keep the stack flat.
+            relay = Event(sim, name="relay")
+            relay._ok = target._ok
+            relay._value = target._value
+            relay.callbacks.append(self._resume)
+            sim._enqueue(relay, 0.0, URGENT)
+            self._waiting_on = relay
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class Simulator:
+    """The event loop: a clock plus a heap of (time, priority, seq, event).
+
+    ``strict`` (default True) re-raises exceptions escaping process
+    bodies, which turns silent process deaths into test failures — per
+    the guides' "make it work reliably" rule.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self.now: float = 0.0
+        self.strict = strict
+        self.active_process: Process | None = None
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._event_count = 0
+
+    # -- factory helpers -------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def spawn(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a new process from generator ``gen``."""
+        return Process(self, gen, name)
+
+    # `process` alias mirrors SimPy naming for familiarity.
+    process = spawn
+
+    # -- scheduling -------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        if delay < 0:
+            raise SchedulingInPast(self.now, self.now + delay)
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    def schedule_call(
+        self, delay: float, fn: Callable[[], None], priority: int = NORMAL
+    ) -> Event:
+        """Run a plain callable after ``delay`` (no process needed)."""
+        evt = Event(self, name="call")
+        evt.callbacks.append(lambda _e: fn())
+        evt._ok = True
+        evt._value = None
+        self._enqueue(evt, delay, priority)
+        return evt
+
+    # -- running ----------------------------------------------------------
+
+    @property
+    def events_processed(self) -> int:
+        return self._event_count
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Fire the single next event."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:  # pragma: no cover - heap invariant
+            raise SchedulingInPast(self.now, when)
+        self.now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        self._event_count += 1
+        for cb in callbacks:
+            cb(event)
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        * ``until=None`` — run to exhaustion.
+        * ``until=<float>`` — advance the clock exactly to that time.
+        * ``until=<Event>`` — run until that event is processed and return
+          its value (raising it if the event failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop: list[Any] = []
+
+            def _catch(evt: Event) -> None:
+                stop.append(evt)
+
+            if until.processed:
+                if not until._ok:
+                    raise until._value
+                return until._value
+            until.callbacks.append(_catch)
+            while self._heap and not stop:
+                self.step()
+            if not stop:
+                raise SimulationError(
+                    f"simulation ran dry before {until!r} triggered"
+                )
+            if not until._ok:
+                raise until._value
+            return until._value
+
+        deadline = float(until)
+        if deadline < self.now:
+            raise SchedulingInPast(self.now, deadline)
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self.now = deadline
+        return None
+
+    def run_all(self, procs: Iterable[Process]) -> list[Any]:
+        """Run until every process in ``procs`` has finished."""
+        out = []
+        for proc in procs:
+            out.append(self.run(until=proc))
+        return out

@@ -1,0 +1,217 @@
+"""Measurement plumbing: counters, tallies and time series.
+
+Every component in the reproduction exposes a :class:`StatsRegistry` so
+experiments can pull out the same quantities the paper reports —
+request-size histograms (Fig. 6), time-in-network vs time-on-host
+(the Amdahl decomposition in §6.2), device utilization, and so on.
+
+Collectors are numpy-backed append-only buffers that grow geometrically,
+so recording a sample is O(1) amortized and analysis is vectorized.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Counter", "Tally", "TimeSeries", "StatsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing named count (optionally with a sum)."""
+
+    __slots__ = ("name", "count", "total")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.count += 1
+        self.total += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}: n={self.count}, total={self.total:g})"
+
+
+class Tally:
+    """Streaming sample collector with summary statistics.
+
+    Keeps every sample (numpy buffer) so percentiles and histograms are
+    exact; memory is fine at the scale of this reproduction (≲10⁶ samples
+    per run).
+    """
+
+    __slots__ = ("name", "_buf", "_n")
+
+    def __init__(self, name: str, initial_capacity: int = 1024) -> None:
+        self.name = name
+        self._buf = np.empty(initial_capacity, dtype=np.float64)
+        self._n = 0
+
+    def record(self, value: float) -> None:
+        if self._n == len(self._buf):
+            self._buf = np.resize(self._buf, len(self._buf) * 2)
+        self._buf[self._n] = value
+        self._n += 1
+
+    def record_many(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        need = self._n + len(values)
+        if need > len(self._buf):
+            newcap = max(need, len(self._buf) * 2)
+            self._buf = np.resize(self._buf, newcap)
+        self._buf[self._n : need] = values
+        self._n = need
+
+    # -- views ----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    def values(self) -> np.ndarray:
+        return self._buf[: self._n]
+
+    @property
+    def total(self) -> float:
+        return float(self.values().sum()) if self._n else 0.0
+
+    @property
+    def mean(self) -> float:
+        return float(self.values().mean()) if self._n else math.nan
+
+    @property
+    def std(self) -> float:
+        return float(self.values().std()) if self._n else math.nan
+
+    @property
+    def min(self) -> float:
+        return float(self.values().min()) if self._n else math.nan
+
+    @property
+    def max(self) -> float:
+        return float(self.values().max()) if self._n else math.nan
+
+    def percentile(self, q: float) -> float:
+        if not self._n:
+            return math.nan
+        return float(np.percentile(self.values(), q))
+
+    def histogram(self, bins: int | np.ndarray = 20) -> tuple[np.ndarray, np.ndarray]:
+        return np.histogram(self.values(), bins=bins)
+
+    def __repr__(self) -> str:
+        if not self._n:
+            return f"Tally({self.name}: empty)"
+        return (
+            f"Tally({self.name}: n={self._n}, mean={self.mean:g}, "
+            f"min={self.min:g}, max={self.max:g})"
+        )
+
+
+class TimeSeries:
+    """(time, value) samples — e.g. free-page count over time."""
+
+    __slots__ = ("name", "_t", "_v", "_n")
+
+    def __init__(self, name: str, initial_capacity: int = 1024) -> None:
+        self.name = name
+        self._t = np.empty(initial_capacity, dtype=np.float64)
+        self._v = np.empty(initial_capacity, dtype=np.float64)
+        self._n = 0
+
+    def record(self, t: float, value: float) -> None:
+        if self._n == len(self._t):
+            self._t = np.resize(self._t, len(self._t) * 2)
+            self._v = np.resize(self._v, len(self._v) * 2)
+        self._t[self._n] = t
+        self._v[self._n] = value
+        self._n += 1
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    def times(self) -> np.ndarray:
+        return self._t[: self._n]
+
+    def values(self) -> np.ndarray:
+        return self._v[: self._n]
+
+    def time_weighted_mean(self) -> float:
+        """Mean of a piecewise-constant signal sampled at change points."""
+        if self._n < 2:
+            return float(self._v[0]) if self._n else math.nan
+        t, v = self.times(), self.values()
+        dt = np.diff(t)
+        span = t[-1] - t[0]
+        if span <= 0:
+            return float(v.mean())
+        return float((v[:-1] * dt).sum() / span)
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name}: n={self._n})"
+
+
+class StatsRegistry:
+    """A flat namespace of collectors, shared across one simulation run."""
+
+    def __init__(self) -> None:
+        self._items: dict[str, Any] = {}
+
+    def counter(self, name: str) -> Counter:
+        item = self._items.get(name)
+        if item is None:
+            item = self._items[name] = Counter(name)
+        elif not isinstance(item, Counter):
+            raise TypeError(f"{name} already registered as {type(item).__name__}")
+        return item
+
+    def tally(self, name: str) -> Tally:
+        item = self._items.get(name)
+        if item is None:
+            item = self._items[name] = Tally(name)
+        elif not isinstance(item, Tally):
+            raise TypeError(f"{name} already registered as {type(item).__name__}")
+        return item
+
+    def timeseries(self, name: str) -> TimeSeries:
+        item = self._items.get(name)
+        if item is None:
+            item = self._items[name] = TimeSeries(name)
+        elif not isinstance(item, TimeSeries):
+            raise TypeError(f"{name} already registered as {type(item).__name__}")
+        return item
+
+    def get(self, name: str) -> Any | None:
+        return self._items.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._items
+
+    def names(self) -> list[str]:
+        return sorted(self._items)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Plain-dict summary (for EXPERIMENTS.md tables and tests)."""
+        out: dict[str, dict[str, float]] = {}
+        for name, item in sorted(self._items.items()):
+            if isinstance(item, Counter):
+                out[name] = {"count": item.count, "total": item.total}
+            elif isinstance(item, Tally):
+                out[name] = {
+                    "count": item.count,
+                    "total": item.total,
+                    "mean": item.mean,
+                    "max": item.max,
+                }
+            elif isinstance(item, TimeSeries):
+                out[name] = {
+                    "count": item.count,
+                    "time_weighted_mean": item.time_weighted_mean(),
+                }
+        return out

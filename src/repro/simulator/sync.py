@@ -1,0 +1,92 @@
+"""Composite events: wait for *all* or *any* of a set of events.
+
+These mirror SimPy's ``AllOf``/``AnyOf`` but are deliberately small.  They
+are used by the HPBD server (wait for "new request OR rdma completion")
+and by the experiment runner (join several workload processes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .core import Event, Simulator
+
+__all__ = ["all_of", "any_of"]
+
+
+def all_of(sim: Simulator, events: Iterable[Event]) -> Event:
+    """An event that succeeds once every input event has succeeded.
+
+    Its value is the list of input values, in input order.  If any input
+    fails, the composite fails with that exception (first failure wins).
+    """
+    events = list(events)
+    out = Event(sim, name="all_of")
+    remaining = len(events)
+    values: list[object] = [None] * len(events)
+    if remaining == 0:
+        out.succeed([])
+        return out
+
+    def make_cb(i: int):
+        def _cb(evt: Event) -> None:
+            nonlocal remaining
+            if out.triggered:
+                return
+            if not evt.ok:
+                out.fail(evt.value)
+                return
+            values[i] = evt.value
+            remaining -= 1
+            if remaining == 0:
+                out.succeed(values)
+
+        return _cb
+
+    for i, evt in enumerate(events):
+        if evt.processed:
+            if not evt.ok:
+                if not out.triggered:
+                    out.fail(evt.value)
+                break
+            values[i] = evt.value
+            remaining -= 1
+        else:
+            evt.callbacks.append(make_cb(i))
+    if not out.triggered and remaining == 0:
+        out.succeed(values)
+    return out
+
+
+def any_of(sim: Simulator, events: Iterable[Event]) -> Event:
+    """An event that mirrors the first input event to trigger.
+
+    Its value is ``(index, value)`` of the winning event.  Failures
+    propagate.  Remaining events keep their own callbacks and may still
+    fire for other waiters; the composite simply ignores them.
+    """
+    events = list(events)
+    if not events:
+        raise ValueError("any_of needs at least one event")
+    out = Event(sim, name="any_of")
+
+    def make_cb(i: int):
+        def _cb(evt: Event) -> None:
+            if out.triggered:
+                return
+            if evt.ok:
+                out.succeed((i, evt.value))
+            else:
+                out.fail(evt.value)
+
+        return _cb
+
+    for i, evt in enumerate(events):
+        if evt.processed:
+            if evt.ok:
+                out.succeed((i, evt.value))
+            else:
+                out.fail(evt.value)
+            return out
+        evt.callbacks.append(make_cb(i))
+    return out

@@ -1,0 +1,13 @@
+"""Simulated kernel TCP/IP stack and stream sockets (NBD substrate)."""
+
+from .socket import Connection, Listener, Message, SocketError, connect_tcp
+from .stack import TCPStack
+
+__all__ = [
+    "TCPStack",
+    "Connection",
+    "Listener",
+    "Message",
+    "SocketError",
+    "connect_tcp",
+]

@@ -1,0 +1,74 @@
+"""Per-node TCP/IP stack model.
+
+The paper's NBD baselines run over the kernel TCP stack — on GigE and on
+IPoIB.  What matters for the reproduction is the §6.2 observation: above
+the IP layer both follow identical code paths, and for IPoIB the *stack*
+(copies, checksums, per-segment interrupt work), not the wire, bounds
+throughput.  So the stack model charges:
+
+* host CPU per call, per byte, and per MTU segment — on both sides;
+* wire latency + serialization on the fabric ports.
+
+Host costs run through an injectable ``cpu_run`` hook so a node can make
+stack processing contend with application compute (it does, on the dual-
+Xeon testbed, when two app instances run — Fig. 9).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from typing import Any
+
+from ..net.fabrics import TCPParams
+from ..net.link import Fabric, Port
+from ..simulator import Simulator, StatsRegistry
+
+__all__ = ["TCPStack"]
+
+
+class TCPStack:
+    """One node's TCP/IP protocol engine over a given link type."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        node_name: str,
+        params: TCPParams,
+        stats: StatsRegistry | None = None,
+        cpu_run: Callable[[float], Generator] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.node_name = node_name
+        self.params = params
+        self.stats = stats if stats is not None else StatsRegistry()
+        # A distinct port per transport: IPoIB shares the IB wire in
+        # reality; modelling separate ports is fine because experiments
+        # never mix HPBD and NBD traffic in one run.
+        self.port: Port = fabric.port(f"{node_name}.{params.name}")
+        self._cpu_run = cpu_run
+
+    def cpu(self, cost: float):
+        """Charge ``cost`` µs of host CPU; generator — use ``yield from``."""
+        if cost <= 0:
+            return
+        if self._cpu_run is not None:
+            yield from self._cpu_run(cost)
+        else:
+            yield self.sim.timeout(cost)
+
+    def host_cost(self, nbytes: int) -> float:
+        return self.params.host_cost(nbytes)
+
+    def send_bytes(self, dst: "TCPStack", nbytes: int) -> Any:
+        """Put ``nbytes`` on the wire toward ``dst``; returns the arrival
+        event.  Host costs are charged separately by the socket layer."""
+        return self.fabric.transfer(
+            self.port,
+            dst.port,
+            nbytes,
+            self.params.wire_byte_time,
+            self.params.wire_latency,
+            tag=f"tcp_{self.params.name}",
+        )

@@ -1,0 +1,96 @@
+"""Units and hardware constants shared across the reproduction.
+
+Simulated time is in **microseconds** (float); sizes in **bytes** (int).
+The constants here fix the geometry the paper assumes: 4 KiB pages,
+512-byte sectors, 128 KiB maximum block request (the Linux 2.4 bound the
+paper cites as limiting striping benefit, §4.2.5).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "USEC",
+    "MSEC",
+    "SEC",
+    "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "SECTOR_SIZE",
+    "SECTOR_SHIFT",
+    "SECTORS_PER_PAGE",
+    "MAX_REQUEST_BYTES",
+    "MAX_REQUEST_SECTORS",
+    "bytes_to_pages",
+    "pages_to_bytes",
+    "bytes_to_sectors",
+    "sectors_to_bytes",
+    "usec_to_sec",
+    "sec_to_usec",
+    "fmt_bytes",
+    "fmt_usec",
+]
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+USEC = 1.0
+MSEC = 1_000.0
+SEC = 1_000_000.0
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4 KiB, IA-32
+SECTOR_SHIFT = 9
+SECTOR_SIZE = 1 << SECTOR_SHIFT  # 512 B
+SECTORS_PER_PAGE = PAGE_SIZE // SECTOR_SIZE
+
+#: Linux 2.4 block-layer single-request ceiling cited by the paper ("the
+#: 128K bound of a single request size", §4.2.5).
+MAX_REQUEST_BYTES = 128 * KiB
+MAX_REQUEST_SECTORS = MAX_REQUEST_BYTES // SECTOR_SIZE
+
+
+def bytes_to_pages(nbytes: int) -> int:
+    """Pages needed to hold ``nbytes`` (rounded up)."""
+    return -(-nbytes // PAGE_SIZE)
+
+
+def pages_to_bytes(npages: int) -> int:
+    return npages << PAGE_SHIFT
+
+
+def bytes_to_sectors(nbytes: int) -> int:
+    return -(-nbytes // SECTOR_SIZE)
+
+
+def sectors_to_bytes(nsectors: int) -> int:
+    return nsectors << SECTOR_SHIFT
+
+
+def usec_to_sec(t: float) -> float:
+    return t / SEC
+
+
+def sec_to_usec(t: float) -> float:
+    return t * SEC
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable size, e.g. ``131072 -> '128.0 KiB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_usec(t: float) -> str:
+    """Human-readable time from microseconds."""
+    if t < 1_000:
+        return f"{t:.2f} us"
+    if t < 1_000_000:
+        return f"{t / 1_000:.2f} ms"
+    return f"{t / 1_000_000:.2f} s"

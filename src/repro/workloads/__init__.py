@@ -1,0 +1,24 @@
+"""The paper's test programs as page-level access traces (§6.1)."""
+
+from .barnes import BarnesWorkload
+from .base import TOUCH_CHUNK_PAGES, Workload, execute
+from .ops import Compute, RandomTouch, SeqTouch, TraceOp
+from .quicksort import QuicksortWorkload
+from .replay import ReplayWorkload, TraceFormatError, parse_trace
+from .testswap import TestswapWorkload
+
+__all__ = [
+    "Workload",
+    "execute",
+    "TOUCH_CHUNK_PAGES",
+    "TestswapWorkload",
+    "QuicksortWorkload",
+    "ReplayWorkload",
+    "parse_trace",
+    "TraceFormatError",
+    "BarnesWorkload",
+    "SeqTouch",
+    "RandomTouch",
+    "Compute",
+    "TraceOp",
+]

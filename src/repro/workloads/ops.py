@@ -1,0 +1,72 @@
+"""Trace operations: the vocabulary workloads speak to the VM.
+
+A workload is a deterministic sequence of these ops over one address
+space.  Compute attached to a touch op is charged *interleaved* with the
+page touches (per chunk), so swap-out can overlap application compute
+exactly as it does on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SeqTouch", "RandomTouch", "Compute", "TraceOp"]
+
+
+@dataclass(frozen=True)
+class SeqTouch:
+    """Touch pages ``[start, stop)`` in ascending order.
+
+    ``compute_usec`` is the CPU work performed while walking the run
+    (charged pro-rata per chunk).  ``write`` marks the pages dirty.
+    """
+
+    start: int
+    stop: int
+    write: bool
+    compute_usec: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise ValueError(f"empty run [{self.start}, {self.stop})")
+        if self.compute_usec < 0:
+            raise ValueError("negative compute")
+
+    @property
+    def npages(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class RandomTouch:
+    """Touch an explicit page set (deduplicated, any order)."""
+
+    pages: np.ndarray
+    write: bool
+    compute_usec: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.pages) == 0:
+            raise ValueError("empty page set")
+        if self.compute_usec < 0:
+            raise ValueError("negative compute")
+
+    @property
+    def npages(self) -> int:
+        return len(self.pages)
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Pure CPU time with no memory traffic."""
+
+    usec: float
+
+    def __post_init__(self) -> None:
+        if self.usec < 0:
+            raise ValueError("negative compute")
+
+
+TraceOp = SeqTouch | RandomTouch | Compute

@@ -1,0 +1,127 @@
+"""Replay workload: drive the VM from a recorded page-access trace.
+
+Lets users bring real application traces (e.g. from ``perf mem``,
+Valgrind's lackey, or a pin tool) to the simulated memory hierarchy.
+The trace format is line-oriented text::
+
+    # comment
+    seq  <start_page> <end_page> <r|w> <compute_usec>
+    rand <page,page,...>          <r|w> <compute_usec>
+    cpu  <usec>
+
+Pages are 4 KiB indices into one anonymous region.  Deterministic and
+order-preserving by construction.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable
+from pathlib import Path
+
+import numpy as np
+
+from .base import Workload
+from .ops import Compute, RandomTouch, SeqTouch, TraceOp
+
+__all__ = ["ReplayWorkload", "parse_trace", "TraceFormatError"]
+
+
+class TraceFormatError(ValueError):
+    """A malformed trace line (message includes the line number)."""
+
+
+def parse_trace(text: str) -> list[TraceOp]:
+    """Parse the trace format into ops (raises on malformed lines)."""
+    ops: list[TraceOp] = []
+    for lineno, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        kind = fields[0]
+        try:
+            if kind == "seq":
+                start, end, mode, usec = fields[1:5]
+                ops.append(
+                    SeqTouch(
+                        start=int(start),
+                        stop=int(end),
+                        write=_mode(mode, lineno),
+                        compute_usec=float(usec),
+                    )
+                )
+            elif kind == "rand":
+                pages, mode, usec = fields[1:4]
+                arr = np.array([int(p) for p in pages.split(",")], dtype=np.int64)
+                ops.append(
+                    RandomTouch(
+                        pages=arr,
+                        write=_mode(mode, lineno),
+                        compute_usec=float(usec),
+                    )
+                )
+            elif kind == "cpu":
+                ops.append(Compute(usec=float(fields[1])))
+            else:
+                raise TraceFormatError(
+                    f"line {lineno}: unknown op {kind!r}"
+                )
+        except TraceFormatError:
+            raise
+        except (ValueError, IndexError) as exc:
+            raise TraceFormatError(f"line {lineno}: {exc}") from exc
+    if not ops:
+        raise TraceFormatError("trace contains no operations")
+    return ops
+
+
+def _mode(token: str, lineno: int) -> bool:
+    if token == "w":
+        return True
+    if token == "r":
+        return False
+    raise TraceFormatError(f"line {lineno}: mode must be r or w, got {token!r}")
+
+
+class ReplayWorkload(Workload):
+    """A workload backed by a parsed trace."""
+
+    name = "replay"
+
+    def __init__(self, ops: list[TraceOp], npages: int | None = None) -> None:
+        if not ops:
+            raise ValueError("empty trace")
+        self._ops = list(ops)
+        max_page = 0
+        for op in self._ops:
+            if isinstance(op, SeqTouch):
+                max_page = max(max_page, op.stop)
+            elif isinstance(op, RandomTouch):
+                max_page = max(max_page, int(op.pages.max()) + 1)
+        if npages is None:
+            npages = max_page
+        elif npages < max_page:
+            raise ValueError(
+                f"trace touches page {max_page - 1}, region is {npages} pages"
+            )
+        if npages < 1:
+            raise ValueError("trace touches no pages")
+        self._npages = npages
+
+    @classmethod
+    def from_text(cls, text: str, npages: int | None = None) -> "ReplayWorkload":
+        return cls(parse_trace(text), npages=npages)
+
+    @classmethod
+    def from_file(
+        cls, path: str | Path, npages: int | None = None
+    ) -> "ReplayWorkload":
+        return cls.from_text(Path(path).read_text(), npages=npages)
+
+    @property
+    def npages(self) -> int:
+        return self._npages
+
+    def ops(self) -> Iterable[TraceOp]:
+        return iter(self._ops)

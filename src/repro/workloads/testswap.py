@@ -1,0 +1,62 @@
+"""testswap: the paper's microbenchmark (§6.1).
+
+"allocates a 1GB array and sequentially write integers into this array"
+— a single sequential store pass.  Under memory pressure this produces a
+pure page-out stream: first-touch minor faults plus kswapd write-back,
+no swap-ins.  The paper measures 5.8 s in local memory, which calibrates
+the per-page store cost (a 2.66 GHz Xeon filling a 4 KiB page with
+integers plus the first-touch fault).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..units import GiB, PAGE_SIZE, bytes_to_pages
+from .base import Workload
+from .ops import SeqTouch, TraceOp
+
+__all__ = ["TestswapWorkload"]
+
+#: Paper Fig. 5: in-memory execution time of the 1 GiB testswap run.
+PAPER_LOCAL_SEC = 5.8
+
+
+class TestswapWorkload(Workload):
+    """Sequential integer-store pass over ``size_bytes``."""
+
+    name = "testswap"
+    __test__ = False  # not a pytest class despite the name
+
+    def __init__(
+        self,
+        size_bytes: int = GiB,
+        compute_usec_per_page: float | None = None,
+    ) -> None:
+        if size_bytes < PAGE_SIZE:
+            raise ValueError(f"array too small: {size_bytes}")
+        self._npages = bytes_to_pages(size_bytes)
+        if compute_usec_per_page is None:
+            # Calibrate so the full-size in-memory run hits 5.8 s:
+            # total = npages * (store + fault overhead); the first-touch
+            # fault is charged by the VM, so subtract its default cost.
+            from ..kernel.params import DEFAULT_VM_PARAMS
+
+            full_pages = bytes_to_pages(GiB)
+            compute_usec_per_page = (
+                PAPER_LOCAL_SEC * 1e6 / full_pages
+                - DEFAULT_VM_PARAMS.fault_overhead
+            )
+        self.compute_usec_per_page = compute_usec_per_page
+
+    @property
+    def npages(self) -> int:
+        return self._npages
+
+    def ops(self) -> Iterable[TraceOp]:
+        yield SeqTouch(
+            start=0,
+            stop=self._npages,
+            write=True,
+            compute_usec=self.compute_usec_per_page * self._npages,
+        )

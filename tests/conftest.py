@@ -1,0 +1,42 @@
+"""Shared fixtures: a fresh simulator, fabric, and small-node builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import Node
+from repro.net import Fabric
+from repro.simulator import Simulator
+from repro.units import MiB
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def fabric(sim: Simulator) -> Fabric:
+    return Fabric(sim)
+
+
+@pytest.fixture
+def node(sim: Simulator, fabric: Fabric) -> Node:
+    """A small (16 MiB) dual-CPU node."""
+    return Node(sim, fabric, "n0", mem_bytes=16 * MiB)
+
+
+def run_proc(sim: Simulator, gen):
+    """Spawn a generator and run the simulation until it finishes."""
+    proc = sim.spawn(gen)
+    return sim.run(until=proc)
+
+
+@pytest.fixture
+def runner(sim: Simulator):
+    """Callable fixture: ``runner(gen)`` runs a process to completion."""
+
+    def _run(gen):
+        return run_proc(sim, gen)
+
+    return _run

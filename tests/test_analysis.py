@@ -1,0 +1,143 @@
+"""Unit tests for the analysis package: Amdahl, clustering, Table 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TABLE1,
+    cluster_requests,
+    format_table,
+    infer_network_fraction,
+    render_table1,
+    size_histogram,
+)
+
+
+class TestAmdahlInference:
+    def test_recovers_known_fraction(self):
+        """Construct synthetic times from a known network share and
+        verify the paper's inference recovers it."""
+        t_base = 5.8
+        overhead_slow = 6.4  # GigE swap overhead
+        f = 0.48  # network share of the slow transport
+        speedup = 3.0  # the fast wire moves messages 3x faster
+        overhead_fast = overhead_slow * (1 - f + f / speedup)
+        got = infer_network_fraction(
+            t_base + overhead_slow, t_base + overhead_fast, t_base, speedup
+        )
+        assert got == pytest.approx(f)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            infer_network_fraction(10, 9, 5, wire_speedup=1.0)
+        with pytest.raises(ValueError):
+            infer_network_fraction(5, 6, 5, wire_speedup=2.0)  # no overhead
+        with pytest.raises(ValueError):
+            infer_network_fraction(8, 9, 5, wire_speedup=2.0)  # fast slower
+
+
+class TestClustering:
+    def trace(self):
+        # two bursts of three requests, 10 ms apart
+        out = []
+        for burst_start in (0.0, 10_000.0):
+            for i in range(3):
+                out.append((burst_start + i * 100.0, "write", 128 * 1024))
+        return out
+
+    def test_two_clusters_found(self):
+        clusters = cluster_requests(self.trace(), gap_usec=2_000.0)
+        assert len(clusters) == 2
+        assert all(c.count == 3 for c in clusters)
+        assert all(c.mean_bytes == 128 * 1024 for c in clusters)
+
+    def test_single_cluster_with_huge_gap(self):
+        clusters = cluster_requests(self.trace(), gap_usec=1e9)
+        assert len(clusters) == 1
+        assert clusters[0].count == 6
+
+    def test_op_filter(self):
+        trace = self.trace() + [(5.0, "read", 4096)]
+        reads = cluster_requests(trace, op="read")
+        assert len(reads) == 1 and reads[0].count == 1
+
+    def test_empty_trace(self):
+        assert cluster_requests([]) == []
+
+    def test_gap_validation(self):
+        with pytest.raises(ValueError):
+            cluster_requests([], gap_usec=0)
+
+    def test_unsorted_input_handled(self):
+        trace = list(reversed(self.trace()))
+        clusters = cluster_requests(trace, gap_usec=2_000.0)
+        assert len(clusters) == 2
+
+    def test_size_histogram(self):
+        h = size_histogram(self.trace())
+        assert h == {128 * 1024: 6}
+
+
+class TestTable1:
+    def test_hpbd_row_matches_paper(self):
+        hpbd = next(s for s in TABLE1 if s.name == "HPBD")
+        assert not hpbd.simulation_based
+        assert hpbd.global_management == "N"
+        assert hpbd.kernel_level == "Y"
+        assert hpbd.tcp_based == "N"
+        assert hpbd.ulp_based == "Y"
+
+    def test_all_ten_systems_present(self):
+        assert len(TABLE1) == 10
+        names = {s.name for s in TABLE1}
+        assert {"COCA", "PNR", "JMNRM", "NRAM", "NRD", "RRMP", "MOSIX",
+                "GMM", "DoDo", "HPBD"} == names
+
+    def test_simulation_rows_have_na_fields(self):
+        for s in TABLE1:
+            if s.simulation_based:
+                assert s.kernel_level == "N/A"
+                assert s.tcp_based == "N/A"
+
+    def test_render(self):
+        text = render_table1()
+        assert "HPBD" in text
+        assert len(text.splitlines()) == 12  # header + rule + 10 rows
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+
+class TestAmdahlReport:
+    def test_report_from_scenario_runs(self):
+        """amdahl_report on real (tiny) runs produces sane fractions."""
+        from repro.analysis import amdahl_report
+        from repro.experiments import fig05_testswap
+        from repro.net import GIGE_DEFAULT, IB_DEFAULT, IPOIB_DEFAULT
+
+        runs = {r.label: r for r in fig05_testswap(scale=32)}
+        report = amdahl_report(
+            runs["local"],
+            runs["hpbd"],
+            runs["nbd-ipoib"],
+            runs["nbd-gige"],
+            GIGE_DEFAULT,
+            IPOIB_DEFAULT,
+            lambda n: IB_DEFAULT.rdma_write_cost(n),
+        )
+        for _name, frac, _paper in report.rows():
+            assert 0.0 < frac <= 1.0
+        # the paper's HPBD bound
+        assert report.hpbd_fraction < 0.35
+        assert len(report.rows()) == 3

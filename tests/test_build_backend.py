@@ -1,0 +1,89 @@
+"""Tests for the vendored stdlib-only build backend."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import sys
+import zipfile
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "_build_backend"))
+import backend  # noqa: E402
+
+
+class TestEditableWheel:
+    def test_builds_valid_editable_wheel(self, tmp_path):
+        name = backend.build_editable(str(tmp_path))
+        assert name.endswith(".whl")
+        with zipfile.ZipFile(tmp_path / name) as zf:
+            names = zf.namelist()
+            pth = [n for n in names if n.endswith(".pth")]
+            assert len(pth) == 1
+            target = zf.read(pth[0]).decode().strip()
+            assert target.endswith("src")
+            assert (Path(target) / "repro" / "__init__.py").exists()
+            di = backend._dist_info_name()
+            assert f"{di}/METADATA" in names
+            assert f"{di}/WHEEL" in names
+            assert f"{di}/RECORD" in names
+            assert f"{di}/entry_points.txt" in names
+
+    def test_record_hashes_verify(self, tmp_path):
+        name = backend.build_editable(str(tmp_path))
+        with zipfile.ZipFile(tmp_path / name) as zf:
+            record = zf.read(f"{backend._dist_info_name()}/RECORD").decode()
+            for line in record.strip().splitlines():
+                path, digest, _size = line.rsplit(",", 2)
+                if not digest:
+                    continue  # RECORD's own row
+                algo, b64 = digest.split("=", 1)
+                assert algo == "sha256"
+                data = zf.read(path)
+                expect = (
+                    base64.urlsafe_b64encode(hashlib.sha256(data).digest())
+                    .rstrip(b"=")
+                    .decode()
+                )
+                assert b64 == expect, f"hash mismatch for {path}"
+
+    def test_metadata_fields(self):
+        text = backend._metadata_text()
+        assert "Name: repro" in text
+        assert "Requires-Dist: numpy>=1.24" in text
+        assert 'Requires-Dist: pytest; extra == "test"' in text
+
+    def test_requires_hooks_empty(self):
+        assert backend.get_requires_for_build_wheel() == []
+        assert backend.get_requires_for_build_editable() == []
+        assert backend.get_requires_for_build_sdist() == []
+
+
+class TestRegularWheel:
+    def test_contains_full_package(self, tmp_path):
+        name = backend.build_wheel(str(tmp_path))
+        with zipfile.ZipFile(tmp_path / name) as zf:
+            names = zf.namelist()
+            assert "repro/__init__.py" in names
+            assert "repro/hpbd/client.py" in names
+            assert not any("__pycache__" in n for n in names)
+
+    def test_prepare_metadata(self, tmp_path):
+        di_name = backend.prepare_metadata_for_build_wheel(str(tmp_path))
+        di = tmp_path / di_name
+        assert (di / "METADATA").exists()
+        assert (di / "WHEEL").exists()
+
+
+class TestSdist:
+    def test_builds_tarball(self, tmp_path):
+        import tarfile
+
+        name = backend.build_sdist(str(tmp_path))
+        with tarfile.open(tmp_path / name) as tar:
+            names = tar.getnames()
+            assert f"repro-{backend.VERSION}/PKG-INFO" in names
+            assert any("src/repro/__init__.py" in n for n in names)
+            assert not any("__pycache__" in n for n in names)

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "HPBD" in capsys.readouterr().out
+
+    def test_run_fig01(self, capsys):
+        assert main(["run", "fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "rdma_write" in out
+
+    def test_run_fig03(self, capsys):
+        assert main(["run", "fig03"]) == 0
+        assert "registration" in capsys.readouterr().out
+
+    def test_run_fig05_tiny_with_json(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        assert main(["run", "fig05", "--scale", "64", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "testswap" in out and "paper" in out
+        payload = json.loads(path.read_text())
+        assert payload["scale"] == 64
+        assert set(payload["results"]["fig05"]) == {
+            "local", "hpbd", "nbd-ipoib", "nbd-gige", "disk"
+        }
+
+    def test_run_fig06_tiny(self, capsys):
+        assert main(["run", "fig06", "--scale", "64"]) == 0
+        assert "cluster" in capsys.readouterr().out
+
+    def test_run_fig10_tiny(self, capsys):
+        assert main(["run", "fig10", "--scale", "64"]) == 0
+        assert "servers" in capsys.readouterr().out
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig05", "--scale", "0"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCSVExport:
+    def test_csv_flag_writes_files(self, capsys, tmp_path):
+        assert main(["run", "fig03", "--csv", str(tmp_path)]) == 0
+        text = (tmp_path / "fig03.csv").read_text()
+        assert text.startswith("sizes,")
+
+    def test_csv_flag_ignored_for_table1(self, capsys, tmp_path):
+        assert main(["run", "table1", "--csv", str(tmp_path)]) == 0
+        assert not (tmp_path / "table1.csv").exists()
+
+
+class TestReport:
+    def test_report_generates_markdown(self, capsys, tmp_path, monkeypatch):
+        # Patch the experiment registry to only cheap entries so the
+        # report test stays fast; the full registry is exercised by the
+        # benchmark suite.
+        import repro.cli as cli
+
+        small = {
+            "table1": cli.EXPERIMENTS["table1"],
+            "fig01": cli.EXPERIMENTS["fig01"],
+            "fig03": cli.EXPERIMENTS["fig03"],
+        }
+        monkeypatch.setattr(cli, "EXPERIMENTS", small)
+        out = tmp_path / "REPORT.md"
+        assert cli.main(["report", "--scale", "64", "-o", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("# HPBD reproduction report")
+        assert "## fig01" in text
+        assert "rdma_write" in text

@@ -1,0 +1,140 @@
+"""Unit tests for the disk model and driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk import DiskDevice, DiskModel, DiskParams, ST340014A
+from repro.kernel.blockdev import Bio, READ, WRITE
+from repro.simulator import Event
+from repro.units import KiB, MiB
+
+
+class TestDiskModel:
+    def test_sequential_stream_cheap(self):
+        m = DiskModel()
+        t1 = m.service_time(0, 256)
+        t2 = m.service_time(256, 256)  # contiguous: no seek
+        assert t2 < t1 or m.seeks == 0
+        assert m.sequential_hits >= 1
+
+    def test_far_seek_expensive(self):
+        m = DiskModel()
+        m.service_time(0, 256)
+        near = m.service_time(256, 256)
+        far = m.service_time(50_000_000, 256)
+        assert far > near + 1000.0
+        assert m.seeks == 1
+
+    def test_seek_cost_grows_with_distance(self):
+        p = ST340014A
+        m = DiskModel(p)
+        m.service_time(0, 8)
+        t_short = m.service_time(100_000, 8)
+        m2 = DiskModel(p)
+        m2.service_time(0, 8)
+        t_long = m2.service_time(10_000_000, 8)
+        assert t_long > t_short
+
+    def test_seek_capped_at_full_stroke(self):
+        p = ST340014A
+        m = DiskModel(p)
+        m.service_time(0, 8)
+        t = m.service_time(p.capacity_sectors - 8, 8)
+        ceiling = (
+            p.controller_overhead
+            + p.max_seek
+            + p.rot_miss_factor * p.rotation_usec
+            + (8 * 512) / p.bytes_per_usec
+        )
+        assert t <= ceiling + 1e-9
+
+    def test_transfer_scales_with_size(self):
+        m = DiskModel()
+        small = m.service_time(0, 8)
+        m2 = DiskModel()
+        large = m2.service_time(0, 256)
+        assert large > small
+
+    def test_head_position_tracked(self):
+        m = DiskModel()
+        m.service_time(100, 50)
+        assert m.head == 150
+
+    def test_bad_geometry_rejected(self):
+        m = DiskModel()
+        with pytest.raises(ValueError):
+            m.service_time(-1, 8)
+        with pytest.raises(ValueError):
+            m.service_time(0, 0)
+
+    def test_sequential_throughput_near_media_rate(self):
+        """A pure sequential stream must achieve ~media rate — the
+        regime that keeps testswap-on-disk only ~2.2x slower (Fig. 5)."""
+        p = ST340014A
+        m = DiskModel(p)
+        total_time = 0.0
+        nbytes = 0
+        for i in range(100):
+            total_time += m.service_time(i * 256, 256)
+            nbytes += 256 * 512
+        mb_s = nbytes / total_time
+        assert mb_s > 0.7 * p.bytes_per_usec
+
+    def test_alternating_regions_collapse(self):
+        """Interleaved access to two distant regions (quick sort's
+        read/write pattern) must collapse throughput several-fold."""
+        p = ST340014A
+        m = DiskModel(p)
+        t_seq = sum(m.service_time(i * 256, 256) for i in range(40))
+        m2 = DiskModel(p)
+        t_alt = 0.0
+        for i in range(20):
+            t_alt += m2.service_time(i * 256, 256)
+            t_alt += m2.service_time(10_000_000 + i * 256, 256)
+        assert t_alt > 3.0 * t_seq
+
+
+class TestDiskDevice:
+    def test_serves_requests(self, sim, fabric):
+        disk = DiskDevice(sim, swap_partition_bytes=64 * MiB)
+        done = Event(sim)
+
+        def proc(sim):
+            disk.queue.submit_bio(Bio(op=WRITE, sector=0, nsectors=8, done=done))
+            disk.queue.unplug()
+            yield done
+            return sim.now
+
+        t = sim.run(until=sim.spawn(proc(sim)))
+        assert t > 0
+        assert disk.requests_served == 1
+        assert disk.busy_usec > 0
+
+    def test_one_at_a_time(self, sim):
+        disk = DiskDevice(sim, swap_partition_bytes=64 * MiB)
+        events = [Event(sim) for _ in range(4)]
+
+        def proc(sim):
+            for i, done in enumerate(events):
+                disk.queue.submit_bio(
+                    Bio(op=WRITE, sector=i * 10_000, nsectors=256, done=done)
+                )
+            disk.queue.unplug()
+            for evt in events:
+                yield evt
+            return sim.now
+
+        t = sim.run(until=sim.spawn(proc(sim)))
+        # Four far-apart writes each pay seek+rotation: strictly serial.
+        assert t >= 4 * (ST340014A.controller_overhead)
+        assert disk.requests_served == 4
+
+    def test_partition_bounds_respected(self, sim):
+        disk = DiskDevice(sim, swap_partition_bytes=MiB)
+        from repro.simulator import SimulationError
+
+        with pytest.raises(SimulationError):
+            disk.queue.submit_bio(
+                Bio(op=WRITE, sector=(MiB // 512), nsectors=8, done=Event(sim))
+            )

@@ -1,0 +1,74 @@
+"""Tests for the per-figure experiment presets (tiny scales)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_FIG5,
+    PAPER_FIG7,
+    PAPER_FIG9,
+    fig01_latency,
+    fig03_registration,
+    fig05_testswap,
+    fig06_reqsize_run,
+    fig09_concurrent,
+    fig10_servers,
+)
+from repro.units import KiB
+
+
+class TestMicrobenchPresets:
+    def test_fig01_has_all_series(self):
+        d = fig01_latency()
+        assert set(d) == {"sizes", "memcpy", "rdma_write", "ipoib", "gige"}
+        assert d["sizes"][-1] == 128 * KiB
+        for key in ("memcpy", "rdma_write", "ipoib", "gige"):
+            assert len(d[key]) == len(d["sizes"])
+            assert np.all(np.diff(d[key]) > 0)  # monotone in size
+
+    def test_fig01_max_bytes_respected(self):
+        d = fig01_latency(max_bytes=16 * KiB)
+        assert d["sizes"][-1] <= 16 * KiB
+
+    def test_fig03_registration_dominates(self):
+        d = fig03_registration()
+        assert np.all(d["registration"] > d["memcpy"])
+        assert d["sizes"][0] == 4 * KiB
+
+
+class TestScenarioPresets:
+    """Smoke tests at 1/64 scale (each run well under a second)."""
+
+    def test_fig05_returns_all_devices(self):
+        results = fig05_testswap(scale=64)
+        labels = [r.label for r in results]
+        assert labels == ["local", "hpbd", "nbd-ipoib", "nbd-gige", "disk"]
+        assert set(PAPER_FIG5) == set(labels)
+
+    def test_fig06_run_has_trace(self):
+        r = fig06_reqsize_run(scale=64)
+        assert len(r.request_trace) > 0
+        assert r.mean_write_request > 64 * KiB
+
+    def test_fig09_structure(self):
+        cells = fig09_concurrent(scale=64, include_disk=False)
+        assert [c.memory for c in cells] == ["local", "50%", "25%"]
+        assert cells[0].slowdown == 1.0
+        assert cells[1].slowdown > 1.0
+        assert set(k[0] for k in PAPER_FIG9) == {"hpbd", "disk"}
+
+    def test_fig10_counts(self):
+        results = fig10_servers(scale=64, counts=(1, 2))
+        assert [n for n, _r in results] == [1, 2]
+        for _n, r in results:
+            assert r.swapout_pages > 0
+
+    def test_paper_constants_sane(self):
+        assert PAPER_FIG5["hpbd"] / PAPER_FIG5["local"] == pytest.approx(
+            1.45, abs=0.05
+        )
+        assert PAPER_FIG7["hpbd"] / PAPER_FIG7["local"] == pytest.approx(
+            1.47, abs=0.05
+        )

@@ -1,0 +1,82 @@
+"""Tests for CSV export helpers."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    clusters_to_csv,
+    results_to_csv,
+    series_to_csv,
+    trace_to_csv,
+    write_csv,
+)
+from repro.experiments import fig01_latency
+
+
+def parse(text: str) -> list[list[str]]:
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestSeriesCSV:
+    def test_fig01_roundtrip(self):
+        data = fig01_latency(max_bytes=16 * 1024)
+        rows = parse(series_to_csv(data))
+        assert rows[0][0] == "sizes"
+        assert "rdma_write" in rows[0]
+        assert len(rows) == len(data["sizes"]) + 1
+
+    def test_missing_x_rejected(self):
+        with pytest.raises(KeyError):
+            series_to_csv({"y": np.array([1.0])})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            series_to_csv(
+                {"sizes": np.array([1, 2]), "y": np.array([1.0])}
+            )
+
+
+class TestResultsCSV:
+    def test_scenario_rows(self):
+        from tests.test_results_and_multiswap import make_result
+
+        text = results_to_csv(
+            [make_result("local", 1e6), make_result("hpbd", 2e6)]
+        )
+        rows = parse(text)
+        assert rows[0][0] == "device"
+        assert rows[1][0] == "local"
+        assert rows[2][1] == "2.000000"
+
+
+class TestClusterAndTraceCSV:
+    def trace(self):
+        return [
+            (0.0, "write", 131072),
+            (100.0, "write", 131072),
+            (50_000.0, "write", 65536),
+            (60_000.0, "read", 32768),
+        ]
+
+    def test_clusters(self):
+        rows = parse(clusters_to_csv(self.trace()))
+        assert rows[0] == ["cluster", "start_usec", "count", "mean_bytes"]
+        assert len(rows) == 3  # two write clusters + header
+        assert rows[1][2] == "2"
+
+    def test_trace(self):
+        rows = parse(trace_to_csv(self.trace()))
+        assert len(rows) == 5
+        assert rows[4][1] == "read"
+
+    def test_write_csv_creates_dirs(self, tmp_path):
+        path = write_csv(
+            tmp_path / "deep" / "out.csv", ["a", "b"], [[1, 2], [3, 4]]
+        )
+        rows = parse(path.read_text())
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]

@@ -1,0 +1,205 @@
+"""Failure injection: protocol tampering, malformed extents, dead ends.
+
+The paper's §4.1: "Reliability is an important issue for swap device
+design.  Failure in page handling can adversely impact system stability
+and even crash the system." — these tests check that every corruption we
+can inject either surfaces as a validated error or is contained.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hpbd import (
+    HPBDClient,
+    HPBDServer,
+    OP_WRITE,
+    PageRequest,
+    ProtocolError,
+    STATUS_ERROR,
+)
+from repro.ib import RecvWR, SendWR
+from repro.kernel import Node
+from repro.kernel.blockdev import Bio, WRITE
+from repro.simulator import Event, SimulationError
+from repro.units import KiB, MiB
+
+
+@pytest.fixture
+def setup(sim, fabric):
+    node = Node(sim, fabric, "client", mem_bytes=16 * MiB)
+    srv = HPBDServer(sim, fabric, "mem0", store_bytes=32 * MiB, stats=node.stats)
+    client = HPBDClient(sim, node, [srv], total_bytes=32 * MiB)
+    sim.run(until=sim.spawn(client.connect()))
+    return node, srv, client
+
+
+class TestServerErrorReplies:
+    def test_out_of_bounds_request_gets_error_reply(self, sim, setup):
+        """A request beyond the RamDisk must produce a STATUS_ERROR
+        acknowledgement, not a crashed daemon.  Injected over a raw,
+        driver-independent connection so the reply is observable."""
+        node, srv, client = setup
+        from repro.ib import connect_endpoints
+
+        raw = {}
+
+        def wire(sim):
+            scq = client.hca.create_cq("raw.scq")
+            rcq = client.hca.create_cq("raw.rcq")
+            qp_c, qp_s = yield from connect_endpoints(
+                client.hca, client.pd, scq, rcq,
+                srv.hca, srv.pd, srv.send_cq, srv.recv_cq,
+            )
+            srv.register_client(qp_s)
+            raw["qp"], raw["rcq"] = qp_c, rcq
+
+        sim.run(until=sim.spawn(wire(sim)))
+        bad = PageRequest(
+            op=OP_WRITE,
+            offset=srv.ramdisk.size,  # out of bounds
+            nbytes=4 * KiB,
+            buf_addr=client.pool.base_addr,
+            buf_rkey=client.pool.rkey,
+        )
+        replies = []
+
+        def proc(sim):
+            raw["qp"].post_recv(RecvWR(capacity=64))
+            raw["qp"].post_send(SendWR(nbytes=64, payload=bad, signaled=False))
+            yield sim.timeout(5_000.0)
+            for cqe in raw["rcq"].poll():
+                replies.append(cqe.payload)
+
+        p = sim.spawn(proc(sim))
+        sim.run(until=p)
+        err = [r for r in replies if getattr(r, "status", None) == STATUS_ERROR]
+        assert err, "server did not acknowledge the bad request with an error"
+        assert srv.stats.get("mem0.errors").count == 1
+        # Daemon survives: a good request afterwards still works.
+        done = Event(sim)
+
+        def good(sim):
+            client.queue.submit_bio(
+                Bio(op=WRITE, sector=0, nsectors=8, done=done)
+            )
+            client.queue.unplug()
+            yield done
+
+        p = sim.spawn(good(sim))
+        sim.run(until=p)
+
+    def test_driver_surfaces_server_error(self, sim, fabric):
+        """If the driver itself receives an error reply, it must raise
+        loudly (a lost page would corrupt the paging system)."""
+        node = Node(sim, fabric, "c2", mem_bytes=16 * MiB)
+        srv = HPBDServer(sim, fabric, "m2", store_bytes=MiB, stats=node.stats)
+        # Device claims more space than the server store: requests to
+        # the tail will be out of bounds server-side.
+        client = HPBDClient(
+            sim, node, [srv], total_bytes=MiB,
+        )
+        sim.run(until=sim.spawn(client.connect()))
+        # Monkey-size the ramdisk down to force the error path through
+        # the real driver.
+        srv.ramdisk.size = 64 * KiB
+        done = Event(sim)
+
+        def proc(sim):
+            client.queue.submit_bio(
+                Bio(op=WRITE, sector=256, nsectors=8, done=done)
+            )
+            client.queue.unplug()
+            yield done
+
+        sim.spawn(proc(sim))
+        with pytest.raises(SimulationError, match="server error"):
+            sim.run()
+
+
+class TestTamperedMessages:
+    def test_tampered_request_detected_at_server(self, sim, setup):
+        _node, _srv, client = setup
+        qp_c = client._qps[0]
+        req = PageRequest(
+            op=OP_WRITE, offset=0, nbytes=4 * KiB,
+            buf_addr=client.pool.base_addr, buf_rkey=client.pool.rkey,
+        )
+        req.nbytes = 8 * KiB  # corrupt after signing
+
+        def proc(sim):
+            qp_c.post_send(SendWR(nbytes=64, payload=req, signaled=False))
+            yield sim.timeout(1_000.0)
+
+        sim.spawn(proc(sim))
+        with pytest.raises(ProtocolError):
+            sim.run()
+
+    def test_bad_rkey_caught_by_verbs_layer(self, sim, setup):
+        """A request advertising a bogus rkey dies at the RDMA bounds
+        check — the HCA protection the paper's design inherits."""
+        _node, srv, client = setup
+        qp_c = client._qps[0]
+        req = PageRequest(
+            op=OP_WRITE, offset=0, nbytes=4 * KiB,
+            buf_addr=client.pool.base_addr, buf_rkey=999_999,
+        )
+
+        def proc(sim):
+            qp_c.post_send(SendWR(nbytes=64, payload=req, signaled=False))
+            yield sim.timeout(5_000.0)
+
+        from repro.ib import RemoteKeyError
+
+        sim.spawn(proc(sim))
+        with pytest.raises(RemoteKeyError):
+            sim.run()
+
+
+class TestResourceExhaustionContainment:
+    def test_pool_smaller_than_request_flow_still_completes(self, sim, fabric):
+        """A pool of exactly one request's size forces total
+        serialization through the wait queue — slower, never stuck."""
+        node = Node(sim, fabric, "c3", mem_bytes=16 * MiB)
+        srv = HPBDServer(sim, fabric, "m3", store_bytes=32 * MiB, stats=node.stats)
+        client = HPBDClient(
+            sim, node, [srv], total_bytes=32 * MiB, pool_bytes=128 * KiB
+        )
+        sim.run(until=sim.spawn(client.connect()))
+        events = [Event(sim) for _ in range(8)]
+
+        def proc(sim):
+            for i, done in enumerate(events):
+                client.queue.submit_bio(
+                    Bio(op=WRITE, sector=i * 256, nsectors=256, done=done)
+                )
+            client.queue.unplug()
+            for evt in events:
+                yield evt
+
+        p = sim.spawn(proc(sim))
+        sim.run(until=p)
+        assert client.pool.stall_count > 0
+        assert client.pool.allocated_bytes == 0
+
+    def test_swap_exhaustion_raises(self, sim, fabric):
+        """Writing more unique pages than the swap device holds must be
+        reported (OutOfSwap), not silently wrapped."""
+        from repro.disk import DiskDevice
+        from repro.kernel import OutOfSwap
+
+        node = Node(sim, fabric, "c4", mem_bytes=8 * MiB)
+        disk = DiskDevice(sim, swap_partition_bytes=4 * MiB, stats=node.stats)
+        node.swapon(disk.queue, 4 * MiB)
+        aspace = node.vmm.create_address_space(
+            (32 * MiB) // (4 * KiB), "big"
+        )
+
+        def proc(sim):
+            for start in range(0, aspace.npages, 64):
+                stop = min(start + 64, aspace.npages)
+                yield from node.vmm.touch_run(aspace, start, stop, write=True)
+
+        sim.spawn(proc(sim))
+        with pytest.raises(OutOfSwap):
+            sim.run()

@@ -1,0 +1,237 @@
+"""Integration tests for the HPBD client driver + memory servers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hpbd import HPBDClient, HPBDServer
+from repro.kernel import Node
+from repro.kernel.blockdev import Bio, READ, WRITE
+from repro.simulator import Event
+from repro.units import KiB, MiB, SECTOR_SIZE
+
+
+@pytest.fixture
+def setup(sim, fabric):
+    node = Node(sim, fabric, "client", mem_bytes=16 * MiB)
+    servers = [
+        HPBDServer(sim, fabric, f"mem{i}", store_bytes=32 * MiB, stats=node.stats)
+        for i in range(2)
+    ]
+    client = HPBDClient(sim, node, servers, total_bytes=64 * MiB)
+    return node, servers, client
+
+
+def connect(sim, client):
+    def proc(sim):
+        yield from client.connect()
+
+    sim.run(until=sim.spawn(proc(sim)))
+
+
+def do_io(sim, client, op, sector, nsectors):
+    done = Event(sim)
+    bio = Bio(op=op, sector=sector, nsectors=nsectors, done=done)
+
+    def proc(sim):
+        client.queue.submit_bio(bio)
+        client.queue.unplug()
+        yield done
+        return sim.now
+
+    return sim.run(until=sim.spawn(proc(sim)))
+
+
+class TestLifecycle:
+    def test_connect_registers_pool_and_starts_servers(self, sim, setup):
+        _node, servers, client = setup
+        connect(sim, client)
+        assert client.pool is not None
+        assert client.pool.size == MiB  # paper default
+        assert all(s.started for s in servers)
+        assert all(s.pool is not None for s in servers)
+
+    def test_double_connect_rejected(self, sim, setup):
+        _node, _servers, client = setup
+        connect(sim, client)
+        with pytest.raises(Exception):
+            sim.run(until=sim.spawn(client.connect()))
+
+    def test_needs_a_server(self, sim, fabric):
+        node = Node(sim, fabric, "c", mem_bytes=16 * MiB)
+        with pytest.raises(ValueError):
+            HPBDClient(sim, node, [], total_bytes=MiB)
+
+    def test_undersized_server_store_rejected(self, sim, fabric):
+        node = Node(sim, fabric, "c", mem_bytes=16 * MiB)
+        srv = HPBDServer(sim, fabric, "m", store_bytes=MiB, stats=node.stats)
+        with pytest.raises(ValueError):
+            HPBDClient(sim, node, [srv], total_bytes=64 * MiB)
+
+
+class TestDataPath:
+    def test_write_read_roundtrip_integrity(self, sim, setup):
+        _node, servers, client = setup
+        connect(sim, client)
+        do_io(sim, client, WRITE, sector=0, nsectors=8)
+        stored = servers[0].ramdisk.pages_stored
+        assert stored == 1
+        do_io(sim, client, READ, sector=0, nsectors=8)
+        assert servers[0].ramdisk.bytes_read == 4 * KiB
+
+    def test_write_lands_on_correct_server(self, sim, setup):
+        # Blocking distribution: second half of the device -> server 1.
+        _node, servers, client = setup
+        connect(sim, client)
+        half = (32 * MiB) // SECTOR_SIZE
+        do_io(sim, client, WRITE, sector=half, nsectors=8)
+        assert servers[1].ramdisk.pages_stored == 1
+        assert servers[0].ramdisk.pages_stored == 0
+
+    def test_straddling_request_splits_across_servers(self, sim, setup):
+        _node, servers, client = setup
+        connect(sim, client)
+        half = (32 * MiB) // SECTOR_SIZE
+        # 64 KiB request centred on the chunk boundary
+        do_io(sim, client, WRITE, sector=half - 64, nsectors=128)
+        assert servers[0].ramdisk.pages_stored == 8
+        assert servers[1].ramdisk.pages_stored == 8
+        assert client.stats.get("hpbd0.split_requests").count == 1
+
+    def test_large_write_uses_rdma_read(self, sim, setup):
+        # Fig. 4: swap-out -> server pulls with RDMA READ.
+        _node, servers, client = setup
+        connect(sim, client)
+        do_io(sim, client, WRITE, sector=0, nsectors=256)  # 128 KiB
+        server_qp = list(servers[0]._qp_by_num.values())[0]
+        assert server_qp.rdma_reads == 1
+        assert server_qp.rdma_writes == 0
+
+    def test_read_uses_rdma_write(self, sim, setup):
+        # Fig. 4: swap-in -> server pushes with RDMA WRITE.
+        _node, servers, client = setup
+        connect(sim, client)
+        do_io(sim, client, WRITE, sector=0, nsectors=64)
+        server_qp = list(servers[0]._qp_by_num.values())[0]
+        before = server_qp.rdma_writes
+        do_io(sim, client, READ, sector=0, nsectors=64)
+        assert server_qp.rdma_writes == before + 1
+
+    def test_read_of_never_written_extent_succeeds(self, sim, setup):
+        # Swap read-ahead may pull never-used slots: must not error.
+        _node, _servers, client = setup
+        connect(sim, client)
+        t = do_io(sim, client, READ, sector=4096, nsectors=8)
+        assert t > 0
+
+    def test_pool_drains_to_zero_after_io(self, sim, setup):
+        _node, servers, client = setup
+        connect(sim, client)
+        for i in range(8):
+            do_io(sim, client, WRITE, sector=i * 256, nsectors=256)
+        assert client.pool.allocated_bytes == 0
+        client.pool.check_invariants()
+        for srv in servers:
+            assert srv.pool.allocated_bytes == 0
+
+    def test_outstanding_drains(self, sim, setup):
+        _node, _servers, client = setup
+        connect(sim, client)
+        do_io(sim, client, WRITE, sector=0, nsectors=8)
+        assert client.outstanding == 0
+
+
+class TestConcurrencyAndFlowControl:
+    def test_many_concurrent_bios(self, sim, setup):
+        _node, servers, client = setup
+        connect(sim, client)
+        done_events = []
+
+        def proc(sim):
+            for i in range(64):
+                done = Event(sim)
+                done_events.append(done)
+                client.queue.submit_bio(
+                    Bio(op=WRITE, sector=i * 8, nsectors=8, done=done)
+                )
+            client.queue.unplug()
+            for evt in done_events:
+                yield evt
+            return sim.now
+
+        sim.run(until=sim.spawn(proc(sim)))
+        assert sum(s.requests_served for s in servers) >= 1
+        assert client.pool.allocated_bytes == 0
+
+    def test_credit_watermark_respected(self, sim, setup):
+        """Outstanding physical requests per server never exceed the
+        credit water-mark (checked by sampling during a flood)."""
+        node, _servers, client = setup
+        connect(sim, client)
+        violations = []
+
+        def sampler(sim):
+            for _ in range(200):
+                yield sim.timeout(20.0)
+                if client.outstanding > 2 * client.credits_per_server:
+                    violations.append(client.outstanding)
+
+        def flood(sim):
+            evts = []
+            for i in range(256):
+                done = Event(sim)
+                evts.append(done)
+                client.queue.submit_bio(
+                    Bio(op=WRITE, sector=i * 8, nsectors=8, done=done)
+                )
+            client.queue.unplug()
+            for evt in evts:
+                yield evt
+
+        sim.spawn(sampler(sim))
+        p = sim.spawn(flood(sim))
+        sim.run(until=p)
+        assert not violations
+
+    def test_server_sleeps_when_idle(self, sim, setup):
+        _node, servers, client = setup
+        connect(sim, client)
+        do_io(sim, client, WRITE, sector=0, nsectors=8)
+
+        def idle(sim):
+            yield sim.timeout(5000.0)  # well past the 200 µs idle window
+            return servers[0].sleeps
+
+        sleeps = sim.run(until=sim.spawn(idle(sim)))
+        assert sleeps >= 1
+
+    def test_sleeping_server_woken_by_request(self, sim, setup):
+        _node, _servers, client = setup
+        connect(sim, client)
+        do_io(sim, client, WRITE, sector=0, nsectors=8)
+
+        def later(sim):
+            yield sim.timeout(10_000.0)
+            return do_io  # noop
+
+        sim.run(until=sim.spawn(later(sim)))
+        t = do_io(sim, client, WRITE, sector=256, nsectors=8)
+        assert t > 10_000.0  # served after the sleep
+
+
+class TestTiming:
+    def test_write_latency_reasonable(self, sim, setup):
+        """A 128 KiB swap-out should take a few hundred µs (two pool
+        memcpys + RDMA read of 128 KiB + control messages)."""
+        _node, _servers, client = setup
+        connect(sim, client)
+        t0 = sim.now
+        t1 = do_io(sim, client, WRITE, sector=0, nsectors=256)
+        latency = t1 - t0
+        assert 150.0 < latency < 2_000.0
+
+    def test_copy_time_accounted(self, sim, setup):
+        _node, _servers, client = setup
+        connect(sim, client)
+        do_io(sim, client, WRITE, sector=0, nsectors=256)
+        assert client.copy_usec > 0

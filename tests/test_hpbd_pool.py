@@ -1,0 +1,226 @@
+"""Unit tests for the registration buffer pool (§4.2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hpbd import PoolError, RegisteredPool
+from repro.units import KiB, MiB
+
+
+@pytest.fixture
+def pool(sim):
+    return RegisteredPool(sim, size=MiB, base_addr=0x10000, rkey=7)
+
+
+class TestFirstFit:
+    def test_default_pool_is_1mib(self, sim):
+        # §4.2.2: "initialized at device load time with a default pool
+        # size of 1MB"
+        assert RegisteredPool(sim).size == MiB
+
+    def test_first_fit_takes_lowest_offset(self, sim, pool):
+        a = pool.try_alloc(128 * KiB)
+        assert a.offset == 0
+        b = pool.try_alloc(4 * KiB)
+        assert b.offset == 128 * KiB
+
+    def test_first_fit_skips_small_holes(self, sim, pool):
+        a = pool.try_alloc(4 * KiB)
+        b = pool.try_alloc(128 * KiB)
+        c = pool.try_alloc(4 * KiB)
+        pool.free(a)  # 4K hole at 0
+        d = pool.try_alloc(8 * KiB)  # does not fit the hole
+        assert d.offset == c.end
+        e = pool.try_alloc(4 * KiB)  # fits the hole exactly
+        assert e.offset == 0
+
+    def test_exhaustion_returns_none(self, sim, pool):
+        assert pool.try_alloc(MiB) is not None
+        assert pool.try_alloc(1) is None
+
+    def test_oversized_rejected(self, sim, pool):
+        with pytest.raises(PoolError):
+            pool.try_alloc(MiB + 1)
+
+    def test_zero_size_rejected(self, sim, pool):
+        with pytest.raises(PoolError):
+            pool.try_alloc(0)
+
+    def test_buffer_addr(self, sim, pool):
+        buf = pool.try_alloc(4 * KiB)
+        assert pool.buffer_addr(buf) == 0x10000 + buf.offset
+
+
+class TestMergeOnFree:
+    def test_merge_with_previous(self, sim, pool):
+        a = pool.try_alloc(4 * KiB)
+        b = pool.try_alloc(4 * KiB)
+        pool.try_alloc(4 * KiB)
+        pool.free(a)
+        pool.free(b)
+        assert pool.fragments == 2  # [0,8K) + tail
+        pool.check_invariants()
+
+    def test_merge_with_next(self, sim, pool):
+        a = pool.try_alloc(4 * KiB)
+        b = pool.try_alloc(4 * KiB)
+        c = pool.try_alloc(4 * KiB)
+        pool.free(b)
+        assert pool.fragments == 2  # b-hole + tail
+        pool.free(c)  # merges with both the b-hole and the tail
+        assert pool.fragments == 1
+        pool.free(a)
+        assert pool.fragments == 1
+        assert pool.largest_free == MiB
+
+    def test_merge_both_sides(self, sim, pool):
+        a = pool.try_alloc(4 * KiB)
+        b = pool.try_alloc(4 * KiB)
+        c = pool.try_alloc(4 * KiB)
+        pool.try_alloc(4 * KiB)  # d pins the tail
+        pool.free(a)
+        pool.free(c)
+        assert pool.fragments == 3
+        pool.free(b)  # bridges a-hole and c-hole
+        assert pool.fragments == 2
+        pool.check_invariants()
+
+    def test_full_cycle_restores_whole_pool(self, sim, pool):
+        bufs = [pool.try_alloc(64 * KiB) for _ in range(16)]
+        for buf in bufs[::2] + bufs[1::2]:  # interleaved frees
+            pool.free(buf)
+        assert pool.fragments == 1
+        assert pool.free_bytes == MiB
+
+    def test_double_free_detected(self, sim, pool):
+        a = pool.try_alloc(4 * KiB)
+        pool.free(a)
+        with pytest.raises(PoolError):
+            pool.free(a)
+
+    def test_foreign_buffer_detected(self, sim, pool):
+        from repro.hpbd import PoolBuffer
+
+        with pytest.raises(PoolError):
+            pool.free(PoolBuffer(offset=12345, nbytes=10))
+
+    def test_size_mismatch_detected(self, sim, pool):
+        from repro.hpbd import PoolBuffer
+
+        a = pool.try_alloc(4 * KiB)
+        with pytest.raises(PoolError):
+            pool.free(PoolBuffer(offset=a.offset, nbytes=8 * KiB))
+
+
+class TestWaitQueue:
+    def test_blocked_alloc_served_on_free(self, sim, pool):
+        order = []
+
+        def hog(sim):
+            buf = yield from pool.alloc(MiB)
+            yield sim.timeout(10)
+            order.append("hog-free")
+            pool.free(buf)
+
+        def waiter(sim):
+            buf = yield from pool.alloc(128 * KiB)
+            order.append(f"waiter@{sim.now}")
+            pool.free(buf)
+
+        sim.spawn(hog(sim))
+        p = sim.spawn(waiter(sim))
+        sim.run(until=p)
+        assert order == ["hog-free", "waiter@10.0"]
+        assert pool.stall_count == 1
+
+    def test_fifo_wakeups(self, sim, pool):
+        got = []
+
+        def hog(sim):
+            buf = yield from pool.alloc(MiB)
+            yield sim.timeout(10)
+            pool.free(buf)
+
+        def waiter(sim, name, size):
+            buf = yield from pool.alloc(size)
+            got.append(name)
+            yield sim.timeout(1)
+            pool.free(buf)
+
+        sim.spawn(hog(sim))
+        procs = [
+            sim.spawn(waiter(sim, "first", 512 * KiB)),
+            sim.spawn(waiter(sim, "second", 512 * KiB)),
+            sim.spawn(waiter(sim, "third", 512 * KiB)),
+        ]
+        sim.run_all(procs)
+        assert got == ["first", "second", "third"]
+
+    def test_head_of_line_blocking_is_fifo(self, sim, pool):
+        """A large queued request blocks later small ones (no barging) —
+        the simple fairness the paper's wait queue gives."""
+        got = []
+
+        def hog(sim):
+            buf = yield from pool.alloc(MiB)
+            yield sim.timeout(10)
+            pool.free(buf)  # frees everything at once
+
+        def big(sim):
+            buf = yield from pool.alloc(MiB)
+            got.append("big")
+            pool.free(buf)
+
+        def small(sim):
+            buf = yield from pool.alloc(4 * KiB)
+            got.append("small")
+            pool.free(buf)
+
+        sim.spawn(hog(sim))
+
+        def stagger(sim):
+            yield sim.timeout(1)
+            sim.spawn(big(sim))
+            yield sim.timeout(1)
+            sim.spawn(small(sim))
+
+        sim.spawn(stagger(sim))
+        sim.run()
+        assert got == ["big", "small"]
+
+    def test_stall_time_recorded(self, sim, pool):
+        def hog(sim):
+            buf = yield from pool.alloc(MiB)
+            yield sim.timeout(25)
+            pool.free(buf)
+
+        def waiter(sim):
+            buf = yield from pool.alloc(4 * KiB)
+            pool.free(buf)
+
+        sim.spawn(hog(sim))
+        p = sim.spawn(waiter(sim))
+        sim.run(until=p)
+        stall = pool.stats.get("pool.alloc_stall_usec")
+        assert stall.max == pytest.approx(25.0)
+
+
+class TestInvariants:
+    def test_ledger_balances_through_random_workload(self, sim, pool):
+        import random
+
+        rng = random.Random(7)
+        live = []
+        for _ in range(500):
+            if live and (rng.random() < 0.45 or pool.free_bytes < 64 * KiB):
+                pool.free(live.pop(rng.randrange(len(live))))
+            else:
+                buf = pool.try_alloc(rng.choice([4, 8, 32, 64, 128]) * KiB)
+                if buf is not None:
+                    live.append(buf)
+            pool.check_invariants()
+        for buf in live:
+            pool.free(buf)
+        assert pool.free_bytes == MiB
+        assert pool.fragments == 1

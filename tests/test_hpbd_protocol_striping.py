@@ -1,0 +1,167 @@
+"""Unit tests for HPBD protocol messages, striping and the RamDisk."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hpbd import (
+    BlockingDistribution,
+    CTRL_MSG_BYTES,
+    OP_READ,
+    OP_WRITE,
+    PageReply,
+    PageRequest,
+    ProtocolError,
+    RamDisk,
+    RamDiskError,
+    STATUS_ERROR,
+)
+from repro.units import KiB, MiB, PAGE_SIZE
+
+
+class TestProtocol:
+    def test_request_signed_and_validates(self):
+        req = PageRequest(op=OP_WRITE, offset=0, nbytes=4096, buf_addr=100, buf_rkey=1)
+        req.validate()
+
+    def test_tampered_request_detected(self):
+        req = PageRequest(op=OP_WRITE, offset=0, nbytes=4096, buf_addr=100, buf_rkey=1)
+        req.offset = 4096
+        with pytest.raises(ProtocolError):
+            req.validate()
+
+    def test_reply_signed_and_validates(self):
+        rep = PageReply(req_id=42)
+        rep.validate()
+        assert rep.ok
+
+    def test_tampered_reply_detected(self):
+        rep = PageReply(req_id=42)
+        rep.status = STATUS_ERROR
+        with pytest.raises(ProtocolError):
+            rep.validate()
+
+    def test_bad_opcode_rejected(self):
+        with pytest.raises(ProtocolError):
+            PageRequest(op="erase", offset=0, nbytes=1, buf_addr=0, buf_rkey=0)
+
+    def test_bad_extent_rejected(self):
+        with pytest.raises(ProtocolError):
+            PageRequest(op=OP_READ, offset=-1, nbytes=1, buf_addr=0, buf_rkey=0)
+        with pytest.raises(ProtocolError):
+            PageRequest(op=OP_READ, offset=0, nbytes=0, buf_addr=0, buf_rkey=0)
+
+    def test_req_ids_unique(self):
+        a = PageRequest(op=OP_READ, offset=0, nbytes=1, buf_addr=0, buf_rkey=0)
+        b = PageRequest(op=OP_READ, offset=0, nbytes=1, buf_addr=0, buf_rkey=0)
+        assert a.req_id != b.req_id
+
+    def test_control_message_small(self):
+        # Control messages must stay tiny relative to a page.
+        assert CTRL_MSG_BYTES < PAGE_SIZE // 8
+
+
+class TestBlockingDistribution:
+    def test_single_server_identity(self):
+        d = BlockingDistribution(MiB, 1)
+        segs = d.split(1000, 5000)
+        assert len(segs) == 1
+        assert segs[0].server == 0
+        assert segs[0].server_offset == 1000
+        assert segs[0].nbytes == 5000
+
+    def test_chunks_are_contiguous_blocks(self):
+        # §4.2.5: blocking pattern, NOT striping — consecutive offsets
+        # inside one chunk map to the same server.
+        d = BlockingDistribution(4 * MiB, 4)
+        assert d.locate(0) == (0, 0)
+        assert d.locate(MiB - 1) == (0, MiB - 1)
+        assert d.locate(MiB) == (1, 0)
+        assert d.locate(4 * MiB - 1) == (3, MiB - 1)
+
+    def test_straddling_request_splits(self):
+        d = BlockingDistribution(4 * MiB, 4)
+        segs = d.split(MiB - 64 * KiB, 128 * KiB)
+        assert len(segs) == 2
+        assert segs[0].server == 0 and segs[0].nbytes == 64 * KiB
+        assert segs[1].server == 1 and segs[1].server_offset == 0
+
+    def test_split_covers_extent_exactly(self):
+        d = BlockingDistribution(16 * MiB, 16)
+        segs = d.split(3 * MiB - 1, 2 * MiB + 2)
+        assert sum(s.nbytes for s in segs) == 2 * MiB + 2
+        # server order must be ascending and contiguous
+        servers = [s.server for s in segs]
+        assert servers == sorted(servers)
+
+    def test_interior_request_never_splits(self):
+        # A 128 KiB request entirely inside a chunk stays whole — the
+        # common case that motivates the non-striped layout.
+        d = BlockingDistribution(GiB := 1 << 30, 8)
+        segs = d.split(10 * MiB, 128 * KiB)
+        assert len(segs) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockingDistribution(MiB, 0)
+        with pytest.raises(ValueError):
+            BlockingDistribution(MiB + 1, 2)  # not divisible
+        d = BlockingDistribution(MiB, 2)
+        with pytest.raises(ValueError):
+            d.split(MiB, 1)
+        with pytest.raises(ValueError):
+            d.split(0, 0)
+        with pytest.raises(ValueError):
+            d.locate(MiB)
+
+
+class TestRamDisk:
+    def test_roundtrip_tokens(self):
+        rd = RamDisk(MiB)
+        rd.write(0, 8 * KiB, token="X")
+        tokens, cost = rd.read(0, 8 * KiB)
+        assert tokens == (("X", 0), ("X", 1))
+        assert cost > 0
+
+    def test_partial_overwrite_of_stale_extent(self):
+        # Freed-and-reused swap slots produce partially overlapping
+        # writes; later reads see the newest data per page.
+        rd = RamDisk(MiB)
+        rd.write(0, 16 * KiB, token="old")
+        rd.write(0, 8 * KiB, token="new")
+        tokens, _ = rd.read(0, 16 * KiB)
+        assert tokens[0][0] == "new" and tokens[1][0] == "new"
+        assert tokens[2][0] == "old" and tokens[3][0] == "old"
+
+    def test_never_written_reads_none(self):
+        rd = RamDisk(MiB)
+        tokens, _ = rd.read(64 * KiB, 4 * KiB)
+        assert tokens == (None,)
+
+    def test_bounds(self):
+        rd = RamDisk(64 * KiB)
+        with pytest.raises(RamDiskError):
+            rd.write(60 * KiB, 8 * KiB)
+        with pytest.raises(RamDiskError):
+            rd.read(-4096, 4096)
+
+    def test_alignment_enforced(self):
+        rd = RamDisk(MiB)
+        with pytest.raises(RamDiskError):
+            rd.write(100, 4096)
+        with pytest.raises(RamDiskError):
+            rd.read(0, 100)
+
+    def test_cost_scales_with_size(self):
+        rd = RamDisk(MiB)
+        small = rd.write(0, 4 * KiB)
+        large = rd.write(0, 128 * KiB)
+        assert large > small * 5
+
+    def test_accounting(self):
+        rd = RamDisk(MiB)
+        rd.write(0, 4 * KiB)
+        rd.read(0, 4 * KiB)
+        assert rd.bytes_written == 4 * KiB
+        assert rd.bytes_read == 4 * KiB
+        assert rd.pages_stored == 1

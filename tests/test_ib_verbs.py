@@ -1,0 +1,379 @@
+"""Unit tests for the InfiniBand verbs layer: MRs, CQs, QPs, CM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ib import (
+    AccessFlags,
+    CQE,
+    CompletionQueue,
+    ConnectionError_,
+    HCA,
+    Opcode,
+    ProtectionDomain,
+    QPError,
+    RDMAReadWR,
+    RDMAWriteWR,
+    ReceiverNotReady,
+    RecvWR,
+    RemoteKeyError,
+    SendWR,
+    connect,
+    connect_endpoints,
+)
+from repro.net import IB_DEFAULT
+from repro.units import KiB
+
+
+@pytest.fixture
+def pair(sim, fabric):
+    """Two connected HCAs with a QP pair and per-side CQs."""
+    h1 = HCA(sim, fabric, "c")
+    h2 = HCA(sim, fabric, "s")
+    pd1, pd2 = h1.alloc_pd(), h2.alloc_pd()
+    cqs = {
+        "c_send": h1.create_cq("c.s"),
+        "c_recv": h1.create_cq("c.r"),
+        "s_send": h2.create_cq("s.s"),
+        "s_recv": h2.create_cq("s.r"),
+    }
+    qp1 = h1.create_qp(pd1, cqs["c_send"], cqs["c_recv"])
+    qp2 = h2.create_qp(pd2, cqs["s_send"], cqs["s_recv"])
+    connect(qp1, qp2)
+    return h1, h2, pd1, pd2, qp1, qp2, cqs
+
+
+class TestMemoryRegions:
+    def test_registration_charges_time(self, sim, fabric, runner):
+        h = HCA(sim, fabric, "n")
+        pd = h.alloc_pd()
+
+        def proc(sim):
+            mr = yield from h.register_mr(pd, 64 * KiB)
+            return (mr, sim.now)
+
+        mr, t = runner(proc(sim))
+        assert t > 0
+        assert mr.length == 64 * KiB
+        assert pd.registered_bytes == 64 * KiB
+
+    def test_rkey_resolution(self):
+        pd = ProtectionDomain("n")
+        mr = pd.register(0x1000, 4096)
+        assert pd.resolve_rkey(mr.rkey) is mr
+        with pytest.raises(RemoteKeyError):
+            pd.resolve_rkey(999999)
+
+    def test_bounds_checking(self):
+        pd = ProtectionDomain("n")
+        mr = pd.register(0x1000, 4096)
+        mr.check_remote(0x1000, 4096, write=True)
+        with pytest.raises(RemoteKeyError):
+            mr.check_remote(0x1000, 4097, write=True)
+        with pytest.raises(RemoteKeyError):
+            mr.check_remote(0x0FFF, 10, write=False)
+
+    def test_access_flags_enforced(self):
+        pd = ProtectionDomain("n")
+        mr = pd.register(0, 4096, access=AccessFlags.REMOTE_READ)
+        mr.check_remote(0, 4096, write=False)
+        with pytest.raises(RemoteKeyError):
+            mr.check_remote(0, 4096, write=True)
+
+    def test_deregistered_region_unusable(self):
+        pd = ProtectionDomain("n")
+        mr = pd.register(0, 4096)
+        pd.deregister(mr)
+        with pytest.raises(RemoteKeyError):
+            mr.check_remote(0, 4096, write=False)
+        with pytest.raises(RemoteKeyError):
+            pd.resolve_rkey(mr.rkey)
+
+    def test_double_deregister_rejected(self):
+        pd = ProtectionDomain("n")
+        mr = pd.register(0, 4096)
+        pd.deregister(mr)
+        with pytest.raises(RemoteKeyError):
+            pd.deregister(mr)
+
+    def test_va_allocator_non_overlapping(self):
+        pd = ProtectionDomain("n")
+        a = pd.allocate_va(10_000)
+        b = pd.allocate_va(10_000)
+        assert b >= a + 10_000
+
+    def test_zero_length_rejected(self):
+        pd = ProtectionDomain("n")
+        with pytest.raises(ValueError):
+            pd.register(0, 0)
+
+
+class TestCompletionQueue:
+    def make_cqe(self, solicited=False):
+        return CQE(opcode=Opcode.RECV, wr_id=1, qp_num=1, solicited=solicited)
+
+    def test_poll_order(self, sim):
+        cq = CompletionQueue(sim, "cq")
+        for i in range(3):
+            cqe = self.make_cqe()
+            cqe.wr_id = i
+            cq.push(cqe)
+        assert [c.wr_id for c in cq.poll()] == [0, 1, 2]
+        assert len(cq) == 0
+
+    def test_poll_max_entries(self, sim):
+        cq = CompletionQueue(sim, "cq")
+        for _ in range(5):
+            cq.push(self.make_cqe())
+        assert len(cq.poll(max_entries=2)) == 2
+        assert len(cq) == 3
+
+    def test_unarmed_push_no_event(self, sim):
+        cq = CompletionQueue(sim, "cq")
+        cq.push(self.make_cqe(solicited=True))
+        assert cq.events_fired == 0
+
+    def test_armed_any_completion_fires(self, sim):
+        cq = CompletionQueue(sim, "cq")
+        cq.request_notify()  # NEXT_COMP
+        cq.push(self.make_cqe(solicited=False))
+        assert cq.events_fired == 1
+
+    def test_armed_solicited_only_ignores_unsolicited(self, sim):
+        cq = CompletionQueue(sim, "cq")
+        cq.request_notify(solicited_only=True)
+        cq.push(self.make_cqe(solicited=False))
+        assert cq.events_fired == 0
+        cq.push(self.make_cqe(solicited=True))
+        assert cq.events_fired == 1
+
+    def test_one_event_per_arm(self, sim):
+        cq = CompletionQueue(sim, "cq")
+        cq.request_notify()
+        cq.push(self.make_cqe())
+        cq.push(self.make_cqe())
+        assert cq.events_fired == 1
+
+    def test_event_wakes_sleeper_with_cost(self, sim):
+        cq = CompletionQueue(sim, "cq", event_notify_cost=6.0)
+
+        def sleeper(sim):
+            cq.request_notify()
+            yield cq.wait_event()
+            return sim.now
+
+        def producer(sim):
+            yield sim.timeout(10)
+            cq.push(CQE(opcode=Opcode.RECV, wr_id=1, qp_num=1, solicited=True))
+
+        p = sim.spawn(sleeper(sim))
+        sim.spawn(producer(sim))
+        assert sim.run(until=p) == pytest.approx(16.0)
+
+    def test_latched_event_not_lost(self, sim):
+        # Event arrives while consumer is busy; its next wait returns
+        # immediately (the race-free arm/drain/sleep pattern).
+        cq = CompletionQueue(sim, "cq", event_notify_cost=0.0)
+        cq.request_notify()
+        cq.push(self.make_cqe(solicited=True))
+
+        def consumer(sim):
+            yield sim.timeout(100)  # busy past the event
+            yield cq.wait_event()  # latched token: immediate
+            return sim.now
+
+        p = sim.spawn(consumer(sim))
+        assert sim.run(until=p) == 100.0
+
+
+class TestQueuePairs:
+    def test_send_recv_roundtrip(self, sim, pair, runner):
+        _h1, _h2, _pd1, _pd2, qp1, qp2, cqs = pair
+
+        def proc(sim):
+            qp2.post_recv(RecvWR(capacity=256))
+            yield qp1.post_send(SendWR(nbytes=64, payload="hello"))
+            cqe = cqs["s_recv"].poll_one()
+            return cqe
+
+        cqe = runner(proc(sim))
+        assert cqe.payload == "hello"
+        assert cqe.opcode == Opcode.RECV
+        assert cqe.byte_len == 64
+
+    def test_send_without_recv_is_rnr(self, sim, pair):
+        _h1, _h2, _pd1, _pd2, qp1, _qp2, _cqs = pair
+
+        def proc(sim):
+            yield qp1.post_send(SendWR(nbytes=64))
+
+        sim.spawn(proc(sim))
+        with pytest.raises(ReceiverNotReady):
+            sim.run()
+
+    def test_recv_buffer_too_small(self, sim, pair):
+        _h1, _h2, _pd1, _pd2, qp1, qp2, _cqs = pair
+        qp2.post_recv(RecvWR(capacity=16))
+
+        def proc(sim):
+            yield qp1.post_send(SendWR(nbytes=64))
+
+        sim.spawn(proc(sim))
+        with pytest.raises(QPError, match="too small"):
+            sim.run()
+
+    def test_rdma_write_validates_rkey(self, sim, pair, runner):
+        h1, _h2, pd1, _pd2, _qp1, qp2, _cqs = pair
+
+        def proc(sim):
+            mr = yield from h1.register_mr(pd1, 64 * KiB)
+            yield qp2.post_send(
+                RDMAWriteWR(nbytes=4096, remote_addr=mr.addr, rkey=mr.rkey)
+            )
+            return sim.now
+
+        assert runner(proc(sim)) > 0
+
+    def test_rdma_write_bad_rkey_fails(self, sim, pair):
+        _h1, _h2, _pd1, _pd2, _qp1, qp2, _cqs = pair
+
+        def proc(sim):
+            yield qp2.post_send(
+                RDMAWriteWR(nbytes=4096, remote_addr=0, rkey=424242)
+            )
+
+        sim.spawn(proc(sim))
+        with pytest.raises(RemoteKeyError):
+            sim.run()
+
+    def test_rdma_read_out_of_bounds_fails(self, sim, pair):
+        h1, _h2, pd1, _pd2, _qp1, qp2, _cqs = pair
+
+        def proc(sim):
+            mr = yield from h1.register_mr(pd1, 4096)
+            yield qp2.post_send(
+                RDMAReadWR(nbytes=8192, remote_addr=mr.addr, rkey=mr.rkey)
+            )
+
+        sim.spawn(proc(sim))
+        with pytest.raises(RemoteKeyError):
+            sim.run()
+
+    def test_per_qp_ordering(self, sim, pair):
+        # An RDMA write posted before a send must land before the send's
+        # CQE appears at the peer — the ordering HPBD's reply relies on.
+        h1, _h2, pd1, _pd2, qp1, qp2, cqs = pair
+        landed = []
+
+        def proc(sim):
+            mr = yield from h1.register_mr(pd1, 64 * KiB)
+            qp1.post_recv(RecvWR(capacity=256))
+            h1.memory_sink = lambda addr, n, payload: landed.append(payload)
+            done_rdma = qp2.post_send(
+                RDMAWriteWR(
+                    nbytes=32 * KiB,
+                    remote_addr=mr.addr,
+                    rkey=mr.rkey,
+                    payload="DATA",
+                )
+            )
+            done_send = qp2.post_send(SendWR(nbytes=64, payload="reply"))
+            yield done_send
+            assert done_rdma.triggered  # ordered: RDMA finished first
+            cqe = cqs["c_recv"].poll_one()
+            return (landed, cqe.payload)
+
+        p = sim.spawn(proc(sim))
+        assert sim.run(until=p) == (["DATA"], "reply")
+
+    def test_signaled_send_generates_cqe(self, sim, pair, runner):
+        _h1, _h2, _pd1, _pd2, qp1, qp2, cqs = pair
+
+        def proc(sim):
+            qp2.post_recv(RecvWR(capacity=256))
+            yield qp1.post_send(SendWR(nbytes=64, signaled=True))
+            return len(cqs["c_send"])
+
+        assert runner(proc(sim)) == 1
+
+    def test_unsignaled_send_no_cqe(self, sim, pair, runner):
+        _h1, _h2, _pd1, _pd2, qp1, qp2, cqs = pair
+
+        def proc(sim):
+            qp2.post_recv(RecvWR(capacity=256))
+            yield qp1.post_send(SendWR(nbytes=64, signaled=False))
+            return len(cqs["c_send"])
+
+        assert runner(proc(sim)) == 0
+
+    def test_post_send_unconnected_rejected(self, sim, fabric):
+        h = HCA(sim, fabric, "x")
+        pd = h.alloc_pd()
+        qp = h.create_qp(pd, h.create_cq(), h.create_cq())
+        with pytest.raises(QPError, match="not connected"):
+            qp.post_send(SendWR(nbytes=1))
+
+    def test_recv_queue_overflow(self, sim, fabric):
+        h = HCA(sim, fabric, "x")
+        pd = h.alloc_pd()
+        qp = h.create_qp(pd, h.create_cq(), h.create_cq(), max_recv_wr=2)
+        qp.post_recv(RecvWR(capacity=64))
+        qp.post_recv(RecvWR(capacity=64))
+        with pytest.raises(QPError, match="overflow"):
+            qp.post_recv(RecvWR(capacity=64))
+
+    def test_stats_counters(self, sim, pair, runner):
+        h1, _h2, pd1, _pd2, qp1, qp2, _cqs = pair
+
+        def proc(sim):
+            mr = yield from h1.register_mr(pd1, 64 * KiB)
+            qp2.post_recv(RecvWR(capacity=256))
+            yield qp1.post_send(SendWR(nbytes=64))
+            yield qp2.post_send(
+                RDMAWriteWR(nbytes=4096, remote_addr=mr.addr, rkey=mr.rkey)
+            )
+            yield qp2.post_send(
+                RDMAReadWR(nbytes=4096, remote_addr=mr.addr, rkey=mr.rkey)
+            )
+
+        runner(proc(sim))
+        assert qp1.sends == 1
+        assert qp2.rdma_writes == 1
+        assert qp2.rdma_reads == 1
+        assert qp2.bytes_sent == 8192
+
+
+class TestConnectionManagement:
+    def test_connect_endpoints_charges_handshake(self, sim, fabric, runner):
+        h1, h2 = HCA(sim, fabric, "a"), HCA(sim, fabric, "b")
+        pd1, pd2 = h1.alloc_pd(), h2.alloc_pd()
+
+        def proc(sim):
+            qa, qb = yield from connect_endpoints(
+                h1, pd1, h1.create_cq(), h1.create_cq(),
+                h2, pd2, h2.create_cq(), h2.create_cq(),
+            )
+            return (qa.peer is qb, qb.peer is qa, sim.now)
+
+        a_ok, b_ok, t = runner(proc(sim))
+        assert a_ok and b_ok and t >= 500.0
+
+    def test_double_connect_rejected(self, sim, pair):
+        _h1, _h2, _pd1, _pd2, qp1, qp2, _cqs = pair
+        with pytest.raises(ConnectionError_):
+            connect(qp1, qp2)
+
+    def test_self_connect_rejected(self, sim, fabric):
+        h = HCA(sim, fabric, "x")
+        pd = h.alloc_pd()
+        qp = h.create_qp(pd, h.create_cq(), h.create_cq())
+        with pytest.raises(ConnectionError_):
+            connect(qp, qp)
+
+    def test_active_qp_count(self, sim, fabric):
+        h = HCA(sim, fabric, "x")
+        pd = h.alloc_pd()
+        for _ in range(3):
+            h.create_qp(pd, h.create_cq(), h.create_cq())
+        assert h.active_qps == 3

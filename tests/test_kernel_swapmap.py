@@ -1,0 +1,152 @@
+"""Unit tests for swap-slot management (cluster allocation, reverse map)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernel import OutOfSwap, SwapArea, SwapManager
+from repro.kernel.vmm import AddressSpace
+from repro.simulator import SimulationError
+from repro.units import SECTORS_PER_PAGE
+
+
+def make_area(nslots=1024, priority=0, name="sw0"):
+    # queue=None: allocation logic never touches it.
+    return SwapArea(None, nslots, priority, name)
+
+
+def make_aspace(npages=2048):
+    return AddressSpace(npages, "a")
+
+
+class TestSwapArea:
+    def test_needs_slots(self):
+        with pytest.raises(ValueError):
+            make_area(nslots=0)
+
+    def test_contiguous_allocation(self):
+        area = make_area()
+        aspace = make_aspace()
+        slots = area.alloc_cluster(32, aspace, np.arange(32))
+        np.testing.assert_array_equal(slots, np.arange(32))
+        assert area.used == 32
+        assert area.free == 1024 - 32
+
+    def test_sequential_clusters_are_adjacent(self):
+        area = make_area()
+        aspace = make_aspace()
+        s1 = area.alloc_cluster(32, aspace, np.arange(32))
+        s2 = area.alloc_cluster(32, aspace, np.arange(32, 64))
+        assert s2[0] == s1[-1] + 1
+
+    def test_reverse_map(self):
+        area = make_area()
+        aspace = make_aspace()
+        pages = np.array([100, 200, 300])
+        slots = area.alloc_cluster(3, aspace, pages)
+        for slot, page in zip(slots, pages):
+            owner, opage = area.owner(int(slot))
+            assert owner is aspace
+            assert opage == page
+
+    def test_free_clears_reverse_map(self):
+        area = make_area()
+        aspace = make_aspace()
+        slots = area.alloc_cluster(4, aspace, np.arange(4))
+        area.free_slots(slots)
+        assert area.used == 0
+        assert area.owner(int(slots[0])) == (None, -1)
+
+    def test_double_free_detected(self):
+        area = make_area()
+        aspace = make_aspace()
+        slots = area.alloc_cluster(4, aspace, np.arange(4))
+        area.free_slots(slots)
+        with pytest.raises(SimulationError):
+            area.free_slots(slots)
+
+    def test_fragmented_fallback_to_singles(self):
+        area = make_area(nslots=8)
+        aspace = make_aspace()
+        slots = area.alloc_cluster(8, aspace, np.arange(8))
+        # free every other slot: no contiguous run of 4 exists
+        area.free_slots(np.array([0, 2, 4, 6]))
+        got = area.alloc_cluster(4, aspace, np.arange(10, 14))
+        assert sorted(int(s) for s in got) == [0, 2, 4, 6]
+        assert area.fallback_scans >= 1
+
+    def test_wraparound_scan(self):
+        area = make_area(nslots=16)
+        aspace = make_aspace()
+        first = area.alloc_cluster(12, aspace, np.arange(12))
+        area.free_slots(first[:8])  # free the start; pointer is at 12
+        got = area.alloc_cluster(8, aspace, np.arange(20, 28))
+        np.testing.assert_array_equal(np.sort(got), np.arange(8))
+
+    def test_out_of_swap(self):
+        area = make_area(nslots=4)
+        aspace = make_aspace()
+        area.alloc_cluster(4, aspace, np.arange(4))
+        with pytest.raises(OutOfSwap):
+            area.alloc_cluster(1, aspace, np.arange(1))
+
+    def test_slot_to_sector(self):
+        area = make_area()
+        assert area.slot_to_sector(5) == 5 * SECTORS_PER_PAGE
+
+    def test_window_alignment(self):
+        area = make_area(nslots=20)
+        np.testing.assert_array_equal(area.window(11, 8), np.arange(8, 16))
+        np.testing.assert_array_equal(area.window(17, 8), np.arange(16, 20))
+
+    def test_pages_slots_length_mismatch(self):
+        area = make_area()
+        with pytest.raises(ValueError):
+            area.alloc_cluster(3, make_aspace(), np.arange(2))
+
+
+class TestSwapManager:
+    def test_priority_order(self):
+        mgr = SwapManager()
+        low = make_area(name="low", priority=0)
+        high = make_area(name="high", priority=5)
+        mgr.add(low)
+        mgr.add(high)
+        aspace = make_aspace()
+        area, _slots = mgr.alloc(8, aspace, np.arange(8))
+        assert area is high
+
+    def test_spill_to_next_area(self):
+        mgr = SwapManager()
+        small = make_area(nslots=4, priority=5, name="small")
+        big = make_area(nslots=100, priority=0, name="big")
+        mgr.add(small)
+        mgr.add(big)
+        aspace = make_aspace()
+        area, slots = mgr.alloc(8, aspace, np.arange(8))
+        assert area is big  # whole cluster preferred over splitting
+
+    def test_partial_when_nothing_fits_whole(self):
+        mgr = SwapManager()
+        a = make_area(nslots=4, name="a")
+        mgr.add(a)
+        aspace = make_aspace()
+        area, slots = mgr.alloc(8, aspace, np.arange(8))
+        assert area is a
+        assert len(slots) == 4  # caller loops for the rest
+
+    def test_exhaustion(self):
+        mgr = SwapManager()
+        a = make_area(nslots=2)
+        mgr.add(a)
+        aspace = make_aspace()
+        mgr.alloc(2, aspace, np.arange(2))
+        with pytest.raises(OutOfSwap):
+            mgr.alloc(1, aspace, np.arange(1))
+
+    def test_total_free(self):
+        mgr = SwapManager()
+        mgr.add(make_area(nslots=10))
+        mgr.add(make_area(nslots=20))
+        assert mgr.total_free == 30

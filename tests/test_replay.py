@@ -1,0 +1,90 @@
+"""Tests for the trace-replay workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernel import Node
+from repro.units import MiB
+from repro.workloads import (
+    Compute,
+    RandomTouch,
+    ReplayWorkload,
+    SeqTouch,
+    TraceFormatError,
+    execute,
+    parse_trace,
+)
+
+TRACE = """
+# a tiny trace
+seq 0 100 w 500.0
+cpu 100.0
+rand 5,9,50 r 30.0
+seq 50 150 r 200.0   # trailing comment
+"""
+
+
+class TestParse:
+    def test_parses_all_op_kinds(self):
+        ops = parse_trace(TRACE)
+        assert len(ops) == 4
+        assert isinstance(ops[0], SeqTouch) and ops[0].write
+        assert isinstance(ops[1], Compute) and ops[1].usec == 100.0
+        assert isinstance(ops[2], RandomTouch) and not ops[2].write
+        np.testing.assert_array_equal(ops[2].pages, [5, 9, 50])
+        assert isinstance(ops[3], SeqTouch) and not ops[3].write
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceFormatError, match="no operations"):
+            parse_trace("# only comments\n\n")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(TraceFormatError, match="line 1"):
+            parse_trace("frobnicate 1 2 3")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(TraceFormatError, match="mode"):
+            parse_trace("seq 0 10 x 5.0")
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(TraceFormatError, match="line 1"):
+            parse_trace("seq 0 ten w 5.0")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace("seq 0 10")
+
+
+class TestReplayWorkload:
+    def test_npages_inferred(self):
+        w = ReplayWorkload.from_text(TRACE)
+        assert w.npages == 150
+
+    def test_npages_override_checked(self):
+        with pytest.raises(ValueError, match="touches page"):
+            ReplayWorkload.from_text(TRACE, npages=100)
+        w = ReplayWorkload.from_text(TRACE, npages=500)
+        assert w.npages == 500
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text(TRACE)
+        w = ReplayWorkload.from_file(path)
+        assert w.npages == 150
+
+    def test_total_compute(self):
+        w = ReplayWorkload.from_text(TRACE)
+        assert w.total_compute_usec() == pytest.approx(830.0)
+
+    def test_executes_against_vm(self, sim, fabric):
+        node = Node(sim, fabric, "n", mem_bytes=16 * MiB)
+        w = ReplayWorkload.from_text(TRACE)
+        aspace = node.vmm.create_address_space(w.npages, "r")
+        p = sim.spawn(execute(w, node, aspace))
+        elapsed = sim.run(until=p)
+        assert elapsed >= w.total_compute_usec()
+        assert aspace.resident_pages == 150
+        assert aspace.dirty[:100].all()
+        assert not aspace.dirty[100:].any()

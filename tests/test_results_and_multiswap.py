@@ -1,0 +1,139 @@
+"""Result-object behaviour and multi-swap-device (priority) integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.disk import DiskDevice
+from repro.hpbd import HPBDClient, HPBDServer
+from repro.kernel import Node
+from repro.results import InstanceResult, ScenarioResult
+from repro.simulator import StatsRegistry
+from repro.units import KiB, MiB
+
+
+def make_result(label="x", elapsed=2e6, wreq=(), rreq=()):
+    return ScenarioResult(
+        label=label,
+        instances=[
+            InstanceResult(
+                workload="w", elapsed_usec=elapsed, major_faults=1,
+                minor_faults=2, stall_usec=3.0,
+            )
+        ],
+        elapsed_usec=elapsed,
+        swapout_pages=10,
+        swapin_pages=5,
+        read_request_bytes=np.array(rreq, dtype=float),
+        write_request_bytes=np.array(wreq, dtype=float),
+        request_trace=[],
+        network_bytes={},
+        client_copy_usec=0.0,
+        registry=StatsRegistry(),
+    )
+
+
+class TestScenarioResult:
+    def test_elapsed_sec(self):
+        assert make_result(elapsed=2.5e6).elapsed_sec == 2.5
+
+    def test_mean_requests_empty(self):
+        r = make_result()
+        assert r.mean_read_request == 0.0
+        assert r.mean_write_request == 0.0
+
+    def test_mean_requests(self):
+        r = make_result(wreq=[128 * KiB, 64 * KiB], rreq=[32 * KiB])
+        assert r.mean_write_request == 96 * KiB
+        assert r.mean_read_request == 32 * KiB
+
+    def test_slowdown_vs(self):
+        a = make_result(elapsed=4e6)
+        b = make_result(elapsed=2e6)
+        assert a.slowdown_vs(b) == 2.0
+        with pytest.raises(ValueError):
+            a.slowdown_vs(make_result(elapsed=0.0))
+
+    def test_summary_mentions_requests(self):
+        r = make_result(wreq=[128 * KiB])
+        assert "wreq~128KiB" in r.summary()
+
+    def test_instance_elapsed_sec(self):
+        assert make_result().instances[0].elapsed_sec == 2.0
+
+
+class TestComparisonTable:
+    def test_with_paper_columns(self):
+        from repro.analysis import comparison_table
+
+        rs = [make_result("local", 1e6), make_result("hpbd", 1.5e6)]
+        text = comparison_table(rs, paper={"local": 5.8, "hpbd": 8.4})
+        assert "paper" in text
+        assert "1.50" in text  # measured ratio
+        assert "1.45" in text  # paper ratio 8.4/5.8
+
+    def test_without_paper(self):
+        from repro.analysis import comparison_table
+
+        rs = [make_result("local", 1e6), make_result("disk", 3e6)]
+        text = comparison_table(rs)
+        assert "3.00" in text
+
+    def test_missing_paper_entries_dash(self):
+        from repro.analysis import comparison_table
+
+        rs = [make_result("local", 1e6), make_result("weird", 2e6)]
+        text = comparison_table(rs, paper={"local": 5.8})
+        assert "-" in text
+
+
+class TestMultipleSwapDevices:
+    def test_higher_priority_fills_first(self, sim, fabric):
+        """Linux semantics: the higher-priority swap device takes all
+        traffic until it fills, then the next one spills over."""
+        node = Node(sim, fabric, "n0", mem_bytes=8 * MiB)
+        srv = HPBDServer(sim, fabric, "mem0", store_bytes=8 * MiB,
+                         stats=node.stats)
+        client = HPBDClient(sim, node, [srv], total_bytes=4 * MiB)
+        disk = DiskDevice(sim, swap_partition_bytes=64 * MiB, stats=node.stats)
+
+        def setup(sim):
+            yield from client.connect()
+
+        sim.run(until=sim.spawn(setup(sim)))
+        # HPBD small but high priority; disk big, low priority.
+        node.swapon(client.queue, 4 * MiB, priority=5)
+        node.swapon(disk.queue, 64 * MiB, priority=0)
+        aspace = node.vmm.create_address_space((24 * MiB) // 4096, "a")
+
+        def app(sim):
+            for start in range(0, aspace.npages, 64):
+                stop = min(start + 64, aspace.npages)
+                yield from node.vmm.touch_run(aspace, start, stop, write=True)
+            yield from node.vmm.quiesce()
+
+        sim.run(until=sim.spawn(app(sim)))
+        areas = node.vmm.swap.areas
+        hp = next(a for a in areas if a.priority == 5)
+        lo = next(a for a in areas if a.priority == 0)
+        assert hp.used > 0
+        assert hp.free < hp.nslots * 0.15  # high-priority nearly full
+        assert lo.used > 0  # spill-over happened
+        node.vmm.check_frame_accounting()
+
+    def test_swapoff_like_destroy_returns_all_slots(self, sim, fabric):
+        node = Node(sim, fabric, "n0", mem_bytes=8 * MiB)
+        disk = DiskDevice(sim, swap_partition_bytes=32 * MiB, stats=node.stats)
+        node.swapon(disk.queue, 32 * MiB)
+        aspace = node.vmm.create_address_space((16 * MiB) // 4096, "a")
+
+        def app(sim):
+            for start in range(0, aspace.npages, 64):
+                stop = min(start + 64, aspace.npages)
+                yield from node.vmm.touch_run(aspace, start, stop, write=True)
+            yield from node.vmm.destroy_address_space(aspace)
+
+        sim.run(until=sim.spawn(app(sim)))
+        area = node.vmm.swap.areas[0]
+        assert area.used == 0

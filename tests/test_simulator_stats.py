@@ -1,0 +1,126 @@
+"""Unit tests for the stats collectors."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulator import Counter, StatsRegistry, Tally, TimeSeries
+
+
+class TestCounter:
+    def test_basic_accumulation(self):
+        c = Counter("x")
+        c.add()
+        c.add(10)
+        assert c.count == 2
+        assert c.total == 11
+
+
+class TestTally:
+    def test_empty_statistics_are_nan(self):
+        t = Tally("t")
+        assert math.isnan(t.mean)
+        assert math.isnan(t.min)
+        assert math.isnan(t.percentile(50))
+        assert t.total == 0.0
+
+    def test_record_and_summaries(self):
+        t = Tally("t")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            t.record(v)
+        assert t.count == 4
+        assert t.mean == pytest.approx(2.5)
+        assert t.min == 1.0
+        assert t.max == 4.0
+        assert t.total == 10.0
+
+    def test_growth_beyond_initial_capacity(self):
+        t = Tally("t", initial_capacity=4)
+        for v in range(1000):
+            t.record(float(v))
+        assert t.count == 1000
+        assert t.max == 999.0
+
+    def test_record_many(self):
+        t = Tally("t", initial_capacity=2)
+        t.record_many(np.arange(100, dtype=float))
+        t.record(100.0)
+        assert t.count == 101
+        assert t.mean == pytest.approx(50.0)
+
+    def test_percentile(self):
+        t = Tally("t")
+        t.record_many(np.arange(101, dtype=float))
+        assert t.percentile(50) == pytest.approx(50.0)
+        assert t.percentile(90) == pytest.approx(90.0)
+
+    def test_histogram(self):
+        t = Tally("t")
+        t.record_many(np.array([1.0, 1.0, 2.0, 9.0]))
+        counts, edges = t.histogram(bins=2)
+        assert counts.sum() == 4
+
+    def test_values_view_excludes_spare_capacity(self):
+        t = Tally("t", initial_capacity=64)
+        t.record(5.0)
+        assert len(t.values()) == 1
+
+
+class TestTimeSeries:
+    def test_time_weighted_mean_piecewise(self):
+        ts = TimeSeries("f")
+        ts.record(0.0, 10.0)
+        ts.record(10.0, 20.0)  # value 10 held for 10
+        ts.record(20.0, 0.0)  # value 20 held for 10
+        assert ts.time_weighted_mean() == pytest.approx(15.0)
+
+    def test_single_sample(self):
+        ts = TimeSeries("f")
+        ts.record(5.0, 42.0)
+        assert ts.time_weighted_mean() == 42.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(TimeSeries("f").time_weighted_mean())
+
+    def test_growth(self):
+        ts = TimeSeries("f", initial_capacity=2)
+        for i in range(100):
+            ts.record(float(i), float(i))
+        assert ts.count == 100
+        assert ts.times()[-1] == 99.0
+
+
+class TestStatsRegistry:
+    def test_same_name_returns_same_collector(self):
+        reg = StatsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.tally("b") is reg.tally("b")
+
+    def test_kind_conflict_rejected(self):
+        reg = StatsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.tally("x")
+
+    def test_get_missing_returns_none(self):
+        assert StatsRegistry().get("nope") is None
+
+    def test_contains_and_names(self):
+        reg = StatsRegistry()
+        reg.counter("z")
+        reg.counter("a")
+        assert "z" in reg
+        assert reg.names() == ["a", "z"]
+
+    def test_snapshot_shapes(self):
+        reg = StatsRegistry()
+        reg.counter("c").add(5)
+        reg.tally("t").record(1.0)
+        reg.timeseries("s").record(0.0, 1.0)
+        snap = reg.snapshot()
+        assert snap["c"]["total"] == 5
+        assert snap["t"]["count"] == 1
+        assert "time_weighted_mean" in snap["s"]

@@ -1,0 +1,113 @@
+"""Unit tests for all_of / any_of composite events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator import Simulator, all_of, any_of
+
+
+class TestAllOf:
+    def test_collects_values_in_order(self, sim):
+        def child(sim, d):
+            yield sim.timeout(d)
+            return d
+
+        procs = [sim.spawn(child(sim, d)) for d in (3.0, 1.0, 2.0)]
+
+        def parent(sim):
+            values = yield all_of(sim, procs)
+            return (values, sim.now)
+
+        p = sim.spawn(parent(sim))
+        assert sim.run(until=p) == ([3.0, 1.0, 2.0], 3.0)
+
+    def test_empty_succeeds_immediately(self, sim, runner):
+        def parent(sim):
+            values = yield all_of(sim, [])
+            return values
+
+        assert runner(parent(sim)) == []
+
+    def test_failure_propagates(self, sim):
+        def good(sim):
+            yield sim.timeout(1)
+
+        def bad(sim):
+            yield sim.timeout(2)
+            raise ValueError("child failed")
+
+        sim2 = Simulator(strict=False)
+        procs = [sim2.spawn(good(sim2)), sim2.spawn(bad(sim2))]
+
+        def parent(sim2):
+            try:
+                yield all_of(sim2, procs)
+            except ValueError:
+                return "caught"
+            return "missed"
+
+        p = sim2.spawn(parent(sim2))
+        assert sim2.run(until=p) == "caught"
+
+    def test_already_processed_inputs(self, sim):
+        def child(sim):
+            yield sim.timeout(1)
+            return "x"
+
+        c = sim.spawn(child(sim))
+
+        def parent(sim):
+            yield sim.timeout(10)
+            values = yield all_of(sim, [c])
+            return values
+
+        p = sim.spawn(parent(sim))
+        assert sim.run(until=p) == ["x"]
+
+
+class TestAnyOf:
+    def test_first_wins(self, sim):
+        def child(sim, d):
+            yield sim.timeout(d)
+            return d
+
+        procs = [sim.spawn(child(sim, d)) for d in (5.0, 2.0, 9.0)]
+
+        def parent(sim):
+            idx, value = yield any_of(sim, procs)
+            return (idx, value, sim.now)
+
+        p = sim.spawn(parent(sim))
+        assert sim.run(until=p) == (1, 2.0, 2.0)
+
+    def test_empty_rejected(self, sim):
+        with pytest.raises(ValueError):
+            any_of(sim, [])
+
+    def test_already_processed_wins_instantly(self, sim):
+        def child(sim):
+            yield sim.timeout(1)
+            return "fast"
+
+        c = sim.spawn(child(sim))
+
+        def parent(sim):
+            yield sim.timeout(5)
+            idx, value = yield any_of(sim, [c, sim.event()])
+            return (idx, value)
+
+        p = sim.spawn(parent(sim))
+        assert sim.run(until=p) == (0, "fast")
+
+    def test_losers_unaffected(self, sim):
+        evt_slow = sim.event()
+
+        def parent(sim):
+            fast = sim.timeout(1, value="f")
+            result = yield any_of(sim, [evt_slow, fast])
+            return result
+
+        p = sim.spawn(parent(sim))
+        assert sim.run(until=p) == (1, "f")
+        assert not evt_slow.triggered  # still usable by someone else

@@ -1,0 +1,182 @@
+"""Unit tests for the TCP/IP stack and stream sockets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import Fabric, GIGE_DEFAULT, IPOIB_DEFAULT
+from repro.tcpip import Listener, SocketError, TCPStack, connect_tcp
+
+
+@pytest.fixture
+def stacks(sim, fabric):
+    c = TCPStack(sim, fabric, "client", GIGE_DEFAULT)
+    s = TCPStack(sim, fabric, "server", GIGE_DEFAULT)
+    return c, s
+
+
+class TestConnectionSetup:
+    def test_connect_accept(self, sim, stacks):
+        c, s = stacks
+        listener = Listener(s)
+
+        def client(sim):
+            conn = yield from connect_tcp(c, listener)
+            return conn
+
+        def server(sim):
+            conn = yield listener.accept()
+            return conn
+
+        pc = sim.spawn(client(sim))
+        ps = sim.spawn(server(sim))
+        cc = sim.run(until=pc)
+        sc = sim.run(until=ps)
+        assert cc.peer is sc and sc.peer is cc
+        assert sim.now >= 300.0  # handshake charged
+
+    def test_multiple_clients_one_listener(self, sim, stacks):
+        c, s = stacks
+        listener = Listener(s)
+        accepted = []
+
+        def server(sim):
+            for _ in range(2):
+                conn = yield listener.accept()
+                accepted.append(conn)
+
+        def client(sim):
+            yield from connect_tcp(c, listener)
+
+        ps = sim.spawn(server(sim))
+        sim.spawn(client(sim))
+        sim.spawn(client(sim))
+        sim.run(until=ps)
+        assert len(accepted) == 2
+
+
+class TestDataTransfer:
+    def _connected(self, sim, stacks):
+        c, s = stacks
+        listener = Listener(s)
+        holder = {}
+
+        def client(sim):
+            holder["c"] = yield from connect_tcp(c, listener)
+
+        def server(sim):
+            holder["s"] = yield listener.accept()
+
+        sim.run(until=sim.spawn(client(sim)))
+        sim.run(until=sim.spawn(server(sim)))
+        return holder["c"], holder["s"]
+
+    def test_message_roundtrip(self, sim, stacks):
+        cc, sc = self._connected(sim, stacks)
+
+        def client(sim):
+            yield from cc.send(1000, payload="ping")
+            reply = yield cc.recv()
+            return reply.payload
+
+        def server(sim):
+            msg = yield sc.recv()
+            assert msg.payload == "ping"
+            assert msg.nbytes == 1000
+            yield from sc.send(500, payload="pong")
+
+        sim.spawn(server(sim))
+        p = sim.spawn(client(sim))
+        assert sim.run(until=p) == "pong"
+
+    def test_ordering_preserved(self, sim, stacks):
+        cc, sc = self._connected(sim, stacks)
+
+        def client(sim):
+            for i in range(5):
+                yield from cc.send(100, payload=i)
+
+        def server(sim):
+            got = []
+            for _ in range(5):
+                msg = yield sc.recv()
+                got.append(msg.payload)
+            return got
+
+        sim.spawn(client(sim))
+        p = sim.spawn(server(sim))
+        assert sim.run(until=p) == [0, 1, 2, 3, 4]
+
+    def test_send_costs_scale_with_size(self, sim, stacks):
+        cc, sc = self._connected(sim, stacks)
+        t0 = sim.now
+
+        def sender(sim, n):
+            start = sim.now
+            yield from cc.send(n)
+            return sim.now - start
+
+        small = sim.run(until=sim.spawn(sender(sim, 100)))
+        large = sim.run(until=sim.spawn(sender(sim, 100_000)))
+        assert large > small * 10
+
+    def test_byte_accounting(self, sim, stacks):
+        cc, sc = self._connected(sim, stacks)
+
+        def client(sim):
+            yield from cc.send(1234)
+
+        def server(sim):
+            yield sc.recv()
+
+        sim.spawn(client(sim))
+        p = sim.spawn(server(sim))
+        sim.run(until=p)
+        assert cc.bytes_sent == 1234
+        assert sc.bytes_received == 1234
+
+    def test_send_on_closed_rejected(self, sim, stacks):
+        cc, _sc = self._connected(sim, stacks)
+        cc.close()
+        with pytest.raises(SocketError):
+            next(iter(cc.send(10)))  # generator: force first step
+
+    def test_double_close_rejected(self, sim, stacks):
+        cc, _sc = self._connected(sim, stacks)
+        cc.close()
+        with pytest.raises(SocketError):
+            cc.close()
+
+    def test_negative_size_rejected(self, sim, stacks):
+        cc, _sc = self._connected(sim, stacks)
+        with pytest.raises(ValueError):
+            next(iter(cc.send(-1)))
+
+    def test_ipoib_faster_than_gige_large_messages(self, sim, fabric):
+        """End-to-end: IPoIB beats GigE for 128 KiB messages (Fig. 1)."""
+
+        def one_way(params):
+            s2 = Simulator = __import__("repro.simulator", fromlist=["Simulator"]).Simulator()
+            f2 = Fabric(s2)
+            a = TCPStack(s2, f2, "a", params)
+            b = TCPStack(s2, f2, "b", params)
+            listener = Listener(b)
+            out = {}
+
+            def client(s2):
+                conn = yield from connect_tcp(a, listener)
+                t0 = s2.now
+                yield from conn.send(128 * 1024)
+                out["send_done"] = s2.now - t0
+
+            def server(s2):
+                conn = yield listener.accept()
+                t0 = s2.now
+                yield conn.recv()
+                out["recv_done"] = s2.now - t0
+
+            s2.run(until=s2.spawn(client(s2)))
+            s2.run(until=s2.spawn(server(s2)))
+            return out["recv_done"]
+
+        assert one_way(IPOIB_DEFAULT) < one_way(GIGE_DEFAULT)

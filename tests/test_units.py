@@ -1,0 +1,74 @@
+"""Unit tests for units/geometry helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.units import (
+    GiB,
+    KiB,
+    MAX_REQUEST_BYTES,
+    MAX_REQUEST_SECTORS,
+    MiB,
+    PAGE_SIZE,
+    SECTOR_SIZE,
+    SECTORS_PER_PAGE,
+    bytes_to_pages,
+    bytes_to_sectors,
+    fmt_bytes,
+    fmt_usec,
+    pages_to_bytes,
+    sec_to_usec,
+    sectors_to_bytes,
+    usec_to_sec,
+)
+
+
+def test_size_constants():
+    assert KiB == 1024
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+    assert PAGE_SIZE == 4096
+    assert SECTOR_SIZE == 512
+    assert SECTORS_PER_PAGE == 8
+
+
+def test_max_request_is_128k():
+    # §4.2.5: "the 128K bound of a single request size"
+    assert MAX_REQUEST_BYTES == 128 * KiB
+    assert MAX_REQUEST_SECTORS == 256
+
+
+@pytest.mark.parametrize(
+    "nbytes,pages",
+    [(0, 0), (1, 1), (4096, 1), (4097, 2), (GiB, 262144)],
+)
+def test_bytes_to_pages(nbytes, pages):
+    assert bytes_to_pages(nbytes) == pages
+
+
+def test_pages_bytes_roundtrip():
+    assert pages_to_bytes(bytes_to_pages(MiB)) == MiB
+
+
+def test_sector_conversions():
+    assert bytes_to_sectors(512) == 1
+    assert bytes_to_sectors(513) == 2
+    assert sectors_to_bytes(8) == PAGE_SIZE
+
+
+def test_time_conversions():
+    assert usec_to_sec(1_500_000) == 1.5
+    assert sec_to_usec(2.0) == 2_000_000.0
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(128 * KiB) == "128.0 KiB"
+    assert fmt_bytes(GiB) == "1.0 GiB"
+
+
+def test_fmt_usec():
+    assert fmt_usec(10.0) == "10.00 us"
+    assert fmt_usec(1500.0) == "1.50 ms"
+    assert fmt_usec(2_500_000.0) == "2.50 s"

@@ -1,0 +1,205 @@
+"""Unit tests for the workload trace generators and executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.disk import DiskDevice
+from repro.kernel import Node
+from repro.units import GiB, KiB, MiB, PAGE_SIZE
+from repro.workloads import (
+    BarnesWorkload,
+    Compute,
+    QuicksortWorkload,
+    RandomTouch,
+    SeqTouch,
+    TestswapWorkload,
+    execute,
+)
+
+
+class TestOps:
+    def test_seqtouch_validation(self):
+        with pytest.raises(ValueError):
+            SeqTouch(5, 5, write=True)
+        with pytest.raises(ValueError):
+            SeqTouch(0, 1, write=True, compute_usec=-1)
+
+    def test_randomtouch_validation(self):
+        with pytest.raises(ValueError):
+            RandomTouch(np.array([]), write=False)
+
+    def test_compute_validation(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+
+    def test_npages(self):
+        assert SeqTouch(0, 10, write=True).npages == 10
+        assert RandomTouch(np.array([1, 2, 3]), write=False).npages == 3
+
+
+class TestTestswap:
+    def test_geometry(self):
+        w = TestswapWorkload(size_bytes=GiB)
+        assert w.npages == 262144
+        ops = list(w.ops())
+        assert len(ops) == 1
+        assert ops[0].write is True
+        assert ops[0].start == 0 and ops[0].stop == w.npages
+
+    def test_calibration_full_size(self):
+        # In-memory compute + faults must add to ~5.8 s at 1 GiB.
+        from repro.kernel.params import DEFAULT_VM_PARAMS
+
+        w = TestswapWorkload(size_bytes=GiB)
+        total = w.total_compute_usec() + w.npages * DEFAULT_VM_PARAMS.fault_overhead
+        assert total == pytest.approx(5.8e6, rel=0.01)
+
+    def test_scales_linearly(self):
+        w8 = TestswapWorkload(size_bytes=GiB // 8)
+        w1 = TestswapWorkload(size_bytes=GiB)
+        assert w1.total_compute_usec() == pytest.approx(
+            8 * w8.total_compute_usec(), rel=1e-6
+        )
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            TestswapWorkload(size_bytes=100)
+
+
+class TestQuicksort:
+    def test_geometry_1gib(self):
+        w = QuicksortWorkload(nelems=256 * 1024 * 1024)
+        assert w.npages == 262144  # 1 GiB of 4-byte ints
+
+    def test_calibrated_to_94s(self):
+        w = QuicksortWorkload(nelems=256 * 1024 * 1024)
+        assert w.total_compute_usec() == pytest.approx(94e6, rel=1e-6)
+
+    def test_deterministic_per_seed(self):
+        a = QuicksortWorkload(nelems=1 << 22, seed=5)
+        b = QuicksortWorkload(nelems=1 << 22, seed=5)
+        assert [(o.start, o.stop) for o in a.ops()] == [
+            (o.start, o.stop) for o in b.ops()
+        ]
+
+    def test_different_seed_different_pivots(self):
+        a = QuicksortWorkload(nelems=1 << 22, seed=5)
+        b = QuicksortWorkload(nelems=1 << 22, seed=6)
+        assert [(o.start, o.stop) for o in a.ops()] != [
+            (o.start, o.stop) for o in b.ops()
+        ]
+
+    def test_first_ops_cover_whole_array(self):
+        w = QuicksortWorkload(nelems=1 << 22)
+        ops = list(w.ops())
+        # init pass + level-0 partition both sweep everything
+        assert ops[0].start == 0 and ops[0].stop == w.npages
+        assert ops[1].start == 0 and ops[1].stop == w.npages
+
+    def test_depth_first_recursion_order(self):
+        # After the top-level partition, work proceeds on the LEFT
+        # segment before the right one (DFS).
+        w = QuicksortWorkload(nelems=1 << 22)
+        ops = list(w.ops())
+        third = ops[2]
+        assert third.start == 0  # left child first
+
+    def test_all_ops_write_mode(self):
+        w = QuicksortWorkload(nelems=1 << 22)
+        assert all(op.write for op in w.ops())
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            QuicksortWorkload(nelems=100)
+
+
+class TestBarnes:
+    def test_peak_footprint(self):
+        w = BarnesWorkload(nbodies=2_097_152)
+        assert w.npages * PAGE_SIZE == pytest.approx(516 * MiB, rel=0.02)
+
+    def test_trace_touches_full_footprint(self):
+        w = BarnesWorkload(nbodies=2_097_152 // 8)
+        touched = np.zeros(w.npages, dtype=bool)
+        for op in w.ops():
+            if isinstance(op, SeqTouch):
+                touched[op.start : op.stop] = True
+            elif isinstance(op, RandomTouch):
+                touched[op.pages] = True
+        assert touched.mean() > 0.99
+
+    def test_working_set_grows_per_timestep(self):
+        w = BarnesWorkload(nbodies=2_097_152 // 8, timesteps=4)
+        ops = list(w.ops())
+        # cell-region build sweeps grow monotonically
+        builds = [
+            op for op in ops
+            if isinstance(op, SeqTouch) and op.start == w.body_pages
+        ]
+        sizes = [op.npages for op in builds]
+        assert sizes == sorted(sizes)
+        assert len(builds) == 4
+
+    def test_deterministic(self):
+        a = BarnesWorkload(nbodies=1 << 18, seed=3)
+        b = BarnesWorkload(nbodies=1 << 18, seed=3)
+        assert a.total_compute_usec() == b.total_compute_usec()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BarnesWorkload(nbodies=10)
+        with pytest.raises(ValueError):
+            BarnesWorkload(nbodies=1 << 18, timesteps=0)
+
+
+class TestExecutor:
+    def test_elapsed_matches_compute_when_resident(self, sim, fabric):
+        node = Node(sim, fabric, "n", mem_bytes=64 * MiB)
+        w = TestswapWorkload(size_bytes=4 * MiB)
+        aspace = node.vmm.create_address_space(w.npages, "a")
+        p = sim.spawn(execute(w, node, aspace))
+        elapsed = sim.run(until=p)
+        floor = w.total_compute_usec()
+        assert elapsed >= floor
+        assert elapsed < floor * 1.5  # only fault overhead on top
+
+    def test_undersized_address_space_rejected(self, sim, fabric):
+        node = Node(sim, fabric, "n", mem_bytes=64 * MiB)
+        w = TestswapWorkload(size_bytes=4 * MiB)
+        aspace = node.vmm.create_address_space(10, "a")
+        with pytest.raises(ValueError):
+            next(iter(execute(w, node, aspace)))
+
+    def test_random_touch_execution(self, sim, fabric):
+        node = Node(sim, fabric, "n", mem_bytes=64 * MiB)
+
+        class Rand:
+            name = "rand"
+            npages = 1000
+
+            def ops(self):
+                rng = np.random.default_rng(1)
+                yield RandomTouch(
+                    rng.integers(0, 1000, size=500), write=True, compute_usec=100.0
+                )
+
+            def total_compute_usec(self):
+                return 100.0
+
+        aspace = node.vmm.create_address_space(1000, "a")
+        p = sim.spawn(execute(Rand(), node, aspace))
+        sim.run(until=p)
+        assert aspace.resident_pages > 0
+
+    def test_swapping_execution_on_disk(self, sim, fabric):
+        node = Node(sim, fabric, "n", mem_bytes=8 * MiB)
+        disk = DiskDevice(sim, swap_partition_bytes=64 * MiB, stats=node.stats)
+        node.swapon(disk.queue, 64 * MiB)
+        w = TestswapWorkload(size_bytes=24 * MiB)
+        aspace = node.vmm.create_address_space(w.npages, "a")
+        p = sim.spawn(execute(w, node, aspace))
+        elapsed = sim.run(until=p)
+        assert elapsed > w.total_compute_usec()  # paid for swapping
+        assert node.stats.get("n.vm.swapout_pages").total > 0
