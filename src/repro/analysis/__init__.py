@@ -7,6 +7,15 @@ from .amdahl import (
     direct_network_fraction,
     infer_network_fraction,
 )
+from .breakdown import (
+    STAGES,
+    StageTotal,
+    format_breakdown,
+    measured_breakdown,
+    measured_network_fraction,
+    stage_totals,
+    wire_crosscheck,
+)
 from .related import TABLE1, RelatedSystem, render_table1
 from .export import (
     clusters_to_csv,
@@ -23,6 +32,13 @@ __all__ = [
     "amdahl_report",
     "infer_network_fraction",
     "direct_network_fraction",
+    "STAGES",
+    "StageTotal",
+    "stage_totals",
+    "measured_breakdown",
+    "measured_network_fraction",
+    "wire_crosscheck",
+    "format_breakdown",
     "RequestCluster",
     "cluster_requests",
     "size_histogram",

@@ -1,0 +1,156 @@
+"""Measured §6.2 latency breakdown, built from recorded trace spans.
+
+:mod:`repro.analysis.amdahl` infers the network share of the swap
+overhead from run-time arithmetic (the paper's method — it only needs a
+stopwatch).  This module computes the same decomposition *directly*, by
+summing the spans a traced run recorded at every layer
+(``run_scenario(cfg, trace=True)``), and cross-checks the two: the
+measured time-on-the-wire should agree with the cost model the Amdahl
+calculator assumes.
+
+Span categories are aggregated into the paper's stages:
+
+===============  =====================================================
+stage            trace categories
+===============  =====================================================
+block queue      ``blk.queue`` (plug/merge/elevator wait)
+driver copy      ``hpbd.copy`` (pool copy-in/copy-out)
+registration     ``reg`` (MR register/deregister)
+flow control     ``hpbd.credit`` + ``hpbd.pool`` (water-mark waits)
+port wait        ``net.wait`` (tx/rx port queueing)
+wire             ``wire`` (data serialization + latency)
+control msgs     ``ctrl`` (request/reply control messages)
+server host      ``srv.copy`` (RamDisk memcpy on the server)
+disk mechanism   ``disk.service`` (seek + rotation + media transfer)
+===============  =====================================================
+
+Stages are *aggregate busy/wait time* across concurrent requests, so
+they are not additive toward wall time; fractions are reported against
+the swap overhead (traced run minus in-memory baseline), matching how
+§6.2 reports the network share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..results import ScenarioResult
+from .report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.trace import TraceRecorder
+
+__all__ = [
+    "STAGES",
+    "StageTotal",
+    "stage_totals",
+    "measured_breakdown",
+    "measured_network_fraction",
+    "wire_crosscheck",
+    "format_breakdown",
+]
+
+#: stage name -> the trace categories it aggregates, §6.2 order
+STAGES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("block queue", ("blk.queue",)),
+    ("driver copy", ("hpbd.copy",)),
+    ("registration", ("reg",)),
+    ("flow control", ("hpbd.credit", "hpbd.pool")),
+    ("port wait", ("net.wait",)),
+    ("wire", ("wire",)),
+    ("control msgs", ("ctrl",)),
+    ("server host", ("srv.copy",)),
+    ("disk mechanism", ("disk.service",)),
+)
+
+
+@dataclass
+class StageTotal:
+    """One row of the measured decomposition."""
+
+    stage: str
+    usec: float
+    #: share of the swap overhead (NaN-free: 0 when no baseline given)
+    fraction: float
+
+
+def _recorder_of(result: "ScenarioResult | TraceRecorder") -> "TraceRecorder":
+    rec = getattr(result, "trace", result)
+    if rec is None or not getattr(rec, "enabled", False):
+        raise ValueError(
+            "no trace recorded: run the scenario with trace=True"
+        )
+    return rec
+
+
+def stage_totals(result: "ScenarioResult | TraceRecorder") -> dict[str, float]:
+    """Total span time per trace category (µs)."""
+    return _recorder_of(result).stage_usec()
+
+
+def measured_breakdown(
+    result: ScenarioResult,
+    base_result: ScenarioResult | None = None,
+) -> list[StageTotal]:
+    """Aggregate a traced run's spans into the §6.2 stages.
+
+    With ``base_result`` (the in-memory run of the same workload),
+    fractions are relative to the swap overhead; without it they are 0.
+    """
+    cats = stage_totals(result)
+    overhead = 0.0
+    if base_result is not None:
+        overhead = result.elapsed_usec - base_result.elapsed_usec
+        if overhead <= 0:
+            raise ValueError("no swap overhead to decompose")
+    rows = []
+    for stage, keys in STAGES:
+        usec = sum(cats.get(k, 0.0) for k in keys)
+        if usec == 0.0:
+            continue  # stage absent on this transport (e.g. disk vs HPBD)
+        rows.append(
+            StageTotal(stage, usec, usec / overhead if overhead else 0.0)
+        )
+    return rows
+
+
+def measured_network_fraction(
+    result: ScenarioResult, base_result: ScenarioResult
+) -> float:
+    """Measured counterpart of
+    :func:`repro.analysis.amdahl.direct_network_fraction`: time the
+    payload actually spent serializing onto / flying over the wire,
+    as a share of the swap overhead."""
+    overhead = result.elapsed_usec - base_result.elapsed_usec
+    if overhead <= 0:
+        raise ValueError("no swap overhead to decompose")
+    wire = stage_totals(result).get("wire", 0.0)
+    return min(1.0, wire / overhead)
+
+
+def wire_crosscheck(
+    result: ScenarioResult,
+    wire_usec_of: Callable[[int], float],
+) -> tuple[float, float, float]:
+    """Compare measured wire time against the Amdahl cost model.
+
+    Returns ``(measured_usec, modeled_usec, relative_error)`` where the
+    model applies ``wire_usec_of(nbytes)`` to every dispatched request
+    (exactly what :func:`direct_network_fraction` integrates).  A small
+    relative error means the stopwatch method and the trace agree.
+    """
+    measured = stage_totals(result).get("wire", 0.0)
+    modeled = sum(wire_usec_of(nbytes) for _t, _op, nbytes in result.request_trace)
+    if modeled <= 0:
+        raise ValueError("model predicts no wire time (empty request trace?)")
+    return measured, modeled, abs(measured - modeled) / modeled
+
+
+def format_breakdown(rows: list[StageTotal]) -> str:
+    """Render the decomposition as the usual fixed-width table."""
+    body = [
+        [r.stage, r.usec / 1e3, f"{r.fraction:.1%}" if r.fraction else "-"]
+        for r in rows
+    ]
+    return format_table(["stage", "time (ms)", "share of overhead"], body)

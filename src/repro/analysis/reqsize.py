@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 __all__ = ["RequestCluster", "cluster_requests", "size_histogram"]
 

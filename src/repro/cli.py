@@ -171,6 +171,72 @@ def _write_csv(name: str, scale: int, outdir: str) -> None:
     print(f"wrote {path}")
 
 
+_TRACE_DEVICES = ("hpbd", "nbd-ipoib", "nbd-gige", "disk")
+_TRACE_WORKLOADS = ("quicksort", "testswap")
+
+
+def _run_trace(args) -> int:
+    """``repro trace``: one traced run + baseline, breakdown, exports."""
+    from .analysis.breakdown import (
+        format_breakdown,
+        measured_breakdown,
+        measured_network_fraction,
+        wire_crosscheck,
+    )
+    from .config import HPBD, LocalDisk, LocalMemory, NBD
+    from .experiments import _scenario
+    from .net.fabrics import IB_DEFAULT
+    from .obs import spans_to_csv, write_chrome_trace
+    from .runner import run_scenario
+    from .units import GiB, MiB
+    from .workloads import QuicksortWorkload, TestswapWorkload
+
+    device = {
+        "hpbd": HPBD(),
+        "nbd-ipoib": NBD("ipoib"),
+        "nbd-gige": NBD("gige"),
+        "disk": LocalDisk(),
+    }[args.device]
+    scale = args.scale
+
+    def workload():
+        if args.workload == "quicksort":
+            return QuicksortWorkload(nelems=256 * 1024 * 1024 // scale)
+        return TestswapWorkload(size_bytes=GiB // scale)
+
+    print(f"tracing {args.workload} over {args.device} (scale=1/{scale})...")
+    result = run_scenario(
+        _scenario([workload()], device, scale, 512 * MiB, GiB), trace=True
+    )
+    base = run_scenario(
+        _scenario([workload()], LocalMemory(), scale, 2 * GiB, GiB)
+    )
+    rows = measured_breakdown(result, base)
+    print(f"{result.summary()}   ({len(result.trace)} trace events)")
+    print()
+    print("Measured §6.2 decomposition (aggregate span time, share of "
+          "swap overhead):")
+    print(format_breakdown(rows))
+    frac = measured_network_fraction(result, base)
+    print(f"network share of overhead (measured): {frac:.1%}")
+    if args.device == "hpbd":
+        measured, modeled, err = wire_crosscheck(
+            result, IB_DEFAULT.rdma_write_cost
+        )
+        print(
+            f"wire cross-check vs Amdahl cost model: measured "
+            f"{measured / 1e3:.1f} ms, modeled {modeled / 1e3:.1f} ms "
+            f"(rel. err {err:.1%})"
+        )
+    write_chrome_trace(result.trace, args.output)
+    print(f"wrote {args.output}  (load in Perfetto / chrome://tracing)")
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(spans_to_csv(result.trace))
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _report(scale: int, output: str) -> int:
     """Run every experiment, capturing the printed tables into markdown."""
     import contextlib
@@ -213,6 +279,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     rep.add_argument("--scale", type=int, default=8)
     rep.add_argument("-o", "--output", default="REPORT.md")
+    tr = sub.add_parser(
+        "trace",
+        help="run one traced scenario; print the measured §6.2 breakdown "
+        "and write a Chrome/Perfetto trace",
+    )
+    tr.add_argument("--device", choices=_TRACE_DEVICES, default="hpbd")
+    tr.add_argument("--workload", choices=_TRACE_WORKLOADS, default="quicksort")
+    tr.add_argument(
+        "--scale", type=int, default=32,
+        help="size divisor; 1 = full paper sizes (default: 32)",
+    )
+    tr.add_argument(
+        "-o", "--output", default="trace.json",
+        help="Chrome trace-event JSON path (default: trace.json)",
+    )
+    tr.add_argument("--csv", metavar="PATH", help="also dump flat span CSV")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
     run.add_argument(
@@ -239,6 +321,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.scale < 1:
             parser.error("--scale must be >= 1")
         return _report(args.scale, args.output)
+    if args.command == "trace":
+        if args.scale < 1:
+            parser.error("--scale must be >= 1")
+        return _run_trace(args)
 
     if args.scale < 1:
         parser.error("--scale must be >= 1")

@@ -12,7 +12,7 @@ four device kinds:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .disk.model import DiskParams, ST340014A
 from .kernel.params import DEFAULT_VM_PARAMS, VMParams
@@ -23,7 +23,7 @@ from .net.fabrics import (
     IBParams,
     TCPParams,
 )
-from .units import GiB, KiB, MiB
+from .units import GiB, MiB
 from .workloads.base import Workload
 
 __all__ = [

@@ -48,9 +48,18 @@ class DiskDevice:
     def _serve(self):
         while True:
             req = yield self.queue.next_request()
+            t0 = self.sim.now
             t = self.model.service_time(req.sector, req.nsectors)
             yield self.sim.timeout(t)
             self.busy_usec += t
             self.requests_served += 1
             self.stats.tally(f"{self.name}.service_usec").record(t)
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.complete(
+                    self.name, "mech", "seek_xfer", "disk.service",
+                    t0, self.sim.now,
+                    req_id=req.req_id, op=req.op, sector=req.sector,
+                    nbytes=req.nbytes,
+                )
             self.queue.complete(req)

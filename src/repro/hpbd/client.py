@@ -21,7 +21,7 @@ Structure follows §4.2.3/§5 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..ib import HCA, CompletionQueue, RecvWR, SendWR, connect_endpoints
 from ..kernel.blockdev import BlockRequest, READ, RequestQueue, WRITE
@@ -241,6 +241,7 @@ class HPBDClient:
                 token = None
                 if req.op == WRITE:
                     token = (self.name, req.sector, seg.server_offset, seg.nbytes)
+                trace = sim.trace
                 if self.register_on_fly:
                     # Ablation (§4.1's rejected alternative): pin the
                     # request's pages and expose them directly — no
@@ -248,7 +249,14 @@ class HPBDClient:
                     mr = yield from self.hca.register_mr(self.pd, seg.nbytes)
                     buf, buf_addr, buf_rkey = None, mr.addr, mr.rkey
                 else:
+                    t_pool = sim.now
                     buf = yield from self.pool.alloc(seg.nbytes)
+                    if trace.enabled and sim.now > t_pool:
+                        trace.complete(
+                            self.name, "sender", "pool_alloc", "hpbd.pool",
+                            t_pool, sim.now,
+                            req_id=req.req_id, nbytes=seg.nbytes,
+                        )
                     mr = None
                     buf_addr = self.pool.buffer_addr(buf)
                     buf_rkey = self.pool.rkey
@@ -257,8 +265,22 @@ class HPBDClient:
                         # cost HPBD accepts instead of registration).
                         cost = memcpy_cost(seg.nbytes)
                         self.copy_usec += cost
+                        t_copy = sim.now
                         yield from self.node.cpus.run(cost)
+                        if trace.enabled:
+                            trace.complete(
+                                self.name, "sender", "copy_in", "hpbd.copy",
+                                t_copy, sim.now,
+                                req_id=req.req_id, nbytes=seg.nbytes,
+                            )
+                t_credit = sim.now
                 yield self._credits[seg.server].acquire()
+                if trace.enabled and sim.now > t_credit:
+                    trace.complete(
+                        self.name, "sender", "credit_wait", "hpbd.credit",
+                        t_credit, sim.now,
+                        req_id=req.req_id, server=seg.server,
+                    )
                 preq = PageRequest(
                     op=OP_WRITE if req.op == WRITE else OP_READ,
                     offset=seg.server_offset,
@@ -360,6 +382,16 @@ class HPBDClient:
                 entry.copies_left -= 1
                 if entry.copies_left > 0:
                     continue  # mirrored write: wait for the other copy
+                trace = sim.trace
+                if trace.enabled:
+                    # Physical request round trip: control message out to
+                    # acknowledgement drained from the reply CQ.
+                    trace.complete(
+                        self.name, "receiver", "phys_rtt", "hpbd.rtt",
+                        entry.sent_at, sim.now,
+                        req_id=entry.pending.req.req_id, op=entry.op,
+                        nbytes=entry.seg.nbytes, server=server_idx,
+                    )
                 if entry.mr is not None:
                     # Register-on-the-fly ablation: unpin (zero-copy).
                     yield from self.hca.deregister_mr(self.pd, entry.mr)
@@ -369,11 +401,29 @@ class HPBDClient:
                         # write; copy it out to the page frames.
                         cost = memcpy_cost(entry.seg.nbytes)
                         self.copy_usec += cost
+                        t_copy = sim.now
                         yield from self.node.cpus.run(cost)
+                        if trace.enabled:
+                            trace.complete(
+                                self.name, "receiver", "copy_out",
+                                "hpbd.copy", t_copy, sim.now,
+                                req_id=entry.pending.req.req_id,
+                                nbytes=entry.seg.nbytes,
+                            )
                     self.pool.free(entry.buf)
                 entry.pending.done_segs += 1
                 if entry.pending.done_segs == entry.pending.nsegs:
                     self._t_req.record(sim.now - entry.pending.submit_time)
+                    if trace.enabled:
+                        req = entry.pending.req
+                        trace.complete(
+                            self.name, "requests", "block_request",
+                            "hpbd.request",
+                            entry.pending.submit_time, sim.now,
+                            req_id=req.req_id, op=req.op,
+                            sector=req.sector, nbytes=req.nbytes,
+                            nsegs=entry.pending.nsegs,
+                        )
                     self.queue.complete(entry.pending.req)
 
     def _retry_read(self, entry: _Inflight):

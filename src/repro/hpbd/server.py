@@ -23,7 +23,7 @@ Key behaviours modelled:
 
 from __future__ import annotations
 
-from ..ib import HCA, CompletionQueue, RDMAReadWR, RDMAWriteWR, RecvWR, SendWR
+from ..ib import HCA, RDMAReadWR, RDMAWriteWR, RecvWR, SendWR
 from ..kernel.task import CPUSet
 from ..net.fabrics import IBParams, IB_DEFAULT
 from ..net.link import Fabric
@@ -171,6 +171,8 @@ class HPBDServer:
 
     def _handle(self, qp, req: PageRequest):
         """Serve one physical page request (own process per request)."""
+        t0 = self.sim.now
+        trace = self.sim.trace
         try:
             # Each client's swap area sits at its own base in the store.
             offset = self._area_base.get(qp.qp_num, 0) + req.offset
@@ -207,7 +209,14 @@ class HPBDServer:
                     cost = self.ramdisk.write(
                         offset, req.nbytes, token=req.data_token
                     )
+                    t_copy = self.sim.now
                     yield from self.cpus.run(cost)
+                    if trace.enabled:
+                        trace.complete(
+                            self.name, "handlers", "ramdisk_write",
+                            "srv.copy", t_copy, self.sim.now,
+                            nbytes=req.nbytes,
+                        )
                     self.pool.free(buf)
                     reply = PageReply(req_id=req.req_id, status=STATUS_OK)
                     qp.post_send(
@@ -222,7 +231,14 @@ class HPBDServer:
                     # Swap-in: RamDisk -> staging, RDMA-write it into the
                     # client buffer, then the (ordered) reply.
                     token, cost = self.ramdisk.read(offset, req.nbytes)
+                    t_copy = self.sim.now
                     yield from self.cpus.run(cost)
+                    if trace.enabled:
+                        trace.complete(
+                            self.name, "handlers", "ramdisk_read",
+                            "srv.copy", t_copy, self.sim.now,
+                            nbytes=req.nbytes,
+                        )
                     rdma_done = qp.post_send(
                         RDMAWriteWR(
                             nbytes=req.nbytes,
@@ -254,3 +270,10 @@ class HPBDServer:
                 self._rdma_slots.release()
         finally:
             self.busy_handlers -= 1
+            if trace.enabled:
+                trace.complete(
+                    self.name, "handlers", "handle", "srv.handle",
+                    t0, self.sim.now,
+                    op="write" if req.op == OP_WRITE else "read",
+                    nbytes=req.nbytes,
+                )

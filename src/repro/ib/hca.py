@@ -83,19 +83,33 @@ class HCA:
         registration is a synchronous syscall.
         """
         cost = REGISTRATION.cost(length)
+        t0 = self.sim.now
         yield self.sim.timeout(cost)
         addr = pd.allocate_va(length)
         mr = pd.register(addr, length, access)
         self.stats.counter("ib.registrations").add(length)
         self.stats.tally("ib.registration_usec").record(cost)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.complete(
+                self.node_name, "hca", "register_mr", "reg",
+                t0, self.sim.now, nbytes=length,
+            )
         return mr
 
     def deregister_mr(self, pd: ProtectionDomain, mr: MemoryRegion):
         """Deregister; generator — use ``yield from``."""
         cost = DEREGISTRATION.cost(mr.length)
+        t0 = self.sim.now
         yield self.sim.timeout(cost)
         pd.deregister(mr)
         self.stats.counter("ib.deregistrations").add(mr.length)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.complete(
+                self.node_name, "hca", "deregister_mr", "reg",
+                t0, self.sim.now, nbytes=mr.length,
+            )
 
     def __repr__(self) -> str:
         return f"<HCA {self.node_name} qps={self.active_qps}>"

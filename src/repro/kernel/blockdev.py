@@ -191,6 +191,7 @@ class RequestQueue:
             def order(req: BlockRequest) -> tuple[int, int]:
                 return (0 if req.sector >= key else 1, req.sector)
 
+            trace = self.sim.trace
             for req in self._pending:
                 req.dispatch_time = self.sim.now
                 self.in_flight += 1
@@ -201,6 +202,14 @@ class RequestQueue:
                 )
                 tally.record(req.nbytes)
                 self._req_trace.append((self.sim.now, req.op, req.nbytes))
+                if trace.enabled:
+                    # Plug/merge wait: first bio submitted -> dispatch.
+                    trace.complete(
+                        self.name, "queue", "queue_wait", "blk.queue",
+                        min(b.submit_time for b in req.bios), self.sim.now,
+                        req_id=req.req_id, op=req.op, sector=req.sector,
+                        nbytes=req.nbytes, nbios=len(req.bios),
+                    )
                 if req.op == READ:
                     self._ready_reads.append(req)
                 else:
@@ -246,6 +255,14 @@ class RequestQueue:
         now = self.sim.now
         lat = self.stats.tally(f"{self.name}.req_latency_usec")
         lat.record(now - req.dispatch_time)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.complete(
+                self.name, "inflight", "service", "blk.service",
+                req.dispatch_time, now,
+                req_id=req.req_id, op=req.op, sector=req.sector,
+                nbytes=req.nbytes,
+            )
         for bio in req.bios:
             bio.done.succeed(bio)
 

@@ -32,7 +32,7 @@ from ..simulator import (
     StatsRegistry,
     WaitQueue,
 )
-from ..units import PAGE_SIZE, SECTORS_PER_PAGE
+from ..units import SECTORS_PER_PAGE
 from .blockdev import READ, WRITE, Bio, RequestQueue
 from .frames import FrameAllocator
 from .lru import PageLRU
@@ -231,14 +231,14 @@ class VMM:
         pending = aspace.swapin_pending.get(page)
         if pending is not None:
             yield pending
-            self._record_stall(aspace, t0)
+            self._record_stall(aspace, t0, page, "fault.wait")
             return
         wb = aspace.writeback.get(page)
         if wb is not None:
             # Page is being cleaned; wait, then fall through to swap-in.
             yield wb
         if aspace.resident[page]:
-            self._record_stall(aspace, t0)
+            self._record_stall(aspace, t0, page, "fault.wait")
             return
         if aspace.swap_slot[page] < 0:
             # First touch of an anonymous page: allocate a zeroed frame.
@@ -248,16 +248,25 @@ class VMM:
             aspace.minor_faults += 1
             self._c_minor.add()
             self._stamp_one(aspace, page)
+            self._record_stall(aspace, t0, page, "fault.minor")
         else:
             yield from self._swapin(aspace, page)
             aspace.major_faults += 1
             self._c_major.add()
-        self._record_stall(aspace, t0)
+            self._record_stall(aspace, t0, page, "fault.major")
 
-    def _record_stall(self, aspace: AddressSpace, t0: float) -> None:
+    def _record_stall(
+        self, aspace: AddressSpace, t0: float, page: int, kind: str
+    ) -> None:
         dt = self.sim.now - t0
         aspace.stall_usec += dt
         self._t_fault_stall.record(dt)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.complete(
+                self.name, aspace.name, kind, "vm.fault",
+                t0, self.sim.now, page=page,
+            )
 
     def _stamp_one(self, aspace: AddressSpace, page: int) -> None:
         arr = np.array([page], dtype=np.int64)
@@ -267,6 +276,7 @@ class VMM:
 
     def _swapin(self, aspace: AddressSpace, page: int):
         """Read the page back, with aligned-window read-ahead."""
+        t0 = self.sim.now
         area_idx = int(aspace.swap_area[page])
         area = self._area_registry[area_idx]
         slot = int(aspace.swap_slot[page])
@@ -343,6 +353,12 @@ class VMM:
         yield from self.cpus.run(
             self.params.swapin_page_overhead * len(group)
         )
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.complete(
+                self.name, aspace.name, "swapin", "vm.swapin",
+                t0, self.sim.now, page=page, group=len(group),
+            )
 
     # -- frame allocation with reclaim ---------------------------------------
 
@@ -418,6 +434,7 @@ class VMM:
     def _pageout(self, aspace: AddressSpace, pages: np.ndarray):
         """Queue dirty ``pages`` for swap-out write-back; generator."""
         params = self.params
+        t0 = self.sim.now
         # Throttle: bound write-back bytes in flight (2.4 dirty throttling).
         while self.wb_inflight >= params.max_writeback_pages:
             yield self.wb_waiters.wait()
@@ -455,6 +472,14 @@ class VMM:
 
                 bio_done.callbacks.append(on_write_done)
                 area.queue.submit_bio(bio)
+        trace = self.sim.trace
+        if trace.enabled:
+            # Slot allocation + bio submission; the writes themselves
+            # complete asynchronously under blk.service.
+            trace.complete(
+                self.name, aspace.name, "pageout", "vm.pageout",
+                t0, self.sim.now, pages=len(pages),
+            )
 
     # -- invariants / quiescing ------------------------------------------------
 

@@ -15,7 +15,7 @@ from ..net.fabrics import TCPParams
 from ..simulator import SimulationError, Simulator, StatsRegistry
 from ..tcpip import Connection, TCPStack, connect_tcp
 from ..units import SECTOR_SIZE
-from .server import NBD_REPLY_BYTES, NBD_REQUEST_BYTES, NBDServer
+from .server import NBD_REQUEST_BYTES, NBDServer
 
 __all__ = ["NBDClient"]
 
@@ -118,4 +118,11 @@ class NBDClient:
             if kind != "ack":
                 raise SimulationError(f"{self.name}: unexpected reply {kind!r}")
             self._t_req.record(sim.now - t0)
+            trace = sim.trace
+            if trace.enabled:
+                trace.complete(
+                    self.name, "driver", "tcp_rtt", "nbd.rtt",
+                    t0, sim.now,
+                    req_id=req.req_id, op=req.op, nbytes=req.nbytes,
+                )
             self.queue.complete(req)

@@ -25,7 +25,7 @@ protocol processing and copies; for RDMA nearly all of it is wire/DMA.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..units import KiB, PAGE_SIZE
 from .model import CostModel, LinearCost, PiecewiseLinearCost

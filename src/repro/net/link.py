@@ -95,6 +95,7 @@ class Fabric:
         # each in a fixed (tx-then-rx) order cannot form a cycle.
         yield src.tx.acquire()
         yield dst.rx.acquire()
+        t_wire = self.sim.now
         serialization = nbytes * byte_time
         if serialization > 0:
             yield self.sim.timeout(serialization)
@@ -106,4 +107,20 @@ class Fabric:
             yield self.sim.timeout(latency)
         self.stats.counter(f"fabric.bytes.{tag}").add(nbytes)
         self.stats.tally("fabric.transfer_usec").record(self.sim.now - t_start)
+        trace = self.sim.trace
+        if trace.enabled:
+            # Port queueing is a host-side stage; the wire span proper is
+            # serialization + latency, which is what the §6.2 Amdahl
+            # model calls "network" (control messages get their own cat
+            # so data wire time stays comparable to the model's).
+            if t_wire > t_start:
+                trace.complete(
+                    "fabric", src.name, "port_wait", "net.wait",
+                    t_start, t_wire, tag=tag, nbytes=nbytes,
+                )
+            trace.complete(
+                "fabric", src.name, tag,
+                "ctrl" if tag == "ib_send" else "wire",
+                t_wire, self.sim.now, nbytes=nbytes, dst=dst.name,
+            )
         done.succeed(nbytes)

@@ -1,0 +1,46 @@
+"""Observability: cross-layer request tracing + periodic metrics.
+
+* :mod:`repro.obs.trace` — :class:`Span`/:class:`TraceRecorder` over the
+  simulated clock, with Chrome trace-event (Perfetto) and CSV exporters.
+  Every simulator carries a recorder at ``sim.trace`` (disabled by
+  default, near-zero cost); ``run_scenario(cfg, trace=True)`` turns it
+  on for a run.
+* :mod:`repro.obs.metrics` — :class:`MetricsHub`, a simulated-time
+  ``vmstat`` sampler feeding :class:`~repro.simulator.stats.TimeSeries`
+  collectors and trace counter tracks.
+
+``MetricsHub`` is re-exported lazily: the simulator core imports
+``repro.obs.trace`` while loading, so this ``__init__`` must not pull in
+the kernel layer eagerly.
+"""
+
+from .trace import (
+    NULL_TRACE,
+    NullTraceRecorder,
+    Span,
+    TraceRecorder,
+    chrome_trace,
+    chrome_trace_json,
+    spans_to_csv,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "NullTraceRecorder",
+    "NULL_TRACE",
+    "chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "spans_to_csv",
+    "MetricsHub",
+]
+
+
+def __getattr__(name: str):
+    if name == "MetricsHub":
+        from .metrics import MetricsHub
+
+        return MetricsHub
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,116 @@
+"""Periodic metrics sampling: `/proc/vmstat` as a time series.
+
+The :class:`MetricsHub` runs as a simulation process that samples
+:func:`repro.kernel.vmstat.vmstat` on a fixed simulated-time interval
+and records each field into :class:`~repro.simulator.stats.TimeSeries`
+collectors (metric names follow the ``obs.vmstat.<field>`` convention —
+see ``docs/OBSERVABILITY.md``).  When the node's simulator has tracing
+enabled, every sample also lands in the trace as Chrome counter events,
+so Perfetto plots memory pressure right under the request spans.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..simulator import StatsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..kernel.node import Node
+
+__all__ = ["MetricsHub"]
+
+#: VMStat fields sampled into time series, in metric-name order.
+VMSTAT_FIELDS = (
+    "free_bytes",
+    "resident_bytes",
+    "writeback_bytes",
+    "swapin_flight_bytes",
+    "pgfault_minor",
+    "pgfault_major",
+    "pswpin_pages",
+    "pswpout_pages",
+)
+
+
+class MetricsHub:
+    """Samples a node's VM state every ``interval_usec`` of simulated time.
+
+    Construct, then :meth:`start` once the node exists; the sampler is a
+    lazy background process, so an idle simulation is never kept alive
+    by it (``Simulator.run(until=...)`` semantics are unaffected).
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        interval_usec: float = 1000.0,
+        stats: StatsRegistry | None = None,
+        prefix: str = "obs.vmstat",
+    ) -> None:
+        if interval_usec <= 0:
+            raise ValueError(f"interval must be positive, got {interval_usec}")
+        self.node = node
+        self.sim = node.sim
+        self.interval_usec = interval_usec
+        self.stats = stats if stats is not None else node.stats
+        self.prefix = prefix
+        self.samples = 0
+        self._running = False
+        self._series = {
+            field: self.stats.timeseries(f"{prefix}.{field}")
+            for field in VMSTAT_FIELDS
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.spawn(self._sampler(), name=f"{self.prefix}.sampler")
+
+    def stop(self) -> None:
+        """Stop after the next tick (no mid-interval cancellation needed)."""
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- sampling --------------------------------------------------------
+
+    def sample(self) -> None:
+        """Take one sample immediately (also usable without start())."""
+        from ..kernel.vmstat import vmstat  # late: avoids an import cycle
+
+        stat = vmstat(self.node)
+        now = self.sim.now
+        for field, series in self._series.items():
+            series.record(now, float(getattr(stat, field)))
+        self.samples += 1
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.counter(
+                self.node.name,
+                "vmstat.memory_bytes",
+                free=float(stat.free_bytes),
+                resident=float(stat.resident_bytes),
+                writeback=float(stat.writeback_bytes),
+                swapin_flight=float(stat.swapin_flight_bytes),
+            )
+            trace.counter(
+                self.node.name,
+                "vmstat.pages",
+                pswpin=float(stat.pswpin_pages),
+                pswpout=float(stat.pswpout_pages),
+            )
+
+    def _sampler(self):
+        while self._running:
+            self.sample()
+            yield self.sim.timeout(self.interval_usec)
+
+    def series(self, field: str):
+        """The recorded :class:`TimeSeries` for one VMStat field."""
+        return self._series[field]

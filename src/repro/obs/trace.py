@@ -1,0 +1,410 @@
+"""Cross-layer request tracing over the simulated clock.
+
+Every layer a swap request crosses — VM fault handler, block layer,
+HPBD/NBD driver, fabric ports, memory server — records :class:`Span`
+objects into one shared :class:`TraceRecorder`, tagged with the request
+identity (``req_id``, ``op``, ``sector``, ``nbytes``).  The result is
+the measured counterpart of the paper's §6.2 decomposition: instead of
+inferring the network share of swap overhead from two run times
+(`repro.analysis.amdahl`), the trace *shows* where each request spent
+its time.
+
+Design rules:
+
+* **Simulated time** — timestamps come from a ``clock`` callable
+  (``sim.now``); nothing here reads the host clock, so traces are
+  deterministic and replayable.
+* **Near-zero cost when disabled** — components reach the recorder via
+  ``sim.trace`` which defaults to :data:`NULL_TRACE`; hot paths guard
+  with ``if trace.enabled:`` so a disabled run pays one attribute load
+  and a branch per site.
+* **Stdlib only** — this module imports nothing from the rest of the
+  package, so the simulator core can depend on it without cycles.
+
+Two exporters are provided: Chrome trace-event JSON (open it in
+Perfetto / ``chrome://tracing``) and a flat CSV for pandas/awk.  Span
+``cat`` values form the stage taxonomy documented in
+``docs/OBSERVABILITY.md`` and aggregated by
+:mod:`repro.analysis.breakdown`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections.abc import Callable
+from typing import Any, TextIO
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "NullTraceRecorder",
+    "NULL_TRACE",
+    "chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "spans_to_csv",
+]
+
+
+class Span:
+    """One timed interval on a named track.
+
+    ``component`` maps to a Chrome trace *process* (pid) and ``track``
+    to a *thread* (tid); ``cat`` is the stage taxonomy bucket the
+    breakdown analysis aggregates by; ``args`` carries request identity
+    (``req_id``, ``op``, ``sector``, ``nbytes``, ...).
+    """
+
+    __slots__ = ("component", "track", "name", "cat", "start", "dur", "args")
+
+    def __init__(
+        self,
+        component: str,
+        track: str,
+        name: str,
+        cat: str,
+        start: float,
+        dur: float,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        self.component = component
+        self.track = track
+        self.name = name
+        self.cat = cat
+        self.start = start
+        self.dur = dur
+        self.args = args
+
+    @property
+    def end(self) -> float:
+        return self.start + self.dur
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.cat}:{self.name} [{self.start:.1f}"
+            f"+{self.dur:.1f}µs] {self.component}/{self.track})"
+        )
+
+
+class _SpanHandle:
+    """An open span; close it with :meth:`end` (or as a context manager,
+    which works across ``yield`` inside simulation processes)."""
+
+    __slots__ = ("_rec", "component", "track", "name", "cat", "start", "args")
+
+    def __init__(
+        self,
+        rec: "TraceRecorder",
+        component: str,
+        track: str,
+        name: str,
+        cat: str,
+        start: float,
+        args: dict[str, Any] | None,
+    ) -> None:
+        self._rec = rec
+        self.component = component
+        self.track = track
+        self.name = name
+        self.cat = cat
+        self.start = start
+        self.args = args
+
+    def set(self, **kwargs: Any) -> "_SpanHandle":
+        """Attach/extend args after opening (e.g. once a size is known)."""
+        if self.args is None:
+            self.args = kwargs
+        else:
+            self.args.update(kwargs)
+        return self
+
+    def end(self, **kwargs: Any) -> None:
+        if kwargs:
+            self.set(**kwargs)
+        rec = self._rec
+        now = rec._clock()
+        rec.spans.append(
+            Span(
+                self.component,
+                self.track,
+                self.name,
+                self.cat,
+                self.start,
+                now - self.start,
+                self.args,
+            )
+        )
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end()
+        return False
+
+
+class _NullHandle:
+    """Shared no-op stand-in returned by a disabled recorder."""
+
+    __slots__ = ()
+
+    def set(self, **kwargs: Any) -> "_NullHandle":
+        return self
+
+    def end(self, **kwargs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class TraceRecorder:
+    """Collects spans, instants and counter samples for one simulation."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self.spans: list[Span] = []
+        #: (component, track, name, t, args)
+        self.instants: list[tuple[str, str, str, float, dict | None]] = []
+        #: (component, name, t, {series: value})
+        self.counters: list[tuple[str, str, float, dict[str, float]]] = []
+
+    # -- recording -------------------------------------------------------
+
+    def span(
+        self,
+        component: str,
+        track: str,
+        name: str,
+        cat: str,
+        **args: Any,
+    ) -> _SpanHandle:
+        """Open a span starting now; call ``.end()`` (or use ``with``)."""
+        return _SpanHandle(
+            self, component, track, name, cat, self._clock(), args or None
+        )
+
+    def complete(
+        self,
+        component: str,
+        track: str,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        **args: Any,
+    ) -> None:
+        """Record a span retrospectively from explicit timestamps —
+        the shape callback-driven layers (block completion) need."""
+        self.spans.append(
+            Span(component, track, name, cat, start, end - start, args or None)
+        )
+
+    def instant(
+        self, component: str, track: str, name: str, **args: Any
+    ) -> None:
+        self.instants.append(
+            (component, track, name, self._clock(), args or None)
+        )
+
+    def counter(self, component: str, name: str, **values: float) -> None:
+        """One sample of one or more co-plotted counter series."""
+        self.counters.append((component, name, self._clock(), dict(values)))
+
+    # -- views -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def stage_usec(self) -> dict[str, float]:
+        """Total span time per ``cat`` (the §6.2 stage totals)."""
+        out: dict[str, float] = {}
+        for span in self.spans:
+            out[span.cat] = out.get(span.cat, 0.0) + span.dur
+        return out
+
+
+class NullTraceRecorder:
+    """Disabled recorder: every operation is a no-op.
+
+    A single shared instance (:data:`NULL_TRACE`) is the default value
+    of ``Simulator.trace``; hot paths check :attr:`enabled` before
+    building span arguments.
+    """
+
+    enabled = False
+    spans: list[Span] = []
+    instants: list = []
+    counters: list = []
+
+    def span(self, *a: Any, **kw: Any) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def complete(self, *a: Any, **kw: Any) -> None:
+        pass
+
+    def instant(self, *a: Any, **kw: Any) -> None:
+        pass
+
+    def counter(self, *a: Any, **kw: Any) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def stage_usec(self) -> dict[str, float]:
+        return {}
+
+
+NULL_TRACE = NullTraceRecorder()
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+def chrome_trace(rec: TraceRecorder) -> dict[str, Any]:
+    """Render the recorder as a Chrome trace-event object.
+
+    Components become processes, tracks become threads; spans are
+    complete ("X") events, instants "i", counter samples "C".  ``ts`` is
+    microseconds — the simulator's native unit — so Perfetto displays
+    simulated time directly.
+    """
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    events: list[dict[str, Any]] = []
+    meta: list[dict[str, Any]] = []
+
+    def pid_of(component: str) -> int:
+        pid = pids.get(component)
+        if pid is None:
+            pid = pids[component] = len(pids) + 1
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": component},
+                }
+            )
+        return pid
+
+    def tid_of(component: str, track: str) -> int:
+        key = (component, track)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid_of(component),
+                    "tid": tid,
+                    "args": {"name": track or component},
+                }
+            )
+        return tid
+
+    for span in rec.spans:
+        evt: dict[str, Any] = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": span.start,
+            "dur": span.dur,
+            "pid": pid_of(span.component),
+            "tid": tid_of(span.component, span.track),
+        }
+        if span.args:
+            evt["args"] = span.args
+        events.append(evt)
+    for component, track, name, t, args in rec.instants:
+        evt = {
+            "name": name,
+            "ph": "i",
+            "s": "t",
+            "ts": t,
+            "pid": pid_of(component),
+            "tid": tid_of(component, track),
+        }
+        if args:
+            evt["args"] = args
+        events.append(evt)
+    for component, name, t, values in rec.counters:
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": t,
+                "pid": pid_of(component),
+                "tid": 0,
+                "args": values,
+            }
+        )
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "unit": "microseconds"},
+    }
+
+
+def chrome_trace_json(rec: TraceRecorder, indent: int | None = None) -> str:
+    return json.dumps(chrome_trace(rec), indent=indent)
+
+
+def write_chrome_trace(rec: TraceRecorder, path_or_file: "str | TextIO") -> None:
+    """Write the Chrome trace JSON to a path or open text file."""
+    if hasattr(path_or_file, "write"):
+        json.dump(chrome_trace(rec), path_or_file)
+    else:
+        with open(path_or_file, "w") as fh:
+            json.dump(chrome_trace(rec), fh)
+
+
+#: CSV columns: fixed trace geometry plus the common request-identity args.
+_CSV_FIELDS = (
+    "start_usec",
+    "dur_usec",
+    "component",
+    "track",
+    "cat",
+    "name",
+    "req_id",
+    "op",
+    "sector",
+    "nbytes",
+)
+
+
+def spans_to_csv(rec: TraceRecorder) -> str:
+    """Flat CSV of all spans (one row per span, stable column set)."""
+    buf = io.StringIO()
+    buf.write(",".join(_CSV_FIELDS) + "\n")
+    for span in rec.spans:
+        args = span.args or {}
+        row = (
+            f"{span.start:.3f}",
+            f"{span.dur:.3f}",
+            span.component,
+            span.track,
+            span.cat,
+            span.name,
+            str(args.get("req_id", "")),
+            str(args.get("op", "")),
+            str(args.get("sector", "")),
+            str(args.get("nbytes", "")),
+        )
+        buf.write(",".join(row) + "\n")
+    return buf.getvalue()

@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .simulator import StatsRegistry
 from .units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .obs.trace import TraceRecorder
 
 __all__ = ["InstanceResult", "ScenarioResult"]
 
@@ -46,6 +50,8 @@ class ScenarioResult:
     #: client-side driver copy time (HPBD pool memcpys), µs
     client_copy_usec: float
     registry: StatsRegistry = field(repr=False, default_factory=StatsRegistry)
+    #: cross-layer span recording (run_scenario(..., trace=True)), else None
+    trace: "TraceRecorder | None" = field(repr=False, default=None)
 
     @property
     def elapsed_sec(self) -> float:

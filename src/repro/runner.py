@@ -10,6 +10,8 @@ quiesces the VM, checks the ledgers, and returns a
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from .config import HPBD, DeviceConfig, LocalDisk, LocalMemory, NBD, ScenarioConfig
@@ -23,7 +25,10 @@ from .net.link import Fabric
 from .results import InstanceResult, ScenarioResult
 from .simulator import Simulator, StatsRegistry, all_of
 from .units import MiB, bytes_to_pages, pages_to_bytes
-from .workloads.base import Workload, execute
+from .workloads.base import execute
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .obs.metrics import MetricsHub
 
 __all__ = ["run_scenario", "build_scenario"]
 
@@ -31,9 +36,11 @@ __all__ = ["run_scenario", "build_scenario"]
 class _Scenario:
     """Everything constructed for one run (exposed for white-box tests)."""
 
-    def __init__(self, cfg: ScenarioConfig) -> None:
+    def __init__(self, cfg: ScenarioConfig, trace: bool = False) -> None:
         self.cfg = cfg
         self.sim = Simulator()
+        if trace:
+            self.sim.enable_tracing()
         self.stats = StatsRegistry()
         self.fabric = Fabric(self.sim, stats=self.stats)
         self.node = Node(
@@ -45,6 +52,11 @@ class _Scenario:
             vm_params=cfg.vm_params,
             stats=self.stats,
         )
+        self.metrics: "MetricsHub | None" = None
+        if trace:
+            from .obs import MetricsHub
+
+            self.metrics = MetricsHub(self.node, stats=self.stats)
         self.hpbd_client: HPBDClient | None = None
         self.hpbd_servers: list[HPBDServer] = []
         self.nbd_client: NBDClient | None = None
@@ -153,6 +165,8 @@ class _Scenario:
                 yield from self.nbd_client.connect()
             if self.queue is not None:
                 self.node.swapon(self.queue, cfg.swap_bytes)
+            if self.metrics is not None:
+                self.metrics.start()
             t_start = sim.now
             procs = []
             for i, workload in enumerate(cfg.workloads):
@@ -181,6 +195,8 @@ class _Scenario:
                     )
                 )
             wall = sim.now - t_start
+            if self.metrics is not None:
+                self.metrics.stop()
             yield from self.node.vmm.quiesce()
             # Post-run integrity: ledgers must balance.
             self.node.vmm.check_frame_accounting()
@@ -231,14 +247,20 @@ class _Scenario:
                 self.hpbd_client.copy_usec if self.hpbd_client is not None else 0.0
             ),
             registry=stats,
+            trace=self.sim.trace if self.sim.trace.enabled else None,
         )
 
 
-def build_scenario(cfg: ScenarioConfig) -> _Scenario:
+def build_scenario(cfg: ScenarioConfig, trace: bool = False) -> _Scenario:
     """Construct without running (white-box tests poke at the pieces)."""
-    return _Scenario(cfg)
+    return _Scenario(cfg, trace=trace)
 
 
-def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
-    """Build and run one scenario to completion."""
-    return _Scenario(cfg).run()
+def run_scenario(cfg: ScenarioConfig, trace: bool = False) -> ScenarioResult:
+    """Build and run one scenario to completion.
+
+    With ``trace=True`` the run records a full cross-layer span tree
+    (``result.trace``) and samples vmstat counters, at some simulation
+    overhead; exporting is up to the caller (see :mod:`repro.obs`).
+    """
+    return _Scenario(cfg, trace=trace).run()

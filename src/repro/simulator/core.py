@@ -27,6 +27,7 @@ import heapq
 from collections.abc import Callable, Generator, Iterable
 from typing import Any
 
+from ..obs.trace import NULL_TRACE, TraceRecorder
 from .errors import (
     AlreadyTriggered,
     DeadProcess,
@@ -316,6 +317,16 @@ class Simulator:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._event_count = 0
+        #: cross-layer span recorder (repro.obs); the shared null
+        #: recorder by default, so instrument sites cost one attribute
+        #: load and an ``enabled`` check unless tracing is switched on.
+        self.trace = NULL_TRACE
+
+    def enable_tracing(self) -> TraceRecorder:
+        """Attach (or return) a live TraceRecorder bound to this clock."""
+        if not self.trace.enabled:
+            self.trace = TraceRecorder(clock=lambda: self.now)
+        return self.trace
 
     # -- factory helpers -------------------------------------------------
 

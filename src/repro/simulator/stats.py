@@ -54,7 +54,8 @@ class Tally:
 
     def record(self, value: float) -> None:
         if self._n == len(self._buf):
-            self._buf = np.resize(self._buf, len(self._buf) * 2)
+            # max() guards initial_capacity=0: doubling 0 stays 0.
+            self._buf = np.resize(self._buf, max(len(self._buf) * 2, 8))
         self._buf[self._n] = value
         self._n += 1
 
@@ -126,8 +127,9 @@ class TimeSeries:
 
     def record(self, t: float, value: float) -> None:
         if self._n == len(self._t):
-            self._t = np.resize(self._t, len(self._t) * 2)
-            self._v = np.resize(self._v, len(self._v) * 2)
+            newcap = max(len(self._t) * 2, 8)  # guard initial_capacity=0
+            self._t = np.resize(self._t, newcap)
+            self._v = np.resize(self._v, newcap)
         self._t[self._n] = t
         self._v[self._n] = value
         self._n += 1
@@ -208,6 +210,9 @@ class StatsRegistry:
                     "total": item.total,
                     "mean": item.mean,
                     "max": item.max,
+                    "p50": item.percentile(50),
+                    "p95": item.percentile(95),
+                    "p99": item.percentile(99),
                 }
             elif isinstance(item, TimeSeries):
                 out[name] = {

@@ -31,9 +31,9 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from ..units import KiB, MiB, PAGE_SIZE, bytes_to_pages
+from ..units import MiB, bytes_to_pages
 from .base import Workload
-from .ops import Compute, RandomTouch, SeqTouch, TraceOp
+from .ops import RandomTouch, SeqTouch, TraceOp
 
 __all__ = ["BarnesWorkload"]
 

@@ -9,7 +9,7 @@ real application gets from kswapd running ahead of it.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable
 
 import numpy as np
 

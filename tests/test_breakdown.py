@@ -1,0 +1,110 @@
+"""Measured §6.2 breakdown vs the Amdahl model on the Fig. 7 scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    direct_network_fraction,
+    format_breakdown,
+    measured_breakdown,
+    measured_network_fraction,
+    stage_totals,
+    wire_crosscheck,
+)
+from repro.config import HPBD, LocalMemory
+from repro.experiments import _scenario
+from repro.net.fabrics import IB_DEFAULT
+from repro.runner import run_scenario
+from repro.units import GiB, MiB
+from repro.workloads import QuicksortWorkload
+
+SCALE = 64
+
+
+def _quicksort():
+    return QuicksortWorkload(nelems=256 * 1024 * 1024 // SCALE)
+
+
+@pytest.fixture(scope="module")
+def traced_hpbd():
+    """The Fig. 7 quicksort over HPBD, traced (one run per module)."""
+    cfg = _scenario([_quicksort()], HPBD(), SCALE, 512 * MiB, GiB)
+    return run_scenario(cfg, trace=True)
+
+
+@pytest.fixture(scope="module")
+def local_base():
+    cfg = _scenario([_quicksort()], LocalMemory(), SCALE, 2 * GiB, GiB)
+    return run_scenario(cfg)
+
+
+class TestTracedRun:
+    def test_trace_attached_and_populated(self, traced_hpbd):
+        rec = traced_hpbd.trace
+        assert rec is not None and rec.enabled
+        assert len(rec.spans) > 1000
+        cats = stage_totals(traced_hpbd)
+        # every layer of the request path reported in
+        for expected in (
+            "vm.fault", "vm.swapin", "vm.pageout", "blk.queue",
+            "blk.service", "hpbd.copy", "hpbd.rtt", "hpbd.request",
+            "srv.handle", "srv.copy", "wire", "ctrl", "reg",
+        ):
+            assert cats.get(expected, 0.0) > 0.0, expected
+
+    def test_untraced_run_has_no_trace(self, local_base):
+        assert local_base.trace is None
+
+    def test_metrics_sampled(self, traced_hpbd):
+        ts = traced_hpbd.registry.get("obs.vmstat.free_bytes")
+        assert ts is not None and ts.count > 10
+        names = {name for (_c, name, _t, _v) in traced_hpbd.trace.counters}
+        assert "vmstat.memory_bytes" in names
+
+
+class TestAmdahlAgreement:
+    def test_wire_matches_model_within_15pct(self, traced_hpbd):
+        """Acceptance: measured wire time vs Σ rdma_write_cost(nbytes)
+        over the dispatched requests — the quantity the §6.2 Amdahl
+        calculator integrates — agree within 15 %."""
+        measured, modeled, rel_err = wire_crosscheck(
+            traced_hpbd, IB_DEFAULT.rdma_write_cost
+        )
+        assert measured > 0 and modeled > 0
+        assert rel_err < 0.15, (
+            f"measured {measured:.0f}µs vs modeled {modeled:.0f}µs "
+            f"({rel_err:.1%} apart)"
+        )
+
+    def test_network_fraction_matches_amdahl(self, traced_hpbd, local_base):
+        measured = measured_network_fraction(traced_hpbd, local_base)
+        amdahl = direct_network_fraction(
+            traced_hpbd, local_base, IB_DEFAULT.rdma_write_cost
+        )
+        assert measured == pytest.approx(amdahl, rel=0.15)
+        # and both reproduce the paper's conclusion: host-dominated
+        assert measured < 0.30
+
+
+class TestBreakdownTable:
+    def test_rows_and_fractions(self, traced_hpbd, local_base):
+        rows = measured_breakdown(traced_hpbd, local_base)
+        stages = [r.stage for r in rows]
+        assert "wire" in stages and "driver copy" in stages
+        assert "disk mechanism" not in stages  # HPBD run has no disk
+        for row in rows:
+            assert row.usec > 0
+            assert 0 < row.fraction < 1.5  # aggregate time, near overhead
+
+    def test_without_baseline_fractions_zero(self, traced_hpbd):
+        rows = measured_breakdown(traced_hpbd)
+        assert all(r.fraction == 0.0 for r in rows)
+
+    def test_requires_trace(self, local_base):
+        with pytest.raises(ValueError):
+            measured_breakdown(local_base)
+
+    def test_format(self, traced_hpbd, local_base):
+        text = format_breakdown(measured_breakdown(traced_hpbd, local_base))
+        assert "stage" in text and "wire" in text and "%" in text

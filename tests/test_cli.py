@@ -72,6 +72,42 @@ class TestCSVExport:
         assert not (tmp_path / "table1.csv").exists()
 
 
+class TestTrace:
+    def test_trace_writes_chrome_json_and_breakdown(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        csv = tmp_path / "spans.csv"
+        assert main([
+            "trace", "--scale", "128",
+            "-o", str(out), "--csv", str(csv),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "share of overhead" in text
+        assert "wire cross-check" in text
+        doc = json.loads(out.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X", "C"} <= phases
+        assert csv.read_text().startswith("start_usec,dur_usec,")
+
+    def test_trace_disk_device(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main([
+            "trace", "--device", "disk", "--workload", "testswap",
+            "--scale", "128", "-o", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "disk mechanism" in text
+        # no RDMA model to cross-check on the disk path
+        assert "wire cross-check" not in text
+
+    def test_trace_bad_device_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--device", "floppy"])
+
+    def test_trace_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--scale", "0"])
+
+
 class TestReport:
     def test_report_generates_markdown(self, capsys, tmp_path, monkeypatch):
         # Patch the experiment registry to only cheap entries so the

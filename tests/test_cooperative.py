@@ -6,8 +6,7 @@ import pytest
 
 from repro.hpbd import HPBDClient, HPBDServer, MemoryBroker, WeightedDistribution
 from repro.kernel import Node
-from repro.kernel.blockdev import Bio, WRITE
-from repro.simulator import Event, SimulationError
+from repro.simulator import SimulationError
 from repro.units import KiB, MiB, PAGE_SIZE
 
 

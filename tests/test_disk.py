@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.disk import DiskDevice, DiskModel, DiskParams, ST340014A
-from repro.kernel.blockdev import Bio, READ, WRITE
+from repro.disk import DiskDevice, DiskModel, ST340014A
+from repro.kernel.blockdev import Bio, WRITE
 from repro.simulator import Event
-from repro.units import KiB, MiB
+from repro.units import MiB
 
 
 class TestDiskModel:

@@ -14,7 +14,7 @@ from repro.hpbd import HPBDClient, HPBDServer
 from repro.kernel import Node
 from repro.kernel.blockdev import Bio, READ, WRITE
 from repro.simulator import Event, SimulationError
-from repro.units import KiB, MiB, PAGE_SIZE
+from repro.units import MiB, PAGE_SIZE
 
 
 @pytest.fixture

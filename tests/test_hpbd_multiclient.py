@@ -10,7 +10,7 @@ import pytest
 
 from repro.hpbd import HPBDClient, HPBDServer
 from repro.kernel import Node
-from repro.kernel.blockdev import Bio, READ, WRITE
+from repro.kernel.blockdev import Bio, WRITE
 from repro.simulator import Event, SimulationError
 from repro.units import KiB, MiB
 

@@ -27,7 +27,7 @@ class TestFirstFit:
 
     def test_first_fit_skips_small_holes(self, sim, pool):
         a = pool.try_alloc(4 * KiB)
-        b = pool.try_alloc(128 * KiB)
+        pool.try_alloc(128 * KiB)
         c = pool.try_alloc(4 * KiB)
         pool.free(a)  # 4K hole at 0
         d = pool.try_alloc(8 * KiB)  # does not fit the hole

@@ -97,7 +97,7 @@ class TestBlockingDistribution:
     def test_interior_request_never_splits(self):
         # A 128 KiB request entirely inside a chunk stays whole — the
         # common case that motivates the non-striped layout.
-        d = BlockingDistribution(GiB := 1 << 30, 8)
+        d = BlockingDistribution(1 << 30, 8)
         segs = d.split(10 * MiB, 128 * KiB)
         assert len(segs) == 1
 

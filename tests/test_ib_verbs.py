@@ -22,7 +22,6 @@ from repro.ib import (
     connect,
     connect_endpoints,
 )
-from repro.net import IB_DEFAULT
 from repro.units import KiB
 
 

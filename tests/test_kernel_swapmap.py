@@ -69,7 +69,7 @@ class TestSwapArea:
     def test_fragmented_fallback_to_singles(self):
         area = make_area(nslots=8)
         aspace = make_aspace()
-        slots = area.alloc_cluster(8, aspace, np.arange(8))
+        area.alloc_cluster(8, aspace, np.arange(8))
         # free every other slot: no contiguous run of 4 exists
         area.free_slots(np.array([0, 2, 4, 6]))
         got = area.alloc_cluster(4, aspace, np.arange(10, 14))

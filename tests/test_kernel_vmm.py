@@ -9,7 +9,7 @@ import pytest
 from repro.disk import DiskDevice
 from repro.kernel import Node, VMParams
 from repro.simulator import SimulationError
-from repro.units import MiB, PAGE_SIZE
+from repro.units import MiB
 
 
 @pytest.fixture
@@ -136,7 +136,6 @@ class TestEvictionAndSwapIn:
             yield from vmm.quiesce()
 
         run(sim, reread(sim))
-        out_before = stats.get("n0.vm.swapout_pages").total
 
         def evict_again(sim):
             # Touch other pages to push [0,64) out again.
@@ -337,7 +336,6 @@ class TestReadaheadEdges:
         """Faulting a slot near the end of the swap area must clip the
         read-ahead window, not run off the device."""
         vmm = swap_node.vmm
-        area = vmm.swap.areas[0]
         total = swap_node.frames.total_frames
         aspace = vmm.create_address_space(total * 2, "e")
 

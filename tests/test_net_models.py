@@ -6,14 +6,12 @@ import numpy as np
 import pytest
 
 from repro.net import (
-    Fabric,
     GIGE_DEFAULT,
     IB_DEFAULT,
     IPOIB_DEFAULT,
     LinearCost,
     MEMCPY,
     PiecewiseLinearCost,
-    REGISTRATION,
     memcpy_cost,
     registration_cost,
 )

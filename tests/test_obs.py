@@ -1,0 +1,239 @@
+"""The tracing/metrics subsystem: recorder semantics, exporter schema,
+metrics sampling, and the near-zero disabled path."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.disk import DiskDevice
+from repro.kernel import Node
+from repro.obs import (
+    NULL_TRACE,
+    MetricsHub,
+    TraceRecorder,
+    chrome_trace,
+    chrome_trace_json,
+    spans_to_csv,
+    write_chrome_trace,
+)
+from repro.simulator import Simulator
+from repro.units import MiB, PAGE_SIZE
+
+
+def make_recorder(sim: Simulator) -> TraceRecorder:
+    return TraceRecorder(clock=lambda: sim.now)
+
+
+class TestRecorder:
+    def test_complete_span(self, sim):
+        rec = make_recorder(sim)
+        rec.complete("vm", "as0", "fault", "vm.fault", 10.0, 35.0, page=7)
+        (span,) = rec.spans
+        assert span.start == 10.0
+        assert span.dur == 25.0
+        assert span.end == 35.0
+        assert span.args == {"page": 7}
+        assert len(rec) == 1
+
+    def test_open_end_span_uses_clock(self, sim, runner):
+        rec = make_recorder(sim)
+
+        def proc(sim):
+            handle = rec.span("blk", "q", "wait", "blk.queue", op="read")
+            yield sim.timeout(42.0)
+            handle.end(nbytes=4096)
+
+        runner(proc(sim))
+        (span,) = rec.spans
+        assert span.dur == 42.0
+        assert span.args == {"op": "read", "nbytes": 4096}
+
+    def test_context_manager_across_yields(self, sim, runner):
+        rec = make_recorder(sim)
+
+        def proc(sim):
+            with rec.span("net", "p0", "xfer", "wire"):
+                yield sim.timeout(5.0)
+                yield sim.timeout(5.0)
+
+        runner(proc(sim))
+        assert rec.spans[0].dur == 10.0
+
+    def test_stage_usec_aggregates_by_cat(self, sim):
+        rec = make_recorder(sim)
+        rec.complete("a", "t", "x", "wire", 0.0, 3.0)
+        rec.complete("b", "t", "y", "wire", 1.0, 5.0)
+        rec.complete("a", "t", "z", "reg", 0.0, 2.0)
+        assert rec.stage_usec() == {"wire": 7.0, "reg": 2.0}
+
+    def test_instants_and_counters(self, sim):
+        rec = make_recorder(sim)
+        rec.instant("vm", "as0", "oom", level=3)
+        rec.counter("node", "vmstat", free=100.0, used=28.0)
+        assert rec.instants[0][2] == "oom"
+        assert rec.counters[0][3] == {"free": 100.0, "used": 28.0}
+
+
+class TestNullTrace:
+    def test_disabled_and_inert(self, sim):
+        assert not NULL_TRACE.enabled
+        NULL_TRACE.complete("a", "t", "x", "wire", 0.0, 1.0)
+        NULL_TRACE.counter("a", "c", v=1.0)
+        NULL_TRACE.instant("a", "t", "i")
+        with NULL_TRACE.span("a", "t", "x", "wire") as h:
+            h.set(op="read")
+        assert len(NULL_TRACE) == 0
+        assert NULL_TRACE.spans == []
+        assert NULL_TRACE.stage_usec() == {}
+
+    def test_simulator_defaults_to_null(self):
+        sim = Simulator()
+        assert sim.trace is NULL_TRACE
+        assert not sim.trace.enabled
+
+    def test_enable_tracing_idempotent(self):
+        sim = Simulator()
+        rec = sim.enable_tracing()
+        assert rec.enabled
+        assert sim.trace is rec
+        assert sim.enable_tracing() is rec
+
+
+class TestChromeExport:
+    def _recorded(self, sim) -> TraceRecorder:
+        rec = make_recorder(sim)
+        rec.complete(
+            "hpbd0", "sender", "copy_in", "hpbd.copy", 2.0, 9.0,
+            req_id=5, op="write", nbytes=131072,
+        )
+        rec.complete("fabric", "compute", "rdma_read", "wire", 9.0, 150.0)
+        rec.instant("vm", "as0", "oom")
+        rec.counter("compute", "vmstat.pages", pswpin=3.0)
+        return rec
+
+    def test_schema(self, sim):
+        doc = chrome_trace(self._recorded(sim))
+        events = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        # every event carries the Chrome trace-event required keys
+        for evt in events:
+            assert evt["ph"] in ("M", "X", "i", "C")
+            assert isinstance(evt["pid"], int)
+            assert isinstance(evt["tid"], int)
+            if evt["ph"] != "M":
+                assert isinstance(evt["ts"], float)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 2
+        assert xs[0]["ts"] == 2.0 and xs[0]["dur"] == 7.0
+        assert xs[0]["args"]["req_id"] == 5
+        assert [e["ph"] for e in events if e["ph"] == "i"] == ["i"]
+        assert [e["ph"] for e in events if e["ph"] == "C"] == ["C"]
+
+    def test_process_thread_metadata(self, sim):
+        events = chrome_trace(self._recorded(sim))["traceEvents"]
+        procs = {
+            e["args"]["name"]: e["pid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        threads = {
+            (e["pid"], e["args"]["name"])
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert set(procs) == {"hpbd0", "fabric", "vm", "compute"}
+        # distinct components get distinct pids
+        assert len(set(procs.values())) == len(procs)
+        assert (procs["hpbd0"], "sender") in threads
+        # every X event's pid/tid resolves to declared metadata
+        for evt in events:
+            if evt["ph"] == "X":
+                assert evt["pid"] in procs.values()
+
+    def test_json_round_trip_and_file(self, sim, tmp_path):
+        rec = self._recorded(sim)
+        doc = json.loads(chrome_trace_json(rec))
+        assert doc == chrome_trace(rec)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(rec, str(path))
+        assert json.loads(path.read_text()) == doc
+        buf = io.StringIO()
+        write_chrome_trace(rec, buf)
+        assert json.loads(buf.getvalue()) == doc
+
+    def test_csv(self, sim):
+        text = spans_to_csv(self._recorded(sim))
+        lines = text.strip().splitlines()
+        assert lines[0] == (
+            "start_usec,dur_usec,component,track,cat,name,"
+            "req_id,op,sector,nbytes"
+        )
+        assert len(lines) == 3  # header + 2 spans
+        assert lines[1].split(",")[6] == "5"  # req_id carried through
+
+
+class TestMetricsHub:
+    def _swapping_node(self, sim, fabric):
+        n = Node(sim, fabric, "n0", mem_bytes=8 * MiB)
+        disk = DiskDevice(sim, swap_partition_bytes=32 * MiB, stats=n.stats)
+        n.swapon(disk.queue, 32 * MiB)
+        return n
+
+    def test_samples_timeseries(self, sim, fabric, runner):
+        n = self._swapping_node(sim, fabric)
+        hub = MetricsHub(n, interval_usec=500.0)
+        hub.start()
+        aspace = n.vmm.create_address_space((16 * MiB) // PAGE_SIZE, "a")
+
+        def app(sim):
+            for start in range(0, aspace.npages, 64):
+                yield from n.vmm.touch_run(
+                    aspace, start, min(start + 64, aspace.npages), write=True
+                )
+            hub.stop()
+
+        runner(app(sim))
+        ts = hub.series("free_bytes")
+        assert ts.count >= 2
+        assert ts.times()[0] < ts.times()[-1]
+        # the workload overcommits 2x, so free memory must have dipped
+        assert ts.values().min() < n.frames.total_frames * PAGE_SIZE / 2
+
+    def test_emits_trace_counters_when_tracing(self, sim, fabric, runner):
+        rec = sim.enable_tracing()
+        n = self._swapping_node(sim, fabric)
+        hub = MetricsHub(n, interval_usec=500.0)
+        hub.start()
+
+        def app(sim):
+            yield sim.timeout(2000.0)
+            hub.stop()
+
+        runner(app(sim))
+        names = {name for (_c, name, _t, _v) in rec.counters}
+        assert "vmstat.memory_bytes" in names
+        assert "vmstat.pages" in names
+
+    def test_start_stop_idempotent(self, sim, fabric, runner):
+        n = self._swapping_node(sim, fabric)
+        hub = MetricsHub(n, interval_usec=100.0)
+        hub.start()
+        hub.start()  # no second sampler process
+
+        def app(sim):
+            yield sim.timeout(250.0)
+            hub.stop()
+            hub.stop()
+            yield sim.timeout(500.0)
+
+        runner(app(sim))
+        assert not hub.running
+        # one sampler at 100 µs over 250 µs => exactly 3 samples
+        assert hub.samples == 3
+
+    def test_bad_interval_rejected(self, node):
+        with pytest.raises(ValueError):
+            MetricsHub(node, interval_usec=0.0)

@@ -153,7 +153,6 @@ class TestLRUProperties:
         # order: reference last-touch times must be non-decreasing,
         # comparing at batch granularity (page order inside one batch is
         # the batch's internal order).
-        ref_times = [reference[p] for p in got]
         batch_maxes = []
         for _a, arr in victims:
             batch_maxes.append(max(reference[int(p)] for p in arr))

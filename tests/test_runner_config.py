@@ -14,7 +14,7 @@ from repro import (
     build_scenario,
     run_scenario,
 )
-from repro.units import GiB, KiB, MiB
+from repro.units import GiB, MiB
 
 
 def small_workload():

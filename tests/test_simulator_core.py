@@ -164,7 +164,7 @@ class TestProcess:
             yield sim.timeout(1)
             raise RuntimeError("kaboom")
 
-        p = sim.spawn(proc(sim))
+        sim.spawn(proc(sim))
         with pytest.raises(RuntimeError, match="kaboom"):
             sim.run()
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.net import Fabric, GIGE_DEFAULT, IPOIB_DEFAULT
+from repro.simulator import Simulator
 from repro.tcpip import Listener, SocketError, TCPStack, connect_tcp
 
 
@@ -109,7 +110,6 @@ class TestDataTransfer:
 
     def test_send_costs_scale_with_size(self, sim, stacks):
         cc, sc = self._connected(sim, stacks)
-        t0 = sim.now
 
         def sender(sim, n):
             start = sim.now
@@ -156,7 +156,7 @@ class TestDataTransfer:
         """End-to-end: IPoIB beats GigE for 128 KiB messages (Fig. 1)."""
 
         def one_way(params):
-            s2 = Simulator = __import__("repro.simulator", fromlist=["Simulator"]).Simulator()
+            s2 = Simulator()
             f2 = Fabric(s2)
             a = TCPStack(s2, f2, "a", params)
             b = TCPStack(s2, f2, "b", params)

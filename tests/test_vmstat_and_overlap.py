@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.disk import DiskDevice
 from repro.hpbd import HPBDClient, HPBDServer
 from repro.kernel import Node, format_vmstat, vmstat
 from repro.kernel.blockdev import Bio, WRITE
 from repro.simulator import Event
-from repro.units import KiB, MiB, PAGE_SIZE
+from repro.units import MiB, PAGE_SIZE
 
 
 class TestVMStat:

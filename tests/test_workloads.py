@@ -7,7 +7,7 @@ import pytest
 
 from repro.disk import DiskDevice
 from repro.kernel import Node
-from repro.units import GiB, KiB, MiB, PAGE_SIZE
+from repro.units import GiB, MiB, PAGE_SIZE
 from repro.workloads import (
     BarnesWorkload,
     Compute,
