@@ -73,3 +73,50 @@ def test_store_pipeline_throughput(benchmark):
 
     events = benchmark(run)
     assert events > 5_000
+
+
+def test_relay_resume_throughput(benchmark):
+    """Yielding an already-processed event: the pooled relay fast path."""
+
+    def run():
+        sim = Simulator()
+        done = sim.event("done")
+        done.succeed(1)
+
+        def warm(sim):
+            yield done
+
+        sim.run(until=sim.spawn(warm(sim)))
+
+        def proc(sim):
+            for _ in range(10_000):
+                yield done
+
+        p = sim.spawn(proc(sim))
+        sim.run(until=p)
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events >= 10_000
+
+
+def test_warm_pool_timeout_throughput(benchmark):
+    """Timeout churn on a pre-warmed simulator: pure free-list reuse.
+
+    Compare against ``test_event_loop_throughput`` (cold allocations
+    amortized in) to see what the pool is worth on its own.
+    """
+    sim = Simulator()
+
+    def proc(sim):
+        for _ in range(10_000):
+            yield sim.timeout(1.0)
+
+    sim.run(until=sim.spawn(proc(sim)))  # fill the free list
+
+    def run():
+        p = sim.spawn(proc(sim))
+        sim.run(until=p)
+        return True
+
+    assert benchmark(run)

@@ -1,0 +1,93 @@
+"""Benchmarks of the sweep engine: cache hit path and end-to-end grids.
+
+The figure benches measure single scenarios; these measure the machinery
+that runs *grids* of them — the serial baseline, and the cached re-run
+that must be orders of magnitude faster (it only deserializes pickles).
+``REPRO_SCALE`` scales the scenario sizes as usual.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record, scale
+
+from repro.config import HPBD, NBD
+from repro.experiments import fig05_points
+from repro.sweep import ResultCache, SweepPoint, run_sweep, sweep_key
+
+
+@pytest.fixture(scope="module")
+def sweep_scale() -> int:
+    # Engine overhead does not depend on scenario size; keep the grid
+    # cheap even when REPRO_SCALE asks for big runs.
+    return max(scale(), 32)
+
+
+def test_sweep_serial_wall(benchmark, sweep_scale):
+    """A full fig05 device grid through the engine, serial, no cache."""
+    points = fig05_points(sweep_scale)
+
+    def run():
+        return run_sweep(points, workers=1)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.simulated == len(points)
+    record(
+        benchmark,
+        points=len(points),
+        wall_sec=report.wall_sec,
+        scale=sweep_scale,
+    )
+
+
+def test_sweep_cached_rerun(benchmark, sweep_scale, tmp_path_factory):
+    """Re-running an unchanged grid: zero re-simulated points."""
+    cache_dir = tmp_path_factory.mktemp("sweep-cache")
+    points = fig05_points(sweep_scale)
+    warm = run_sweep(points, cache=cache_dir)
+    assert warm.simulated == len(points)
+
+    def run():
+        return run_sweep(points, cache=cache_dir)
+
+    report = benchmark(run)
+    assert report.simulated == 0
+    assert report.cached == len(points)
+    record(benchmark, points=len(points), scale=sweep_scale)
+
+
+def test_fingerprint_cost(benchmark, sweep_scale):
+    """Keying a config must stay cheap relative to simulating it."""
+    point = fig05_points(sweep_scale)[1]  # hpbd
+    key = benchmark(lambda: sweep_key(point.cfg))
+    assert len(key) == 64
+
+
+def test_cache_get_cost(benchmark, sweep_scale, tmp_path_factory):
+    """Loading one cached ScenarioResult from disk."""
+    cache = ResultCache(tmp_path_factory.mktemp("one-point-cache"))
+    cfg = fig05_points(sweep_scale)[1].cfg
+    run_sweep([SweepPoint("hpbd", cfg)], cache=cache)
+    key = sweep_key(cfg)
+    result = benchmark(lambda: cache.get(key))
+    assert result is not None and result.label == "hpbd"
+
+
+def test_duplicate_grid_dedup(sweep_scale, tmp_path):
+    """Same config under different names simulates once (no benchmark:
+    a correctness guard that belongs next to the perf numbers)."""
+    cfg = fig05_points(sweep_scale)[1].cfg
+    report = run_sweep(
+        [SweepPoint("a", cfg), SweepPoint("b", cfg)], cache=tmp_path
+    )
+    assert report.simulated == 1
+
+
+def test_device_grid_keys_unique(sweep_scale):
+    points = fig05_points(sweep_scale) + [
+        SweepPoint("hpbd4", fig05_points(sweep_scale)[0].cfg.with_device(HPBD(nservers=4))),
+        SweepPoint("nbd", fig05_points(sweep_scale)[0].cfg.with_device(NBD("ipoib"))),
+    ]
+    keys = [sweep_key(p.cfg) for p in points]
+    assert len(set(keys)) == len(keys)

@@ -1,0 +1,151 @@
+"""Host-side performance measurement: DES throughput + sweep timings.
+
+This is the package's own perf trajectory: ``repro bench --json`` writes
+``BENCH_simulator.json`` with event-loop throughput (events/sec for the
+two hot shapes — timeout churn and already-processed relay resume) and
+figure-sweep wall-times (serial, parallel, cached re-run).  CI runs it
+as a smoke job with a conservative events/sec floor so a hot-path
+regression fails fast.
+
+Numbers here are host wall-clock, not simulated time — they measure the
+*simulator*, not the modelled system.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from typing import Any
+
+from .simulator import Simulator
+
+__all__ = [
+    "bench_timeout_churn",
+    "bench_relay_resume",
+    "bench_figure_sweep",
+    "run_bench",
+]
+
+
+def bench_timeout_churn(nevents: int = 100_000, rounds: int = 3) -> float:
+    """Events/sec for one process sleeping ``nevents`` times."""
+    best = float("inf")
+    for _ in range(rounds):
+        sim = Simulator()
+
+        def proc(sim):
+            for _ in range(nevents):
+                yield sim.timeout(1.0)
+
+        p = sim.spawn(proc(sim))
+        t0 = time.perf_counter()
+        sim.run(until=p)
+        best = min(best, time.perf_counter() - t0)
+    return nevents / best
+
+
+def bench_relay_resume(nevents: int = 100_000, rounds: int = 3) -> float:
+    """Events/sec for yielding an already-processed event (relay path)."""
+    best = float("inf")
+    for _ in range(rounds):
+        sim = Simulator()
+        done = sim.event("done")
+        done.succeed(1)
+
+        def warm(sim):
+            yield done
+
+        sim.run(until=sim.spawn(warm(sim)))
+
+        def proc(sim):
+            for _ in range(nevents):
+                yield done
+
+        p = sim.spawn(proc(sim))
+        t0 = time.perf_counter()
+        sim.run(until=p)
+        best = min(best, time.perf_counter() - t0)
+    return nevents / best
+
+
+def bench_figure_sweep(
+    scale: int = 64, workers: "int | str | None" = "auto"
+) -> dict[str, Any]:
+    """Time a 4-point fig07 device sweep: serial, parallel, cached re-run.
+
+    The four swap devices (HPBD, NBD over IPoIB and GigE, local disk)
+    form the grid; the local-memory baseline is excluded so every point
+    actually swaps.  The cached re-run must re-simulate zero points.
+    """
+    from .config import HPBD, LocalDisk, NBD
+    from .experiments import fig07_points
+    from .sweep import resolve_workers, run_sweep
+
+    devices = [HPBD(), NBD("ipoib"), NBD("gige"), LocalDisk()]
+    points = fig07_points(scale, devices)
+    nworkers = resolve_workers(workers)
+
+    t0 = time.perf_counter()
+    run_sweep(points, workers=1)
+    serial_sec = time.perf_counter() - t0
+
+    parallel_sec = None
+    if nworkers > 1:
+        t0 = time.perf_counter()
+        run_sweep(points, workers=nworkers)
+        parallel_sec = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        warm = run_sweep(points, workers=1, cache=tmp)
+        t0 = time.perf_counter()
+        rerun = run_sweep(points, workers=1, cache=tmp)
+        cached_sec = time.perf_counter() - t0
+
+    return {
+        "points": len(points),
+        "scale": scale,
+        "workers": nworkers,
+        "serial_sec": serial_sec,
+        "parallel_sec": parallel_sec,
+        "cached_rerun_sec": cached_sec,
+        "warm_simulated": warm.simulated,
+        "cached_points_resimulated": rerun.simulated,
+        "cached_speedup_vs_serial": serial_sec / cached_sec if cached_sec else None,
+    }
+
+
+def run_bench(
+    *,
+    nevents: int = 100_000,
+    rounds: int = 3,
+    sweep_scale: int = 64,
+    workers: "int | str | None" = "auto",
+    skip_sweep: bool = False,
+) -> dict[str, Any]:
+    """Run every benchmark; returns the JSON-ready payload."""
+    payload: dict[str, Any] = {
+        "schema": "repro-bench/1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+        "event_loop": {
+            "nevents": nevents,
+            "rounds": rounds,
+            "timeout_events_per_sec": bench_timeout_churn(nevents, rounds),
+            "relay_events_per_sec": bench_relay_resume(nevents, rounds),
+        },
+    }
+    if not skip_sweep:
+        payload["sweep"] = bench_figure_sweep(sweep_scale, workers)
+    return payload
+
+
+def write_bench_json(path: str, payload: dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")

@@ -237,6 +237,104 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _run_sweep_cmd(args) -> int:
+    """``repro sweep``: run figure grids through the parallel engine."""
+    from .experiments import SWEEPS
+    from .sweep import default_cache_dir, run_sweep
+    from .units import SEC
+
+    names = list(SWEEPS) if args.experiment == "all" else [args.experiment]
+    cache = False if args.no_cache else (args.cache or default_cache_dir())
+    payload: dict[str, dict] = {}
+    status = 0
+    for name in names:
+        builder, desc = SWEEPS[name]
+        points = builder(args.scale)
+        report = run_sweep(
+            points,
+            workers=args.workers,
+            cache=cache,
+            force=args.force,
+            progress=(
+                None if args.quiet
+                else lambda pname, how: print(f"  {pname}: {how}")
+            ),
+        )
+        print(
+            f"{name} — {desc}: {len(points)} points, "
+            f"{report.simulated} simulated, {report.cached} cached, "
+            f"{report.wall_sec:.2f} s wall (workers={report.workers})"
+        )
+        rows = [
+            [p.name, r.elapsed_usec * args.scale / SEC,
+             r.swapout_pages, r.swapin_pages]
+            for p, r in zip(report.points, report.results)
+        ]
+        print(format_table(
+            ["point", f"time (s, x{args.scale})", "out (pages)", "in (pages)"],
+            rows,
+        ))
+        print()
+        payload[name] = {
+            "points": {p.name: r.elapsed_sec * args.scale
+                       for p, r in zip(report.points, report.results)},
+            "simulated": report.simulated,
+            "cached": report.cached,
+            "wall_sec": report.wall_sec,
+            "workers": report.workers,
+        }
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"scale": args.scale, "sweeps": payload}, fh, indent=2)
+        print(f"wrote {args.json}")
+    return status
+
+
+def _run_bench(args) -> int:
+    """``repro bench``: measure the simulator itself, write JSON."""
+    from .bench import run_bench, write_bench_json
+
+    payload = run_bench(
+        nevents=args.events,
+        rounds=args.rounds,
+        sweep_scale=args.sweep_scale,
+        workers=args.workers if args.workers else "auto",
+        skip_sweep=args.skip_sweep,
+    )
+    loop = payload["event_loop"]
+    print(
+        f"event loop: timeout churn {loop['timeout_events_per_sec']:,.0f} ev/s, "
+        f"relay resume {loop['relay_events_per_sec']:,.0f} ev/s"
+    )
+    if "sweep" in payload:
+        sw = payload["sweep"]
+        par = (
+            f", parallel {sw['parallel_sec']:.2f} s (x{sw['workers']})"
+            if sw["parallel_sec"] is not None
+            else ""
+        )
+        print(
+            f"fig07 sweep ({sw['points']} points, scale=1/{sw['scale']}): "
+            f"serial {sw['serial_sec']:.2f} s{par}, cached re-run "
+            f"{sw['cached_rerun_sec']:.3f} s "
+            f"({sw['cached_points_resimulated']} re-simulated)"
+        )
+        if sw["cached_points_resimulated"] != 0:
+            print("ERROR: cached re-run re-simulated points", file=sys.stderr)
+            return 1
+    write_bench_json(args.json, payload)
+    print(f"wrote {args.json}")
+    floor = args.min_events_per_sec
+    if floor and loop["timeout_events_per_sec"] < floor:
+        print(
+            f"ERROR: timeout churn {loop['timeout_events_per_sec']:,.0f} ev/s "
+            f"below floor {floor:,.0f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _report(scale: int, output: str) -> int:
     """Run every experiment, capturing the printed tables into markdown."""
     import contextlib
@@ -295,6 +393,63 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="Chrome trace-event JSON path (default: trace.json)",
     )
     tr.add_argument("--csv", metavar="PATH", help="also dump flat span CSV")
+    sw = sub.add_parser(
+        "sweep",
+        help="run a figure's scenario grid through the parallel sweep "
+        "engine with result caching",
+    )
+    from .experiments import SWEEPS as _SWEEPS
+
+    sw.add_argument("experiment", choices=[*_SWEEPS, "all"])
+    sw.add_argument(
+        "--scale", type=int, default=8,
+        help="size divisor; 1 = full paper sizes (default: 8)",
+    )
+    sw.add_argument(
+        "--workers", default=None,
+        help="process count, 'auto' = one per CPU (default: "
+        "$REPRO_SWEEP_WORKERS or serial)",
+    )
+    sw.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    sw.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    sw.add_argument(
+        "--force", action="store_true",
+        help="re-simulate every point (still refreshes the cache)",
+    )
+    sw.add_argument("--quiet", action="store_true", help="no per-point lines")
+    sw.add_argument("--json", metavar="PATH", help="dump raw numbers as JSON")
+    be = sub.add_parser(
+        "bench",
+        help="measure host-side simulator performance and write "
+        "BENCH_simulator.json",
+    )
+    be.add_argument(
+        "--json", metavar="PATH", default="BENCH_simulator.json",
+        help="output path (default: BENCH_simulator.json)",
+    )
+    be.add_argument("--events", type=int, default=100_000)
+    be.add_argument("--rounds", type=int, default=3)
+    be.add_argument(
+        "--sweep-scale", type=int, default=64,
+        help="scale divisor for the fig07 sweep benchmark (default: 64)",
+    )
+    be.add_argument(
+        "--workers", default=None,
+        help="process count for the parallel sweep leg (default: auto)",
+    )
+    be.add_argument(
+        "--skip-sweep", action="store_true",
+        help="event-loop microbenchmarks only",
+    )
+    be.add_argument(
+        "--min-events-per-sec", type=float, default=0.0,
+        help="fail (exit 1) if timeout churn drops below this floor",
+    )
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
     run.add_argument(
@@ -325,6 +480,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.scale < 1:
             parser.error("--scale must be >= 1")
         return _run_trace(args)
+    if args.command == "sweep":
+        if args.scale < 1:
+            parser.error("--scale must be >= 1")
+        return _run_sweep_cmd(args)
+    if args.command == "bench":
+        return _run_bench(args)
 
     if args.scale < 1:
         parser.error("--scale must be >= 1")

@@ -26,7 +26,7 @@ from .net.fabrics import (
     REGISTRATION,
 )
 from .results import ScenarioResult
-from .runner import run_scenario
+from .sweep import SweepPoint, run_sweep
 from .units import GiB, KiB, MiB
 from .workloads import BarnesWorkload, QuicksortWorkload, TestswapWorkload
 from .workloads.base import Workload
@@ -36,12 +36,19 @@ __all__ = [
     "fig01_latency",
     "fig03_registration",
     "fig05_testswap",
+    "fig05_points",
     "fig06_reqsize_run",
+    "fig06_points",
     "fig07_quicksort",
+    "fig07_points",
     "fig08_barnes",
+    "fig08_points",
     "fig09_concurrent",
+    "fig09_points",
     "fig10_servers",
+    "fig10_points",
     "sec62_runs",
+    "SWEEPS",
     "PAPER_FIG5",
     "PAPER_FIG7",
     "PAPER_FIG9",
@@ -140,51 +147,104 @@ def _scenario(
     )
 
 
-def fig05_testswap(
+def _device_points(
+    fig: str, scale: int, devices: list | None, make_workload
+) -> list[SweepPoint]:
+    """One point per device: the common fig05/07/08 grid shape."""
+    points = []
+    for dev in devices if devices is not None else DEVICES_DEFAULT():
+        w = make_workload()
+        mem = 2 * GiB if isinstance(dev, LocalMemory) else 512 * MiB
+        points.append(
+            SweepPoint(
+                f"{fig}/{dev.label}", _scenario([w], dev, scale, mem, GiB)
+            )
+        )
+    return points
+
+
+def _results(points, workers, cache, force=False) -> list[ScenarioResult]:
+    return run_sweep(points, workers=workers, cache=cache, force=force).results
+
+
+def fig05_points(
     scale: int = DEFAULT_SCALE, devices: list | None = None
+) -> list[SweepPoint]:
+    return _device_points(
+        "fig05", scale, devices,
+        lambda: TestswapWorkload(size_bytes=GiB // scale),
+    )
+
+
+def fig05_testswap(
+    scale: int = DEFAULT_SCALE,
+    devices: list | None = None,
+    *,
+    workers: "int | str | None" = None,
+    cache=None,
 ) -> list[ScenarioResult]:
     """Fig. 5: testswap over every device (512 MiB RAM, 1 GiB data)."""
-    out = []
-    for dev in devices if devices is not None else DEVICES_DEFAULT():
-        w = TestswapWorkload(size_bytes=GiB // scale)
-        mem = 2 * GiB if isinstance(dev, LocalMemory) else 512 * MiB
-        out.append(run_scenario(_scenario([w], dev, scale, mem, GiB)))
-    return out
+    return _results(fig05_points(scale, devices), workers, cache)
 
 
-def fig06_reqsize_run(scale: int = DEFAULT_SCALE) -> ScenarioResult:
+def fig06_points(scale: int = DEFAULT_SCALE) -> list[SweepPoint]:
+    w = TestswapWorkload(size_bytes=GiB // scale)
+    return [SweepPoint("fig06/hpbd", _scenario([w], HPBD(), scale, 512 * MiB, GiB))]
+
+
+def fig06_reqsize_run(
+    scale: int = DEFAULT_SCALE,
+    *,
+    workers: "int | str | None" = None,
+    cache=None,
+) -> ScenarioResult:
     """Fig. 6's input: the testswap-over-HPBD run with its request
     trace (cluster it with :func:`repro.analysis.cluster_requests`)."""
-    w = TestswapWorkload(size_bytes=GiB // scale)
-    return run_scenario(_scenario([w], HPBD(), scale, 512 * MiB, GiB))
+    return _results(fig06_points(scale), workers, cache)[0]
+
+
+def fig07_points(
+    scale: int = DEFAULT_SCALE, devices: list | None = None
+) -> list[SweepPoint]:
+    return _device_points(
+        "fig07", scale, devices,
+        lambda: QuicksortWorkload(nelems=256 * 1024 * 1024 // scale),
+    )
 
 
 def fig07_quicksort(
-    scale: int = DEFAULT_SCALE, devices: list | None = None
+    scale: int = DEFAULT_SCALE,
+    devices: list | None = None,
+    *,
+    workers: "int | str | None" = None,
+    cache=None,
 ) -> list[ScenarioResult]:
     """Fig. 7: quick sort of 256 Mi ints over every device."""
-    out = []
-    for dev in devices if devices is not None else DEVICES_DEFAULT():
-        w = QuicksortWorkload(nelems=256 * 1024 * 1024 // scale)
-        mem = 2 * GiB if isinstance(dev, LocalMemory) else 512 * MiB
-        out.append(run_scenario(_scenario([w], dev, scale, mem, GiB)))
-    return out
+    return _results(fig07_points(scale, devices), workers, cache)
+
+
+def fig08_points(
+    scale: int = 4, devices: list | None = None
+) -> list[SweepPoint]:
+    return _device_points(
+        "fig08", scale, devices,
+        lambda: BarnesWorkload(nbodies=2_097_152 // scale),
+    )
 
 
 def fig08_barnes(
-    scale: int = 4, devices: list | None = None
+    scale: int = 4,
+    devices: list | None = None,
+    *,
+    workers: "int | str | None" = None,
+    cache=None,
 ) -> list[ScenarioResult]:
     """Fig. 8: Barnes (2,097,152 bodies, 516 MiB peak) over every device.
 
     Default scale is 4 (not 8): Barnes's 4 MiB overflow margin gets
     noisy below ~1/4 size.
     """
-    out = []
-    for dev in devices if devices is not None else DEVICES_DEFAULT():
-        w = BarnesWorkload(nbodies=2_097_152 // scale)
-        mem = 2 * GiB if isinstance(dev, LocalMemory) else 512 * MiB
-        out.append(run_scenario(_scenario([w], dev, scale, mem, GiB)))
-    return out
+    return _results(fig08_points(scale, devices), workers, cache)
 
 
 @dataclass
@@ -197,15 +257,15 @@ class ConcurrentResult:
     slowdown: float
 
 
-def fig09_concurrent(
+def fig09_points(
     scale: int = DEFAULT_SCALE,
     nservers: int = 4,
     include_disk: bool = True,
-) -> list[ConcurrentResult]:
-    """Fig. 9: two concurrent quick sorts at 100 %/50 %/25 % memory.
+) -> list[SweepPoint]:
+    """Point 0 is the 100 %-memory baseline; the rest are the cells.
 
-    "for multiple application execution instances, each memory server is
-    configured with 512MB swap area" — total 2 GiB over ``nservers``.
+    Point names carry the memory label (``fig09/<device>@<memory>``) so
+    callers can recover the grid from a flat result list.
     """
     def two():
         return [
@@ -213,39 +273,99 @@ def fig09_concurrent(
             for i in range(2)
         ]
 
-    base = run_scenario(
-        _scenario(two(), LocalMemory(), scale, 2 * GiB + 256 * MiB, 0)
-    )
-    out = [ConcurrentResult("local", "local", base, 1.0)]
+    points = [
+        SweepPoint(
+            "fig09/local@local",
+            _scenario(two(), LocalMemory(), scale, 2 * GiB + 256 * MiB, 0),
+        )
+    ]
     for mem_label, mem in (("50%", GiB), ("25%", 512 * MiB)):
         devices = [HPBD(nservers=nservers)]
         if include_disk:
             devices.append(LocalDisk())
         for dev in devices:
-            r = run_scenario(_scenario(two(), dev, scale, mem, 2 * GiB))
-            out.append(
-                ConcurrentResult(
-                    r.label, mem_label, r, r.elapsed_usec / base.elapsed_usec
+            points.append(
+                SweepPoint(
+                    f"fig09/{dev.label}@{mem_label}",
+                    _scenario(two(), dev, scale, mem, 2 * GiB),
                 )
             )
+    return points
+
+
+def fig09_concurrent(
+    scale: int = DEFAULT_SCALE,
+    nservers: int = 4,
+    include_disk: bool = True,
+    *,
+    workers: "int | str | None" = None,
+    cache=None,
+) -> list[ConcurrentResult]:
+    """Fig. 9: two concurrent quick sorts at 100 %/50 %/25 % memory.
+
+    "for multiple application execution instances, each memory server is
+    configured with 512MB swap area" — total 2 GiB over ``nservers``.
+    """
+    points = fig09_points(scale, nservers, include_disk)
+    results = _results(points, workers, cache)
+    base = results[0]
+    out = [ConcurrentResult("local", "local", base, 1.0)]
+    for point, r in zip(points[1:], results[1:]):
+        mem_label = point.name.rsplit("@", 1)[1]
+        out.append(
+            ConcurrentResult(
+                r.label, mem_label, r, r.elapsed_usec / base.elapsed_usec
+            )
+        )
     return out
+
+
+def fig10_points(
+    scale: int = DEFAULT_SCALE, counts: tuple[int, ...] = (1, 2, 4, 8, 16)
+) -> list[SweepPoint]:
+    points = []
+    for n in counts:
+        w = QuicksortWorkload(nelems=256 * 1024 * 1024 // scale)
+        points.append(
+            SweepPoint(
+                f"fig10/n{n}",
+                _scenario([w], HPBD(nservers=n), scale, 512 * MiB, GiB),
+            )
+        )
+    return points
 
 
 def fig10_servers(
-    scale: int = DEFAULT_SCALE, counts: tuple[int, ...] = (1, 2, 4, 8, 16)
+    scale: int = DEFAULT_SCALE,
+    counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+    *,
+    workers: "int | str | None" = None,
+    cache=None,
 ) -> list[tuple[int, ScenarioResult]]:
     """Fig. 10: quick sort vs number of memory servers."""
-    out = []
-    for n in counts:
-        w = QuicksortWorkload(nelems=256 * 1024 * 1024 // scale)
-        r = run_scenario(
-            _scenario([w], HPBD(nservers=n), scale, 512 * MiB, GiB)
-        )
-        out.append((n, r))
-    return out
+    results = _results(fig10_points(scale, counts), workers, cache)
+    return list(zip(counts, results))
 
 
-def sec62_runs(scale: int = DEFAULT_SCALE) -> dict[str, ScenarioResult]:
+def sec62_runs(
+    scale: int = DEFAULT_SCALE,
+    *,
+    workers: "int | str | None" = None,
+    cache=None,
+) -> dict[str, ScenarioResult]:
     """The four testswap runs the §6.2 Amdahl analysis needs."""
-    results = fig05_testswap(scale)
+    results = fig05_testswap(scale, workers=workers, cache=cache)
     return {r.label: r for r in results}
+
+
+#: Sweepable experiments: name -> (points builder taking ``scale``,
+#: human description).  Used by ``repro sweep``.
+SWEEPS: dict = {
+    "fig05": (fig05_points, "testswap across devices"),
+    "fig06": (fig06_points, "testswap over HPBD (request trace)"),
+    "fig07": (fig07_points, "quick sort across devices"),
+    "fig08": (lambda scale: fig08_points(max(1, scale // 2)),
+              "Barnes across devices"),
+    "fig09": (fig09_points, "two concurrent quick sorts"),
+    "fig10": (fig10_points, "quick sort vs number of servers"),
+}

@@ -53,6 +53,21 @@ class ScenarioResult:
     #: cross-layer span recording (run_scenario(..., trace=True)), else None
     trace: "TraceRecorder | None" = field(repr=False, default=None)
 
+    def __getstate__(self) -> dict:
+        """Pickle support for the sweep process pool and result cache.
+
+        The live trace recorder closes over the simulator clock (a
+        lambda) and cannot cross a process boundary; it is dropped.  The
+        stats registry serializes as-is — its collectors are plain
+        numpy-backed objects — so cached results keep every counter.
+        """
+        state = self.__dict__.copy()
+        state["trace"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     @property
     def elapsed_sec(self) -> float:
         return self.elapsed_usec / SEC

@@ -19,11 +19,25 @@ events use ``__slots__``, and the run loop avoids attribute lookups in the
 inner loop.  The simulated workloads are written so that *resident* page
 touches never enter this kernel at all — only misses and I/O become
 events.
+
+Allocation is the other host-side cost: a ``scale=1`` run retires tens of
+millions of events, and the classic generator-DES shape allocates a fresh
+``Timeout`` (or internal relay event) per yield.  Following the batched /
+pooled event idiom of PR-SIM-style simulators, the loop keeps free lists
+of ``Timeout`` and plain ``Event`` objects and recycles an event after
+its callbacks have run **only when the loop holds the last reference**
+(checked with ``sys.getrefcount``), so any event a process or test still
+points at keeps its triggered state forever.  The heap entry is a slim
+``(time, key, event)`` 3-tuple where ``key`` folds the priority into the
+high bits of the sequence number, preserving the deterministic
+``(time, priority, seq)`` total order with one less tuple slot to
+compare.
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
 from collections.abc import Callable, Generator, Iterable
 from typing import Any
 
@@ -57,6 +71,19 @@ LAZY = 2
 ProcessGen = Generator["Event", Any, Any]
 
 _PENDING = object()
+
+#: Heap keys are ``(priority << _PRIO_SHIFT) + seq`` — priority dominates,
+#: then FIFO insertion order.  2**52 events per run is far beyond reach.
+_PRIO_SHIFT = 52
+_URGENT_BASE = URGENT << _PRIO_SHIFT
+_NORMAL_BASE = NORMAL << _PRIO_SHIFT
+
+#: Free-list cap: recycling is a win only while the pool stays cache-warm.
+_POOL_MAX = 4096
+
+_getrefcount = sys.getrefcount
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class Event:
@@ -117,7 +144,11 @@ class Event:
             raise AlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._enqueue(self, 0.0, priority)
+        sim = self.sim
+        sim._seq += 1
+        _heappush(
+            sim._heap, (sim.now, (priority << _PRIO_SHIFT) + sim._seq, self)
+        )
         return self
 
     def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
@@ -128,7 +159,11 @@ class Event:
             raise AlreadyTriggered(f"{self!r} already triggered")
         self._ok = False
         self._value = exc
-        self.sim._enqueue(self, 0.0, priority)
+        sim = self.sim
+        sim._seq += 1
+        _heappush(
+            sim._heap, (sim.now, (priority << _PRIO_SHIFT) + sim._seq, self)
+        )
         return self
 
     def trigger(self, other: "Event") -> None:
@@ -149,7 +184,12 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed delay.  Created pre-triggered."""
+    """An event that fires after a fixed delay.  Created pre-triggered.
+
+    The name is the constant ``"timeout"`` (not an interpolated string):
+    formatting the delay per instance dominated the allocation cost of
+    the hottest path in the whole kernel.  ``delay`` carries the number.
+    """
 
     __slots__ = ("delay",)
 
@@ -162,24 +202,15 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise SchedulingInPast(sim.now, sim.now + delay)
-        super().__init__(sim, name=f"timeout({delay:g})")
+        super().__init__(sim, name="timeout")
         self.delay = delay
         self._ok = True
         self._value = value
-        sim._enqueue(self, delay, priority)
-
-
-class Initialize(Event):
-    """Internal event that starts a freshly spawned process."""
-
-    __slots__ = ()
-
-    def __init__(self, sim: "Simulator", process: "Process") -> None:
-        super().__init__(sim, name="init")
-        self._ok = True
-        self._value = None
-        self.callbacks.append(process._resume)
-        sim._enqueue(self, 0.0, URGENT)
+        sim._seq += 1
+        _heappush(
+            sim._heap,
+            (sim.now + delay, (priority << _PRIO_SHIFT) + sim._seq, self),
+        )
 
 
 class Process(Event):
@@ -203,7 +234,11 @@ class Process(Event):
         self._gen = gen
         #: the event this process is currently blocked on (None if ready)
         self._waiting_on: Event | None = None
-        Initialize(sim, self)
+        # Kick-off: an urgent pre-triggered event whose callback is the
+        # first resume (drawn from the free list when one is available).
+        init = sim._internal_event("init", True, None, self._resume)
+        sim._seq += 1
+        _heappush(sim._heap, (sim.now, _URGENT_BASE + sim._seq, init))
 
     @property
     def is_alive(self) -> bool:
@@ -233,11 +268,12 @@ class Process(Event):
                 waiting.abandoned = True
         self._waiting_on = None
         # Deliver via a dedicated urgent event so ordering stays in the heap.
-        evt = Event(self.sim, name="interrupt")
-        evt.callbacks.append(self._deliver_interrupt)
-        evt._ok = False
-        evt._value = Interrupted(cause)
-        self.sim._enqueue(evt, 0.0, URGENT)
+        sim = self.sim
+        evt = sim._internal_event(
+            "interrupt", False, Interrupted(cause), self._deliver_interrupt
+        )
+        sim._seq += 1
+        _heappush(sim._heap, (sim.now, _URGENT_BASE + sim._seq, evt))
 
     # -- internals -------------------------------------------------------
 
@@ -290,12 +326,14 @@ class Process(Event):
             return
         if target.callbacks is None:
             # Already processed: resume immediately-but-not-recursively via
-            # an urgent zero-delay event to keep the stack flat.
-            relay = Event(sim, name="relay")
-            relay._ok = target._ok
-            relay._value = target._value
-            relay.callbacks.append(self._resume)
-            sim._enqueue(relay, 0.0, URGENT)
+            # an urgent zero-delay relay event to keep the stack flat.  The
+            # relay never escapes this module, so it is drawn from (and
+            # returns to) the free list.
+            relay = sim._internal_event(
+                "relay", target._ok, target._value, self._resume
+            )
+            sim._seq += 1
+            _heappush(sim._heap, (sim.now, _URGENT_BASE + sim._seq, relay))
             self._waiting_on = relay
         else:
             target.callbacks.append(self._resume)
@@ -314,9 +352,13 @@ class Simulator:
         self.now: float = 0.0
         self.strict = strict
         self.active_process: Process | None = None
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._event_count = 0
+        #: free lists of recycled one-shot events (exact types only);
+        #: repopulated by the run loop when it held the last reference.
+        self._timeout_pool: list[Timeout] = []
+        self._event_pool: list[Event] = []
         #: cross-layer span recorder (repro.obs); the shared null
         #: recorder by default, so instrument sites cost one attribute
         #: load and an ``enabled`` check unless tracing is switched on.
@@ -331,10 +373,52 @@ class Simulator:
     # -- factory helpers -------------------------------------------------
 
     def event(self, name: str = "") -> Event:
+        pool = self._event_pool
+        if pool:
+            evt = pool.pop()
+            evt.callbacks = []
+            evt._value = _PENDING
+            evt._ok = None
+            evt.abandoned = False
+            evt.name = name
+            return evt
         return Event(self, name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool and delay >= 0:
+            to = pool.pop()
+            to.callbacks = []
+            to._ok = True
+            to._value = value
+            to.abandoned = False
+            to.delay = delay
+            self._seq += 1
+            _heappush(
+                self._heap, (self.now + delay, _NORMAL_BASE + self._seq, to)
+            )
+            return to
         return Timeout(self, delay, value)
+
+    def _internal_event(
+        self, name: str, ok: bool, value: Any, callback: Callable[[Event], None]
+    ) -> Event:
+        """A pre-triggered internal event (init/relay/interrupt), pooled.
+
+        The caller is responsible for pushing it onto the heap.
+        """
+        pool = self._event_pool
+        if pool:
+            evt = pool.pop()
+            evt.callbacks = [callback]
+            evt.abandoned = False
+            evt.name = name
+        else:
+            evt = Event(self, name)
+            evt.callbacks.append(callback)
+        evt._ok = ok
+        evt._value = value
+        return evt
 
     def spawn(self, gen: ProcessGen, name: str = "") -> Process:
         """Start a new process from generator ``gen``."""
@@ -349,13 +433,16 @@ class Simulator:
         if delay < 0:
             raise SchedulingInPast(self.now, self.now + delay)
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+        _heappush(
+            self._heap,
+            (self.now + delay, (priority << _PRIO_SHIFT) + self._seq, event),
+        )
 
     def schedule_call(
         self, delay: float, fn: Callable[[], None], priority: int = NORMAL
     ) -> Event:
         """Run a plain callable after ``delay`` (no process needed)."""
-        evt = Event(self, name="call")
+        evt = self.event("call")
         evt.callbacks.append(lambda _e: fn())
         evt._ok = True
         evt._value = None
@@ -374,7 +461,7 @@ class Simulator:
 
     def step(self) -> None:
         """Fire the single next event."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _key, event = _heappop(self._heap)
         if when < self.now:  # pragma: no cover - heap invariant
             raise SchedulingInPast(self.now, when)
         self.now = when
@@ -383,6 +470,23 @@ class Simulator:
         self._event_count += 1
         for cb in callbacks:
             cb(event)
+        self._recycle(event)
+
+    def _recycle(self, event: Event) -> None:
+        """Return a processed event to its free list — only if the run loop
+        holds the last reference, so events user code still points at are
+        never reused under it.  At the check, exactly three references
+        exist for a loop-only event: the caller's local, this function's
+        parameter, and ``getrefcount``'s own argument slot."""
+        cls = event.__class__
+        if cls is Timeout:
+            pool = self._timeout_pool
+        elif cls is Event:
+            pool = self._event_pool
+        else:
+            return
+        if _getrefcount(event) == 3 and len(pool) < _POOL_MAX:
+            pool.append(event)
 
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run until the heap drains, a deadline passes, or an event fires.
@@ -393,24 +497,16 @@ class Simulator:
           its value (raising it if the event failed).
         """
         if until is None:
-            while self._heap:
-                self.step()
+            self._drain(None)
             return None
 
         if isinstance(until, Event):
-            stop: list[Any] = []
-
-            def _catch(evt: Event) -> None:
-                stop.append(evt)
-
             if until.processed:
                 if not until._ok:
                     raise until._value
                 return until._value
-            until.callbacks.append(_catch)
-            while self._heap and not stop:
-                self.step()
-            if not stop:
+            self._drain(until)
+            if until.callbacks is not None:
                 raise SimulationError(
                     f"simulation ran dry before {until!r} triggered"
                 )
@@ -425,6 +521,42 @@ class Simulator:
             self.step()
         self.now = deadline
         return None
+
+    def _drain(self, until: "Event | None") -> None:
+        """The inner event loop: pop → fire callbacks → recycle.
+
+        Stops when the heap empties or ``until`` has been processed.  The
+        body is ``step()`` plus pooling, inlined: one method call per
+        event is measurable at tens of millions of events per run.
+        """
+        heap = self._heap
+        pop = _heappop
+        getrc = _getrefcount
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        count = 0
+        try:
+            while heap:
+                when, _key, event = pop(heap)
+                self.now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                count += 1
+                for cb in callbacks:
+                    cb(event)
+                if event is until:
+                    return
+                # Inline recycle: two references mean only the loop
+                # local (+ getrefcount's argument slot) is left.
+                cls = event.__class__
+                if cls is Timeout:
+                    if getrc(event) == 2 and len(timeout_pool) < _POOL_MAX:
+                        timeout_pool.append(event)
+                elif cls is Event:
+                    if getrc(event) == 2 and len(event_pool) < _POOL_MAX:
+                        event_pool.append(event)
+        finally:
+            self._event_count += count
 
     def run_all(self, procs: Iterable[Process]) -> list[Any]:
         """Run until every process in ``procs`` has finished."""

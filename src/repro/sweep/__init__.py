@@ -1,0 +1,30 @@
+"""Parallel sweep engine with on-disk result caching.
+
+Public surface::
+
+    from repro.sweep import SweepPoint, run_sweep
+
+    points = [SweepPoint("hpbd", cfg_hpbd), SweepPoint("disk", cfg_disk)]
+    report = run_sweep(points, workers="auto", cache=True)
+    report.results      # ScenarioResults, input order
+    report.simulated    # points actually run
+    report.cached       # points served from disk
+
+See ``docs/PERFORMANCE.md`` for cache keying and invalidation rules.
+"""
+
+from .cache import ResultCache, default_cache_dir
+from .engine import SweepPoint, SweepReport, resolve_workers, run_sweep
+from .fingerprint import code_fingerprint, config_fingerprint, sweep_key
+
+__all__ = [
+    "SweepPoint",
+    "SweepReport",
+    "run_sweep",
+    "resolve_workers",
+    "ResultCache",
+    "default_cache_dir",
+    "config_fingerprint",
+    "code_fingerprint",
+    "sweep_key",
+]

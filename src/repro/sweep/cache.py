@@ -1,0 +1,83 @@
+"""On-disk result cache for sweep points.
+
+One pickle file per point, sharded by key prefix::
+
+    <root>/ab/abcdef....pkl
+
+Keys come from :func:`repro.sweep.fingerprint.sweep_key`, which covers
+both the scenario configuration and the package source, so a stale
+entry can only mean "same code, same config" — safe to reuse.  Writes
+are atomic (tmp file + rename) so a crashed run never leaves a
+half-written entry; unreadable entries are treated as misses and
+removed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+__all__ = ["ResultCache", "default_cache_dir"]
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro-cache`` in the CWD."""
+    return Path(os.environ.get(_ENV_DIR, ".repro-cache"))
+
+
+class ResultCache:
+    """Content-addressed store of pickled :class:`ScenarioResult`\\ s."""
+
+    def __init__(self, root: "Path | str | None" = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any | None:
+        """The cached result for ``key``, or None on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt / truncated / version-skewed entry: drop and miss.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: Any) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        n = 0
+        if self.root.exists():
+            for path in self.root.glob("*/*.pkl"):
+                path.unlink(missing_ok=True)
+                n += 1
+        return n

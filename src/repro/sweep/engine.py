@@ -1,0 +1,176 @@
+"""Parallel scenario-execution engine with result caching.
+
+Every paper figure is a *sweep*: a grid of independent
+:func:`~repro.runner.run_scenario` calls (device x workload x scale x
+server-count).  The engine fans the grid out over a
+``ProcessPoolExecutor`` — simulations are pure CPU-bound functions of
+their config, so process-level parallelism is the right grain for a
+GIL-bound DES — and memoizes each point in an on-disk
+:class:`~repro.sweep.cache.ResultCache` keyed by the configuration and
+the package source hash.  Re-running a figure after an edit re-simulates
+only the points the edit could affect (all of them on a code change,
+none on a pure re-run).
+
+Simulations are deterministic, so serial, parallel and cached execution
+all yield bit-identical :class:`~repro.results.ScenarioResult` counters.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+from ..config import ScenarioConfig
+from ..results import ScenarioResult
+from .cache import ResultCache
+from .fingerprint import sweep_key
+
+__all__ = ["SweepPoint", "SweepReport", "run_sweep", "resolve_workers"]
+
+_ENV_WORKERS = "REPRO_SWEEP_WORKERS"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a sweep grid: a name plus the config to simulate."""
+
+    name: str
+    cfg: ScenarioConfig
+
+
+@dataclass
+class SweepReport:
+    """What one sweep did: the results plus cache/parallelism accounting."""
+
+    points: list[SweepPoint]
+    results: list[ScenarioResult]
+    simulated: int  # points actually run this call
+    cached: int  # points served from the cache
+    wall_sec: float  # host wall-clock for the whole sweep
+    workers: int  # process count used (1 = in-process serial)
+
+    @property
+    def by_name(self) -> dict[str, ScenarioResult]:
+        return {p.name: r for p, r in zip(self.points, self.results)}
+
+
+def resolve_workers(workers: "int | str | None") -> int:
+    """Normalize a worker request to a process count (>= 1).
+
+    ``None`` consults ``$REPRO_SWEEP_WORKERS`` (default 1 = serial);
+    ``"auto"`` or ``0`` means one worker per CPU.
+    """
+    if workers is None:
+        workers = os.environ.get(_ENV_WORKERS, "1")
+    if workers in ("auto", 0):
+        return os.cpu_count() or 1
+    n = int(workers)
+    if n < 1:
+        raise ValueError(f"workers must be >= 1, 0 or 'auto', got {workers!r}")
+    return n
+
+
+def _simulate_config(cfg: ScenarioConfig) -> ScenarioResult:
+    """Top-level so it pickles into pool workers."""
+    from ..runner import run_scenario
+
+    return run_scenario(cfg)
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    *,
+    workers: "int | str | None" = None,
+    cache: "ResultCache | str | os.PathLike | bool | None" = None,
+    force: bool = False,
+    progress: "Callable[[str, str], None] | None" = None,
+) -> SweepReport:
+    """Run every point, in parallel where possible, reusing cached results.
+
+    * ``workers`` — process count (see :func:`resolve_workers`); 1 runs
+      in-process with no executor overhead.
+    * ``cache`` — ``None``/``False`` disables caching; ``True`` uses the
+      default directory; a path or a :class:`ResultCache` selects one.
+    * ``force`` — ignore cached entries (still writes fresh ones).
+    * ``progress`` — optional ``fn(point_name, "cached"|"simulated")``
+      called as each point completes.
+
+    Points whose configs hash identically are simulated once and share
+    the result.  Results come back in input order.
+    """
+    points = list(points)
+    t0 = time.perf_counter()
+
+    store: ResultCache | None
+    if cache is None or cache is False:
+        store = None
+    elif cache is True:
+        store = ResultCache()
+    elif isinstance(cache, ResultCache):
+        store = cache
+    else:
+        store = ResultCache(cache)
+
+    results: list[ScenarioResult | None] = [None] * len(points)
+    keys: list[str | None] = [None] * len(points)
+    # Misses, deduplicated by key: owner index -> follower indices.
+    owners: dict[str, int] = {}
+    misses: list[int] = []
+    followers: dict[int, list[int]] = {}
+    for i, point in enumerate(points):
+        key = sweep_key(point.cfg) if store is not None else None
+        keys[i] = key
+        if store is not None and not force:
+            hit = store.get(key)
+            if hit is not None:
+                results[i] = hit
+                if progress is not None:
+                    progress(point.name, "cached")
+                continue
+        if key is not None and key in owners:
+            followers.setdefault(owners[key], []).append(i)
+            continue
+        if key is not None:
+            owners[key] = i
+        misses.append(i)
+
+    nworkers = resolve_workers(workers)
+    if misses:
+        if nworkers > 1 and len(misses) > 1:
+            with ProcessPoolExecutor(max_workers=nworkers) as pool:
+                futures = {
+                    pool.submit(_simulate_config, points[i].cfg): i
+                    for i in misses
+                }
+                for future in as_completed(futures):
+                    i = futures[future]
+                    results[i] = future.result()
+                    if progress is not None:
+                        progress(points[i].name, "simulated")
+        else:
+            nworkers = 1
+            for i in misses:
+                results[i] = _simulate_config(points[i].cfg)
+                if progress is not None:
+                    progress(points[i].name, "simulated")
+        for i in misses:
+            if store is not None:
+                store.put(keys[i], results[i])
+            for j in followers.get(i, ()):
+                results[j] = results[i]
+                if progress is not None:
+                    progress(points[j].name, "cached")
+    else:
+        nworkers = 1
+
+    return SweepReport(
+        points=points,
+        results=results,  # type: ignore[arg-type] — all filled above
+        simulated=len(misses),
+        cached=len(points) - len(misses),
+        wall_sec=time.perf_counter() - t0,
+        workers=nworkers,
+    )

@@ -1,0 +1,127 @@
+"""Deterministic fingerprints for sweep cache keys.
+
+A cached :class:`~repro.results.ScenarioResult` may be reused only when
+*nothing that can influence the simulation* has changed.  Two hashes
+capture that:
+
+* :func:`config_fingerprint` — a canonical, structural hash of a
+  :class:`~repro.config.ScenarioConfig`, covering every field reachable
+  from it (device parameters, VM parameters, workload op streams, numpy
+  page arrays, ...).  Constructing the same config twice — even in
+  different processes — yields the same hex digest.
+* :func:`code_fingerprint` — a hash over the source text of every
+  ``repro`` module, so any edit to the simulator, drivers or workloads
+  invalidates the whole cache.  Computed once per process.
+
+The encoder is intentionally conservative: every node is framed with a
+type tag and a length, so ``("a", "b")`` and ``("ab",)`` cannot collide,
+and an object kind it does not understand raises instead of silently
+hashing ``repr`` noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import struct
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["config_fingerprint", "code_fingerprint", "sweep_key"]
+
+
+def _encode(h: "hashlib._Hash", obj: Any) -> None:
+    if obj is None:
+        h.update(b"N")
+    elif obj is True:
+        h.update(b"T")
+    elif obj is False:
+        h.update(b"f")
+    elif isinstance(obj, int):
+        data = str(obj).encode()
+        h.update(b"I" + struct.pack("<I", len(data)) + data)
+    elif isinstance(obj, float):
+        h.update(b"F" + struct.pack("<d", obj))
+    elif isinstance(obj, str):
+        data = obj.encode()
+        h.update(b"S" + struct.pack("<I", len(data)) + data)
+    elif isinstance(obj, bytes):
+        h.update(b"Y" + struct.pack("<I", len(obj)) + obj)
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"L" + struct.pack("<I", len(obj)))
+        for item in obj:
+            _encode(h, item)
+    elif isinstance(obj, dict):
+        h.update(b"D" + struct.pack("<I", len(obj)))
+        for key in sorted(obj, key=str):
+            _encode(h, key)
+            _encode(h, obj[key])
+    elif isinstance(obj, np.ndarray):
+        h.update(b"A")
+        _encode(h, obj.dtype.str)
+        _encode(h, list(obj.shape))
+        h.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, np.generic):
+        _encode(h, obj.item())
+    elif dataclasses.is_dataclass(obj):
+        h.update(b"C")
+        _encode(h, type(obj).__qualname__)
+        for field in sorted(dataclasses.fields(obj), key=lambda f: f.name):
+            _encode(h, field.name)
+            _encode(h, getattr(obj, field.name))
+    elif hasattr(obj, "__dict__") or hasattr(type(obj), "__slots__"):
+        # Workloads and other plain objects: class identity + every
+        # instance attribute (private trace buffers included — they ARE
+        # the workload).
+        h.update(b"O")
+        _encode(h, type(obj).__qualname__)
+        attrs = dict(getattr(obj, "__dict__", {}))
+        for klass in type(obj).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if hasattr(obj, slot):
+                    attrs[slot] = getattr(obj, slot)
+        _encode(h, attrs)
+    else:
+        raise TypeError(
+            f"cannot fingerprint {type(obj).__qualname__!r} deterministically"
+        )
+
+
+def config_fingerprint(cfg: Any) -> str:
+    """Canonical sha256 hex digest of a scenario configuration."""
+    h = hashlib.sha256()
+    _encode(h, cfg)
+    return h.hexdigest()
+
+
+_CODE_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """sha256 over the source of every module in the ``repro`` package.
+
+    Any code change — simulator, kernel models, drivers, workloads —
+    changes this digest and therefore invalidates every cache entry.
+    Memoized per process (the tree is a few hundred KiB).
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            rel = path.relative_to(package_root).as_posix()
+            data = path.read_bytes()
+            h.update(rel.encode() + b"\0")
+            h.update(struct.pack("<I", len(data)) + data)
+        _CODE_FINGERPRINT = h.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def sweep_key(cfg: Any) -> str:
+    """The cache key for one sweep point: config hash x code hash."""
+    h = hashlib.sha256()
+    h.update(config_fingerprint(cfg).encode())
+    h.update(code_fingerprint().encode())
+    return h.hexdigest()

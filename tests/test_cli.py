@@ -127,3 +127,65 @@ class TestReport:
         assert text.startswith("# HPBD reproduction report")
         assert "## fig01" in text
         assert "rdma_write" in text
+
+
+class TestSweepCommand:
+    def test_sweep_cold_then_cached(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main([
+            "sweep", "fig05", "--scale", "64", "--cache", str(cache),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "5 simulated, 0 cached" in out
+        assert main([
+            "sweep", "fig05", "--scale", "64", "--cache", str(cache),
+            "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated, 5 cached" in out
+
+    def test_sweep_json_payload(self, capsys, tmp_path):
+        path = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "fig10", "--scale", "64", "--no-cache", "--quiet",
+            "--json", str(path),
+        ]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["scale"] == 64
+        points = payload["sweeps"]["fig10"]["points"]
+        assert set(points) == {"fig10/n1", "fig10/n2", "fig10/n4",
+                               "fig10/n8", "fig10/n16"}
+
+    def test_sweep_force_resimulates(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        args = ["sweep", "fig06", "--scale", "64", "--cache", str(cache),
+                "--quiet"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--force"]) == 0
+        assert "1 simulated, 0 cached" in capsys.readouterr().out
+
+    def test_sweep_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig99"])
+
+
+class TestBenchCommand:
+    def test_bench_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_simulator.json"
+        assert main([
+            "bench", "--json", str(path), "--events", "5000",
+            "--rounds", "1", "--sweep-scale", "128",
+        ]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["event_loop"]["timeout_events_per_sec"] > 0
+        assert payload["sweep"]["cached_points_resimulated"] == 0
+        assert payload["sweep"]["points"] == 4
+
+    def test_bench_floor_enforced(self, capsys, tmp_path):
+        path = tmp_path / "bench.json"
+        assert main([
+            "bench", "--json", str(path), "--events", "2000",
+            "--rounds", "1", "--skip-sweep",
+            "--min-events-per-sec", "1e12",
+        ]) == 1

@@ -338,3 +338,99 @@ class TestRun:
 
         procs = [sim.spawn(proc(sim, d)) for d in (3, 1, 2)]
         assert sim.run_all(procs) == [3, 1, 2]
+
+
+class TestEventPooling:
+    """The free-list recycler must never reuse an event user code holds."""
+
+    def test_unreferenced_timeouts_are_recycled(self, sim):
+        def proc(sim):
+            for _ in range(50):
+                yield sim.timeout(1)
+
+        sim.run(until=sim.spawn(proc(sim)))
+        assert len(sim._timeout_pool) > 0
+
+    def test_pool_reuse_draws_down_the_free_list(self, sim):
+        def proc(sim):
+            for _ in range(10):
+                yield sim.timeout(1)
+
+        sim.run(until=sim.spawn(proc(sim)))
+        before = len(sim._timeout_pool)
+        assert before > 0
+        to = sim.timeout(3.0, value="fresh")
+        assert len(sim._timeout_pool) == before - 1
+        assert not to.processed
+        assert to.delay == 3.0
+
+        def reader(sim):
+            got = yield to
+            return got
+
+        assert sim.run(until=sim.spawn(reader(sim))) == "fresh"
+
+    def test_held_timeout_is_never_recycled(self, sim):
+        held = sim.timeout(1.0, value="mine")
+
+        def proc(sim):
+            for _ in range(20):
+                yield sim.timeout(1)
+
+        sim.run(until=sim.spawn(proc(sim)))
+        # ``held`` was processed but this frame still references it, so
+        # it must keep its identity and value no matter how many new
+        # timeouts are created.
+        for _ in range(30):
+            assert sim.timeout(1) is not held
+        assert held.processed
+        assert held.value == "mine"
+
+    def test_run_until_event_is_not_recycled(self, sim):
+        def child(sim):
+            yield sim.timeout(2)
+            return "done"
+
+        p = sim.spawn(child(sim))
+        assert sim.run(until=p) == "done"
+        assert p.value == "done"  # still readable after the run
+
+    def test_recycled_events_preserve_determinism(self):
+        """Two identical sims (one pre-warmed pool) fire identically."""
+
+        def workload(sim, log):
+            def ping(sim, name):
+                for _ in range(5):
+                    yield sim.timeout(1)
+                    log.append((sim.now, name))
+
+            procs = [sim.spawn(ping(sim, i)) for i in range(3)]
+            sim.run_all(procs)
+
+        cold_log: list = []
+        cold = Simulator()
+        workload(cold, cold_log)
+
+        warm = Simulator()
+        warmup: list = []
+        workload(warm, warmup)  # fills the free lists
+        warm_log: list = []
+        workload(warm, warm_log)
+        assert [(t - 5.0, n) for t, n in warm_log] == cold_log
+
+    def test_interrupt_still_works_with_pooling(self, sim):
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100)
+            except Interrupted:
+                return "woken"
+
+        def interrupter(sim, target):
+            yield sim.timeout(1)
+            target.interrupt()
+
+        p = sim.spawn(sleeper(sim))
+        sim.spawn(interrupter(sim, p))
+        assert sim.run(until=p) == "woken"
+        # the interrupt's internal event went back to the free list
+        assert len(sim._event_pool) > 0

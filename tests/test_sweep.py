@@ -1,0 +1,202 @@
+"""Sweep engine: fingerprints, caching, parallelism, picklability."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.config import HPBD, NBD, ScenarioConfig
+from repro.runner import run_scenario
+from repro.sweep import (
+    ResultCache,
+    SweepPoint,
+    config_fingerprint,
+    resolve_workers,
+    run_sweep,
+    sweep_key,
+)
+from repro.units import GiB, MiB
+from repro.workloads import TestswapWorkload
+
+SCALE = 64
+
+
+def _cfg(device=None, size_bytes=GiB // SCALE) -> ScenarioConfig:
+    return ScenarioConfig(
+        [TestswapWorkload(size_bytes=size_bytes)],
+        device if device is not None else HPBD(),
+        mem_bytes=512 * MiB // SCALE,
+        swap_bytes=GiB // SCALE,
+        mem_reserved_bytes=24 * MiB // SCALE,
+    )
+
+
+def _points(n=2):
+    devices = [HPBD(), NBD("gige")]
+    return [SweepPoint(d.label, _cfg(d)) for d in devices[:n]]
+
+
+class TestFingerprint:
+    def test_reconstruction_is_stable(self):
+        # Two independently constructed identical configs hash alike.
+        assert config_fingerprint(_cfg()) == config_fingerprint(_cfg())
+
+    def test_workload_size_changes_hash(self):
+        a = config_fingerprint(_cfg(size_bytes=GiB // SCALE))
+        b = config_fingerprint(_cfg(size_bytes=GiB // SCALE + 4096))
+        assert a != b
+
+    def test_device_changes_hash(self):
+        assert config_fingerprint(_cfg(HPBD())) != config_fingerprint(
+            _cfg(NBD("gige"))
+        )
+        assert config_fingerprint(_cfg(HPBD())) != config_fingerprint(
+            _cfg(HPBD(nservers=2))
+        )
+
+    def test_sweep_key_includes_code_version(self):
+        # sweep_key folds the package source hash in on top of the config.
+        assert sweep_key(_cfg()) != config_fingerprint(_cfg())
+
+    def test_unknown_types_rejected(self):
+        with pytest.raises(TypeError):
+            config_fingerprint(object())
+
+
+class TestResultPickling:
+    def test_round_trip_preserves_counters(self):
+        result = run_scenario(_cfg())
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.label == result.label
+        assert clone.elapsed_usec == result.elapsed_usec
+        assert clone.swapout_pages == result.swapout_pages
+        assert clone.swapin_pages == result.swapin_pages
+        assert clone.request_trace == result.request_trace
+        assert clone.network_bytes == result.network_bytes
+        # The registry serializes collector-for-collector.
+        assert clone.registry.snapshot() == result.registry.snapshot()
+
+    def test_traced_result_drops_live_trace(self):
+        result = run_scenario(_cfg(), trace=True)
+        assert result.trace is not None
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.trace is None  # the recorder closes over sim.now
+        assert clone.elapsed_usec == result.elapsed_usec
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("00" * 32) is None
+        cache.put("00" * 32, {"x": 1})
+        assert cache.get("00" * 32) == {"x": 1}
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, {"x": 1})
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert not path.exists()  # dropped
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("cd" * 32, 1)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestRunSweep:
+    def test_cached_rerun_is_bit_identical(self, tmp_path):
+        points = _points()
+        first = run_sweep(points, cache=tmp_path)
+        assert first.simulated == len(points) and first.cached == 0
+        second = run_sweep(points, cache=tmp_path)
+        assert second.simulated == 0 and second.cached == len(points)
+        fresh = run_sweep(points)  # no cache: simulate from scratch
+        for a, b, c in zip(first.results, second.results, fresh.results):
+            assert a.elapsed_usec == b.elapsed_usec == c.elapsed_usec
+            assert a.swapout_pages == b.swapout_pages == c.swapout_pages
+            assert a.swapin_pages == b.swapin_pages == c.swapin_pages
+            assert b.registry.snapshot() == c.registry.snapshot()
+
+    def test_force_resimulates(self, tmp_path):
+        points = _points(1)
+        run_sweep(points, cache=tmp_path)
+        forced = run_sweep(points, cache=tmp_path, force=True)
+        assert forced.simulated == 1 and forced.cached == 0
+
+    def test_duplicate_points_simulated_once(self, tmp_path):
+        point = _points(1)[0]
+        report = run_sweep([point, point], cache=tmp_path)
+        assert report.simulated == 1
+        assert report.results[0].elapsed_usec == report.results[1].elapsed_usec
+
+    def test_parallel_matches_serial(self):
+        points = _points()
+        serial = run_sweep(points, workers=1)
+        parallel = run_sweep(points, workers=2)
+        assert parallel.workers == 2
+        for a, b in zip(serial.results, parallel.results):
+            assert a.elapsed_usec == b.elapsed_usec
+            assert a.swapout_pages == b.swapout_pages
+            assert a.registry.snapshot() == b.registry.snapshot()
+
+    def test_results_in_input_order(self, tmp_path):
+        points = _points()
+        report = run_sweep(points, cache=tmp_path)
+        assert [p.name for p in report.points] == [
+            r.label for r in report.results
+        ]
+
+    def test_progress_callback(self, tmp_path):
+        seen = []
+        points = _points(1)
+        run_sweep(points, cache=tmp_path, progress=lambda n, how: seen.append((n, how)))
+        run_sweep(points, cache=tmp_path, progress=lambda n, how: seen.append((n, how)))
+        assert seen == [(points[0].name, "simulated"), (points[0].name, "cached")]
+
+
+class TestResolveWorkers:
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert resolve_workers(None) == 3
+
+    def test_auto(self):
+        import os
+
+        assert resolve_workers("auto") == (os.cpu_count() or 1)
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestExperimentsIntegration:
+    def test_fig05_through_engine_with_cache(self, tmp_path):
+        from repro.experiments import fig05_points, fig05_testswap
+
+        results = fig05_testswap(scale=64, cache=tmp_path)
+        assert [r.label for r in results] == [
+            "local", "hpbd", "nbd-ipoib", "nbd-gige", "disk",
+        ]
+        # Second run: every point served from cache, same numbers.
+        report = run_sweep(fig05_points(scale=64), cache=tmp_path)
+        assert report.simulated == 0
+        for a, b in zip(results, report.results):
+            assert a.elapsed_usec == b.elapsed_usec
+
+    def test_fig10_preserves_counts(self, tmp_path):
+        from repro.experiments import fig10_servers
+
+        out = fig10_servers(scale=64, counts=(1, 2), cache=tmp_path)
+        assert [n for n, _ in out] == [1, 2]
