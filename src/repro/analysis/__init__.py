@@ -16,6 +16,18 @@ from .breakdown import (
     stage_totals,
     wire_crosscheck,
 )
+from .critpath import (
+    BLAME_CLASSES,
+    QUEUEING_CLASSES,
+    REQUEST_PATH_CATS,
+    RequestPath,
+    aggregate_blame,
+    blame_split,
+    format_critpath,
+    orphan_spans,
+    request_paths,
+    slowest,
+)
 from .related import TABLE1, RelatedSystem, render_table1
 from .export import (
     clusters_to_csv,
@@ -39,6 +51,16 @@ __all__ = [
     "measured_network_fraction",
     "wire_crosscheck",
     "format_breakdown",
+    "BLAME_CLASSES",
+    "QUEUEING_CLASSES",
+    "REQUEST_PATH_CATS",
+    "RequestPath",
+    "request_paths",
+    "aggregate_blame",
+    "blame_split",
+    "orphan_spans",
+    "slowest",
+    "format_critpath",
     "RequestCluster",
     "cluster_requests",
     "size_histogram",

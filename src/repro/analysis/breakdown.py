@@ -14,8 +14,9 @@ Span categories are aggregated into the paper's stages:
 stage            trace categories
 ===============  =====================================================
 block queue      ``blk.queue`` (plug/merge/elevator wait)
+device wait      ``blk.wait`` (dispatched, driver busy — head-of-line)
 driver copy      ``hpbd.copy`` (pool copy-in/copy-out)
-registration     ``reg`` (MR register/deregister)
+registration     ``reg`` (request-path MR register/deregister)
 flow control     ``hpbd.credit`` + ``hpbd.pool`` (water-mark waits)
 port wait        ``net.wait`` (tx/rx port queueing)
 wire             ``wire`` (data serialization + latency)
@@ -54,6 +55,7 @@ __all__ = [
 #: stage name -> the trace categories it aggregates, §6.2 order
 STAGES: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("block queue", ("blk.queue",)),
+    ("device wait", ("blk.wait",)),
     ("driver copy", ("hpbd.copy",)),
     ("registration", ("reg",)),
     ("flow control", ("hpbd.credit", "hpbd.pool")),

@@ -26,6 +26,8 @@ from .simulator import Simulator
 __all__ = [
     "bench_timeout_churn",
     "bench_relay_resume",
+    "bench_obs_overhead",
+    "bench_blame_split",
     "bench_figure_sweep",
     "run_bench",
 ]
@@ -70,6 +72,80 @@ def bench_relay_resume(nevents: int = 100_000, rounds: int = 3) -> float:
         sim.run(until=p)
         best = min(best, time.perf_counter() - t0)
     return nevents / best
+
+
+def bench_obs_overhead(nevents: int = 100_000, rounds: int = 3) -> dict[str, Any]:
+    """Cost of disabled tracing on the event-loop hot path.
+
+    Two timeout-churn loops, identical except that the second adds the
+    ``if sim.trace.enabled:`` guard every instrumented site pays on
+    every event.  The overhead fraction is what an untraced simulation
+    pays for the observability layer existing at all — the satellite
+    benchmark asserts it stays within a few percent.
+    """
+    best_bare = best_guarded = float("inf")
+    for _ in range(rounds):
+        sim = Simulator()
+
+        def bare(sim):
+            for _ in range(nevents):
+                t = sim.now  # noqa: F841 — same loop body as guarded
+                yield sim.timeout(1.0)
+
+        p = sim.spawn(bare(sim))
+        t0 = time.perf_counter()
+        sim.run(until=p)
+        best_bare = min(best_bare, time.perf_counter() - t0)
+
+        sim = Simulator()
+
+        def guarded(sim):
+            for _ in range(nevents):
+                t = sim.now
+                yield sim.timeout(1.0)
+                trace = sim.trace
+                if trace.enabled:  # pragma: no cover - disabled by design
+                    trace.complete("bench", "loop", "tick", "bench", t, sim.now)
+
+        p = sim.spawn(guarded(sim))
+        t0 = time.perf_counter()
+        sim.run(until=p)
+        best_guarded = min(best_guarded, time.perf_counter() - t0)
+    bare_rate = nevents / best_bare
+    guarded_rate = nevents / best_guarded
+    return {
+        "nevents": nevents,
+        "rounds": rounds,
+        "bare_events_per_sec": bare_rate,
+        "guarded_events_per_sec": guarded_rate,
+        "overhead_frac": bare_rate / guarded_rate - 1.0,
+    }
+
+
+def bench_blame_split(scale: int = 64) -> dict[str, Any]:
+    """One traced fig07 HPBD point through the sweep engine.
+
+    Records the per-request blame aggregate and its queueing-vs-wire
+    split so BENCH files carry the attribution alongside the timings.
+    """
+    from .analysis.critpath import blame_split
+    from .config import HPBD
+    from .experiments import fig07_points
+    from .sweep import run_sweep
+
+    points = fig07_points(scale, [HPBD()])
+    t0 = time.perf_counter()
+    report = run_sweep(points, workers=1, cache=None, trace=True)
+    traced_sec = time.perf_counter() - t0
+    result = report.results[0]
+    return {
+        "point": points[0].name,
+        "scale": scale,
+        "traced_sec": traced_sec,
+        "blame_usec": result.blame_usec,
+        **blame_split(result.blame_usec),
+        "invariant_violations": len(result.invariant_violations),
+    }
 
 
 def bench_figure_sweep(
@@ -139,9 +215,11 @@ def run_bench(
             "timeout_events_per_sec": bench_timeout_churn(nevents, rounds),
             "relay_events_per_sec": bench_relay_resume(nevents, rounds),
         },
+        "obs_overhead": bench_obs_overhead(nevents, rounds),
     }
     if not skip_sweep:
         payload["sweep"] = bench_figure_sweep(sweep_scale, workers)
+        payload["blame"] = bench_blame_split(sweep_scale)
     return payload
 
 

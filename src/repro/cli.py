@@ -237,8 +237,113 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _run_critpath(args) -> int:
+    """``repro critpath``: per-request blame + invariant audit.
+
+    Exit status is nonzero when the trace has orphan request-path spans
+    or any invariant monitor recorded a violation — CI runs this as the
+    traced smoke job.
+    """
+    from .analysis.critpath import (
+        aggregate_blame,
+        blame_split,
+        format_critpath,
+        orphan_spans,
+        request_paths,
+        slowest,
+    )
+    from .config import HPBD, LocalDisk, NBD
+    from .experiments import _scenario
+    from .obs import write_chrome_trace
+    from .runner import run_scenario
+    from .units import GiB, MiB
+    from .workloads import QuicksortWorkload, TestswapWorkload
+
+    device = {
+        "hpbd": HPBD(),
+        "nbd-ipoib": NBD("ipoib"),
+        "nbd-gige": NBD("gige"),
+        "disk": LocalDisk(),
+    }[args.device]
+    scale = args.scale
+    if args.workload == "quicksort":
+        workload = QuicksortWorkload(nelems=256 * 1024 * 1024 // scale)
+    else:
+        workload = TestswapWorkload(size_bytes=GiB // scale)
+
+    print(
+        f"critical-path analysis: {args.workload} over {args.device} "
+        f"(scale=1/{scale})..."
+    )
+    result = run_scenario(
+        _scenario([workload], device, scale, 512 * MiB, GiB), trace=True
+    )
+    paths = request_paths(result.trace)
+    orphans = orphan_spans(result.trace)
+    violations = result.invariant_violations
+    print(format_critpath(paths, top=args.top))
+    if result.monitor_watermarks:
+        print("watermarks:")
+        for key in sorted(result.monitor_watermarks):
+            print(f"  {key} = {result.monitor_watermarks[key]:g}")
+    status = 0
+    if orphans:
+        cats = sorted({s.cat for s in orphans})
+        print(
+            f"ERROR: {len(orphans)} request-path spans without req_id "
+            f"(cats: {', '.join(cats)})",
+            file=sys.stderr,
+        )
+        status = 1
+    if violations:
+        print(
+            f"ERROR: {len(violations)} invariant violations:", file=sys.stderr
+        )
+        for v in violations[:20]:
+            print(
+                f"  t={v['t_usec']:.1f} {v['monitor']} "
+                f"[{v['component']}]: {v['message']}",
+                file=sys.stderr,
+            )
+        status = 1
+    if not orphans and not violations:
+        print("invariant monitors: clean (0 violations, 0 orphan spans)")
+    if args.output:
+        write_chrome_trace(result.trace, args.output)
+        print(f"wrote {args.output}  (load in Perfetto / chrome://tracing)")
+    if args.json:
+        agg = aggregate_blame(paths)
+        payload = {
+            "device": args.device,
+            "workload": args.workload,
+            "scale": scale,
+            "requests": len(paths),
+            "blame_usec": agg,
+            **blame_split(agg),
+            "orphan_spans": len(orphans),
+            "violations": violations,
+            "watermarks": result.monitor_watermarks,
+            "slowest": [
+                {
+                    "req_id": p.req_id,
+                    "op": p.op,
+                    "nbytes": p.nbytes,
+                    "e2e_usec": p.e2e,
+                    "queue_wait_usec": p.queue_wait,
+                    "blame_usec": p.blame,
+                }
+                for p in slowest(paths, args.top)
+            ],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return status
+
+
 def _run_sweep_cmd(args) -> int:
     """``repro sweep``: run figure grids through the parallel engine."""
+    from .analysis.critpath import blame_split
     from .experiments import SWEEPS
     from .sweep import default_cache_dir, run_sweep
     from .units import SEC
@@ -255,6 +360,7 @@ def _run_sweep_cmd(args) -> int:
             workers=args.workers,
             cache=cache,
             force=args.force,
+            trace=args.trace,
             progress=(
                 None if args.quiet
                 else lambda pname, how: print(f"  {pname}: {how}")
@@ -283,6 +389,15 @@ def _run_sweep_cmd(args) -> int:
             "wall_sec": report.wall_sec,
             "workers": report.workers,
         }
+        if args.trace:
+            payload[name]["blame"] = {
+                p.name: {
+                    "blame_usec": r.blame_usec,
+                    **blame_split(r.blame_usec),
+                    "violations": len(r.invariant_violations),
+                }
+                for p, r in zip(report.points, report.results)
+            }
     if args.json:
         with open(args.json, "w") as fh:
             json.dump({"scale": args.scale, "sweeps": payload}, fh, indent=2)
@@ -306,6 +421,12 @@ def _run_bench(args) -> int:
         f"event loop: timeout churn {loop['timeout_events_per_sec']:,.0f} ev/s, "
         f"relay resume {loop['relay_events_per_sec']:,.0f} ev/s"
     )
+    obs = payload["obs_overhead"]
+    print(
+        f"disabled-trace overhead: {obs['overhead_frac']:+.2%} "
+        f"({obs['guarded_events_per_sec']:,.0f} ev/s guarded vs "
+        f"{obs['bare_events_per_sec']:,.0f} bare)"
+    )
     if "sweep" in payload:
         sw = payload["sweep"]
         par = (
@@ -321,6 +442,17 @@ def _run_bench(args) -> int:
         )
         if sw["cached_points_resimulated"] != 0:
             print("ERROR: cached re-run re-simulated points", file=sys.stderr)
+            return 1
+    if "blame" in payload:
+        bl = payload["blame"]
+        print(
+            f"blame split ({bl['point']}): queueing "
+            f"{bl['queueing_frac']:.1%}, wire {bl['wire_frac']:.1%} "
+            f"({bl['invariant_violations']} invariant violations)"
+        )
+        if bl["invariant_violations"] != 0:
+            print("ERROR: traced run recorded invariant violations",
+                  file=sys.stderr)
             return 1
     write_bench_json(args.json, payload)
     print(f"wrote {args.json}")
@@ -393,6 +525,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="Chrome trace-event JSON path (default: trace.json)",
     )
     tr.add_argument("--csv", metavar="PATH", help="also dump flat span CSV")
+    cp = sub.add_parser(
+        "critpath",
+        help="run one traced scenario; print per-request critical-path "
+        "blame, audit invariants (nonzero exit on violations/orphans)",
+    )
+    cp.add_argument("--device", choices=_TRACE_DEVICES, default="hpbd")
+    cp.add_argument("--workload", choices=_TRACE_WORKLOADS, default="quicksort")
+    cp.add_argument(
+        "--scale", type=int, default=32,
+        help="size divisor; 1 = full paper sizes (default: 32)",
+    )
+    cp.add_argument(
+        "--top", type=int, default=10,
+        help="slowest requests to show (default: 10)",
+    )
+    cp.add_argument(
+        "-o", "--output", metavar="PATH",
+        help="also write the Chrome trace-event JSON",
+    )
+    cp.add_argument(
+        "--json", metavar="PATH", help="dump the blame report as JSON"
+    )
     sw = sub.add_parser(
         "sweep",
         help="run a figure's scenario grid through the parallel sweep "
@@ -422,6 +576,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="re-simulate every point (still refreshes the cache)",
     )
     sw.add_argument("--quiet", action="store_true", help="no per-point lines")
+    sw.add_argument(
+        "--trace", action="store_true",
+        help="trace every point; results carry per-request blame "
+        "aggregates (queueing-vs-wire split in the JSON payload)",
+    )
     sw.add_argument("--json", metavar="PATH", help="dump raw numbers as JSON")
     be = sub.add_parser(
         "bench",
@@ -480,6 +639,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.scale < 1:
             parser.error("--scale must be >= 1")
         return _run_trace(args)
+    if args.command == "critpath":
+        if args.scale < 1:
+            parser.error("--scale must be >= 1")
+        return _run_critpath(args)
     if args.command == "sweep":
         if args.scale < 1:
             parser.error("--scale must be >= 1")

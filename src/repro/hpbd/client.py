@@ -246,7 +246,9 @@ class HPBDClient:
                     # Ablation (§4.1's rejected alternative): pin the
                     # request's pages and expose them directly — no
                     # copy, but the full registration cost per request.
-                    mr = yield from self.hca.register_mr(self.pd, seg.nbytes)
+                    mr = yield from self.hca.register_mr(
+                        self.pd, seg.nbytes, req_id=req.req_id
+                    )
                     buf, buf_addr, buf_rkey = None, mr.addr, mr.rkey
                 else:
                     t_pool = sim.now
@@ -288,6 +290,7 @@ class HPBDClient:
                     buf_addr=buf_addr,
                     buf_rkey=buf_rkey,
                     data_token=token,
+                    blk_req_id=req.req_id,
                 )
                 mirror_write = self.mirror and req.op == WRITE
                 replica = (
@@ -311,6 +314,7 @@ class HPBDClient:
                         payload=preq,
                         signaled=False,
                         solicited=False,
+                        req_id=req.req_id,
                     )
                 )
                 if mirror_write:
@@ -325,6 +329,7 @@ class HPBDClient:
                         buf_addr=buf_addr,
                         buf_rkey=buf_rkey,
                         data_token=token,
+                        blk_req_id=req.req_id,
                     )
                     self._inflight[rreq.req_id] = entry
                     self._c_phys.add(seg.nbytes)
@@ -334,6 +339,7 @@ class HPBDClient:
                             payload=rreq,
                             signaled=False,
                             solicited=False,
+                            req_id=req.req_id,
                         )
                     )
 
@@ -394,7 +400,9 @@ class HPBDClient:
                     )
                 if entry.mr is not None:
                     # Register-on-the-fly ablation: unpin (zero-copy).
-                    yield from self.hca.deregister_mr(self.pd, entry.mr)
+                    yield from self.hca.deregister_mr(
+                        self.pd, entry.mr, req_id=entry.pending.req.req_id
+                    )
                 else:
                     if entry.op == READ:
                         # Data already landed in the pool via RDMA
@@ -436,6 +444,7 @@ class HPBDClient:
             nbytes=entry.seg.nbytes,
             buf_addr=self.pool.buffer_addr(entry.buf),
             buf_rkey=self.pool.rkey,
+            blk_req_id=entry.pending.req.req_id,
         )
         self._inflight[rreq.req_id] = entry
         self._c_phys.add(entry.seg.nbytes)
@@ -445,6 +454,7 @@ class HPBDClient:
                 payload=rreq,
                 signaled=False,
                 solicited=False,
+                req_id=entry.pending.req.req_id,
             )
         )
 
@@ -456,3 +466,26 @@ class HPBDClient:
 
     def credit_stalls(self) -> int:
         return sum(c.stall_count for c in self._credits)
+
+    def audit_teardown(self) -> None:
+        """Invariant monitors for a quiesced device (runner teardown).
+
+        With all I/O drained: every physical request acknowledged, every
+        flow-control credit back in its bucket, and no pool bytes leaked.
+        """
+        monitors = self.sim.monitors
+        monitors.check(
+            not self._inflight,
+            "hpbd.inflight_drained", self.name,
+            "physical requests still awaiting acknowledgement at teardown",
+            outstanding=len(self._inflight),
+        )
+        for i, bucket in enumerate(self._credits):
+            monitors.check(
+                bucket.tokens == bucket.capacity,
+                "hpbd.credits_returned", self.name,
+                f"server {i} credits not fully returned",
+                server=i, tokens=bucket.tokens, capacity=bucket.capacity,
+            )
+        if self.pool is not None:
+            self.pool.audit_teardown()

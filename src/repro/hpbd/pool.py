@@ -160,6 +160,15 @@ class RegisteredPool:
             )
         self._t_held.record(self.sim.now - self._hold_start.pop(buf.offset))
         self._insert_merged(buf.offset, nbytes)
+        # Conservation monitor: every free must restore the ledger; the
+        # free list is short (merge invariant) so the sum is cheap.
+        self.sim.monitors.check(
+            self.free_bytes + self.allocated_bytes == self.size,
+            "pool.conservation", self.name,
+            "registered bytes not conserved after free",
+            free=self.free_bytes, allocated=self.allocated_bytes,
+            size=self.size,
+        )
         # FIFO wakeups: serve from the head while it fits.
         while self._waiters:
             evt, want = self._waiters[0]
@@ -210,7 +219,37 @@ class RegisteredPool:
                 )
             prev_end = off + n
         if self.free_bytes + self.allocated_bytes != self.size:
+            self.sim.monitors.violation(
+                "pool.conservation", self.name,
+                "registered-byte ledger broken",
+                free=self.free_bytes, allocated=self.allocated_bytes,
+                size=self.size,
+            )
             raise PoolError(
                 f"{self.name}: ledger broken "
                 f"{self.free_bytes}+{self.allocated_bytes} != {self.size}"
             )
+
+    def audit_teardown(self) -> None:
+        """Invariant monitors after quiesce: no leaked buffers, nobody
+        left waiting, ledger intact."""
+        monitors = self.sim.monitors
+        monitors.check(
+            self.allocated_bytes == 0,
+            "pool.leak", self.name,
+            "registered buffers still allocated at teardown",
+            allocated=self.allocated_bytes, buffers=len(self._allocated),
+        )
+        monitors.check(
+            not self._waiters,
+            "pool.waiters", self.name,
+            "allocation waiters still queued at teardown",
+            waiting=len(self._waiters),
+        )
+        monitors.check(
+            self.free_bytes + self.allocated_bytes == self.size,
+            "pool.conservation", self.name,
+            "registered-byte ledger broken at teardown",
+            free=self.free_bytes, allocated=self.allocated_bytes,
+            size=self.size,
+        )

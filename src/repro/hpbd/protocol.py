@@ -79,6 +79,12 @@ class PageRequest:
     #: Carried on the request so integrity tests can follow it; it does
     #: not contribute to the control-message size or signature.
     data_token: object = None
+    #: originating *block-layer* request id (struct request identity),
+    #: distinct from the per-message ``req_id``: a block request split
+    #: across servers fans out into several PageRequests sharing one
+    #: ``blk_req_id``.  Tags server-side spans/WRs for critpath; not
+    #: part of the signature.
+    blk_req_id: int | None = None
 
     def __post_init__(self) -> None:
         if self.op not in (OP_READ, OP_WRITE):

@@ -173,6 +173,9 @@ class HPBDServer:
         """Serve one physical page request (own process per request)."""
         t0 = self.sim.now
         trace = self.sim.trace
+        # Block-request identity for the critical-path analysis (absent
+        # only for raw protocol-level tests that bypass the driver).
+        ident = {} if req.blk_req_id is None else {"req_id": req.blk_req_id}
         try:
             # Each client's swap area sits at its own base in the store.
             offset = self._area_base.get(qp.qp_num, 0) + req.offset
@@ -189,6 +192,7 @@ class HPBDServer:
                         ),
                         signaled=False,
                         solicited=True,
+                        req_id=req.blk_req_id,
                     )
                 )
                 return
@@ -204,6 +208,7 @@ class HPBDServer:
                             remote_addr=req.buf_addr,
                             rkey=req.buf_rkey,
                             signaled=False,
+                            req_id=req.blk_req_id,
                         )
                     )
                     cost = self.ramdisk.write(
@@ -215,7 +220,7 @@ class HPBDServer:
                         trace.complete(
                             self.name, "handlers", "ramdisk_write",
                             "srv.copy", t_copy, self.sim.now,
-                            nbytes=req.nbytes,
+                            nbytes=req.nbytes, **ident,
                         )
                     self.pool.free(buf)
                     reply = PageReply(req_id=req.req_id, status=STATUS_OK)
@@ -225,6 +230,7 @@ class HPBDServer:
                             payload=reply,
                             signaled=False,
                             solicited=True,
+                            req_id=req.blk_req_id,
                         )
                     )
                 elif req.op == OP_READ:
@@ -237,7 +243,7 @@ class HPBDServer:
                         trace.complete(
                             self.name, "handlers", "ramdisk_read",
                             "srv.copy", t_copy, self.sim.now,
-                            nbytes=req.nbytes,
+                            nbytes=req.nbytes, **ident,
                         )
                     rdma_done = qp.post_send(
                         RDMAWriteWR(
@@ -246,6 +252,7 @@ class HPBDServer:
                             rkey=req.buf_rkey,
                             payload=token,
                             signaled=False,
+                            req_id=req.blk_req_id,
                         )
                     )
                     reply = PageReply(
@@ -257,6 +264,7 @@ class HPBDServer:
                             payload=reply,
                             signaled=False,
                             solicited=True,
+                            req_id=req.blk_req_id,
                         )
                     )
                     # The staging buffer must outlive the RDMA write.
@@ -275,5 +283,25 @@ class HPBDServer:
                     self.name, "handlers", "handle", "srv.handle",
                     t0, self.sim.now,
                     op="write" if req.op == OP_WRITE else "read",
-                    nbytes=req.nbytes,
+                    nbytes=req.nbytes, **ident,
                 )
+
+    # -- teardown audit ------------------------------------------------------
+
+    def audit_teardown(self) -> None:
+        """Invariant monitors for an idle server (runner teardown)."""
+        monitors = self.sim.monitors
+        monitors.check(
+            self.busy_handlers == 0,
+            "server.handlers_drained", self.name,
+            "request handlers still running at teardown",
+            busy=self.busy_handlers,
+        )
+        monitors.check(
+            self._rdma_slots.in_use == 0,
+            "server.rdma_slots_released", self.name,
+            "outstanding-RDMA slots still held at teardown",
+            in_use=self._rdma_slots.in_use,
+        )
+        if self.pool is not None:
+            self.pool.audit_teardown()

@@ -74,13 +74,17 @@ class HCA:
     # -- memory registration (blocking: costs simulated time) ----------------
 
     def register_mr(
-        self, pd: ProtectionDomain, length: int, access: int = AccessFlags.ALL
+        self, pd: ProtectionDomain, length: int, access: int = AccessFlags.ALL,
+        req_id: int | None = None,
     ):
         """Register ``length`` bytes; generator — use ``yield from``.
 
         Returns the new :class:`MemoryRegion`.  Charges the Fig. 3
         registration cost in the caller's (process) context, since
-        registration is a synchronous syscall.
+        registration is a synchronous syscall.  ``req_id`` marks a
+        request-path registration (register-on-fly); without it the
+        span is categorized ``reg.setup`` (pool/staging registration at
+        connect time) so setup work stays out of the per-request blame.
         """
         cost = REGISTRATION.cost(length)
         t0 = self.sim.now
@@ -91,13 +95,16 @@ class HCA:
         self.stats.tally("ib.registration_usec").record(cost)
         trace = self.sim.trace
         if trace.enabled:
+            ident = {} if req_id is None else {"req_id": req_id}
             trace.complete(
-                self.node_name, "hca", "register_mr", "reg",
-                t0, self.sim.now, nbytes=length,
+                self.node_name, "hca", "register_mr",
+                "reg" if req_id is not None else "reg.setup",
+                t0, self.sim.now, nbytes=length, **ident,
             )
         return mr
 
-    def deregister_mr(self, pd: ProtectionDomain, mr: MemoryRegion):
+    def deregister_mr(self, pd: ProtectionDomain, mr: MemoryRegion,
+                      req_id: int | None = None):
         """Deregister; generator — use ``yield from``."""
         cost = DEREGISTRATION.cost(mr.length)
         t0 = self.sim.now
@@ -106,9 +113,11 @@ class HCA:
         self.stats.counter("ib.deregistrations").add(mr.length)
         trace = self.sim.trace
         if trace.enabled:
+            ident = {} if req_id is None else {"req_id": req_id}
             trace.complete(
-                self.node_name, "hca", "deregister_mr", "reg",
-                t0, self.sim.now, nbytes=mr.length,
+                self.node_name, "hca", "deregister_mr",
+                "reg" if req_id is not None else "reg.setup",
+                t0, self.sim.now, nbytes=mr.length, **ident,
             )
 
     def __repr__(self) -> str:

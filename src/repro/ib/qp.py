@@ -60,6 +60,8 @@ class SendWR:
     payload: Any = None
     signaled: bool = True
     solicited: bool = False
+    #: block-request identity propagated into the wire spans (critpath)
+    req_id: int | None = None
     wr_id: int = field(default_factory=lambda: next(_wr_ids))
 
 
@@ -80,6 +82,7 @@ class RDMAWriteWR:
     rkey: int
     payload: Any = None  # what lands in the remote buffer (bookkeeping)
     signaled: bool = True
+    req_id: int | None = None
     wr_id: int = field(default_factory=lambda: next(_wr_ids))
 
 
@@ -91,6 +94,7 @@ class RDMAReadWR:
     remote_addr: int
     rkey: int
     signaled: bool = True
+    req_id: int | None = None
     wr_id: int = field(default_factory=lambda: next(_wr_ids))
 
 
@@ -223,6 +227,7 @@ class QueuePair:
             params.byte_time,
             params.rdma_write_latency + params.send_recv_extra,
             tag="ib_send",
+            req_id=wr.req_id,
         )
         peer.recv_cq.push(
             CQE(
@@ -247,6 +252,7 @@ class QueuePair:
             params.byte_time,
             params.rdma_write_latency,
             tag="rdma_write",
+            req_id=wr.req_id,
         )
         # Deliver payload into the peer's simulated memory (bookkeeping
         # for tests/backing stores that want to observe the data).
@@ -271,4 +277,5 @@ class QueuePair:
             params.byte_time,
             0.0,
             tag="rdma_read",
+            req_id=wr.req_id,
         )

@@ -132,6 +132,10 @@ class RequestQueue:
         self._req_trace: list[tuple[float, str, int]] = []
         self.bio_count = 0
         self.merge_count = 0
+        self.bios_completed = 0
+        # high-water marks, reported to sim.monitors at teardown
+        self.max_in_flight = 0
+        self.max_dispatch_depth = 0
 
     # -- submission (VM side) ----------------------------------------------
 
@@ -195,6 +199,8 @@ class RequestQueue:
             for req in self._pending:
                 req.dispatch_time = self.sim.now
                 self.in_flight += 1
+                if self.in_flight > self.max_in_flight:
+                    self.max_in_flight = self.in_flight
                 tally = (
                     self._size_tally_read
                     if req.op == READ
@@ -217,6 +223,8 @@ class RequestQueue:
             self._pending.clear()
             self._ready_reads.sort(key=order)
             self._ready_writes.sort(key=order)
+            if self.dispatch_depth > self.max_dispatch_depth:
+                self.max_dispatch_depth = self.dispatch_depth
         while self._getters and (self._ready_reads or self._ready_writes):
             self._getters.popleft().succeed(self._pop_ready())
 
@@ -224,6 +232,16 @@ class RequestQueue:
         queue = self._ready_reads if self._ready_reads else self._ready_writes
         req = queue.pop(0)
         self._last_dispatch_sector = req.end_sector
+        trace = self.sim.trace
+        if trace.enabled and self.sim.now > req.dispatch_time:
+            # Device-queue wait: dispatched but the driver was busy with
+            # earlier requests (head-of-line at the device).
+            trace.complete(
+                self.name, "queue", "device_wait", "blk.wait",
+                req.dispatch_time, self.sim.now,
+                req_id=req.req_id, op=req.op, sector=req.sector,
+                nbytes=req.nbytes,
+            )
         return req
 
     # -- driver side ---------------------------------------------------------
@@ -251,6 +269,11 @@ class RequestQueue:
         """Finish a request: completes every merged bio's event."""
         self.in_flight -= 1
         if self.in_flight < 0:
+            self.sim.monitors.violation(
+                "blk.in_flight", self.name,
+                "completed more requests than dispatched",
+                in_flight=self.in_flight,
+            )
             raise SimulationError(f"{self.name}: completed more than dispatched")
         now = self.sim.now
         lat = self.stats.tally(f"{self.name}.req_latency_usec")
@@ -265,6 +288,34 @@ class RequestQueue:
             )
         for bio in req.bios:
             bio.done.succeed(bio)
+        self.bios_completed += len(req.bios)
+
+    def audit_teardown(self) -> None:
+        """Invariant monitors for a quiesced queue (runner teardown):
+        drained at every stage, bio conservation, watermarks recorded."""
+        monitors = self.sim.monitors
+        monitors.check(
+            self.in_flight == 0,
+            "blk.drained", self.name,
+            "requests still in flight at teardown",
+            in_flight=self.in_flight,
+        )
+        monitors.check(
+            not self._pending and self.dispatch_depth == 0,
+            "blk.drained", self.name,
+            "requests still queued at teardown",
+            pending=len(self._pending), ready=self.dispatch_depth,
+        )
+        monitors.check(
+            self.bios_completed == self.bio_count,
+            "blk.bio_conservation", self.name,
+            "submitted and completed bio counts differ",
+            submitted=self.bio_count, completed=self.bios_completed,
+        )
+        monitors.watermark(f"{self.name}.in_flight", self.max_in_flight)
+        monitors.watermark(
+            f"{self.name}.dispatch_depth", self.max_dispatch_depth
+        )
 
     # -- analysis hooks ---------------------------------------------------
 

@@ -501,8 +501,18 @@ class VMM:
             len(a.writeback) + len(a.swapin_pending) for a in self._spaces
         )
         if inflight:
+            self.sim.monitors.violation(
+                "vm.frame_ledger", self.name,
+                "frame accounting checked with swap I/O in flight",
+                inflight=inflight,
+            )
             raise SimulationError("check_frame_accounting needs quiesced VM")
         if held != self.frames.used:
+            self.sim.monitors.violation(
+                "vm.frame_ledger", self.name,
+                "resident pages and used frames diverged",
+                resident=held, used=self.frames.used,
+            )
             raise SimulationError(
                 f"frame ledger broken: resident={held} used={self.frames.used}"
             )

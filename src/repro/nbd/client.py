@@ -105,11 +105,14 @@ class NBDClient:
                 yield from conn.send(
                     NBD_REQUEST_BYTES + req.nbytes,
                     payload=("write", offset, req.nbytes, token),
+                    req_id=req.req_id,
                 )
                 reply = yield conn.recv()
             elif req.op == READ:
                 yield from conn.send(
-                    NBD_REQUEST_BYTES, payload=("read", offset, req.nbytes, None)
+                    NBD_REQUEST_BYTES,
+                    payload=("read", offset, req.nbytes, None),
+                    req_id=req.req_id,
                 )
                 reply = yield conn.recv()
             else:  # pragma: no cover - block layer validates

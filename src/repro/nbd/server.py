@@ -55,19 +55,35 @@ class NBDServer:
 
     def _serve(self, conn: Connection):
         """Blocking per-request service loop for one client."""
+        sim = self.sim
         while True:
             msg = yield conn.recv()
             kind, offset, nbytes, token = msg.payload
+            ident = {} if msg.req_id is None else {"req_id": msg.req_id}
             if kind == "write":
                 cost = self.ramdisk.write(offset, nbytes, token=token)
+                t0 = sim.now
                 yield from self.cpus.run(cost)
+                if sim.trace.enabled and sim.now > t0:
+                    sim.trace.complete(
+                        self.name, "worker", "ramdisk_write", "srv.copy",
+                        t0, sim.now, nbytes=nbytes, **ident,
+                    )
                 self.requests_served += 1
-                yield from conn.send(NBD_REPLY_BYTES, payload=("ack", None))
+                yield from conn.send(NBD_REPLY_BYTES, payload=("ack", None),
+                                     req_id=msg.req_id)
             elif kind == "read":
                 data, cost = self.ramdisk.read(offset, nbytes)
+                t0 = sim.now
                 yield from self.cpus.run(cost)
+                if sim.trace.enabled and sim.now > t0:
+                    sim.trace.complete(
+                        self.name, "worker", "ramdisk_read", "srv.copy",
+                        t0, sim.now, nbytes=nbytes, **ident,
+                    )
                 self.requests_served += 1
-                yield from conn.send(NBD_REPLY_BYTES + nbytes, payload=("ack", data))
+                yield from conn.send(NBD_REPLY_BYTES + nbytes,
+                                     payload=("ack", data), req_id=msg.req_id)
             elif kind == "disconnect":
                 return
             else:

@@ -60,6 +60,7 @@ class Fabric:
         byte_time: float,
         latency: float,
         tag: str = "data",
+        req_id: int | None = None,
     ) -> Event:
         """Move ``nbytes`` from ``src`` to ``dst``.
 
@@ -67,7 +68,9 @@ class Fabric:
         byte has *arrived* at ``dst``.  The source tx unit and the
         destination rx unit are both held for the serialization time
         ``nbytes * byte_time``; delivery completes ``latency`` later
-        (cut-through, no store-and-forward double count).
+        (cut-through, no store-and-forward double count).  ``req_id``
+        tags the wire/wait spans with the block-request identity so the
+        critical-path analysis can attribute them.
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
@@ -75,7 +78,9 @@ class Fabric:
             raise ValueError(f"self-transfer on port {src.name}")
         done = Event(self.sim, name=f"xfer:{src.name}->{dst.name}")
         self.sim.spawn(
-            self._transfer_proc(src, dst, nbytes, byte_time, latency, tag, done),
+            self._transfer_proc(
+                src, dst, nbytes, byte_time, latency, tag, req_id, done
+            ),
             name=f"xfer:{src.name}->{dst.name}",
         )
         return done
@@ -88,6 +93,7 @@ class Fabric:
         byte_time: float,
         latency: float,
         tag: str,
+        req_id: int | None,
         done: Event,
     ):
         t_start = self.sim.now
@@ -113,14 +119,15 @@ class Fabric:
             # serialization + latency, which is what the §6.2 Amdahl
             # model calls "network" (control messages get their own cat
             # so data wire time stays comparable to the model's).
+            ident = {} if req_id is None else {"req_id": req_id}
             if t_wire > t_start:
                 trace.complete(
                     "fabric", src.name, "port_wait", "net.wait",
-                    t_start, t_wire, tag=tag, nbytes=nbytes,
+                    t_start, t_wire, tag=tag, nbytes=nbytes, **ident,
                 )
             trace.complete(
                 "fabric", src.name, tag,
                 "ctrl" if tag == "ib_send" else "wire",
-                t_wire, self.sim.now, nbytes=nbytes, dst=dst.name,
+                t_wire, self.sim.now, nbytes=nbytes, dst=dst.name, **ident,
             )
         done.succeed(nbytes)

@@ -7,13 +7,17 @@
   on for a run.
 * :mod:`repro.obs.metrics` — :class:`MetricsHub`, a simulated-time
   ``vmstat`` sampler feeding :class:`~repro.simulator.stats.TimeSeries`
-  collectors and trace counter tracks.
+  collectors and trace counter tracks, plus ``watch()`` gauges for
+  utilization/queue-depth timelines.
+* :mod:`repro.obs.monitors` — :class:`MonitorHub`, always-on runtime
+  invariant monitors attached to every simulator at ``sim.monitors``.
 
 ``MetricsHub`` is re-exported lazily: the simulator core imports
 ``repro.obs.trace`` while loading, so this ``__init__`` must not pull in
 the kernel layer eagerly.
 """
 
+from .monitors import InvariantViolation, MonitorHub, Violation
 from .trace import (
     NULL_TRACE,
     NullTraceRecorder,
@@ -21,6 +25,7 @@ from .trace import (
     TraceRecorder,
     chrome_trace,
     chrome_trace_json,
+    spans_from_csv,
     spans_to_csv,
     write_chrome_trace,
 )
@@ -34,7 +39,11 @@ __all__ = [
     "chrome_trace_json",
     "write_chrome_trace",
     "spans_to_csv",
+    "spans_from_csv",
     "MetricsHub",
+    "MonitorHub",
+    "InvariantViolation",
+    "Violation",
 ]
 
 

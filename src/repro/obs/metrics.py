@@ -7,16 +7,23 @@ collectors (metric names follow the ``obs.vmstat.<field>`` convention —
 see ``docs/OBSERVABILITY.md``).  When the node's simulator has tracing
 enabled, every sample also lands in the trace as Chrome counter events,
 so Perfetto plots memory pressure right under the request spans.
+
+Beyond vmstat, arbitrary gauges can be attached with :meth:`watch`:
+the runner registers utilization/queue-depth samplers (request queue
+depth, flow-control credits, pool occupancy, RDMA slots, CPU busyness)
+so every traced run exports those timelines alongside the spans.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from typing import TYPE_CHECKING
 
 from ..simulator import StatsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from ..kernel.node import Node
+    from ..simulator.stats import TimeSeries
 
 __all__ = ["MetricsHub"]
 
@@ -61,6 +68,9 @@ class MetricsHub:
             field: self.stats.timeseries(f"{prefix}.{field}")
             for field in VMSTAT_FIELDS
         }
+        #: name -> sampler() -> {series: value} gauges (see watch())
+        self._watches: dict[str, Callable[[], dict[str, float]]] = {}
+        self._watch_series: dict[tuple[str, str], "TimeSeries"] = {}
 
     # -- lifecycle -------------------------------------------------------
 
@@ -78,6 +88,41 @@ class MetricsHub:
     def running(self) -> bool:
         return self._running
 
+    # -- gauges ----------------------------------------------------------
+
+    def watch(
+        self, name: str, sampler: Callable[[], dict[str, float]]
+    ) -> None:
+        """Attach a gauge sampled on every tick.
+
+        ``sampler`` returns ``{series: value}``; each series lands in a
+        ``obs.util.<name>.<series>`` :class:`TimeSeries` and (when
+        tracing) a co-plotted Chrome counter track named ``name``.
+        """
+        if name in self._watches:
+            raise ValueError(f"watch {name!r} already registered")
+        self._watches[name] = sampler
+
+    def _sample_watches(self, now: float) -> None:
+        trace = self.sim.trace
+        for name, sampler in self._watches.items():
+            values = sampler()
+            if not values:
+                continue
+            for series, value in values.items():
+                key = (name, series)
+                ts = self._watch_series.get(key)
+                if ts is None:
+                    ts = self._watch_series[key] = self.stats.timeseries(
+                        f"obs.util.{name}.{series}"
+                    )
+                ts.record(now, float(value))
+            if trace.enabled:
+                trace.counter(
+                    self.node.name, name,
+                    **{k: float(v) for k, v in values.items()},
+                )
+
     # -- sampling --------------------------------------------------------
 
     def sample(self) -> None:
@@ -88,6 +133,7 @@ class MetricsHub:
         now = self.sim.now
         for field, series in self._series.items():
             series.record(now, float(getattr(stat, field)))
+        self._sample_watches(now)
         self.samples += 1
         trace = self.sim.trace
         if trace.enabled:

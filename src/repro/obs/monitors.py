@@ -1,0 +1,107 @@
+"""Always-on runtime invariant monitors.
+
+Components on the swap request path report conservation and sanity
+checks here as the simulation runs: credit counts never negative,
+registration-pool bytes conserved, frame accounting balanced, request
+queues drained at teardown.  Violations are recorded with the simulated
+timestamp, mirrored into the trace (when tracing is enabled) as
+zero-duration ``invariant`` spans so they show up in Perfetto next to
+the work that broke them, and can be promoted to hard errors by setting
+``strict`` (the default in tests via scenario teardown audits).
+
+This module is imported by ``simulator.core`` so it must stay free of
+``repro.simulator`` imports; ``InvariantViolation`` therefore derives
+from ``AssertionError`` rather than ``SimulationError``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["InvariantViolation", "MonitorHub", "Violation"]
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant monitor fired while ``strict`` was set."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure observed at simulated time ``t``."""
+
+    t: float
+    monitor: str
+    component: str
+    message: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "t_usec": self.t,
+            "monitor": self.monitor,
+            "component": self.component,
+            "message": self.message,
+            **self.details,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        extra = "".join(f" {k}={v}" for k, v in self.details.items())
+        return (f"[{self.t:.3f}us] {self.monitor} @ {self.component}: "
+                f"{self.message}{extra}")
+
+
+class MonitorHub:
+    """Collects invariant checks from every layer of one simulation.
+
+    Attached to each ``Simulator`` as ``sim.monitors``.  Checks are
+    cheap enough to leave on unconditionally; a firing monitor records
+    a :class:`Violation` (and a trace span when tracing) and, when
+    ``strict`` is set, raises :class:`InvariantViolation` at the point
+    of damage rather than letting the simulation run on corrupted
+    state.
+    """
+
+    __slots__ = ("sim", "strict", "violations", "watermarks")
+
+    def __init__(self, sim: Any, strict: bool = False) -> None:
+        self.sim = sim
+        self.strict = strict
+        self.violations: list[Violation] = []
+        self.watermarks: dict[str, float] = {}
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violation(self, monitor: str, component: str, message: str,
+                  **details: Any) -> Violation:
+        """Record an invariant failure at the current simulated time."""
+        v = Violation(self.sim.now, monitor, component, message, details)
+        self.violations.append(v)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.complete(
+                component, "monitors", monitor, "invariant",
+                self.sim.now, self.sim.now, message=message, **details,
+            )
+        if self.strict:
+            raise InvariantViolation(str(v))
+        return v
+
+    def check(self, ok: bool, monitor: str, component: str, message: str,
+              **details: Any) -> bool:
+        """Record a violation unless ``ok``; returns ``ok`` unchanged."""
+        if not ok:
+            self.violation(monitor, component, message, **details)
+        return ok
+
+    def watermark(self, key: str, value: float) -> None:
+        """Track the high-water mark of a monitored quantity."""
+        prev = self.watermarks.get(key)
+        if prev is None or value > prev:
+            self.watermarks[key] = value
+
+    def summary(self) -> list[dict[str, Any]]:
+        """Picklable dump of every violation (for ScenarioResult)."""
+        return [v.as_dict() for v in self.violations]

@@ -30,6 +30,7 @@ Perfetto / ``chrome://tracing``) and a flat CSV for pandas/awk.  Span
 
 from __future__ import annotations
 
+import csv
 import io
 import json
 from collections.abc import Callable
@@ -44,6 +45,7 @@ __all__ = [
     "chrome_trace_json",
     "write_chrome_trace",
     "spans_to_csv",
+    "spans_from_csv",
 ]
 
 
@@ -373,7 +375,9 @@ def write_chrome_trace(rec: TraceRecorder, path_or_file: "str | TextIO") -> None
             json.dump(chrome_trace(rec), fh)
 
 
-#: CSV columns: fixed trace geometry plus the common request-identity args.
+#: CSV columns: fixed trace geometry, the common request-identity args
+#: promoted to their own columns, and a JSON ``args`` column carrying
+#: everything else so the export is lossless (see spans_from_csv).
 _CSV_FIELDS = (
     "start_usec",
     "dur_usec",
@@ -385,16 +389,28 @@ _CSV_FIELDS = (
     "op",
     "sector",
     "nbytes",
+    "args",
 )
+
+#: args promoted to dedicated columns, with parsers for the round trip.
+_CSV_PROMOTED = (("req_id", int), ("op", str), ("sector", int),
+                 ("nbytes", int))
 
 
 def spans_to_csv(rec: TraceRecorder) -> str:
-    """Flat CSV of all spans (one row per span, stable column set)."""
+    """Flat CSV of all spans (one row per span, stable column set).
+
+    Uses real CSV quoting, so free-form ``args`` values (commas, quotes,
+    newlines) survive; :func:`spans_from_csv` inverts it.
+    """
     buf = io.StringIO()
-    buf.write(",".join(_CSV_FIELDS) + "\n")
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(_CSV_FIELDS)
     for span in rec.spans:
         args = span.args or {}
-        row = (
+        extra = {k: v for k, v in args.items()
+                 if k not in ("req_id", "op", "sector", "nbytes")}
+        writer.writerow((
             f"{span.start:.3f}",
             f"{span.dur:.3f}",
             span.component,
@@ -405,6 +421,34 @@ def spans_to_csv(rec: TraceRecorder) -> str:
             str(args.get("op", "")),
             str(args.get("sector", "")),
             str(args.get("nbytes", "")),
-        )
-        buf.write(",".join(row) + "\n")
+            json.dumps(extra, sort_keys=True) if extra else "",
+        ))
     return buf.getvalue()
+
+
+def spans_from_csv(text: str) -> list[Span]:
+    """Parse :func:`spans_to_csv` output back into :class:`Span` objects.
+
+    Timestamps round-trip at the export precision (1 ns); promoted
+    columns are re-typed (``req_id``/``sector``/``nbytes`` as int) and
+    merged with the JSON ``args`` column.
+    """
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader, None)
+    if header is None or tuple(header) != _CSV_FIELDS:
+        raise ValueError(f"unrecognized span CSV header: {header!r}")
+    spans: list[Span] = []
+    for row in reader:
+        if not row:
+            continue
+        start, dur, component, track, cat, name = row[:6]
+        extra = row[10]
+        args: dict[str, Any] = json.loads(extra) if extra else {}
+        for (key, parse), cell in zip(_CSV_PROMOTED, row[6:10]):
+            if cell != "":
+                args[key] = parse(cell)
+        spans.append(
+            Span(component, track, name, cat, float(start), float(dur),
+                 args or None)
+        )
+    return spans

@@ -49,6 +49,14 @@ class ScenarioResult:
     network_bytes: dict[str, int]
     #: client-side driver copy time (HPBD pool memcpys), µs
     client_copy_usec: float
+    #: per-request blame aggregate (analysis.critpath), µs per class;
+    #: populated only on traced runs.  Plain dict — survives pickling
+    #: into the sweep cache even though the live trace does not.
+    blame_usec: dict[str, float] = field(default_factory=dict)
+    #: invariant-monitor violations (repro.obs.monitors), as plain dicts
+    invariant_violations: list[dict] = field(default_factory=list)
+    #: monitored high-water marks (queue depths etc.)
+    monitor_watermarks: dict[str, float] = field(default_factory=dict)
     registry: StatsRegistry = field(repr=False, default_factory=StatsRegistry)
     #: cross-layer span recording (run_scenario(..., trace=True)), else None
     trace: "TraceRecorder | None" = field(repr=False, default=None)

@@ -166,6 +166,7 @@ class _Scenario:
             if self.queue is not None:
                 self.node.swapon(self.queue, cfg.swap_bytes)
             if self.metrics is not None:
+                self._register_watches(self.metrics)
                 self.metrics.start()
             t_start = sim.now
             procs = []
@@ -202,11 +203,64 @@ class _Scenario:
             self.node.vmm.check_frame_accounting()
             if self.hpbd_client is not None and self.hpbd_client.pool is not None:
                 self.hpbd_client.pool.check_invariants()
+            # Teardown audits: every quiesced component reports its
+            # conservation invariants to sim.monitors.
+            if self.queue is not None:
+                self.queue.audit_teardown()
+            if self.hpbd_client is not None:
+                self.hpbd_client.audit_teardown()
+            for srv in self.hpbd_servers:
+                srv.audit_teardown()
             return wall
 
         proc = sim.spawn(main(sim), name="scenario")
         wall = sim.run(until=proc)
         return self._collect(results, wall)
+
+    def _register_watches(self, metrics: "MetricsHub") -> None:
+        """Utilization/queue-depth gauges sampled each metrics tick."""
+        node = self.node
+        metrics.watch(
+            "cpus", lambda: {"busy": float(node.cpus.in_use)}
+        )
+        queue = self.queue
+        if queue is not None:
+            metrics.watch(
+                "rq",
+                lambda: {
+                    "in_flight": float(queue.in_flight),
+                    "ready": float(queue.dispatch_depth),
+                },
+            )
+        client = self.hpbd_client
+        if client is not None:
+            metrics.watch(
+                "credits",
+                lambda: {
+                    "tokens": float(
+                        sum(b.tokens for b in client._credits)
+                    ),
+                    "waiting": float(
+                        sum(b.queue_length for b in client._credits)
+                    ),
+                },
+            )
+            metrics.watch(
+                "pool",
+                lambda: {
+                    "free_bytes": float(client.pool.free_bytes),
+                    "waiting": float(client.pool.waiting),
+                }
+                if client.pool is not None
+                else {},
+            )
+        for srv in self.hpbd_servers:
+            metrics.watch(
+                f"{srv.name}.rdma",
+                lambda srv=srv: {
+                    "slots_in_use": float(srv._rdma_slots.in_use)
+                },
+            )
 
     def _collect(
         self, instances: list[InstanceResult], wall: float
@@ -233,6 +287,12 @@ class _Scenario:
                 network_bytes[name.removeprefix("fabric.bytes.")] = int(
                     stats.get(name).total
                 )
+        blame_usec: dict[str, float] = {}
+        if self.sim.trace.enabled:
+            from .analysis.critpath import aggregate_blame, request_paths
+
+            blame_usec = aggregate_blame(request_paths(self.sim.trace))
+        monitors = self.sim.monitors
         return ScenarioResult(
             label=label,
             instances=instances,
@@ -246,6 +306,9 @@ class _Scenario:
             client_copy_usec=(
                 self.hpbd_client.copy_usec if self.hpbd_client is not None else 0.0
             ),
+            blame_usec=blame_usec,
+            invariant_violations=monitors.summary(),
+            monitor_watermarks=dict(monitors.watermarks),
             registry=stats,
             trace=self.sim.trace if self.sim.trace.enabled else None,
         )

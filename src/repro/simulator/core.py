@@ -41,6 +41,7 @@ import sys
 from collections.abc import Callable, Generator, Iterable
 from typing import Any
 
+from ..obs.monitors import MonitorHub
 from ..obs.trace import NULL_TRACE, TraceRecorder
 from .errors import (
     AlreadyTriggered,
@@ -363,6 +364,9 @@ class Simulator:
         #: recorder by default, so instrument sites cost one attribute
         #: load and an ``enabled`` check unless tracing is switched on.
         self.trace = NULL_TRACE
+        #: runtime invariant monitors (repro.obs.monitors); components
+        #: report conservation checks here as the simulation runs.
+        self.monitors = MonitorHub(self)
 
     def enable_tracing(self) -> TraceRecorder:
         """Attach (or return) a live TraceRecorder bound to this clock."""

@@ -105,6 +105,11 @@ class Resource:
         self._account()
         self._available += units
         if self._available > self.capacity:
+            self.sim.monitors.violation(
+                "resource.over_release", self.name,
+                "released more units than acquired",
+                available=self._available, capacity=self.capacity,
+            )
             raise SimulationError(
                 f"{self.name}: released more than acquired "
                 f"({self._available}/{self.capacity})"
@@ -298,6 +303,14 @@ class TokenBucket:
         evt = Event(self.sim, name=f"{self.name}.acquire")
         if not self._waiters and self._tokens >= n:
             self._tokens -= n
+            if self._tokens < 0:
+                # Unreachable through acquire() itself; guards against
+                # future code poking _tokens directly.
+                self.sim.monitors.violation(
+                    "credits.negative", self.name,
+                    "credit count went negative",
+                    tokens=self._tokens,
+                )
             evt.succeed(n)
         else:
             self.stall_count += 1
@@ -307,6 +320,11 @@ class TokenBucket:
     def release(self, n: int = 1) -> None:
         self._tokens += n
         if self._tokens > self.capacity:
+            self.sim.monitors.violation(
+                "credits.overflow", self.name,
+                "more credits released than the water-mark",
+                tokens=self._tokens, capacity=self.capacity,
+            )
             raise SimulationError(
                 f"{self.name}: credit overflow ({self._tokens}/{self.capacity})"
             )

@@ -73,11 +73,11 @@ def resolve_workers(workers: "int | str | None") -> int:
     return n
 
 
-def _simulate_config(cfg: ScenarioConfig) -> ScenarioResult:
+def _simulate_config(cfg: ScenarioConfig, trace: bool = False) -> ScenarioResult:
     """Top-level so it pickles into pool workers."""
     from ..runner import run_scenario
 
-    return run_scenario(cfg)
+    return run_scenario(cfg, trace=trace)
 
 
 def run_sweep(
@@ -86,6 +86,7 @@ def run_sweep(
     workers: "int | str | None" = None,
     cache: "ResultCache | str | os.PathLike | bool | None" = None,
     force: bool = False,
+    trace: bool = False,
     progress: "Callable[[str, str], None] | None" = None,
 ) -> SweepReport:
     """Run every point, in parallel where possible, reusing cached results.
@@ -95,6 +96,11 @@ def run_sweep(
     * ``cache`` — ``None``/``False`` disables caching; ``True`` uses the
       default directory; a path or a :class:`ResultCache` selects one.
     * ``force`` — ignore cached entries (still writes fresh ones).
+    * ``trace`` — run every simulated point with tracing enabled, so
+      results carry per-request blame aggregates (``blame_usec``) and
+      invariant-monitor reports.  Traced points cache under a distinct
+      key: a traced request is never served a blame-less untraced entry
+      (the live span recorder itself still never crosses the cache).
     * ``progress`` — optional ``fn(point_name, "cached"|"simulated")``
       called as each point completes.
 
@@ -121,7 +127,11 @@ def run_sweep(
     misses: list[int] = []
     followers: dict[int, list[int]] = {}
     for i, point in enumerate(points):
-        key = sweep_key(point.cfg) if store is not None else None
+        key = None
+        if store is not None:
+            key = sweep_key(point.cfg)
+            if trace:
+                key = "traced-" + key
         keys[i] = key
         if store is not None and not force:
             hit = store.get(key)
@@ -142,7 +152,7 @@ def run_sweep(
         if nworkers > 1 and len(misses) > 1:
             with ProcessPoolExecutor(max_workers=nworkers) as pool:
                 futures = {
-                    pool.submit(_simulate_config, points[i].cfg): i
+                    pool.submit(_simulate_config, points[i].cfg, trace): i
                     for i in misses
                 }
                 for future in as_completed(futures):
@@ -153,7 +163,7 @@ def run_sweep(
         else:
             nworkers = 1
             for i in misses:
-                results[i] = _simulate_config(points[i].cfg)
+                results[i] = _simulate_config(points[i].cfg, trace)
                 if progress is not None:
                     progress(points[i].name, "simulated")
         for i in misses:

@@ -29,6 +29,9 @@ class SocketError(SimulationError):
 class Message:
     nbytes: int
     payload: Any = None
+    #: block-request identity for the critical-path analysis; rides the
+    #: message (not the payload tuple) so framing stays protocol-owned.
+    req_id: int | None = None
 
 
 class Connection:
@@ -46,7 +49,8 @@ class Connection:
 
     # -- data path ---------------------------------------------------------
 
-    def send(self, nbytes: int, payload: Any = None):
+    def send(self, nbytes: int, payload: Any = None,
+             req_id: int | None = None):
         """Blocking send; generator — use ``yield from``.
 
         Returns once the local stack has pushed the data out (the send
@@ -58,12 +62,20 @@ class Connection:
         if nbytes < 0:
             raise ValueError(f"negative send size {nbytes}")
         peer = self._require_peer()
-        # Sender-side stack work (copy to skb, checksum, segmentation).
-        yield from self.local.cpu(self.local.host_cost(nbytes))
-        wire_done = self.local.send_bytes(peer.local, nbytes)
-        self.bytes_sent += nbytes
         sim = self.local.sim
-        msg = Message(nbytes=nbytes, payload=payload)
+        # Sender-side stack work (copy to skb, checksum, segmentation).
+        t0 = sim.now
+        yield from self.local.cpu(self.local.host_cost(nbytes))
+        trace = sim.trace
+        if trace.enabled and sim.now > t0:
+            ident = {} if req_id is None else {"req_id": req_id}
+            trace.complete(
+                self.local.node_name, "tcp", "tx_host", "tcp.host",
+                t0, sim.now, nbytes=nbytes, **ident,
+            )
+        wire_done = self.local.send_bytes(peer.local, nbytes, req_id=req_id)
+        self.bytes_sent += nbytes
+        msg = Message(nbytes=nbytes, payload=payload, req_id=req_id)
 
         def deliver():
             sim.spawn(peer._deliver(msg), name=f"{peer.name}.deliver")
@@ -72,7 +84,16 @@ class Connection:
 
     def _deliver(self, msg: Message):
         # Receiver-side stack work happens before the data is readable.
+        sim = self.local.sim
+        t0 = sim.now
         yield from self.local.cpu(self.local.host_cost(msg.nbytes))
+        trace = sim.trace
+        if trace.enabled and sim.now > t0:
+            ident = {} if msg.req_id is None else {"req_id": msg.req_id}
+            trace.complete(
+                self.local.node_name, "tcp", "rx_host", "tcp.host",
+                t0, sim.now, nbytes=msg.nbytes, **ident,
+            )
         self.bytes_received += msg.nbytes
         self._inbox.put(msg)
 

@@ -61,7 +61,8 @@ class TCPStack:
     def host_cost(self, nbytes: int) -> float:
         return self.params.host_cost(nbytes)
 
-    def send_bytes(self, dst: "TCPStack", nbytes: int) -> Any:
+    def send_bytes(self, dst: "TCPStack", nbytes: int,
+                   req_id: int | None = None) -> Any:
         """Put ``nbytes`` on the wire toward ``dst``; returns the arrival
         event.  Host costs are charged separately by the socket layer."""
         return self.fabric.transfer(
@@ -71,4 +72,5 @@ class TCPStack:
             self.params.wire_byte_time,
             self.params.wire_latency,
             tag=f"tcp_{self.params.name}",
+            req_id=req_id,
         )

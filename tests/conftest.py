@@ -1,4 +1,5 @@
-"""Shared fixtures: a fresh simulator, fabric, and small-node builders."""
+"""Shared fixtures: a fresh simulator, fabric, and small-node builders,
+plus the one expensive traced fig07 run several test modules share."""
 
 from __future__ import annotations
 
@@ -8,6 +9,40 @@ from repro.kernel import Node
 from repro.net import Fabric
 from repro.simulator import Simulator
 from repro.units import MiB
+
+FIG07_SCALE = 64
+
+
+@pytest.fixture(scope="session")
+def traced_fig07_hpbd():
+    """The Fig. 7 quicksort over HPBD, traced — one run per session.
+
+    Shared by the breakdown, critpath, and monitor tests; it is the
+    scenario the ISSUE acceptance criteria are stated against.
+    """
+    from repro.config import HPBD
+    from repro.experiments import _scenario
+    from repro.runner import run_scenario
+    from repro.units import GiB
+    from repro.workloads import QuicksortWorkload
+
+    wl = QuicksortWorkload(nelems=256 * 1024 * 1024 // FIG07_SCALE)
+    cfg = _scenario([wl], HPBD(), FIG07_SCALE, 512 * MiB, GiB)
+    return run_scenario(cfg, trace=True)
+
+
+@pytest.fixture(scope="session")
+def local_base_fig07():
+    """Same quicksort run fully in memory (the §6.2 baseline)."""
+    from repro.config import LocalMemory
+    from repro.experiments import _scenario
+    from repro.runner import run_scenario
+    from repro.units import GiB
+    from repro.workloads import QuicksortWorkload
+
+    wl = QuicksortWorkload(nelems=256 * 1024 * 1024 // FIG07_SCALE)
+    cfg = _scenario([wl], LocalMemory(), FIG07_SCALE, 2 * GiB, GiB)
+    return run_scenario(cfg)
 
 
 @pytest.fixture

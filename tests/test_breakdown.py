@@ -12,31 +12,18 @@ from repro.analysis import (
     stage_totals,
     wire_crosscheck,
 )
-from repro.config import HPBD, LocalMemory
-from repro.experiments import _scenario
 from repro.net.fabrics import IB_DEFAULT
-from repro.runner import run_scenario
-from repro.units import GiB, MiB
-from repro.workloads import QuicksortWorkload
-
-SCALE = 64
 
 
-def _quicksort():
-    return QuicksortWorkload(nelems=256 * 1024 * 1024 // SCALE)
+@pytest.fixture
+def traced_hpbd(traced_fig07_hpbd):
+    """The Fig. 7 quicksort over HPBD, traced (session-shared run)."""
+    return traced_fig07_hpbd
 
 
-@pytest.fixture(scope="module")
-def traced_hpbd():
-    """The Fig. 7 quicksort over HPBD, traced (one run per module)."""
-    cfg = _scenario([_quicksort()], HPBD(), SCALE, 512 * MiB, GiB)
-    return run_scenario(cfg, trace=True)
-
-
-@pytest.fixture(scope="module")
-def local_base():
-    cfg = _scenario([_quicksort()], LocalMemory(), SCALE, 2 * GiB, GiB)
-    return run_scenario(cfg)
+@pytest.fixture
+def local_base(local_base_fig07):
+    return local_base_fig07
 
 
 class TestTracedRun:
@@ -49,7 +36,7 @@ class TestTracedRun:
         for expected in (
             "vm.fault", "vm.swapin", "vm.pageout", "blk.queue",
             "blk.service", "hpbd.copy", "hpbd.rtt", "hpbd.request",
-            "srv.handle", "srv.copy", "wire", "ctrl", "reg",
+            "srv.handle", "srv.copy", "wire", "ctrl", "reg.setup",
         ):
             assert cats.get(expected, 0.0) > 0.0, expected
 

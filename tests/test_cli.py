@@ -103,6 +103,44 @@ class TestTrace:
         with pytest.raises(SystemExit):
             main(["trace", "--device", "floppy"])
 
+
+class TestCritpathCommand:
+    def test_critpath_report_and_artifacts(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        report = tmp_path / "critpath.json"
+        assert main([
+            "critpath", "--scale", "128", "--top", "3",
+            "-o", str(out), "--json", str(report),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "aggregate blame" in text
+        assert "slowest requests" in text
+        assert "invariant monitors: clean" in text
+        doc = json.loads(report.read_text())
+        assert doc["orphan_spans"] == 0
+        assert doc["violations"] == []
+        assert doc["requests"] > 0
+        blame = doc["blame_usec"]
+        assert blame["wire"] > 0
+        assert 0.0 <= doc["queueing_frac"] <= 1.0
+        assert len(doc["slowest"]) <= 3
+        # per-request blame in the report sums to its e2e latency
+        for entry in doc["slowest"]:
+            assert sum(entry["blame_usec"].values()) == pytest.approx(
+                entry["e2e_usec"], rel=1e-6
+            )
+        chrome = json.loads(out.read_text())
+        assert {"M", "X"} <= {e["ph"] for e in chrome["traceEvents"]}
+
+    def test_critpath_nbd_device(self, capsys):
+        assert main([
+            "critpath", "--device", "nbd-gige", "--workload", "testswap",
+            "--scale", "256", "--top", "2",
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "queueing" in text
+        assert "invariant monitors: clean" in text
+
     def test_trace_bad_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["trace", "--scale", "0"])

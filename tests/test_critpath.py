@@ -1,0 +1,219 @@
+"""Per-request critical-path reconstruction and blame attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.critpath import (
+    BLAME_CLASSES,
+    QUEUEING_CLASSES,
+    REQUEST_PATH_CATS,
+    aggregate_blame,
+    blame_split,
+    format_critpath,
+    orphan_spans,
+    request_paths,
+    slowest,
+)
+from repro.obs import TraceRecorder
+
+
+def make_recorder() -> TraceRecorder:
+    return TraceRecorder(clock=lambda: 0.0)
+
+
+def one_request(rec: TraceRecorder, rid: int = 1) -> None:
+    """A hand-built HPBD-ish request: queue 0-10, service 10-100."""
+    rec.complete("rq", "queue", "queue_wait", "blk.queue", 0.0, 10.0,
+                 req_id=rid, op="write", sector=64, nbytes=131072)
+    rec.complete("rq", "inflight", "service", "blk.service", 10.0, 100.0,
+                 req_id=rid, op="write", sector=64, nbytes=131072)
+    rec.complete("hpbd0", "driver", "copy_in", "hpbd.copy", 10.0, 30.0,
+                 req_id=rid)
+    # umbrella covering the transfer: must NOT absorb the wire time
+    rec.complete("mem0", "handler", "handle", "srv.handle", 30.0, 90.0,
+                 req_id=rid)
+    rec.complete("fabric", "compute", "rdma_read", "wire", 40.0, 80.0,
+                 req_id=rid)
+
+
+class TestPartition:
+    def test_blame_partitions_window_exactly(self):
+        rec = make_recorder()
+        one_request(rec)
+        (path,) = request_paths(rec)
+        assert path.e2e == 100.0
+        assert sum(path.blame.values()) == pytest.approx(path.e2e)
+
+    def test_precedence_most_specific_wins(self):
+        """wire (40-80) nested in srv.handle (30-90): the overlap is
+        charged to wire; only the uncovered srv.handle flanks remain."""
+        rec = make_recorder()
+        one_request(rec)
+        (path,) = request_paths(rec)
+        assert path.blame["wire"] == pytest.approx(40.0)
+        assert path.blame["server"] == pytest.approx(20.0)  # 30-40 + 80-90
+        assert path.blame["copy"] == pytest.approx(20.0)
+        assert path.blame["queue"] == pytest.approx(10.0)
+        assert path.blame["other"] == pytest.approx(10.0)  # 90-100 gap
+
+    def test_uncovered_window_is_other(self):
+        rec = make_recorder()
+        rec.complete("rq", "q", "w", "blk.queue", 0.0, 5.0, req_id=1)
+        rec.complete("rq", "i", "s", "blk.service", 5.0, 50.0, req_id=1)
+        (path,) = request_paths(rec)
+        # blk.service is an umbrella, not a blame source
+        assert path.blame["other"] == pytest.approx(45.0)
+        assert path.blame["queue"] == pytest.approx(5.0)
+
+    def test_spans_clipped_to_window(self):
+        """A span leaking past the service end must not inflate blame."""
+        rec = make_recorder()
+        rec.complete("rq", "q", "w", "blk.queue", 0.0, 10.0, req_id=1)
+        rec.complete("rq", "i", "s", "blk.service", 10.0, 40.0, req_id=1)
+        rec.complete("fabric", "c", "x", "wire", 30.0, 70.0, req_id=1)
+        (path,) = request_paths(rec)
+        assert path.blame["wire"] == pytest.approx(10.0)  # 30-40 only
+        assert sum(path.blame.values()) == pytest.approx(path.e2e)
+
+    def test_incomplete_requests_skipped(self):
+        rec = make_recorder()
+        rec.complete("rq", "q", "w", "blk.queue", 0.0, 10.0, req_id=1)
+        # no blk.service span — still in flight when recording stopped
+        assert request_paths(rec) == []
+
+    def test_geometry_from_queue_span(self):
+        rec = make_recorder()
+        one_request(rec, rid=7)
+        (path,) = request_paths(rec)
+        assert (path.req_id, path.op, path.sector) == (7, "write", 64)
+        assert path.nbytes == 131072
+        assert path.queue_wait == pytest.approx(10.0)
+        assert path.service == pytest.approx(90.0)
+
+
+class TestAggregation:
+    def test_aggregate_and_split(self):
+        rec = make_recorder()
+        one_request(rec, rid=1)
+        one_request(rec, rid=2)
+        agg = aggregate_blame(request_paths(rec))
+        assert agg["wire"] == pytest.approx(80.0)
+        assert sum(agg.values()) == pytest.approx(200.0)
+        split = blame_split(agg)
+        assert split["wire_frac"] == pytest.approx(0.4)
+        assert split["queueing_frac"] == pytest.approx(0.1)  # queue only
+
+    def test_split_of_empty_blame(self):
+        assert blame_split({}) == {"queueing_frac": 0.0, "wire_frac": 0.0}
+
+    def test_queueing_classes_are_blame_classes(self):
+        assert set(QUEUEING_CLASSES) <= set(BLAME_CLASSES)
+
+    def test_slowest_ordering(self):
+        rec = make_recorder()
+        one_request(rec, rid=1)
+        rec.complete("rq", "q", "w", "blk.queue", 0.0, 10.0, req_id=2)
+        rec.complete("rq", "i", "s", "blk.service", 10.0, 500.0, req_id=2)
+        top = slowest(request_paths(rec), 1)
+        assert [p.req_id for p in top] == [2]
+
+    def test_format_report(self):
+        rec = make_recorder()
+        one_request(rec)
+        text = format_critpath(request_paths(rec), top=5)
+        assert "aggregate blame" in text
+        assert "wire" in text and "queueing" in text
+        assert format_critpath([]) == "no completed block requests in trace\n"
+
+
+class TestOrphans:
+    def test_orphan_detection(self):
+        rec = make_recorder()
+        rec.complete("fabric", "c", "x", "wire", 0.0, 5.0)  # no req_id
+        rec.complete("fabric", "c", "x", "wire", 0.0, 5.0, req_id=1)
+        rec.complete("hca", "mr", "register", "reg.setup", 0.0, 5.0)  # exempt
+        assert len(orphan_spans(rec)) == 1
+
+    def test_request_path_cats_cover_blame_sources(self):
+        from repro.analysis.critpath import _BLAME_PRECEDENCE
+
+        for _label, cats in _BLAME_PRECEDENCE:
+            assert cats <= REQUEST_PATH_CATS
+
+
+class TestTracedFig07Acceptance:
+    """The ISSUE acceptance criteria, on the real fig07 HPBD scenario."""
+
+    def test_blame_sums_to_e2e_per_request(self, traced_fig07_hpbd):
+        paths = request_paths(traced_fig07_hpbd.trace)
+        assert len(paths) > 100
+        for path in paths:
+            assert sum(path.blame.values()) == pytest.approx(
+                path.e2e, rel=1e-9, abs=1e-6
+            )
+
+    def test_zero_orphan_spans(self, traced_fig07_hpbd):
+        assert orphan_spans(traced_fig07_hpbd.trace) == []
+
+    def test_wire_share_agrees_with_breakdown(self, traced_fig07_hpbd):
+        """Aggregate wire blame vs the §6.2 stage total, within 5 %.
+
+        (The stage total sums every wire span; blame counts covered
+        wall-clock inside request windows — they differ only where wire
+        transfers overlap each other or leak outside a window.)"""
+        from repro.analysis.breakdown import stage_totals
+
+        agg = aggregate_blame(request_paths(traced_fig07_hpbd.trace))
+        wire_stage = stage_totals(traced_fig07_hpbd)["wire"]
+        assert agg["wire"] > 0
+        assert agg["wire"] == pytest.approx(wire_stage, rel=0.05)
+
+    def test_result_carries_blame(self, traced_fig07_hpbd, local_base_fig07):
+        blame = traced_fig07_hpbd.blame_usec
+        assert blame and blame["wire"] > 0
+        agg = aggregate_blame(request_paths(traced_fig07_hpbd.trace))
+        assert blame == agg
+        assert local_base_fig07.blame_usec == {}
+
+    def test_utilization_timelines_sampled(self, traced_fig07_hpbd):
+        reg = traced_fig07_hpbd.registry
+        for name in (
+            "obs.util.cpus.busy",
+            "obs.util.rq.in_flight",
+            "obs.util.credits.tokens",
+        ):
+            ts = reg.get(name)
+            assert ts is not None and ts.count > 10, name
+
+
+class TestTracedNBD:
+    """A second transport exercises the TCP-side spans (tcp.host)."""
+
+    @pytest.fixture(scope="class")
+    def traced_nbd(self):
+        from repro.config import NBD
+        from repro.experiments import _scenario
+        from repro.runner import run_scenario
+        from repro.units import GiB, MiB
+        from repro.workloads import TestswapWorkload
+
+        scale = 128
+        wl = TestswapWorkload(size_bytes=GiB // scale)
+        cfg = _scenario([wl], NBD("gige"), scale, 512 * MiB, GiB)
+        return run_scenario(cfg, trace=True)
+
+    def test_clean_and_partitioned(self, traced_nbd):
+        paths = request_paths(traced_nbd.trace)
+        assert paths
+        assert orphan_spans(traced_nbd.trace) == []
+        assert traced_nbd.invariant_violations == []
+        for path in paths:
+            assert sum(path.blame.values()) == pytest.approx(
+                path.e2e, rel=1e-9, abs=1e-6
+            )
+
+    def test_tcp_host_time_attributed(self, traced_nbd):
+        agg = aggregate_blame(request_paths(traced_nbd.trace))
+        assert agg["host"] > 0  # tx/rx TCP stack CPU
+        assert agg["wire"] > 0

@@ -1,0 +1,135 @@
+"""Runtime invariant monitors: recording, strictness, and the wiring
+into resources, the block layer, and full scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.monitors import InvariantViolation, MonitorHub, Violation
+from repro.simulator import (
+    Resource,
+    SimulationError,
+    Simulator,
+    TokenBucket,
+)
+
+
+class TestMonitorHub:
+    def test_attached_to_every_simulator(self):
+        sim = Simulator()
+        assert isinstance(sim.monitors, MonitorHub)
+        assert sim.monitors.ok
+        assert sim.monitors.violations == []
+
+    def test_violation_records_sim_time(self, sim, runner):
+        def proc(sim):
+            yield sim.timeout(42.0)
+            sim.monitors.violation(
+                "pool.leak", "hpbd0", "bytes still allocated", allocated=4096
+            )
+
+        runner(proc(sim))
+        (v,) = sim.monitors.violations
+        assert isinstance(v, Violation)
+        assert v.t == 42.0
+        assert v.monitor == "pool.leak"
+        assert v.component == "hpbd0"
+        assert v.details == {"allocated": 4096}
+        assert not sim.monitors.ok
+
+    def test_summary_is_plain_dicts(self, sim):
+        sim.monitors.violation("m", "c", "msg", tokens=-1)
+        (d,) = sim.monitors.summary()
+        assert d == {
+            "t_usec": 0.0, "monitor": "m", "component": "c",
+            "message": "msg", "tokens": -1,
+        }
+
+    def test_strict_raises_at_point_of_damage(self, sim):
+        sim.monitors.strict = True
+        with pytest.raises(InvariantViolation):
+            sim.monitors.violation("credits.negative", "c", "went negative")
+        # recorded anyway, so post-mortem still sees it
+        assert len(sim.monitors.violations) == 1
+
+    def test_check_passes_through(self, sim):
+        assert sim.monitors.check(True, "m", "c", "fine") is True
+        assert sim.monitors.ok
+        assert sim.monitors.check(False, "m", "c", "broken") is False
+        assert len(sim.monitors.violations) == 1
+
+    def test_watermark_tracks_maximum(self, sim):
+        sim.monitors.watermark("rq.depth", 3)
+        sim.monitors.watermark("rq.depth", 7)
+        sim.monitors.watermark("rq.depth", 5)
+        assert sim.monitors.watermarks == {"rq.depth": 7}
+
+    def test_violation_emits_invariant_span_when_tracing(self, sim):
+        rec = sim.enable_tracing()
+        sim.monitors.violation("pool.leak", "hpbd0", "leaked", allocated=64)
+        (span,) = [s for s in rec.spans if s.cat == "invariant"]
+        assert span.dur == 0.0
+        assert span.component == "hpbd0"
+        assert span.name == "pool.leak"
+        assert span.args["message"] == "leaked"
+        assert span.args["allocated"] == 64
+
+    def test_no_span_when_untraced(self, sim):
+        sim.monitors.violation("m", "c", "msg")
+        assert len(sim.trace) == 0
+
+
+class TestResourceWiring:
+    def test_token_bucket_overflow_recorded_then_raised(self, sim):
+        bucket = TokenBucket(sim, 2, name="credits")
+        with pytest.raises(SimulationError):
+            bucket.release()
+        (v,) = sim.monitors.violations
+        assert v.monitor == "credits.overflow"
+        assert v.details["capacity"] == 2
+
+    def test_resource_over_release_recorded_then_raised(self, sim):
+        res = Resource(sim, 1, name="slots")
+        with pytest.raises(SimulationError):
+            res.release()
+        assert any(
+            v.monitor == "resource.over_release"
+            for v in sim.monitors.violations
+        )
+
+    def test_request_queue_over_complete(self, sim):
+        from repro.kernel.blockdev import BlockRequest, RequestQueue
+
+        q = RequestQueue(sim, "rq", capacity_sectors=1 << 20)
+        req = BlockRequest(op="read", sector=0, nsectors=8, bios=[])
+        with pytest.raises(SimulationError):
+            q.complete(req)
+        assert any(
+            v.monitor == "blk.in_flight" for v in sim.monitors.violations
+        )
+
+
+class TestScenarioAudits:
+    def test_fig07_hpbd_clean(self, traced_fig07_hpbd):
+        """Acceptance: invariant monitors pass clean on the ISSUE's
+        reference scenario, and the teardown audits did run (the
+        watermarks they record are present)."""
+        assert traced_fig07_hpbd.invariant_violations == []
+        marks = traced_fig07_hpbd.monitor_watermarks
+        assert any(k.endswith(".in_flight") for k in marks)
+        assert all(v >= 0 for v in marks.values())
+
+    def test_untraced_scenario_clean(self, local_base_fig07):
+        assert local_base_fig07.invariant_violations == []
+
+    def test_teardown_audit_flags_leak(self, sim):
+        """A pool with bytes still allocated at teardown must fire."""
+        from repro.hpbd.pool import RegisteredPool
+
+        pool = RegisteredPool(sim, 1 << 20, name="pool")
+        buf = pool.try_alloc(4096)
+        assert buf is not None
+        pool.audit_teardown()
+        assert any(
+            v.monitor == "pool.leak" for v in sim.monitors.violations
+        )

@@ -16,6 +16,7 @@ from repro.obs import (
     TraceRecorder,
     chrome_trace,
     chrome_trace_json,
+    spans_from_csv,
     spans_to_csv,
     write_chrome_trace,
 )
@@ -169,10 +170,73 @@ class TestChromeExport:
         lines = text.strip().splitlines()
         assert lines[0] == (
             "start_usec,dur_usec,component,track,cat,name,"
-            "req_id,op,sector,nbytes"
+            "req_id,op,sector,nbytes,args"
         )
         assert len(lines) == 3  # header + 2 spans
         assert lines[1].split(",")[6] == "5"  # req_id carried through
+
+
+class TestCSVRoundTrip:
+    def _roundtrip(self, rec: TraceRecorder) -> list:
+        parsed = spans_from_csv(spans_to_csv(rec))
+        assert len(parsed) == len(rec.spans)
+        for got, want in zip(parsed, rec.spans):
+            assert got.component == want.component
+            assert got.track == want.track
+            assert got.name == want.name
+            assert got.cat == want.cat
+            # timestamps survive at the export precision (1 ns)
+            assert got.start == pytest.approx(want.start, abs=1e-3)
+            assert got.dur == pytest.approx(want.dur, abs=1e-3)
+        return parsed
+
+    def test_promoted_columns_retyped(self, sim):
+        rec = TraceRecorder(clock=lambda: sim.now)
+        rec.complete(
+            "hpbd0", "sender", "copy_in", "hpbd.copy", 2.0, 9.5,
+            req_id=5, op="write", sector=128, nbytes=131072,
+        )
+        (span,) = self._roundtrip(rec)
+        assert span.args == {
+            "req_id": 5, "op": "write", "sector": 128, "nbytes": 131072,
+        }
+
+    def test_extra_args_escaping(self, sim):
+        """Free-form args with commas, quotes and newlines survive."""
+        rec = TraceRecorder(clock=lambda: sim.now)
+        nasty = 'a,b "quoted"\nnewline'
+        rec.complete(
+            "mon", "monitors", "pool.leak", "invariant", 1.0, 1.0,
+            req_id=9, message=nasty, allocated=4096,
+        )
+        (span,) = self._roundtrip(rec)
+        assert span.args["message"] == nasty
+        assert span.args["allocated"] == 4096
+        assert span.args["req_id"] == 9
+
+    def test_argless_span(self, sim):
+        rec = TraceRecorder(clock=lambda: sim.now)
+        rec.complete("fabric", "compute", "rdma_read", "wire", 0.0, 150.125)
+        (span,) = self._roundtrip(rec)
+        assert span.args is None
+
+    def test_empty_recorder(self, sim):
+        rec = TraceRecorder(clock=lambda: sim.now)
+        assert spans_from_csv(spans_to_csv(rec)) == []
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            spans_from_csv("not,a,span,csv\n1,2,3,4\n")
+
+    def test_recorder_matches_traced_scenario(self, traced_fig07_hpbd):
+        """Full-scenario round trip: every span of a real traced run."""
+        rec = traced_fig07_hpbd.trace
+        parsed = spans_from_csv(spans_to_csv(rec))
+        assert len(parsed) == len(rec.spans)
+        sample = parsed[len(parsed) // 2]
+        want = rec.spans[len(parsed) // 2]
+        assert (sample.cat, sample.name) == (want.cat, want.name)
+        assert sample.args == want.args
 
 
 class TestMetricsHub:
@@ -237,3 +301,41 @@ class TestMetricsHub:
     def test_bad_interval_rejected(self, node):
         with pytest.raises(ValueError):
             MetricsHub(node, interval_usec=0.0)
+
+    def test_watch_gauges_sampled(self, sim, fabric, runner):
+        rec = sim.enable_tracing()
+        n = self._swapping_node(sim, fabric)
+        hub = MetricsHub(n, interval_usec=100.0)
+        depth = {"value": 0.0}
+        hub.watch("rq", lambda: {"in_flight": depth["value"]})
+        hub.start()
+
+        def app(sim):
+            depth["value"] = 3.0
+            yield sim.timeout(250.0)
+            hub.stop()
+
+        runner(app(sim))
+        ts = n.stats.get("obs.util.rq.in_flight")
+        assert ts is not None and ts.count == hub.samples
+        assert ts.values().max() == 3.0
+        assert any(name == "rq" for (_c, name, _t, _v) in rec.counters)
+
+    def test_watch_duplicate_name_rejected(self, node):
+        hub = MetricsHub(node)
+        hub.watch("rq", lambda: {})
+        with pytest.raises(ValueError):
+            hub.watch("rq", lambda: {})
+
+    def test_watch_empty_sample_skipped(self, sim, fabric, runner):
+        n = self._swapping_node(sim, fabric)
+        hub = MetricsHub(n, interval_usec=100.0)
+        hub.watch("pool", lambda: {})
+        hub.start()
+
+        def app(sim):
+            yield sim.timeout(150.0)
+            hub.stop()
+
+        runner(app(sim))
+        assert n.stats.get("obs.util.pool.free_bytes") is None

@@ -124,6 +124,24 @@ class TestRunSweep:
             assert a.swapin_pages == b.swapin_pages == c.swapin_pages
             assert b.registry.snapshot() == c.registry.snapshot()
 
+    def test_traced_points_cache_separately(self, tmp_path):
+        """A traced sweep must not be served blame-less untraced
+        entries (and vice versa): the cache keys are distinct."""
+        points = _points(1)
+        plain = run_sweep(points, cache=tmp_path)
+        assert plain.results[0].blame_usec == {}
+        traced = run_sweep(points, cache=tmp_path, trace=True)
+        assert traced.simulated == 1  # untraced entry did not satisfy it
+        blame = traced.results[0].blame_usec
+        assert blame and sum(blame.values()) > 0
+        # and the traced entry is itself cached, blame intact
+        again = run_sweep(points, cache=tmp_path, trace=True)
+        assert again.simulated == 0 and again.cached == 1
+        assert again.results[0].blame_usec == blame
+        assert again.results[0].invariant_violations == []
+        # untraced lookups still hit the untraced entry
+        assert run_sweep(points, cache=tmp_path).simulated == 0
+
     def test_force_resimulates(self, tmp_path):
         points = _points(1)
         run_sweep(points, cache=tmp_path)
