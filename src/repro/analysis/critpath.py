@@ -58,6 +58,12 @@ __all__ = [
 _BLAME_PRECEDENCE: tuple[tuple[str, frozenset[str]], ...] = (
     ("wire", frozenset({"wire"})),
     ("ctrl", frozenset({"ctrl"})),
+    # Fault recovery (repro.faults): time lost to failed/abandoned
+    # attempts and to retry backoff.  Ranked below wire/ctrl so the
+    # failed attempt's own wire time stays billed to the wire, and the
+    # unanswered remainder lands here instead of inflating "other".
+    ("fault", frozenset({"hpbd.timeout", "hpbd.failover"})),
+    ("retry", frozenset({"hpbd.retry"})),
     ("disk", frozenset({"disk.service"})),
     ("copy", frozenset({"hpbd.copy"})),
     ("registration", frozenset({"reg"})),
@@ -100,6 +106,9 @@ REQUEST_PATH_CATS: frozenset[str] = frozenset(
         "hpbd.credit",
         "hpbd.rtt",
         "hpbd.request",
+        "hpbd.timeout",
+        "hpbd.failover",
+        "hpbd.retry",
         "reg",
         "net.wait",
         "wire",

@@ -341,6 +341,160 @@ def _run_critpath(args) -> int:
     return status
 
 
+_FAULT_MODES = ("remap", "disk", "mirror")
+
+#: the HPBD client's recovery counters ``repro faults`` reports.
+_RECOVERY_COUNTERS = (
+    "retries", "timeouts", "failovers", "write_failovers",
+    "remaps", "disk_fallbacks", "stale_replies", "servers_dead",
+)
+
+
+def _run_faults(args) -> int:
+    """``repro faults``: crash a memory server mid-run, audit recovery.
+
+    Runs one traced testswap scenario with a scheduled ``ServerCrash``
+    and the recovery machinery for the chosen mode, then reports the
+    recovery counters, the fault/retry blame shares, and the invariant
+    monitors.  Exit status is nonzero on any invariant violation, or —
+    under ``--expect-recovery`` — when the run recovered without
+    actually exercising the machinery (no failover/remap/fallback or no
+    timeout), or — under ``--replay-check`` — when a second run of the
+    same seed diverges.
+    """
+    from .analysis.critpath import aggregate_blame, blame_split, request_paths
+    from .config import FaultConfig, HPBD
+    from .experiments import _scenario
+    from .faults import FaultPlan, ServerCrash
+    from .obs import write_chrome_trace
+    from .runner import run_scenario
+    from .units import GiB, MiB
+    from .workloads import TestswapWorkload
+
+    scale = args.scale
+    if args.crash_at is None:
+        # Mid-run for a testswap at this scale (~8.4e6/scale us total),
+        # so the crash lands inside active swap traffic.
+        args.crash_at = 4_200_000.0 / scale
+
+    def run_once() -> ScenarioResult:
+        if args.mode == "mirror":
+            device = HPBD(nservers=2, mirror=True)
+            crash = ServerCrash(at=args.crash_at, server=0)
+            fcfg = FaultConfig(
+                plan=FaultPlan(events=(crash,), seed=args.seed),
+                request_timeout_usec=args.timeout,
+            )
+        else:
+            device = HPBD(nservers=4)
+            crash = ServerCrash(at=args.crash_at, server=1)
+            fcfg = FaultConfig(
+                plan=FaultPlan(events=(crash,), seed=args.seed),
+                request_timeout_usec=args.timeout,
+                degraded_mode=args.mode,
+            )
+        cfg = _scenario(
+            [TestswapWorkload(size_bytes=GiB // scale)],
+            device, scale, 512 * MiB, GiB,
+        )
+        cfg.faults = fcfg
+        cfg.seed = args.seed
+        return run_scenario(cfg, trace=True)
+
+    def recovery_counters(result: ScenarioResult) -> dict[str, int]:
+        out = {}
+        for key in _RECOVERY_COUNTERS:
+            c = result.registry.get(f"hpbd0.{key}")
+            out[key] = int(c.total) if c is not None else 0
+        for name in sorted(result.registry.names()):
+            if name.startswith("fault."):
+                out[name] = int(result.registry.get(name).total)
+        return out
+
+    print(
+        f"fault run: testswap over hpbd, mode={args.mode}, crash at "
+        f"t={args.crash_at:g} us (scale=1/{scale}, seed={args.seed})..."
+    )
+    result = run_once()
+    ctrs = recovery_counters(result)
+    paths = request_paths(result.trace)
+    agg = aggregate_blame(paths)
+    violations = result.invariant_violations
+    print(result.summary())
+    print()
+    print("recovery / fault counters:")
+    for key, value in ctrs.items():
+        if value:
+            print(f"  {key:<24s} {value}")
+    total = sum(agg.values())
+    if total > 0:
+        print("blame shares:")
+        for label in ("fault", "retry"):
+            print(f"  {label:<8s} {agg.get(label, 0.0) / total:6.2%}")
+    status = 0
+    if violations:
+        print(
+            f"ERROR: {len(violations)} invariant violations:", file=sys.stderr
+        )
+        for v in violations[:20]:
+            print(
+                f"  t={v['t_usec']:.1f} {v['monitor']} "
+                f"[{v['component']}]: {v['message']}",
+                file=sys.stderr,
+            )
+        status = 1
+    else:
+        print("invariant monitors: clean (0 violations)")
+    if args.expect_recovery:
+        recovered = (
+            ctrs["failovers"] + ctrs["write_failovers"]
+            + ctrs["remaps"] + ctrs["disk_fallbacks"]
+        )
+        detected = ctrs["retries"] + ctrs["timeouts"]
+        if recovered == 0 or detected == 0:
+            print(
+                f"ERROR: expected recovery activity, got {detected} "
+                f"timeouts/retries and {recovered} "
+                f"failovers/remaps/fallbacks",
+                file=sys.stderr,
+            )
+            status = 1
+    if args.replay_check:
+        second = run_once()
+        ctrs2 = recovery_counters(second)
+        agg2 = aggregate_blame(request_paths(second.trace))
+        if ctrs2 != ctrs or agg2 != agg:
+            print(
+                "ERROR: replay diverged for the same seed "
+                f"(counters equal: {ctrs2 == ctrs}, "
+                f"blame equal: {agg2 == agg})",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print("replay check: second run identical (counters + blame)")
+    if args.output:
+        write_chrome_trace(result.trace, args.output)
+        print(f"wrote {args.output}  (load in Perfetto / chrome://tracing)")
+    if args.json:
+        payload = {
+            "mode": args.mode,
+            "scale": scale,
+            "seed": args.seed,
+            "crash_at_usec": args.crash_at,
+            "timeout_usec": args.timeout,
+            "elapsed_usec": result.elapsed_usec,
+            "counters": ctrs,
+            "blame_usec": agg,
+            **blame_split(agg),
+            "violations": violations,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return status
+
+
 def _run_sweep_cmd(args) -> int:
     """``repro sweep``: run figure grids through the parallel engine."""
     from .analysis.critpath import blame_split
@@ -547,6 +701,43 @@ def main(argv: Sequence[str] | None = None) -> int:
     cp.add_argument(
         "--json", metavar="PATH", help="dump the blame report as JSON"
     )
+    fa = sub.add_parser(
+        "faults",
+        help="crash a memory server mid-run; audit the recovery "
+        "machinery and invariant monitors (nonzero exit on violations)",
+    )
+    fa.add_argument(
+        "--mode", choices=_FAULT_MODES, default="remap",
+        help="recovery mode absorbing the crash (default: remap)",
+    )
+    fa.add_argument(
+        "--scale", type=int, default=32,
+        help="size divisor; 1 = full paper sizes (default: 32)",
+    )
+    fa.add_argument(
+        "--crash-at", type=float, default=None,
+        help="crash time in simulated us (default: mid-run for --scale)",
+    )
+    fa.add_argument(
+        "--timeout", type=float, default=2_000.0,
+        help="per-request timeout in us (default: 2000)",
+    )
+    fa.add_argument("--seed", type=int, default=1)
+    fa.add_argument(
+        "--expect-recovery", action="store_true",
+        help="fail unless the run actually timed out and failed over",
+    )
+    fa.add_argument(
+        "--replay-check", action="store_true",
+        help="run twice; fail if counters or blame diverge",
+    )
+    fa.add_argument(
+        "-o", "--output", metavar="PATH",
+        help="also write the Chrome trace-event JSON",
+    )
+    fa.add_argument(
+        "--json", metavar="PATH", help="dump the fault report as JSON"
+    )
     sw = sub.add_parser(
         "sweep",
         help="run a figure's scenario grid through the parallel sweep "
@@ -643,6 +834,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.scale < 1:
             parser.error("--scale must be >= 1")
         return _run_critpath(args)
+    if args.command == "faults":
+        if args.scale < 1:
+            parser.error("--scale must be >= 1")
+        return _run_faults(args)
     if args.command == "sweep":
         if args.scale < 1:
             parser.error("--scale must be >= 1")

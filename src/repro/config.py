@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from .disk.model import DiskParams, ST340014A
+from .faults.plan import FaultPlan
 from .kernel.params import DEFAULT_VM_PARAMS, VMParams
 from .net.fabrics import (
     GIGE_DEFAULT,
@@ -32,6 +33,7 @@ __all__ = [
     "NBD",
     "LocalDisk",
     "DeviceConfig",
+    "FaultConfig",
     "ScenarioConfig",
 ]
 
@@ -95,6 +97,41 @@ class LocalDisk:
 DeviceConfig = LocalMemory | HPBD | NBD | LocalDisk
 
 
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault injection + the recovery knobs that survive it.
+
+    ``plan`` is the injected trouble (see :mod:`repro.faults`);
+    the rest configures the client-side recovery state machine.
+    Attaching a ``FaultConfig`` to a scenario enables per-request
+    timeouts — without one, drivers keep the legacy raise-on-error
+    behaviour.
+    """
+
+    plan: FaultPlan | None = None
+    #: per-physical-request timeout; ``None`` disables the whole
+    #: recovery machine (legacy raise-on-error semantics).
+    request_timeout_usec: float | None = 2_000.0
+    #: attempts against the same server before it is declared dead
+    max_retries: int = 2
+    retry_backoff_usec: float = 200.0
+    backoff_mult: float = 2.0
+    #: what happens once an HPBD server is dead: "remap" its chunk onto
+    #: the successor server, fall back to the local "disk", or "none"
+    #: (mirroring handles it, or the run fails)
+    degraded_mode: str = "none"
+    #: the disk model backing ``degraded_mode="disk"``
+    fallback_disk: DiskParams = ST340014A
+
+    def __post_init__(self) -> None:
+        if self.degraded_mode not in ("none", "remap", "disk"):
+            raise ValueError(f"unknown degraded_mode {self.degraded_mode!r}")
+        if self.request_timeout_usec is not None and self.request_timeout_usec <= 0:
+            raise ValueError(f"bad request_timeout_usec {self.request_timeout_usec}")
+        if self.max_retries < 0:
+            raise ValueError(f"bad max_retries {self.max_retries}")
+
+
 @dataclass
 class ScenarioConfig:
     """One full experiment configuration."""
@@ -109,6 +146,9 @@ class ScenarioConfig:
     #: app never sees the full DIMM size.
     mem_reserved_bytes: int = 24 * MiB
     seed: int = 42
+    #: fault injection + recovery tuning; ``None`` = fault-free run
+    #: with legacy error semantics.
+    faults: FaultConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.workloads:

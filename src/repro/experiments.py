@@ -17,7 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .config import HPBD, LocalDisk, LocalMemory, NBD, ScenarioConfig
+from .config import FaultConfig, HPBD, LocalDisk, LocalMemory, NBD, ScenarioConfig
+from .faults import CreditStarve, FaultPlan, LinkDegrade, ServerCrash
 from .net.fabrics import (
     GIGE_DEFAULT,
     IB_DEFAULT,
@@ -47,6 +48,7 @@ __all__ = [
     "fig09_points",
     "fig10_servers",
     "fig10_points",
+    "faults_points",
     "sec62_runs",
     "SWEEPS",
     "PAPER_FIG5",
@@ -347,6 +349,53 @@ def fig10_servers(
     return list(zip(counts, results))
 
 
+def faults_points(scale: int = DEFAULT_SCALE) -> list[SweepPoint]:
+    """Fault-injection grid: each recovery mode against its fault.
+
+    Not a paper figure — the reliability extension's sweep: a healthy
+    run under the recovery machinery (the control), a mid-run server
+    crash absorbed by chunk remapping, by disk fallback, and by a
+    mirror replica, plus a degraded link and a credit squeeze.  Every
+    point must complete with clean invariant monitors.
+    """
+
+    def _cfg(device, faults: FaultConfig) -> ScenarioConfig:
+        cfg = _scenario(
+            [TestswapWorkload(size_bytes=GiB // scale)],
+            device, scale, 512 * MiB, GiB,
+        )
+        cfg.faults = faults
+        return cfg
+
+    # Aim the episodes at the middle of the run so they overlap swap
+    # traffic (testswap takes ~8.4e6/scale simulated us end to end).
+    mid = 4_200_000.0 / scale
+    crash = FaultPlan(events=(ServerCrash(at=mid, server=1),))
+    crash0 = FaultPlan(events=(ServerCrash(at=mid, server=0),))
+    degrade = FaultPlan(events=(
+        LinkDegrade(at=mid, node="mem0", duration=mid / 4,
+                    latency_mult=20.0, bandwidth_mult=0.25),
+    ))
+    starve = FaultPlan(events=(
+        CreditStarve(at=mid, server=0, ntokens=8, duration=mid / 4),
+    ))
+    quad = HPBD(nservers=4)
+    return [
+        SweepPoint("faults/baseline",
+                   _cfg(quad, FaultConfig(degraded_mode="remap"))),
+        SweepPoint("faults/crash-remap",
+                   _cfg(quad, FaultConfig(plan=crash, degraded_mode="remap"))),
+        SweepPoint("faults/crash-disk",
+                   _cfg(quad, FaultConfig(plan=crash, degraded_mode="disk"))),
+        SweepPoint("faults/degrade",
+                   _cfg(quad, FaultConfig(plan=degrade, max_retries=8))),
+        SweepPoint("faults/starve", _cfg(quad, FaultConfig(plan=starve))),
+        SweepPoint("faults/mirror-crash",
+                   _cfg(HPBD(nservers=2, mirror=True),
+                        FaultConfig(plan=crash0))),
+    ]
+
+
 def sec62_runs(
     scale: int = DEFAULT_SCALE,
     *,
@@ -368,4 +417,5 @@ SWEEPS: dict = {
               "Barnes across devices"),
     "fig09": (fig09_points, "two concurrent quick sorts"),
     "fig10": (fig10_points, "quick sort vs number of servers"),
+    "faults": (faults_points, "fault injection / recovery grid"),
 }

@@ -1,0 +1,25 @@
+"""Deterministic fault injection and the plans that drive it.
+
+Split so that :mod:`repro.config` can import the pure-data plan types
+without pulling in the injector's runtime dependencies.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    CreditStarve,
+    FaultEvent,
+    FaultPlan,
+    LinkDegrade,
+    LinkFlap,
+    ServerCrash,
+)
+
+__all__ = [
+    "CreditStarve",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegrade",
+    "LinkFlap",
+    "ServerCrash",
+]

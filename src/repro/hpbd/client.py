@@ -17,17 +17,36 @@ Structure follows §4.2.3/§5 of the paper:
 * a block request completes when every physical request has been
   acknowledged ("A request is successfully served when each physical
   request is replied with successful acknowledgment").
+
+Reliability (§4.1: "Failure in page handling can adversely impact
+system stability and even crash the system") — every physical request
+is tracked as an *attempt* with its own send timestamp and deadline:
+
+* with ``request_timeout_usec`` set, a watchdog expires overdue
+  attempts and drives a bounded retry/backoff state machine;
+* an exhausted or hopeless attempt marks its server dead and re-routes:
+  to the mirror replica, onto a surviving server (``degraded_mode=
+  "remap"``), or down to the local swap disk (``degraded_mode="disk"``);
+* with timeouts disabled (the default) behaviour is unchanged: a server
+  error raises, except for the mirror read-failover path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..ib import HCA, CompletionQueue, RecvWR, SendWR, connect_endpoints
-from ..kernel.blockdev import BlockRequest, READ, RequestQueue, WRITE
+from ..kernel.blockdev import Bio, BlockRequest, READ, RequestQueue, WRITE
 from ..kernel.node import Node
 from ..net.fabrics import IBParams, IB_DEFAULT, memcpy_cost
-from ..simulator import SimulationError, Simulator, StatsRegistry, TokenBucket
+from ..simulator import (
+    Event,
+    SimulationError,
+    Simulator,
+    StatsRegistry,
+    TokenBucket,
+    WaitQueue,
+)
 from ..units import MiB, SECTOR_SIZE
 from .pool import PoolBuffer, RegisteredPool
 from .protocol import (
@@ -36,11 +55,15 @@ from .protocol import (
     OP_WRITE,
     PageReply,
     PageRequest,
+    ProtocolError,
 )
 from .server import HPBDServer
 from .striping import BlockingDistribution, Segment
 
 __all__ = ["HPBDClient"]
+
+#: degraded-mode policies once a server is declared dead
+DEGRADED_MODES = ("none", "remap", "disk")
 
 
 @dataclass
@@ -55,14 +78,19 @@ class _Pending:
 
 @dataclass
 class _Inflight:
-    """One physical request awaiting its acknowledgement."""
+    """One physical request (segment x direction), however many attempts
+    it takes to get acknowledged."""
 
     pending: _Pending
     seg: Segment
     op: str
     buf: PoolBuffer | None = None  # pool mode
     mr: object = None  # register-on-the-fly mode (MemoryRegion)
+    #: first post time (block-level accounting; per-attempt times live
+    #: on the _Attempt so retries never pollute the rtt span)
     sent_at: float = 0.0
+    #: swap-out payload token, re-sent verbatim on every attempt
+    token: object = None
     #: mirroring: how many acknowledgements must still arrive before the
     #: shared buffer can be released and the segment counted done.
     copies_left: int = 1
@@ -70,6 +98,18 @@ class _Inflight:
     replica_server: int | None = None
     #: mirroring: True once this read was already retried on the replica
     failed_over: bool = False
+
+
+@dataclass
+class _Attempt:
+    """One posted control message awaiting its acknowledgement."""
+
+    entry: _Inflight
+    server: int
+    offset: int
+    sent_at: float
+    deadline: float | None = None
+    retries: int = 0
 
 
 class HPBDClient:
@@ -96,13 +136,32 @@ class HPBDClient:
         server_area_base: int = 0,
         distribution=None,
         mirror: bool = False,
+        request_timeout_usec: float | None = None,
+        max_retries: int = 2,
+        retry_backoff_usec: float = 200.0,
+        backoff_mult: float = 2.0,
+        degraded_mode: str = "none",
+        fallback_queue: RequestQueue | None = None,
     ) -> None:
         if not servers:
             raise ValueError("HPBD needs at least one memory server")
         if mirror and len(servers) < 2:
             raise ValueError("mirroring needs at least two servers")
-        if mirror and register_on_fly:
-            raise ValueError("mirror + register_on_fly not supported together")
+        if degraded_mode not in DEGRADED_MODES:
+            raise ValueError(
+                f"degraded_mode {degraded_mode!r} not in {DEGRADED_MODES}"
+            )
+        if mirror and degraded_mode == "remap":
+            raise ValueError(
+                "mirror already re-routes around a dead server; "
+                "combine it with degraded_mode 'none' or 'disk'"
+            )
+        if degraded_mode == "remap" and len(servers) < 2:
+            raise ValueError("remap degraded mode needs at least two servers")
+        if degraded_mode == "disk" and fallback_queue is None:
+            raise ValueError("disk degraded mode needs a fallback_queue")
+        if request_timeout_usec is not None and request_timeout_usec <= 0:
+            raise ValueError(f"bad request timeout {request_timeout_usec}")
         self.sim = sim
         self.node = node
         self.servers = servers
@@ -137,6 +196,11 @@ class HPBDClient:
             self.dist = StripedDistribution(
                 total_bytes, len(servers), stripe_bytes
             )
+        if degraded_mode == "disk" and not hasattr(self.dist, "absolute_offset"):
+            raise ValueError(
+                "disk degraded mode needs a distribution with contiguous "
+                "device-space segments (blocking layout)"
+            )
         #: reliability extension (§4.1 points at NRD [13] / RRMP): write
         #: every page to a replica server too; reads fail over to the
         #: replica if the primary errors.  The replica of server i's
@@ -149,11 +213,20 @@ class HPBDClient:
                 # room for the predecessor's replica behind its own area
                 prev = (i - 1) % len(servers)
                 need += self.dist.share_of(prev)
+            elif degraded_mode == "remap":
+                # room to adopt a dead neighbour's chunk behind its own
+                # area (same layout math as the mirror replica area)
+                need += max(
+                    self.dist.share_of(j)
+                    for j in range(len(servers))
+                    if j != i
+                )
             if srv.ramdisk.size < need:
                 raise ValueError(
                     f"server {srv.name} RamDisk ({srv.ramdisk.size} B) too "
                     f"small: needs {need} B"
                     + (" (share + replica area)" if mirror else "")
+                    + (" (share + remap area)" if degraded_mode == "remap" else "")
                 )
         self.queue = RequestQueue(
             sim,
@@ -172,12 +245,37 @@ class HPBDClient:
         self._qps: list = []
         self._qp_index: dict[int, int] = {}  # qp_num -> server index
         self._credits: list[TokenBucket] = []
-        self._inflight: dict[int, _Inflight] = {}
+        self._inflight: dict[int, _Attempt] = {}
         self._connected = False
+        # recovery state machine
+        self.request_timeout_usec = request_timeout_usec
+        self.max_retries = max_retries
+        self.retry_backoff_usec = retry_backoff_usec
+        self.backoff_mult = backoff_mult
+        self.degraded_mode = degraded_mode
+        self.fallback_queue = fallback_queue
+        #: drop (and count) replies failing signature validation instead
+        #: of raising — set by the fault injector; the watchdog then
+        #: retransmits the affected request.
+        self.drop_bad_ctrl = False
+        self._dead: set[int] = set()
+        #: req_ids whose attempt the watchdog abandoned (credit already
+        #: reclaimed): a late reply is counted and discarded, not fatal.
+        self._stale: set[int] = set()
+        self._watch_wake = WaitQueue(sim, name=f"{name}.watchdog", latch=True)
+        self._watchdog_spawned = False
         # measurement
         self._t_req = self.stats.tally(f"{name}.request_usec")
         self._c_phys = self.stats.counter(f"{name}.physical_requests")
         self._c_split = self.stats.counter(f"{name}.split_requests")
+        self._c_retries = self.stats.counter(f"{name}.retries")
+        self._c_timeouts = self.stats.counter(f"{name}.timeouts")
+        self._c_failovers = self.stats.counter(f"{name}.failovers")
+        self._c_write_failovers = self.stats.counter(f"{name}.write_failovers")
+        self._c_remaps = self.stats.counter(f"{name}.remaps")
+        self._c_disk_fallbacks = self.stats.counter(f"{name}.disk_fallbacks")
+        self._c_stale = self.stats.counter(f"{name}.stale_replies")
+        self._c_dead = self.stats.counter(f"{name}.servers_dead")
         self.copy_usec = 0.0  # client-side memcpy (host overhead share)
 
     # -- setup ---------------------------------------------------------------
@@ -219,12 +317,19 @@ class HPBDClient:
                     name=f"{self.name}.credits{i}",
                 )
             )
-            # Pre-post reply receives matching the credit water-mark.
-            for _ in range(self.credits_per_server):
+            # Pre-post several water-marks' worth of reply receives:
+            # timeouts return credits before the matching replies
+            # arrive, so retry bursts (plus stale replies) can put more
+            # than one water-mark of acknowledgements in flight.
+            depth = min(4 * self.credits_per_server, qp_c.max_recv_wr)
+            for _ in range(depth):
                 qp_c.post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
             srv.register_client(qp_s, area_base=self.server_area_base)
         self.sim.spawn(self._sender(), name=f"{self.name}.sender")
         self.sim.spawn(self._receiver(), name=f"{self.name}.receiver")
+        if self.request_timeout_usec is not None:
+            self.sim.spawn(self._watchdog(), name=f"{self.name}.watchdog")
+            self._watchdog_spawned = True
         self._connected = True
 
     # -- sender thread ---------------------------------------------------------
@@ -238,110 +343,194 @@ class HPBDClient:
                 self._c_split.add()
             pending = _Pending(req=req, nsegs=len(segs), submit_time=sim.now)
             for seg in segs:
-                token = None
-                if req.op == WRITE:
-                    token = (self.name, req.sector, seg.server_offset, seg.nbytes)
-                trace = sim.trace
-                if self.register_on_fly:
-                    # Ablation (§4.1's rejected alternative): pin the
-                    # request's pages and expose them directly — no
-                    # copy, but the full registration cost per request.
-                    mr = yield from self.hca.register_mr(
-                        self.pd, seg.nbytes, req_id=req.req_id
-                    )
-                    buf, buf_addr, buf_rkey = None, mr.addr, mr.rkey
-                else:
-                    t_pool = sim.now
-                    buf = yield from self.pool.alloc(seg.nbytes)
-                    if trace.enabled and sim.now > t_pool:
-                        trace.complete(
-                            self.name, "sender", "pool_alloc", "hpbd.pool",
-                            t_pool, sim.now,
-                            req_id=req.req_id, nbytes=seg.nbytes,
-                        )
-                    mr = None
-                    buf_addr = self.pool.buffer_addr(buf)
-                    buf_rkey = self.pool.rkey
-                    if req.op == WRITE:
-                        # Copy the pages into the registered pool (the
-                        # cost HPBD accepts instead of registration).
-                        cost = memcpy_cost(seg.nbytes)
-                        self.copy_usec += cost
-                        t_copy = sim.now
-                        yield from self.node.cpus.run(cost)
-                        if trace.enabled:
-                            trace.complete(
-                                self.name, "sender", "copy_in", "hpbd.copy",
-                                t_copy, sim.now,
-                                req_id=req.req_id, nbytes=seg.nbytes,
-                            )
-                t_credit = sim.now
-                yield self._credits[seg.server].acquire()
-                if trace.enabled and sim.now > t_credit:
+                yield from self._issue_segment(pending, seg, req)
+
+    def _issue_segment(self, pending: _Pending, seg: Segment, req: BlockRequest):
+        """Buffer setup + first attempt(s) for one physical request."""
+        sim = self.sim
+        trace = sim.trace
+        token = None
+        if req.op == WRITE:
+            token = (self.name, req.sector, seg.server_offset, seg.nbytes)
+        replica = (seg.server + 1) % len(self.servers) if self.mirror else None
+        entry = _Inflight(
+            pending=pending,
+            seg=seg,
+            op=req.op,
+            token=token,
+            replica_server=replica,
+        )
+        targets = self._fresh_targets(entry)
+        if not targets:
+            # Disk degraded mode with the primary already dead: the
+            # segment never touches the network.
+            self._c_disk_fallbacks.add()
+            sim.spawn(self._fallback_io(entry), name=f"{self.name}.fallback")
+            return
+        if self.register_on_fly:
+            # Ablation (§4.1's rejected alternative): pin the request's
+            # pages and expose them directly — no copy, but the full
+            # registration cost per request.
+            entry.mr = yield from self.hca.register_mr(
+                self.pd, seg.nbytes, req_id=req.req_id
+            )
+        else:
+            t_pool = sim.now
+            entry.buf = yield from self.pool.alloc(seg.nbytes)
+            if trace.enabled and sim.now > t_pool:
+                trace.complete(
+                    self.name, "sender", "pool_alloc", "hpbd.pool",
+                    t_pool, sim.now,
+                    req_id=req.req_id, nbytes=seg.nbytes,
+                )
+            if req.op == WRITE:
+                # Copy the pages into the registered pool (the cost
+                # HPBD accepts instead of registration).
+                cost = memcpy_cost(seg.nbytes)
+                self.copy_usec += cost
+                t_copy = sim.now
+                yield from self.node.cpus.run(cost)
+                if trace.enabled:
                     trace.complete(
-                        self.name, "sender", "credit_wait", "hpbd.credit",
-                        t_credit, sim.now,
-                        req_id=req.req_id, server=seg.server,
+                        self.name, "sender", "copy_in", "hpbd.copy",
+                        t_copy, sim.now,
+                        req_id=req.req_id, nbytes=seg.nbytes,
                     )
-                preq = PageRequest(
-                    op=OP_WRITE if req.op == WRITE else OP_READ,
-                    offset=seg.server_offset,
-                    nbytes=seg.nbytes,
-                    buf_addr=buf_addr,
-                    buf_rkey=buf_rkey,
-                    data_token=token,
-                    blk_req_id=req.req_id,
+        # Synchronous mirroring: the same buffer is RDMA-read by both
+        # servers; the segment completes only when both acknowledge.
+        entry.copies_left = len(targets)
+        for server, offset in targets:
+            yield from self._post_attempt(entry, server, offset)
+
+    def _fresh_targets(self, entry: _Inflight) -> list[tuple[int, int]]:
+        """Where a brand-new segment goes, honouring dead servers.
+
+        Returns ``(server, store_offset)`` pairs — two for a mirrored
+        write, one otherwise, empty for straight-to-disk fallback.
+        """
+        seg = entry.seg
+        primary = seg.server
+        if primary not in self._dead:
+            if self.mirror and entry.op == WRITE:
+                replica = entry.replica_server
+                if replica in self._dead:
+                    # Degraded mirroring: keep writing the surviving copy.
+                    self._c_write_failovers.add()
+                    return [(primary, seg.server_offset)]
+                return [
+                    (primary, seg.server_offset),
+                    (replica, self.dist.share_of(replica) + seg.server_offset),
+                ]
+            return [(primary, seg.server_offset)]
+        if self.mirror:
+            replica = entry.replica_server
+            if replica in self._dead:
+                raise SimulationError(
+                    f"{self.name}: segment {seg} lost both copies "
+                    f"(servers {primary} and {replica} dead)"
                 )
-                mirror_write = self.mirror and req.op == WRITE
-                replica = (
-                    (seg.server + 1) % len(self.servers) if self.mirror else None
-                )
-                entry = _Inflight(
-                    pending=pending,
-                    seg=seg,
-                    op=req.op,
-                    buf=buf,
-                    mr=mr,
-                    sent_at=sim.now,
-                    copies_left=2 if mirror_write else 1,
-                    replica_server=replica,
-                )
-                self._inflight[preq.req_id] = entry
-                self._c_phys.add(seg.nbytes)
-                self._qps[seg.server].post_send(
-                    SendWR(
-                        nbytes=CTRL_MSG_BYTES,
-                        payload=preq,
-                        signaled=False,
-                        solicited=False,
-                        req_id=req.req_id,
-                    )
-                )
-                if mirror_write:
-                    # Synchronous mirroring: the same pool buffer is
-                    # RDMA-read by both servers; the segment completes
-                    # only when both acknowledge.
-                    yield self._credits[replica].acquire()
-                    rreq = PageRequest(
-                        op=OP_WRITE,
-                        offset=self.dist.share_of(replica) + seg.server_offset,
-                        nbytes=seg.nbytes,
-                        buf_addr=buf_addr,
-                        buf_rkey=buf_rkey,
-                        data_token=token,
-                        blk_req_id=req.req_id,
-                    )
-                    self._inflight[rreq.req_id] = entry
-                    self._c_phys.add(seg.nbytes)
-                    self._qps[replica].post_send(
-                        SendWR(
-                            nbytes=CTRL_MSG_BYTES,
-                            payload=rreq,
-                            signaled=False,
-                            solicited=False,
-                            req_id=req.req_id,
-                        )
-                    )
+            if entry.op == WRITE:
+                self._c_write_failovers.add()
+            else:
+                self._c_failovers.add()
+                entry.failed_over = True
+            return [(replica, self.dist.share_of(replica) + seg.server_offset)]
+        if self.degraded_mode == "remap":
+            target = self._remap_target()
+            self._c_remaps.add()
+            return [(target, self.dist.share_of(target) + seg.server_offset)]
+        if self.degraded_mode == "disk":
+            return []
+        raise SimulationError(
+            f"{self.name}: server {primary} is dead and no degraded mode "
+            f"is configured"
+        )
+
+    def _remap_target(self) -> int:
+        """The survivor adopting the dead server's chunk: its successor
+        (mod n), hosting it behind its own area — the same layout math
+        as the mirror replica, so store sizing is shared too."""
+        if len(self._dead) != 1:
+            raise SimulationError(
+                f"{self.name}: remap handles exactly one dead server, "
+                f"have {sorted(self._dead)}"
+            )
+        dead = next(iter(self._dead))
+        target = (dead + 1) % len(self.servers)
+        return target
+
+    def _post_attempt(
+        self,
+        entry: _Inflight,
+        server: int,
+        offset: int,
+        retries: int = 0,
+    ):
+        """Take a credit and post one control message; generator."""
+        sim = self.sim
+        trace = sim.trace
+        blk_req_id = entry.pending.req.req_id
+        t_credit = sim.now
+        yield self._credits[server].acquire()
+        if trace.enabled and sim.now > t_credit:
+            trace.complete(
+                self.name, "sender", "credit_wait", "hpbd.credit",
+                t_credit, sim.now,
+                req_id=blk_req_id, server=server,
+            )
+        if server in self._dead:
+            # Lost a race: the target died while we waited for a credit.
+            self._credits[server].release()
+            self._reroute(entry, server)
+            return
+        preq = PageRequest(
+            op=OP_WRITE if entry.op == WRITE else OP_READ,
+            offset=offset,
+            nbytes=entry.seg.nbytes,
+            buf_addr=self._entry_addr(entry),
+            buf_rkey=self._entry_rkey(entry),
+            data_token=entry.token,
+            blk_req_id=blk_req_id,
+        )
+        now = sim.now
+        if entry.sent_at == 0.0:
+            entry.sent_at = now
+        deadline = None
+        if self.request_timeout_usec is not None:
+            deadline = now + self.request_timeout_usec
+        self._inflight[preq.req_id] = _Attempt(
+            entry=entry,
+            server=server,
+            offset=offset,
+            sent_at=now,
+            deadline=deadline,
+            retries=retries,
+        )
+        self._c_phys.add(entry.seg.nbytes)
+        self._qps[server].post_send(
+            SendWR(
+                nbytes=CTRL_MSG_BYTES,
+                payload=preq,
+                signaled=False,
+                solicited=False,
+                req_id=blk_req_id,
+            )
+        )
+        if self._watchdog_spawned:
+            self._watch_wake.wake_one()
+
+    def _entry_addr(self, entry: _Inflight) -> int:
+        # Register-on-the-fly keeps the data in the per-request MR, not
+        # the pool — failovers and retries must target whichever buffer
+        # this entry actually uses.
+        if entry.buf is not None:
+            return self.pool.buffer_addr(entry.buf)
+        return entry.mr.addr
+
+    def _entry_rkey(self, entry: _Inflight) -> int:
+        if entry.buf is not None:
+            return self.pool.rkey
+        return entry.mr.rkey
 
     # -- receiver thread ---------------------------------------------------------
 
@@ -357,112 +546,344 @@ class HPBDClient:
             # Bursty processing: handle everything available, then sleep.
             for cqe in rcq.poll():
                 reply: PageReply = cqe.payload
-                reply.validate()
-                entry = self._inflight.pop(reply.req_id, None)
-                if entry is None:
+                server_idx = self._qp_index[cqe.qp_num]
+                # Replenish the consumed reply receive before anything
+                # else, keeping posted-receives >= credits.
+                self._qps[server_idx].post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
+                try:
+                    reply.validate()
+                except ProtocolError:
+                    if not self.drop_bad_ctrl:
+                        raise
+                    # Nothing in a corrupted acknowledgement can be
+                    # trusted, including its req_id: drop it and let the
+                    # watchdog retransmit the affected request.
+                    self.stats.counter(f"{self.name}.bad_replies").add()
+                    continue
+                att = self._inflight.pop(reply.req_id, None)
+                if att is None:
+                    if reply.req_id in self._stale:
+                        # The watchdog gave up on this attempt and its
+                        # credit was reclaimed; the answer showed up
+                        # after all.
+                        self._stale.discard(reply.req_id)
+                        self._c_stale.add()
+                        continue
                     raise SimulationError(
                         f"{self.name}: reply for unknown request {reply.req_id}"
                     )
-                server_idx = self._qp_index[cqe.qp_num]
-                # Replenish the consumed reply receive before returning
-                # the credit, keeping posted-receives >= credits.
-                self._qps[server_idx].post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
-                self._credits[server_idx].release()
+                self._credits[att.server].release()
+                entry = att.entry
                 if not reply.ok:
-                    if (
-                        self.mirror
-                        and entry.op == READ
-                        and not entry.failed_over
-                    ):
-                        # Read failover: re-issue against the replica.
-                        entry.failed_over = True
-                        self.stats.counter(f"{self.name}.failovers").add()
-                        sim.spawn(
-                            self._retry_read(entry),
-                            name=f"{self.name}.failover",
-                        )
-                        continue
-                    raise SimulationError(
-                        f"{self.name}: server error on request {reply.req_id}"
-                    )
+                    self._fail_attempt(att, cause="error")
+                    continue
                 entry.copies_left -= 1
                 if entry.copies_left > 0:
                     continue  # mirrored write: wait for the other copy
                 trace = sim.trace
                 if trace.enabled:
-                    # Physical request round trip: control message out to
-                    # acknowledgement drained from the reply CQ.
+                    # Physical request round trip: control message out
+                    # to acknowledgement drained from the reply CQ —
+                    # this attempt's only; failed attempts are billed to
+                    # their own hpbd.timeout/hpbd.failover spans.
                     trace.complete(
                         self.name, "receiver", "phys_rtt", "hpbd.rtt",
-                        entry.sent_at, sim.now,
+                        att.sent_at, sim.now,
                         req_id=entry.pending.req.req_id, op=entry.op,
-                        nbytes=entry.seg.nbytes, server=server_idx,
+                        nbytes=entry.seg.nbytes, server=att.server,
                     )
-                if entry.mr is not None:
-                    # Register-on-the-fly ablation: unpin (zero-copy).
-                    yield from self.hca.deregister_mr(
-                        self.pd, entry.mr, req_id=entry.pending.req.req_id
-                    )
-                else:
-                    if entry.op == READ:
-                        # Data already landed in the pool via RDMA
-                        # write; copy it out to the page frames.
-                        cost = memcpy_cost(entry.seg.nbytes)
-                        self.copy_usec += cost
-                        t_copy = sim.now
-                        yield from self.node.cpus.run(cost)
-                        if trace.enabled:
-                            trace.complete(
-                                self.name, "receiver", "copy_out",
-                                "hpbd.copy", t_copy, sim.now,
-                                req_id=entry.pending.req.req_id,
-                                nbytes=entry.seg.nbytes,
-                            )
-                    self.pool.free(entry.buf)
-                entry.pending.done_segs += 1
-                if entry.pending.done_segs == entry.pending.nsegs:
-                    self._t_req.record(sim.now - entry.pending.submit_time)
-                    if trace.enabled:
-                        req = entry.pending.req
-                        trace.complete(
-                            self.name, "requests", "block_request",
-                            "hpbd.request",
-                            entry.pending.submit_time, sim.now,
-                            req_id=req.req_id, op=req.op,
-                            sector=req.sector, nbytes=req.nbytes,
-                            nsegs=entry.pending.nsegs,
-                        )
-                    self.queue.complete(entry.pending.req)
+                yield from self._finish_segment(entry)
 
-    def _retry_read(self, entry: _Inflight):
-        """Issue a failed read again, against the replica server."""
-        replica = entry.replica_server
-        yield self._credits[replica].acquire()
-        rreq = PageRequest(
-            op=OP_READ,
-            offset=self.dist.share_of(replica) + entry.seg.server_offset,
-            nbytes=entry.seg.nbytes,
-            buf_addr=self.pool.buffer_addr(entry.buf),
-            buf_rkey=self.pool.rkey,
-            blk_req_id=entry.pending.req.req_id,
+    def _finish_segment(self, entry: _Inflight, copy_out: bool = True):
+        """Release buffers and complete the block request; generator."""
+        sim = self.sim
+        trace = sim.trace
+        if entry.mr is not None:
+            # Register-on-the-fly ablation: unpin (zero-copy).
+            yield from self.hca.deregister_mr(
+                self.pd, entry.mr, req_id=entry.pending.req.req_id
+            )
+        elif entry.buf is not None:
+            if entry.op == READ and copy_out:
+                # Data already landed in the pool via RDMA write; copy
+                # it out to the page frames.
+                cost = memcpy_cost(entry.seg.nbytes)
+                self.copy_usec += cost
+                t_copy = sim.now
+                yield from self.node.cpus.run(cost)
+                if trace.enabled:
+                    trace.complete(
+                        self.name, "receiver", "copy_out",
+                        "hpbd.copy", t_copy, sim.now,
+                        req_id=entry.pending.req.req_id,
+                        nbytes=entry.seg.nbytes,
+                    )
+            self.pool.free(entry.buf)
+        entry.pending.done_segs += 1
+        if entry.pending.done_segs == entry.pending.nsegs:
+            self._t_req.record(sim.now - entry.pending.submit_time)
+            if trace.enabled:
+                req = entry.pending.req
+                trace.complete(
+                    self.name, "requests", "block_request",
+                    "hpbd.request",
+                    entry.pending.submit_time, sim.now,
+                    req_id=req.req_id, op=req.op,
+                    sector=req.sector, nbytes=req.nbytes,
+                    nsegs=entry.pending.nsegs,
+                )
+            self.queue.complete(entry.pending.req)
+
+    # -- recovery state machine ----------------------------------------------
+
+    def _watchdog(self):
+        """Expires overdue attempts; sleeps on a latch while idle so an
+        otherwise-drained simulation still runs to completion."""
+        sim = self.sim
+        while True:
+            if not self._inflight:
+                yield self._watch_wake.wait()
+                continue
+            next_deadline = min(
+                att.deadline for att in self._inflight.values()
+            )
+            if next_deadline > sim.now:
+                # New attempts always deadline later than existing ones
+                # (deadline = post time + constant), so sleeping to the
+                # earliest one cannot overshoot a newer one.
+                yield sim.timeout(next_deadline - sim.now)
+                continue
+            now = sim.now
+            expired = [
+                rid
+                for rid, att in self._inflight.items()
+                if att.deadline <= now
+            ]
+            for rid in expired:
+                att = self._inflight.pop(rid, None)
+                if att is None:
+                    continue
+                # Reclaim the credit now — the server may never answer —
+                # and remember the id so a late reply is not "unknown".
+                self._credits[att.server].release()
+                self._stale.add(rid)
+                self._c_timeouts.add()
+                self._fail_attempt(att, cause="timeout")
+
+    def _fail_attempt(self, att: _Attempt, cause: str) -> None:
+        """One attempt came back bad (``error``) or never came back
+        (``timeout``): fail over, retry, degrade, or give up.
+
+        The caller has already popped the attempt and returned its
+        credit; this either schedules exactly one replacement attempt
+        or raises.
+        """
+        entry = att.entry
+        seg = entry.seg
+        retries_enabled = self.request_timeout_usec is not None
+        # 1. Mirror read failover (works even with retries disabled —
+        #    the original reliability extension).
+        if (
+            self.mirror
+            and entry.op == READ
+            and not entry.failed_over
+            and att.server != entry.replica_server
+            and entry.replica_server not in self._dead
+        ):
+            entry.failed_over = True
+            self._c_failovers.add()
+            self._mark_failed_span(att, cause)
+            self.sim.spawn(
+                self._post_attempt(
+                    entry,
+                    entry.replica_server,
+                    self.dist.share_of(entry.replica_server) + seg.server_offset,
+                ),
+                name=f"{self.name}.failover",
+            )
+            return
+        # 2. Bounded retry against the same server, with backoff.
+        if (
+            retries_enabled
+            and att.retries < self.max_retries
+            and att.server not in self._dead
+        ):
+            self._c_retries.add()
+            self._mark_failed_span(att, cause)
+            backoff = self.retry_backoff_usec * (
+                self.backoff_mult ** att.retries
+            )
+            self.sim.spawn(
+                self._backoff_resend(
+                    entry, att.server, att.offset, backoff, att.retries + 1
+                ),
+                name=f"{self.name}.retry",
+            )
+            return
+        # 3. Retries exhausted: declare the server dead and re-route
+        #    everything aimed at it.
+        if retries_enabled:
+            self._mark_failed_span(att, cause)
+            self._mark_dead(att.server)
+            self._reroute(entry, att.server)
+            return
+        # 4. Legacy behaviour (timeouts disabled): fail loudly.
+        raise SimulationError(
+            f"{self.name}: server error on request {entry.pending.req.req_id}"
         )
-        self._inflight[rreq.req_id] = entry
-        self._c_phys.add(entry.seg.nbytes)
-        self._qps[replica].post_send(
-            SendWR(
-                nbytes=CTRL_MSG_BYTES,
-                payload=rreq,
-                signaled=False,
-                solicited=False,
-                req_id=entry.pending.req.req_id,
+
+    def _mark_failed_span(self, att: _Attempt, cause: str) -> None:
+        trace = self.sim.trace
+        if not trace.enabled:
+            return
+        cat = "hpbd.timeout" if cause == "timeout" else "hpbd.failover"
+        trace.complete(
+            self.name, "recovery",
+            "attempt_timeout" if cause == "timeout" else "failed_attempt",
+            cat, att.sent_at, self.sim.now,
+            req_id=att.entry.pending.req.req_id,
+            server=att.server, op=att.entry.op, retries=att.retries,
+        )
+
+    def _backoff_resend(
+        self,
+        entry: _Inflight,
+        server: int,
+        offset: int,
+        backoff: float,
+        retries: int,
+    ):
+        sim = self.sim
+        t0 = sim.now
+        if backoff > 0:
+            yield sim.timeout(backoff)
+            if sim.trace.enabled:
+                sim.trace.complete(
+                    self.name, "recovery", "backoff", "hpbd.retry",
+                    t0, sim.now,
+                    req_id=entry.pending.req.req_id, server=server,
+                    retries=retries,
+                )
+        if server in self._dead:
+            # Someone else's attempt condemned the server meanwhile.
+            self._reroute(entry, server)
+            return
+        yield from self._post_attempt(entry, server, offset, retries=retries)
+
+    def _mark_dead(self, server: int) -> None:
+        """Declare a server dead and re-route its pending attempts."""
+        if server in self._dead:
+            return
+        self._dead.add(server)
+        self._c_dead.add()
+        self.sim.trace.instant(
+            self.name, "recovery", "server_dead", server=server,
+        )
+        doomed = [
+            rid
+            for rid, att in self._inflight.items()
+            if att.server == server
+        ]
+        for rid in doomed:
+            att = self._inflight.pop(rid)
+            self._credits[server].release()
+            self._stale.add(rid)
+            self._reroute(att.entry, server)
+
+    def _reroute(self, entry: _Inflight, failed_server: int) -> None:
+        """Schedule exactly one replacement attempt for one that failed
+        against a now-dead server — or raise if nowhere is left."""
+        seg = entry.seg
+        primary = seg.server
+        if self.mirror:
+            replica = entry.replica_server
+            target = replica if failed_server == primary else primary
+            if target in self._dead:
+                raise SimulationError(
+                    f"{self.name}: segment {seg} lost both copies "
+                    f"(servers {primary} and {replica} dead)"
+                )
+            if entry.op == WRITE:
+                self._c_write_failovers.add()
+            else:
+                self._c_failovers.add()
+                entry.failed_over = True
+            offset = (
+                seg.server_offset
+                if target == primary
+                else self.dist.share_of(target) + seg.server_offset
+            )
+            self.sim.spawn(
+                self._post_attempt(entry, target, offset),
+                name=f"{self.name}.failover",
+            )
+            return
+        if self.degraded_mode == "remap":
+            target = self._remap_target()
+            self._c_remaps.add()
+            self.sim.spawn(
+                self._post_attempt(
+                    entry,
+                    target,
+                    self.dist.share_of(target) + seg.server_offset,
+                ),
+                name=f"{self.name}.remap",
+            )
+            return
+        if self.degraded_mode == "disk":
+            self._c_disk_fallbacks.add()
+            self.sim.spawn(
+                self._fallback_io(entry), name=f"{self.name}.fallback"
+            )
+            return
+        raise SimulationError(
+            f"{self.name}: server {failed_server} failed and no degraded "
+            f"mode is configured"
+        )
+
+    def _fallback_io(self, entry: _Inflight):
+        """Serve one segment from the local swap disk instead; generator.
+
+        The blocking layout keeps segments contiguous in device space,
+        so the fallback bio targets the same absolute device range.
+        """
+        sim = self.sim
+        seg = entry.seg
+        t0 = sim.now
+        abs_offset = self.dist.absolute_offset(seg)
+        done = Event(sim, name=f"{self.name}.fallback")
+        self.fallback_queue.submit_bio(
+            Bio(
+                op=entry.op,
+                sector=abs_offset // SECTOR_SIZE,
+                nsectors=seg.nbytes // SECTOR_SIZE,
+                done=done,
+                submit_time=sim.now,
             )
         )
+        self.fallback_queue.unplug()
+        yield done
+        if sim.trace.enabled:
+            sim.trace.complete(
+                self.name, "recovery", "disk_fallback", "fault.fallback",
+                t0, sim.now,
+                req_id=entry.pending.req.req_id, op=entry.op,
+                nbytes=seg.nbytes,
+            )
+        # The disk path moves data without the pool (no RDMA landing
+        # zone to copy out of), but any buffer a failed network attempt
+        # left behind must still be released.
+        yield from self._finish_segment(entry, copy_out=False)
 
     # -- introspection ------------------------------------------------------
 
     @property
     def outstanding(self) -> int:
         return len(self._inflight)
+
+    @property
+    def dead_servers(self) -> frozenset[int]:
+        return frozenset(self._dead)
 
     def credit_stalls(self) -> int:
         return sum(c.stall_count for c in self._credits)
@@ -472,6 +893,8 @@ class HPBDClient:
 
         With all I/O drained: every physical request acknowledged, every
         flow-control credit back in its bucket, and no pool bytes leaked.
+        These must hold even after a faulted run — recovery is not
+        allowed to leak.
         """
         monitors = self.sim.monitors
         monitors.check(

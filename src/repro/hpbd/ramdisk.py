@@ -80,6 +80,15 @@ class RamDisk:
         tokens = tuple(self._pages.get(p) for p in pages)
         return tokens, MEMCPY.cost(nbytes)
 
+    def wipe(self) -> None:
+        """Drop every stored page (a crashed server loses its RAM).
+
+        The store geometry survives — after a restart the server serves
+        the same area, but everything reads back as never-written
+        (``None`` tokens), i.e. zero pages.
+        """
+        self._pages.clear()
+
     @property
     def pages_stored(self) -> int:
         return len(self._pages)

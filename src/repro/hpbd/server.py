@@ -36,6 +36,7 @@ from .protocol import (
     OP_WRITE,
     PageReply,
     PageRequest,
+    ProtocolError,
     STATUS_ERROR,
     STATUS_OK,
 )
@@ -85,6 +86,15 @@ class HPBDServer:
         self.requests_served = 0
         self.busy_handlers = 0
         self.sleeps = 0
+        #: fault-injection state (repro.faults): a crashed daemon keeps
+        #: its process alive but silently drops requests and suppresses
+        #: replies — what a dead peer looks like from the client.
+        self.alive = True
+        self.crashes = 0
+        #: drop (and count) control messages that fail signature
+        #: validation instead of raising — set by the fault injector
+        #: when the plan corrupts messages on the wire.
+        self.drop_bad_ctrl = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -117,12 +127,36 @@ class HPBDServer:
             )
         self._qp_by_num[server_qp.qp_num] = server_qp
         self._area_base[server_qp.qp_num] = area_base
-        for _ in range(self.credits_per_client):
+        # Post several water-marks' worth of receives: client-side
+        # timeouts return a credit before the original message is
+        # consumed here, so retry bursts can transiently put more than
+        # one water-mark of control messages in flight.
+        depth = min(4 * self.credits_per_client, server_qp.max_recv_wr)
+        for _ in range(depth):
             server_qp.post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
 
     @property
     def started(self) -> bool:
         return self._proc is not None
+
+    # -- fault-injection hooks (repro.faults) ------------------------------
+
+    def crash(self, wipe: bool = True) -> None:
+        """Kill the daemon mid-run: from now on every incoming request
+        is dropped and every in-flight reply suppressed.  ``wipe``
+        clears the RamDisk — the store was RAM, after all."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self.stats.counter(f"{self.name}.crashes").add()
+        if wipe:
+            self.ramdisk.wipe()
+
+    def restart(self) -> None:
+        """Bring the daemon back (the HCA and QPs survive — modelling a
+        process restart on a warm node, not a reboot)."""
+        self.alive = True
 
     # -- daemon ---------------------------------------------------------------
 
@@ -136,14 +170,7 @@ class HPBDServer:
             cqe = rcq.poll_one()
             if cqe is not None:
                 last_active = sim.now
-                req: PageRequest = cqe.payload
-                req.validate()
-                qp = self._qp_by_num[cqe.qp_num]
-                # Replenish the consumed receive before handling, so the
-                # client's credit scheme stays tight.
-                qp.post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
-                self.busy_handlers += 1
-                sim.spawn(self._handle(qp, req), name=f"{self.name}.h{req.req_id}")
+                self._dispatch(cqe)
                 continue
             if (
                 self.busy_handlers > 0
@@ -159,15 +186,48 @@ class HPBDServer:
             cqe = rcq.poll_one()  # re-check: event may have raced the arm
             if cqe is not None:
                 last_active = sim.now
-                req = cqe.payload
-                req.validate()
-                qp = self._qp_by_num[cqe.qp_num]
-                qp.post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
-                self.busy_handlers += 1
-                sim.spawn(self._handle(qp, req), name=f"{self.name}.h{req.req_id}")
+                self._dispatch(cqe)
                 continue
             yield rcq.wait_event()
             last_active = sim.now
+
+    def _dispatch(self, cqe) -> None:
+        """One drained request CQE: replenish the receive, vet, spawn."""
+        req: PageRequest = cqe.payload
+        qp = self._qp_by_num[cqe.qp_num]
+        # Replenish the consumed receive before handling, so the
+        # client's credit scheme stays tight.
+        qp.post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
+        if not self.alive:
+            # A crashed daemon's HCA still lands messages; nobody is
+            # there to serve them.
+            self.stats.counter(f"{self.name}.dropped_requests").add()
+            return
+        try:
+            req.validate()
+        except ProtocolError:
+            if not self.drop_bad_ctrl:
+                raise
+            self.stats.counter(f"{self.name}.bad_requests").add()
+            return
+        self.busy_handlers += 1
+        self.sim.spawn(self._handle(qp, req), name=f"{self.name}.h{req.req_id}")
+
+    def _post_reply(self, qp, reply: PageReply, blk_req_id) -> None:
+        """Post an acknowledgement — unless the daemon crashed while the
+        handler was in flight, in which case the client hears nothing."""
+        if not self.alive:
+            self.stats.counter(f"{self.name}.suppressed_replies").add()
+            return
+        qp.post_send(
+            SendWR(
+                nbytes=CTRL_MSG_BYTES,
+                payload=reply,
+                signaled=False,
+                solicited=True,
+                req_id=blk_req_id,
+            )
+        )
 
     def _handle(self, qp, req: PageRequest):
         """Serve one physical page request (own process per request)."""
@@ -184,16 +244,10 @@ class HPBDServer:
             # in page handling can adversely impact system stability".
             if offset + req.nbytes > self.ramdisk.size:
                 self.stats.counter(f"{self.name}.errors").add()
-                qp.post_send(
-                    SendWR(
-                        nbytes=CTRL_MSG_BYTES,
-                        payload=PageReply(
-                            req_id=req.req_id, status=STATUS_ERROR
-                        ),
-                        signaled=False,
-                        solicited=True,
-                        req_id=req.blk_req_id,
-                    )
+                self._post_reply(
+                    qp,
+                    PageReply(req_id=req.req_id, status=STATUS_ERROR),
+                    req.blk_req_id,
                 )
                 return
             yield self._rdma_slots.acquire()
@@ -223,15 +277,10 @@ class HPBDServer:
                             nbytes=req.nbytes, **ident,
                         )
                     self.pool.free(buf)
-                    reply = PageReply(req_id=req.req_id, status=STATUS_OK)
-                    qp.post_send(
-                        SendWR(
-                            nbytes=CTRL_MSG_BYTES,
-                            payload=reply,
-                            signaled=False,
-                            solicited=True,
-                            req_id=req.blk_req_id,
-                        )
+                    self._post_reply(
+                        qp,
+                        PageReply(req_id=req.req_id, status=STATUS_OK),
+                        req.blk_req_id,
                     )
                 elif req.op == OP_READ:
                     # Swap-in: RamDisk -> staging, RDMA-write it into the
@@ -255,17 +304,13 @@ class HPBDServer:
                             req_id=req.blk_req_id,
                         )
                     )
-                    reply = PageReply(
-                        req_id=req.req_id, status=STATUS_OK, data_token=token
-                    )
-                    qp.post_send(
-                        SendWR(
-                            nbytes=CTRL_MSG_BYTES,
-                            payload=reply,
-                            signaled=False,
-                            solicited=True,
-                            req_id=req.blk_req_id,
-                        )
+                    self._post_reply(
+                        qp,
+                        PageReply(
+                            req_id=req.req_id, status=STATUS_OK,
+                            data_token=token,
+                        ),
+                        req.blk_req_id,
                     )
                     # The staging buffer must outlive the RDMA write.
                     yield rdma_done

@@ -124,6 +124,17 @@ class BlockingDistribution:
             raise ValueError(f"offset {offset} outside device of {self.total_bytes}")
         return offset // self.chunk_bytes, offset % self.chunk_bytes
 
+    def absolute_offset(self, seg: Segment) -> int:
+        """Device byte offset of a segment (inverse of :meth:`locate`).
+
+        Only the blocking layout keeps segments contiguous in device
+        space, which is what lets the disk-fallback degraded mode remap
+        a segment onto the local swap disk 1:1.
+        """
+        if not (0 <= seg.server < self.nservers):
+            raise ValueError(f"no server {seg.server}")
+        return seg.server * self.chunk_bytes + seg.server_offset
+
     def split(self, offset: int, nbytes: int) -> list[Segment]:
         """Split ``[offset, offset+nbytes)`` into per-server segments."""
         if nbytes <= 0:

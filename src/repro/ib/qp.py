@@ -209,6 +209,19 @@ class QueuePair:
 
     def _do_send(self, wr: SendWR):
         peer = self._require_connected()
+        params = self.hca.params
+        hook = self.hca.fabric.fault_hook
+        if hook is not None:
+            wr = hook(self, wr)
+            if wr is None:
+                # The message vanished on the wire: charge the one-way
+                # latency but consume no peer receive and generate no
+                # completion there — the sender cannot tell the
+                # difference until its timeout fires.
+                yield self.hca.sim.timeout(
+                    params.rdma_write_latency + params.send_recv_extra
+                )
+                return
         if not peer._recv_queue:
             raise ReceiverNotReady(
                 f"QP {self.qp_num} -> {peer.qp_num}: no posted receive "
@@ -219,7 +232,6 @@ class QueuePair:
             raise QPError(
                 f"receive buffer too small: {recv_wr.capacity} < {wr.nbytes}"
             )
-        params = self.hca.params
         yield self.hca.fabric.transfer(
             self.hca.port,
             peer.hca.port,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from ..kernel.blockdev import READ, RequestQueue, WRITE
 from ..kernel.node import Node
 from ..net.fabrics import TCPParams
-from ..simulator import SimulationError, Simulator, StatsRegistry
+from ..simulator import SimulationError, Simulator, StatsRegistry, any_of
 from ..tcpip import Connection, TCPStack, connect_tcp
 from ..units import SECTOR_SIZE
 from .server import NBD_REQUEST_BYTES, NBDServer
@@ -32,6 +32,8 @@ class NBDClient:
         tcp_params: TCPParams,
         name: str = "nbd0",
         stats: StatsRegistry | None = None,
+        request_timeout_usec: float | None = None,
+        max_retries: int = 2,
     ) -> None:
         if server.ramdisk.size < total_bytes:
             raise ValueError(
@@ -61,6 +63,15 @@ class NBDClient:
         self._conn: Connection | None = None
         self._t_req = self.stats.tally(f"{name}.request_usec")
         self.requests_sent = 0
+        #: reliability (repro.faults): with a timeout set, an unanswered
+        #: request is re-sent up to ``max_retries`` times before the
+        #: driver gives up.  ``None`` (the default) keeps the 2.4
+        #: block-forever behaviour.
+        self.request_timeout_usec = request_timeout_usec
+        self.max_retries = max_retries
+        self._pending_recv = None
+        self._c_retries = self.stats.counter(f"{name}.retries")
+        self._c_stale = self.stats.counter(f"{name}.stale_replies")
         #: §3.3: "we note that although we are able to use NBD as a swap
         #: device in our experiment, deadlock is reported because of
         #: memory allocation in TCP networking."  The hazard: the TCP
@@ -102,21 +113,18 @@ class NBDClient:
                     # will free.
                     self._c_deadlock_hazard.add()
                 token = ("nbd", req.sector, req.nbytes)
-                yield from conn.send(
-                    NBD_REQUEST_BYTES + req.nbytes,
-                    payload=("write", offset, req.nbytes, token),
-                    req_id=req.req_id,
-                )
-                reply = yield conn.recv()
+                nbytes = NBD_REQUEST_BYTES + req.nbytes
+                payload = ("write", offset, req.nbytes, token)
             elif req.op == READ:
-                yield from conn.send(
-                    NBD_REQUEST_BYTES,
-                    payload=("read", offset, req.nbytes, None),
-                    req_id=req.req_id,
-                )
-                reply = yield conn.recv()
+                nbytes = NBD_REQUEST_BYTES
+                payload = ("read", offset, req.nbytes, None)
             else:  # pragma: no cover - block layer validates
                 raise SimulationError(f"bad request op {req.op!r}")
+            yield from conn.send(nbytes, payload=payload, req_id=req.req_id)
+            if self.request_timeout_usec is None:
+                reply = yield conn.recv()
+            else:
+                reply = yield from self._await_reply(conn, req, nbytes, payload)
             kind, _data = reply.payload
             if kind != "ack":
                 raise SimulationError(f"{self.name}: unexpected reply {kind!r}")
@@ -129,3 +137,43 @@ class NBDClient:
                     req_id=req.req_id, op=req.op, nbytes=req.nbytes,
                 )
             self.queue.complete(req)
+
+    def _await_reply(self, conn: Connection, req, nbytes: int, payload):
+        """Reply wait with timeout + bounded resend; generator.
+
+        One receive is kept pending across timeouts (re-issuing the
+        recv would orphan a message); replies are matched by ``req_id``
+        so an answer to an earlier, given-up-on send is discarded as
+        stale rather than mistaken for the current one.
+        """
+        sim = self.sim
+        attempts = 0
+        while True:
+            if self._pending_recv is None:
+                self._pending_recv = conn.recv()
+            idx, value = yield any_of(
+                sim, [self._pending_recv, sim.timeout(self.request_timeout_usec)]
+            )
+            if idx == 1:  # timed out
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise SimulationError(
+                        f"{self.name}: request {req.req_id} timed out after "
+                        f"{attempts - 1} retries"
+                    )
+                self._c_retries.add()
+                if sim.trace.enabled:
+                    sim.trace.instant(
+                        self.name, "driver", "resend",
+                        req_id=req.req_id, attempt=attempts,
+                    )
+                yield from conn.send(nbytes, payload=payload, req_id=req.req_id)
+                continue
+            self._pending_recv = None
+            reply = value
+            if reply.req_id != req.req_id:
+                # An ack for a send we already re-issued (the server
+                # serves both copies) — or a pre-crash leftover.
+                self._c_stale.add()
+                continue
+            return reply

@@ -46,7 +46,27 @@ class NBDServer:
         self.listener = Listener(self.stack, name=f"{name}.listen")
         self.ramdisk = RamDisk(store_bytes, name=f"{name}.ramdisk")
         self.requests_served = 0
+        #: fault-injection state (repro.faults): a crashed daemon keeps
+        #: its connections but silently eats every request.
+        self.alive = True
+        self.crashes = 0
         self._proc = sim.spawn(self._accept_loop(), name=f"{name}.acceptor")
+
+    # -- fault-injection hooks (repro.faults) ------------------------------
+
+    def crash(self, wipe: bool = True) -> None:
+        """Kill the daemon mid-run: requests are swallowed without a
+        reply until :meth:`restart`.  ``wipe`` clears the RamDisk."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self.stats.counter(f"{self.name}.crashes").add()
+        if wipe:
+            self.ramdisk.wipe()
+
+    def restart(self) -> None:
+        self.alive = True
 
     def _accept_loop(self):
         while True:
@@ -58,6 +78,9 @@ class NBDServer:
         sim = self.sim
         while True:
             msg = yield conn.recv()
+            if not self.alive:
+                self.stats.counter(f"{self.name}.dropped_requests").add()
+                continue
             kind, offset, nbytes, token = msg.payload
             ident = {} if msg.req_id is None else {"req_id": msg.req_id}
             if kind == "write":

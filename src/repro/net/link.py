@@ -14,13 +14,19 @@ for the non-striped blocking distribution.
 
 from __future__ import annotations
 
-from ..simulator import Event, Resource, Simulator, StatsRegistry
+from ..simulator import Event, Resource, Simulator, StatsRegistry, WaitQueue
 
 __all__ = ["Port", "Fabric"]
 
 
 class Port:
-    """A full-duplex network attachment point for one node."""
+    """A full-duplex network attachment point for one node.
+
+    Fault-injection state (see :mod:`repro.faults`): a port can be
+    taken *down* (transfers park until it comes back) or *degraded*
+    (latency/serialization multipliers).  Both default to the identity,
+    so a healthy port behaves bit-for-bit as before.
+    """
 
     def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
@@ -29,6 +35,31 @@ class Port:
         self.rx = Resource(sim, 1, name=f"{name}.rx")
         self.bytes_out = 0
         self.bytes_in = 0
+        self.up = True
+        self.latency_mult = 1.0
+        self.byte_time_mult = 1.0
+        self._up_wq = WaitQueue(sim, name=f"{name}.up")
+
+    # -- fault-injection hooks (no-ops unless a FaultPlan drives them) ----
+
+    def set_down(self) -> None:
+        """Link flap: park new transfers until :meth:`set_up`."""
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
+        self._up_wq.wake_all()
+
+    def degrade(self, latency_mult: float = 1.0, byte_time_mult: float = 1.0) -> None:
+        """Scale this port's latency and serialization time."""
+        if latency_mult < 1.0 or byte_time_mult < 1.0:
+            raise ValueError("degradation multipliers must be >= 1")
+        self.latency_mult = latency_mult
+        self.byte_time_mult = byte_time_mult
+
+    def restore(self) -> None:
+        self.latency_mult = 1.0
+        self.byte_time_mult = 1.0
 
     def __repr__(self) -> str:
         return f"<Port {self.name} out={self.bytes_out} in={self.bytes_in}>"
@@ -41,6 +72,9 @@ class Fabric:
         self.sim = sim
         self.stats = stats if stats is not None else StatsRegistry()
         self._ports: dict[str, Port] = {}
+        #: fault-injection filter for IB channel sends; ``None`` (the
+        #: default) means no faults.  See ``FaultInjector.on_ctrl_send``.
+        self.fault_hook = None
 
     def port(self, name: str) -> Port:
         """Get or create the port for node ``name``."""
@@ -97,18 +131,27 @@ class Fabric:
         done: Event,
     ):
         t_start = self.sim.now
+        # A downed endpoint parks the transfer until it comes back; the
+        # wait counts as port queueing (net.wait) in the trace.
+        while not (src.up and dst.up):
+            down = src if not src.up else dst
+            yield down._up_wq.wait()
         # tx and rx pools are disjoint resource classes, so taking one of
         # each in a fixed (tx-then-rx) order cannot form a cycle.
         yield src.tx.acquire()
         yield dst.rx.acquire()
         t_wire = self.sim.now
-        serialization = nbytes * byte_time
+        # Degradation multipliers are 1.0 on healthy ports, so the
+        # products below are exact no-ops outside fault scenarios.
+        mult = max(src.byte_time_mult, dst.byte_time_mult)
+        serialization = nbytes * byte_time * mult
         if serialization > 0:
             yield self.sim.timeout(serialization)
         src.tx.release()
         dst.rx.release()
         src.bytes_out += nbytes
         dst.bytes_in += nbytes
+        latency = latency * max(src.latency_mult, dst.latency_mult)
         if latency > 0:
             yield self.sim.timeout(latency)
         self.stats.counter(f"fabric.bytes.{tag}").add(nbytes)

@@ -16,6 +16,7 @@ import numpy as np
 
 from .config import HPBD, DeviceConfig, LocalDisk, LocalMemory, NBD, ScenarioConfig
 from .disk.driver import DiskDevice
+from .faults import FaultInjector
 from .hpbd.client import HPBDClient
 from .hpbd.server import HPBDServer
 from .kernel.node import Node
@@ -62,8 +63,20 @@ class _Scenario:
         self.nbd_client: NBDClient | None = None
         self.nbd_server: NBDServer | None = None
         self.disk: DiskDevice | None = None
+        self.fallback_disk: DiskDevice | None = None
         self.queue = None
         self._build_device(cfg.device)
+        self.fault_injector: FaultInjector | None = None
+        if cfg.faults is not None and cfg.faults.plan is not None:
+            self.fault_injector = FaultInjector(
+                self.sim,
+                cfg.faults.plan,
+                stats=self.stats,
+                fabric=self.fabric,
+                hpbd_servers=self.hpbd_servers,
+                hpbd_client=self.hpbd_client,
+                nbd_server=self.nbd_server,
+            )
 
     def _build_device(self, dev: DeviceConfig) -> None:
         cfg = self.cfg
@@ -82,14 +95,18 @@ class _Scenario:
             return
         if cfg.swap_bytes <= 0:
             raise ValueError(f"{dev.label} scenario needs swap_bytes > 0")
+        faults = cfg.faults
         if isinstance(dev, HPBD):
             store = dev.server_store_bytes
             if store is None:
                 # An equal share of the swap area, rounded up to MiB
-                # (doubled when mirroring: share + a replica area).
+                # (doubled when mirroring — share + a replica area — or
+                # when remap mode may land a dead peer's chunk here).
                 share = -(-cfg.swap_bytes // dev.nservers)
                 store = -(-share // MiB) * MiB
-                if dev.mirror:
+                if dev.mirror or (
+                    faults is not None and faults.degraded_mode == "remap"
+                ):
                     store *= 2
             for i in range(dev.nservers):
                 self.hpbd_servers.append(
@@ -104,6 +121,24 @@ class _Scenario:
                         stats=self.stats,
                     )
                 )
+            recovery: dict = {}
+            if faults is not None:
+                if faults.degraded_mode == "disk":
+                    self.fallback_disk = DiskDevice(
+                        self.sim,
+                        name="fallback_hda",
+                        params=faults.fallback_disk,
+                        swap_partition_bytes=cfg.swap_bytes,
+                        stats=self.stats,
+                    )
+                    recovery["fallback_queue"] = self.fallback_disk.queue
+                recovery.update(
+                    request_timeout_usec=faults.request_timeout_usec,
+                    max_retries=faults.max_retries,
+                    retry_backoff_usec=faults.retry_backoff_usec,
+                    backoff_mult=faults.backoff_mult,
+                    degraded_mode=faults.degraded_mode,
+                )
             self.hpbd_client = HPBDClient(
                 self.sim,
                 self.node,
@@ -116,6 +151,7 @@ class _Scenario:
                 register_on_fly=dev.register_on_fly,
                 stripe_bytes=dev.stripe_bytes,
                 mirror=dev.mirror,
+                **recovery,
             )
             self.queue = self.hpbd_client.queue
         elif isinstance(dev, NBD):
@@ -135,6 +171,10 @@ class _Scenario:
                 total_bytes=cfg.swap_bytes,
                 tcp_params=params,
                 stats=self.stats,
+                request_timeout_usec=(
+                    faults.request_timeout_usec if faults is not None else None
+                ),
+                max_retries=faults.max_retries if faults is not None else 2,
             )
             self.queue = self.nbd_client.queue
         elif isinstance(dev, LocalDisk):
@@ -165,6 +205,8 @@ class _Scenario:
                 yield from self.nbd_client.connect()
             if self.queue is not None:
                 self.node.swapon(self.queue, cfg.swap_bytes)
+            if self.fault_injector is not None:
+                self.fault_injector.start()
             if self.metrics is not None:
                 self._register_watches(self.metrics)
                 self.metrics.start()
@@ -207,6 +249,8 @@ class _Scenario:
             # conservation invariants to sim.monitors.
             if self.queue is not None:
                 self.queue.audit_teardown()
+            if self.fallback_disk is not None:
+                self.fallback_disk.queue.audit_teardown()
             if self.hpbd_client is not None:
                 self.hpbd_client.audit_teardown()
             for srv in self.hpbd_servers:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -36,12 +37,19 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: set on the first failed write (e.g. ``$REPRO_CACHE_DIR``
+        #: pointing somewhere unwritable): the sweep keeps running
+        #: uncached instead of crashing.
+        self.disabled = False
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> Any | None:
         """The cached result for ``key``, or None on a miss."""
+        if self.disabled:
+            self.misses += 1
+            return None
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
@@ -51,19 +59,35 @@ class ResultCache:
             return None
         except Exception:
             # Corrupt / truncated / version-skewed entry: drop and miss.
-            path.unlink(missing_ok=True)
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
             self.misses += 1
             return None
         self.hits += 1
         return result
 
     def put(self, key: str, result: Any) -> None:
+        if self.disabled:
+            return
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp{os.getpid()}")
-        with open(tmp, "wb") as fh:
-            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError as exc:
+            # An unwritable cache root must not kill the sweep: results
+            # still come back, just uncached.
+            self.disabled = True
+            warnings.warn(
+                f"result cache at {self.root} is unwritable ({exc}); "
+                f"caching disabled for this run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
@@ -61,14 +62,29 @@ def resolve_workers(workers: "int | str | None") -> int:
     """Normalize a worker request to a process count (>= 1).
 
     ``None`` consults ``$REPRO_SWEEP_WORKERS`` (default 1 = serial);
-    ``"auto"`` or ``0`` means one worker per CPU.
+    ``"auto"`` or ``0`` means one worker per CPU.  Garbage in the
+    environment variable must not kill a sweep that never asked for
+    parallelism, so env-derived values fall back to serial with a
+    warning; an explicit bad argument still raises.
     """
+    from_env = workers is None
     if workers is None:
         workers = os.environ.get(_ENV_WORKERS, "1")
     if workers in ("auto", 0):
         return os.cpu_count() or 1
-    n = int(workers)
+    try:
+        n = int(workers)
+    except (TypeError, ValueError):
+        n = -1
     if n < 1:
+        if from_env:
+            warnings.warn(
+                f"invalid {_ENV_WORKERS}={workers!r}; falling back to "
+                f"serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
         raise ValueError(f"workers must be >= 1, 0 or 'auto', got {workers!r}")
     return n
 

@@ -227,3 +227,26 @@ class TestBenchCommand:
             "--rounds", "1", "--skip-sweep",
             "--min-events-per-sec", "1e12",
         ]) == 1
+
+
+class TestFaultsCommand:
+    def test_faults_remap_smoke(self, capsys, tmp_path):
+        trace = tmp_path / "fault-trace.json"
+        report = tmp_path / "faults.json"
+        assert main([
+            "faults", "--mode", "remap", "--scale", "64",
+            "--expect-recovery",
+            "-o", str(trace), "--json", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "invariant monitors: clean" in out
+        assert trace.exists()
+        payload = json.loads(report.read_text())
+        assert payload["counters"]["remaps"] > 0
+        assert payload["counters"]["timeouts"] > 0
+        assert payload["violations"] == []
+        assert payload["blame_usec"]["fault"] > 0
+
+    def test_faults_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--mode", "sideways"])

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro import HPBD, ScenarioConfig, TestswapWorkload, run_scenario
+from repro.config import FaultConfig
+from repro.faults import FaultPlan, LinkDegrade, LinkFlap, ServerCrash
 from repro.hpbd import (
     HPBDClient,
     HPBDServer,
@@ -20,9 +23,9 @@ from repro.hpbd import (
 )
 from repro.ib import RecvWR, SendWR
 from repro.kernel import Node
-from repro.kernel.blockdev import Bio, WRITE
+from repro.kernel.blockdev import Bio, READ, WRITE
 from repro.simulator import Event, SimulationError
-from repro.units import KiB, MiB
+from repro.units import GiB, KiB, MiB
 
 
 @pytest.fixture
@@ -203,3 +206,231 @@ class TestResourceExhaustionContainment:
         sim.spawn(proc(sim))
         with pytest.raises(OutOfSwap):
             sim.run()
+
+
+# ---------------------------------------------------------------------------
+# Injected faults + the recovery state machine (repro.faults)
+# ---------------------------------------------------------------------------
+
+_SCALE = 64
+
+_RECOVERY_KEYS = (
+    "retries", "timeouts", "failovers", "write_failovers",
+    "remaps", "disk_fallbacks", "stale_replies", "servers_dead",
+)
+
+
+def _fault_scenario(device, faults: FaultConfig) -> ScenarioConfig:
+    return ScenarioConfig(
+        [TestswapWorkload(size_bytes=GiB // _SCALE)],
+        device,
+        mem_bytes=512 * MiB // _SCALE,
+        swap_bytes=GiB // _SCALE,
+        mem_reserved_bytes=24 * MiB // _SCALE,
+        faults=faults,
+    )
+
+
+def _counts(result) -> dict[str, int]:
+    out = {}
+    for key in _RECOVERY_KEYS:
+        c = result.registry.get(f"hpbd0.{key}")
+        out[key] = int(c.count) if c is not None else 0
+    return out
+
+
+class TestInjectedServerCrash:
+    def test_crash_completes_with_remap(self):
+        """A memory server dying mid-run must not abort the workload:
+        its chunk remaps onto the survivor and the monitors stay clean."""
+        cfg = _fault_scenario(
+            HPBD(nservers=4),
+            FaultConfig(
+                plan=FaultPlan(events=(ServerCrash(at=60_000.0, server=1),)),
+                degraded_mode="remap",
+            ),
+        )
+        result = run_scenario(cfg, trace=True)
+        ctrs = _counts(result)
+        assert result.invariant_violations == []
+        assert ctrs["timeouts"] > 0
+        assert ctrs["remaps"] > 0
+        assert ctrs["servers_dead"] == 1
+        # Fault recovery shows up in the blame taxonomy, not "other".
+        assert result.blame_usec["fault"] > 0
+
+    def test_crash_completes_with_disk_fallback(self):
+        cfg = _fault_scenario(
+            HPBD(nservers=4),
+            FaultConfig(
+                plan=FaultPlan(events=(ServerCrash(at=60_000.0, server=1),)),
+                degraded_mode="disk",
+            ),
+        )
+        result = run_scenario(cfg, trace=True)
+        ctrs = _counts(result)
+        assert result.invariant_violations == []
+        assert ctrs["disk_fallbacks"] > 0
+        assert ctrs["remaps"] == 0
+
+    def test_crash_absorbed_by_mirror(self):
+        cfg = _fault_scenario(
+            HPBD(nservers=2, mirror=True),
+            FaultConfig(
+                plan=FaultPlan(events=(ServerCrash(at=60_000.0, server=0),)),
+            ),
+        )
+        result = run_scenario(cfg, trace=True)
+        ctrs = _counts(result)
+        assert result.invariant_violations == []
+        assert ctrs["write_failovers"] > 0
+
+    def test_same_seed_reproduces_identical_counters_and_blame(self):
+        def once():
+            cfg = _fault_scenario(
+                HPBD(nservers=4),
+                FaultConfig(
+                    plan=FaultPlan(
+                        events=(ServerCrash(at=60_000.0, server=1),)
+                    ),
+                    degraded_mode="remap",
+                ),
+            )
+            result = run_scenario(cfg, trace=True)
+            return _counts(result), result.blame_usec
+
+        first, second = once(), once()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+
+
+class TestInjectedLinkTrouble:
+    def test_link_degrade_recovers_with_retries(self):
+        """A massively degraded link makes requests overshoot their
+        timeout; bounded retries must carry the run across the episode
+        without condemning the (healthy) server."""
+        cfg = _fault_scenario(
+            HPBD(nservers=4),
+            FaultConfig(
+                plan=FaultPlan(events=(
+                    # Traffic at this scale runs ~50k-130k us; the
+                    # episode must overlap it to bite.
+                    LinkDegrade(at=60_000.0, node="mem0", duration=15_000.0,
+                                latency_mult=5_000.0),
+                )),
+                request_timeout_usec=1_000.0,
+                max_retries=8,
+            ),
+        )
+        result = run_scenario(cfg, trace=True)
+        ctrs = _counts(result)
+        assert result.invariant_violations == []
+        assert ctrs["retries"] > 0
+        assert ctrs["servers_dead"] == 0
+        assert result.blame_usec["retry"] > 0
+
+    def test_link_flap_recovers(self):
+        """A flapping link stalls traffic outright; queued originals and
+        re-sends both land once it returns, and the duplicate answers
+        must be discarded as stale, not mistaken for live replies."""
+        cfg = _fault_scenario(
+            HPBD(nservers=4),
+            FaultConfig(
+                plan=FaultPlan(events=(
+                    LinkFlap(at=60_000.0, node="mem0", down_for=15_000.0),
+                )),
+                request_timeout_usec=1_000.0,
+                max_retries=8,
+            ),
+        )
+        result = run_scenario(cfg, trace=True)
+        ctrs = _counts(result)
+        assert result.invariant_violations == []
+        assert ctrs["timeouts"] > 0
+        assert ctrs["stale_replies"] > 0
+        assert ctrs["servers_dead"] == 0
+
+
+class TestControlPlaneCorruption:
+    def test_dropped_and_corrupted_ctrl_messages_are_retransmitted(self):
+        """With probabilistic drop/corruption on the control plane, the
+        CRC validation catches tampered messages, endpoints drop them
+        (instead of raising, as they do fault-free), and the timeout
+        machinery retransmits until the run completes clean."""
+        cfg = _fault_scenario(
+            HPBD(nservers=4),
+            FaultConfig(
+                plan=FaultPlan(
+                    ctrl_drop_prob=0.05, ctrl_corrupt_prob=0.05, seed=7,
+                ),
+                request_timeout_usec=1_000.0,
+                max_retries=8,
+            ),
+        )
+        result = run_scenario(cfg, trace=True)
+        ctrs = _counts(result)
+        assert result.invariant_violations == []
+        dropped = result.registry.get("fault.ctrl_dropped")
+        corrupted = result.registry.get("fault.ctrl_corrupted")
+        assert (dropped.count if dropped else 0) > 0
+        assert (corrupted.count if corrupted else 0) > 0
+        assert ctrs["timeouts"] > 0
+        assert ctrs["servers_dead"] == 0
+
+    def test_same_seed_same_corruption(self):
+        def once():
+            cfg = _fault_scenario(
+                HPBD(nservers=4),
+                FaultConfig(
+                    plan=FaultPlan(ctrl_drop_prob=0.1, seed=3),
+                    request_timeout_usec=1_000.0,
+                    max_retries=8,
+                ),
+            )
+            result = run_scenario(cfg)
+            c = result.registry.get("fault.ctrl_dropped")
+            return (int(c.count) if c else 0, result.elapsed_usec)
+
+        assert once() == once()
+
+
+class TestReplicaFailoverUnderCrash:
+    def test_crashed_primary_reads_and_writes_fail_over(self, sim, fabric):
+        """White-box: crash the primary of a mirrored pair; reads must
+        fail over to the replica and writes must complete on the
+        replica alone — with credits and inflight fully reclaimed."""
+        node = Node(sim, fabric, "client", mem_bytes=16 * MiB)
+        servers = [
+            HPBDServer(sim, fabric, f"mem{i}", store_bytes=32 * MiB,
+                       stats=node.stats)
+            for i in range(2)
+        ]
+        client = HPBDClient(
+            sim, node, servers, total_bytes=32 * MiB, mirror=True,
+            request_timeout_usec=500.0, max_retries=1,
+        )
+        sim.run(until=sim.spawn(client.connect()))
+
+        def do_io(op, sector):
+            done = Event(sim)
+
+            def proc(sim):
+                client.queue.submit_bio(
+                    Bio(op=op, sector=sector, nsectors=8, done=done)
+                )
+                client.queue.unplug()
+                yield done
+
+            sim.run(until=sim.spawn(proc(sim)))
+
+        do_io(WRITE, 0)
+        servers[0].crash()  # silent: requests vanish, no error replies
+        do_io(READ, 0)      # timeout -> replica read failover
+        do_io(WRITE, 8)     # replica-only write completes
+        stats = client.stats
+        assert stats.get("hpbd0.timeouts").count >= 1
+        assert stats.get("hpbd0.failovers").count >= 1
+        assert stats.get("hpbd0.write_failovers").count >= 1
+        assert client.outstanding == 0
+        client.audit_teardown()
+        assert sim.monitors.summary() == []

@@ -159,3 +159,75 @@ class TestMirrorEndToEnd:
             mirrored.network_bytes["rdma_read"]
             > 1.8 * plain.network_bytes["rdma_read"]
         )
+
+
+class TestFailoverWithRegisterOnFly:
+    @pytest.fixture
+    def mirrored_otf(self, sim, fabric):
+        """Mirrored pair using per-request registration (no pool)."""
+        node = Node(sim, fabric, "client", mem_bytes=16 * MiB)
+        servers = [
+            HPBDServer(sim, fabric, f"mem{i}", store_bytes=32 * MiB,
+                       stats=node.stats)
+            for i in range(2)
+        ]
+        client = HPBDClient(
+            sim, node, servers, total_bytes=32 * MiB,
+            mirror=True, register_on_fly=True,
+        )
+        sim.run(until=sim.spawn(client.connect()))
+        return node, servers, client
+
+    def test_read_failover_targets_the_request_mr(self, sim, mirrored_otf):
+        """Regression: the retry path used to address the registration
+        pool unconditionally; under register-on-the-fly the data lives
+        in the per-request MR and the pool entry is None — the failover
+        must advertise the MR's addr/rkey instead."""
+        _node, servers, client = mirrored_otf
+        do_io(sim, client, WRITE, sector=0, nsectors=8)
+        servers[0].ramdisk.size = 0  # break the primary
+        t = do_io(sim, client, READ, sector=0, nsectors=8)
+        assert t > 0
+        assert client.stats.get("hpbd0.failovers").count == 1
+        client.audit_teardown()
+        assert sim.monitors.summary() == []
+
+    def test_mirrored_write_with_register_on_fly(self, sim, mirrored_otf):
+        _node, servers, client = mirrored_otf
+        do_io(sim, client, WRITE, sector=0, nsectors=8)
+        assert servers[0].ramdisk.pages_stored == 1
+        assert servers[1].ramdisk.pages_stored == 1
+
+
+class TestFailoverSpans:
+    def test_rtt_span_excludes_the_failed_attempt(self, sim, fabric):
+        """Regression: the failover read used to keep the original
+        ``sent_at``, so the hpbd.rtt span swallowed the failed first
+        round trip.  Now the dead time gets its own hpbd.failover span
+        and the rtt span covers only the replica attempt."""
+        sim.enable_tracing()
+        node = Node(sim, fabric, "client", mem_bytes=16 * MiB)
+        servers = [
+            HPBDServer(sim, fabric, f"mem{i}", store_bytes=32 * MiB,
+                       stats=node.stats)
+            for i in range(2)
+        ]
+        client = HPBDClient(sim, node, servers, total_bytes=32 * MiB,
+                            mirror=True)
+        sim.run(until=sim.spawn(client.connect()))
+        do_io(sim, client, WRITE, sector=0, nsectors=8)
+        servers[0].ramdisk.size = 0
+        do_io(sim, client, READ, sector=0, nsectors=8)
+        failed = [s for s in sim.trace.spans if s.cat == "hpbd.failover"]
+        assert len(failed) == 1
+        rid = failed[0].args["req_id"]
+        rtts = [
+            s for s in sim.trace.spans
+            if s.cat == "hpbd.rtt" and s.args["req_id"] == rid
+        ]
+        assert len(rtts) == 1
+        # The replica attempt starts only after the failure is detected.
+        assert rtts[0].start >= failed[0].end
+        # And the failover span covers exactly the failed first attempt.
+        assert failed[0].args["server"] == 0
+        assert rtts[0].args["server"] == 1

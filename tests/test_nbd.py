@@ -158,3 +158,79 @@ class TestNBD:
         # GigE is slower than the store stream: memory bottoms out and
         # the hazard window is hit.
         assert node.stats.get("nbd0.deadlock_hazards").count > 0
+
+
+class TestNBDTimeoutRecovery:
+    @pytest.fixture
+    def timed(self, sim, fabric):
+        node = Node(sim, fabric, "client", mem_bytes=16 * MiB)
+        server = NBDServer(
+            sim, fabric, "nbdsrv", store_bytes=64 * MiB,
+            tcp_params=GIGE_DEFAULT, stats=node.stats,
+        )
+        client = NBDClient(
+            sim, node, server, total_bytes=64 * MiB,
+            tcp_params=GIGE_DEFAULT,
+            request_timeout_usec=2_000.0, max_retries=3,
+        )
+        connect(sim, client)
+        return node, server, client
+
+    def test_crashed_then_restarted_server_served_by_resend(self, sim, timed):
+        """The daemon eats a request while down; the driver's re-send
+        after restart completes the I/O instead of blocking forever."""
+        _node, server, client = timed
+        do_io(sim, client, WRITE, sector=0, nsectors=8)
+
+        def outage(sim):
+            server.crash(wipe=False)
+            yield sim.timeout(3_000.0)
+            server.restart()
+
+        sim.spawn(outage(sim))
+        t = do_io(sim, client, READ, sector=0, nsectors=8)
+        assert t > 0
+        assert client.stats.get("nbd0.retries").count >= 1
+        assert server.stats.get("nbdsrv.dropped_requests").count >= 1
+        assert server.crashes == 1
+
+    def test_permanent_crash_raises_after_bounded_retries(self, sim, timed):
+        from repro.simulator import SimulationError
+
+        _node, server, client = timed
+        server.crash()
+        done = Event(sim)
+
+        def proc(sim):
+            client.queue.submit_bio(
+                Bio(op=WRITE, sector=0, nsectors=8, done=done)
+            )
+            client.queue.unplug()
+            yield done
+
+        sim.spawn(proc(sim))
+        with pytest.raises(SimulationError, match="timed out after 3 retries"):
+            sim.run()
+
+    def test_no_timeout_keeps_legacy_blocking(self, sim, setup):
+        """Without a timeout the 2.4 driver blocks forever on a dead
+        daemon — the simulation just drains (no error, no progress)."""
+        _node, server, client = setup
+        connect(sim, client)
+        server.crash()
+        done = Event(sim)
+
+        def proc(sim):
+            client.queue.submit_bio(
+                Bio(op=WRITE, sector=0, nsectors=8, done=done)
+            )
+            client.queue.unplug()
+            yield done
+
+        sim.spawn(proc(sim))
+
+        def much_later(sim):
+            yield sim.timeout(1_000_000.0)
+
+        sim.run(until=sim.spawn(much_later(sim)))
+        assert not done.processed  # still blocked, no error raised

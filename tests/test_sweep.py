@@ -198,6 +198,51 @@ class TestResolveWorkers:
         with pytest.raises(ValueError):
             resolve_workers(-2)
 
+    def test_env_garbage_falls_back_to_serial(self, monkeypatch):
+        """A typo'd $REPRO_SWEEP_WORKERS must not crash a sweep that
+        never asked for parallelism: warn and run serial."""
+        for junk in ("lots", "", "2.5", "-3"):
+            monkeypatch.setenv("REPRO_SWEEP_WORKERS", junk)
+            with pytest.warns(RuntimeWarning, match="REPRO_SWEEP_WORKERS"):
+                assert resolve_workers(None) == 1
+
+    def test_env_auto_still_works(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "auto")
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+
+class TestUnwritableCache:
+    @staticmethod
+    def _unwritable_root(tmp_path):
+        # A regular file as a path component defeats mkdir even when the
+        # test runs as root (where permission bits alone would not).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        return blocker / "cache"
+
+    def test_put_disables_instead_of_crashing(self, tmp_path):
+        from repro.sweep.cache import ResultCache
+
+        cache = ResultCache(self._unwritable_root(tmp_path))
+        with pytest.warns(RuntimeWarning, match="unwritable"):
+            cache.put("ab" + "0" * 62, {"x": 1})
+        assert cache.disabled
+        # Subsequent gets/puts are silent no-ops, not crashes.
+        assert cache.get("ab" + "0" * 62) is None
+        cache.put("cd" + "0" * 62, {"y": 2})
+
+    def test_sweep_completes_with_unwritable_cache(self, tmp_path):
+        from repro.sweep.cache import ResultCache
+
+        cache = ResultCache(self._unwritable_root(tmp_path))
+        points = _points(1)
+        with pytest.warns(RuntimeWarning, match="unwritable"):
+            report = run_sweep(points, cache=cache)
+        assert report.simulated == 1
+        assert report.results[0] is not None
+
 
 class TestExperimentsIntegration:
     def test_fig05_through_engine_with_cache(self, tmp_path):
