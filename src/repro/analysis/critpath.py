@@ -67,6 +67,13 @@ _BLAME_PRECEDENCE: tuple[tuple[str, frozenset[str]], ...] = (
     ("disk", frozenset({"disk.service"})),
     ("copy", frozenset({"hpbd.copy"})),
     ("registration", frozenset({"reg"})),
+    # Cluster QoS: time a request sat in the server's weighted-fair
+    # queue waiting for a handler slot (repro.cluster.qos).
+    ("qos_wait", frozenset({"srv.qos"})),
+    # Overcommit eviction: server-side spill-disk I/O (residency-cap
+    # eviction or fault-in) — ranked above "server" so it wins over the
+    # umbrella srv.handle it nests inside.
+    ("spill", frozenset({"srv.spill"})),
     ("server", frozenset({"srv.copy", "srv.handle"})),
     ("host", frozenset({"tcp.host"})),
     ("port_wait", frozenset({"net.wait"})),
@@ -115,6 +122,8 @@ REQUEST_PATH_CATS: frozenset[str] = frozenset(
         "ctrl",
         "srv.handle",
         "srv.copy",
+        "srv.qos",
+        "srv.spill",
         "nbd.rtt",
         "disk.service",
         "tcp.host",

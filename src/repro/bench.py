@@ -28,6 +28,7 @@ __all__ = [
     "bench_relay_resume",
     "bench_obs_overhead",
     "bench_blame_split",
+    "bench_cluster_fairness",
     "bench_figure_sweep",
     "run_bench",
 ]
@@ -148,6 +149,38 @@ def bench_blame_split(scale: int = 64) -> dict[str, Any]:
     }
 
 
+def bench_cluster_fairness(scale: int = 64) -> dict[str, Any]:
+    """One untraced 3-tenant fair cluster run: host throughput + spread.
+
+    Events/sec here is simulator events over host wall-clock for the
+    multi-tenant scenario (three kernel nodes, QoS scheduling, fleet
+    accounting — a heavier per-event mix than the single-node sweeps),
+    alongside the per-tenant completion-time spread the fairness gate
+    tracks.
+    """
+    from .cluster.runner import build_cluster_scenario
+    from .experiments import cluster_fair_config
+
+    cfg = cluster_fair_config(scale)
+    scenario = build_cluster_scenario(cfg)
+    t0 = time.perf_counter()
+    result = scenario.run()
+    wall_sec = time.perf_counter() - t0
+    nevents = scenario.sim.events_processed
+    elapsed = [t.elapsed_usec for t in result.tenants]
+    return {
+        "scale": scale,
+        "tenants": len(result.tenants),
+        "nservers": result.nservers,
+        "wall_sec": wall_sec,
+        "events": nevents,
+        "events_per_sec": nevents / wall_sec if wall_sec > 0 else 0.0,
+        "spread": result.spread,
+        "jain_index": result.jain_index,
+        "tenant_elapsed_usec": elapsed,
+    }
+
+
 def bench_figure_sweep(
     scale: int = 64, workers: "int | str | None" = "auto"
 ) -> dict[str, Any]:
@@ -220,6 +253,7 @@ def run_bench(
     if not skip_sweep:
         payload["sweep"] = bench_figure_sweep(sweep_scale, workers)
         payload["blame"] = bench_blame_split(sweep_scale)
+        payload["cluster_fairness"] = bench_cluster_fairness(sweep_scale)
     return payload
 
 

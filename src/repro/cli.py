@@ -342,6 +342,7 @@ def _run_critpath(args) -> int:
 
 
 _FAULT_MODES = ("remap", "disk", "mirror")
+_PLACEMENT_POLICIES = ("blocking", "least_loaded", "hash")
 
 #: the HPBD client's recovery counters ``repro faults`` reports.
 _RECOVERY_COUNTERS = (
@@ -495,6 +496,124 @@ def _run_faults(args) -> int:
     return status
 
 
+def _run_cluster(args) -> int:
+    """``repro cluster``: multi-tenant fairness scenario + report.
+
+    Runs the three-tenant weighted-fair scenario (and, unless
+    ``--skip-baseline``, the QoS-off unfair baseline) and prints the
+    per-tenant fairness report.  Exit status is nonzero on any
+    invariant violation, when the fair run's completion-time spread
+    exceeds ``--max-spread``, when the baseline's spread falls below
+    ``--min-baseline-spread`` (the contrast the QoS machinery must
+    create), or — under ``--replay-check`` — when a second run of the
+    same seed diverges.
+    """
+    from .experiments import cluster_fair_config, cluster_unfair_config
+    from .runner import run_scenario
+    from .units import fmt_bytes
+
+    scale = args.scale
+
+    def run_fair():
+        cfg = cluster_fair_config(
+            scale, nservers=args.nservers, placement=args.placement
+        )
+        cfg.seed = args.seed
+        return run_scenario(cfg, trace=True)
+
+    def run_unfair():
+        cfg = cluster_unfair_config(scale, nservers=args.nservers)
+        cfg.seed = args.seed
+        return run_scenario(cfg, trace=True)
+
+    def show(result, title: str) -> None:
+        print(f"{title}: {result.summary()}")
+        rows = [
+            [
+                t.name,
+                t.workload,
+                f"{t.elapsed_usec * scale / 1e6:.2f}",
+                t.major_faults,
+                fmt_bytes(t.bytes_served),
+                t.placement if not t.disk_fallback else "disk-fallback",
+            ]
+            for t in result.tenants
+        ]
+        print(format_table(
+            ["tenant", "workload", f"time (s, x{scale})", "majors",
+             "served", "placement"],
+            rows,
+        ))
+
+    print(
+        f"cluster run: 3 tenants x {args.nservers} servers, "
+        f"placement={args.placement} (scale=1/{scale}, seed={args.seed})..."
+    )
+    fair = run_fair()
+    show(fair, "fair (qos on)")
+    status = 0
+    violations = list(fair.invariant_violations)
+    if fair.spread > args.max_spread:
+        print(
+            f"ERROR: fair spread {fair.spread:.2f} exceeds "
+            f"--max-spread {args.max_spread:.2f}",
+            file=sys.stderr,
+        )
+        status = 1
+    unfair = None
+    if not args.skip_baseline:
+        print()
+        unfair = run_unfair()
+        show(unfair, "baseline (qos off, one thrashing tenant)")
+        violations += unfair.invariant_violations
+        if unfair.spread < args.min_baseline_spread:
+            print(
+                f"ERROR: baseline spread {unfair.spread:.2f} below "
+                f"--min-baseline-spread {args.min_baseline_spread:.2f}",
+                file=sys.stderr,
+            )
+            status = 1
+    if violations:
+        print(
+            f"ERROR: {len(violations)} invariant violations:",
+            file=sys.stderr,
+        )
+        for v in violations[:20]:
+            print(
+                f"  t={v['t_usec']:.1f} {v['monitor']} "
+                f"[{v['component']}]: {v['message']}",
+                file=sys.stderr,
+            )
+        status = 1
+    else:
+        print("invariant monitors: clean (0 violations)")
+    if args.replay_check:
+        second = run_fair()
+        if second.fairness_report() != fair.fairness_report():
+            print(
+                "ERROR: replay diverged for the same seed "
+                "(fairness reports differ)",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print("replay check: second fair run identical")
+    if args.json:
+        payload = {
+            "scale": scale,
+            "seed": args.seed,
+            "fair": fair.fairness_report(),
+            "violations": violations,
+            "status": status,
+        }
+        if unfair is not None:
+            payload["unfair_baseline"] = unfair.fairness_report()
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return status
+
+
 def _run_sweep_cmd(args) -> int:
     """``repro sweep``: run figure grids through the parallel engine."""
     from .analysis.critpath import blame_split
@@ -608,6 +727,14 @@ def _run_bench(args) -> int:
             print("ERROR: traced run recorded invariant violations",
                   file=sys.stderr)
             return 1
+    if "cluster_fairness" in payload:
+        cf = payload["cluster_fairness"]
+        print(
+            f"cluster fairness ({cf['tenants']} tenants x "
+            f"{cf['nservers']} servers, scale=1/{cf['scale']}): "
+            f"{cf['events_per_sec']:,.0f} ev/s, "
+            f"spread {cf['spread']:.2f}, jain {cf['jain_index']:.3f}"
+        )
     write_bench_json(args.json, payload)
     print(f"wrote {args.json}")
     floor = args.min_events_per_sec
@@ -738,6 +865,46 @@ def main(argv: Sequence[str] | None = None) -> int:
     fa.add_argument(
         "--json", metavar="PATH", help="dump the fault report as JSON"
     )
+    cl = sub.add_parser(
+        "cluster",
+        help="run the multi-tenant fairness scenario (+ QoS-off "
+        "baseline); print per-tenant report (nonzero exit on "
+        "violations or fairness-gate failures)",
+    )
+    cl.add_argument(
+        "--scale", type=int, default=64,
+        help="size divisor; 1 = full paper sizes (default: 64)",
+    )
+    cl.add_argument(
+        "--nservers", type=int, default=2,
+        help="memory servers in the fleet (default: 2)",
+    )
+    cl.add_argument(
+        "--placement", choices=_PLACEMENT_POLICIES, default="blocking",
+        help="placement policy for the fair run (default: blocking)",
+    )
+    cl.add_argument("--seed", type=int, default=42)
+    cl.add_argument(
+        "--max-spread", type=float, default=1.10,
+        help="fail if the fair run's completion-time spread exceeds "
+        "this (default: 1.10)",
+    )
+    cl.add_argument(
+        "--min-baseline-spread", type=float, default=2.0,
+        help="fail if the QoS-off baseline's spread is below this "
+        "(default: 2.0)",
+    )
+    cl.add_argument(
+        "--skip-baseline", action="store_true",
+        help="fair run only; skip the unfair baseline",
+    )
+    cl.add_argument(
+        "--replay-check", action="store_true",
+        help="run the fair scenario twice; fail if reports diverge",
+    )
+    cl.add_argument(
+        "--json", metavar="PATH", help="dump the fairness report as JSON"
+    )
     sw = sub.add_parser(
         "sweep",
         help="run a figure's scenario grid through the parallel sweep "
@@ -838,6 +1005,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.scale < 1:
             parser.error("--scale must be >= 1")
         return _run_faults(args)
+    if args.command == "cluster":
+        if args.scale < 1:
+            parser.error("--scale must be >= 1")
+        return _run_cluster(args)
     if args.command == "sweep":
         if args.scale < 1:
             parser.error("--scale must be >= 1")

@@ -1,0 +1,111 @@
+"""Per-tenant QoS: weighted-fair credit partitioning and scheduling.
+
+Two mechanisms keep one thrashing tenant from starving the rest:
+
+* **credit partitioning** — each server's credit pool (the §4.2.4
+  water-mark) is split across tenants in proportion to weight, bounding
+  how many requests any tenant can have outstanding per server;
+* **start-time fair queueing** — the server's dispatch order.  Each
+  arriving request is stamped with a virtual *start tag*
+  ``max(v, finish[tenant])`` and a *finish tag* ``start +
+  nbytes / weight``; requests are served in start-tag order and the
+  virtual clock advances to the tag served.  A backlogged tenant's tags
+  race ahead of its weight share, so lighter tenants overtake it —
+  classic SFQ (Goyal et al.), byte-weighted because service cost here
+  scales with bytes moved, not request count.
+
+The scheduler is deliberately host-agnostic (``push``/``pop``/
+``__len__``) so :class:`repro.hpbd.server.HPBDServer` can pump it
+without importing this package.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+__all__ = ["WeightedFairScheduler", "partition_credits"]
+
+
+class WeightedFairScheduler:
+    """Start-time fair queueing over per-tenant flows."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, str, float, object]] = []
+        self._seq = itertools.count()
+        self._finish: dict[str, float] = {}
+        self._vtime = 0.0
+        self.enqueued = 0
+        self.dequeued = 0
+        #: observability: max simultaneous backlog
+        self.max_depth = 0
+
+    def push(self, tenant: str, weight: float, cost: float, item) -> None:
+        """Queue ``item`` for ``tenant``; ``cost`` is the service demand
+        (bytes, here) charged against the tenant's weight."""
+        if weight <= 0:
+            raise ValueError(f"bad weight {weight} for tenant {tenant!r}")
+        if cost <= 0:
+            raise ValueError(f"bad cost {cost}")
+        start = max(self._vtime, self._finish.get(tenant, 0.0))
+        finish = start + cost / weight
+        self._finish[tenant] = finish
+        heapq.heappush(
+            self._heap, (start, next(self._seq), tenant, finish, item)
+        )
+        self.enqueued += 1
+        if len(self._heap) > self.max_depth:
+            self.max_depth = len(self._heap)
+
+    def pop(self):
+        """Next ``(tenant, item)`` in virtual-time order, or ``None``."""
+        if not self._heap:
+            return None
+        start, _seq, tenant, _finish, item = heapq.heappop(self._heap)
+        if start > self._vtime:
+            self._vtime = start
+        self.dequeued += 1
+        return tenant, item
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def partition_credits(pool: int, weights: dict[str, float]) -> dict[str, int]:
+    """Split a server's credit pool across tenants by weight.
+
+    Largest-remainder apportionment with a floor of one credit per
+    tenant (a tenant with zero credits could never make progress); the
+    result always sums to ``pool``.
+    """
+    if pool < len(weights):
+        raise ValueError(
+            f"pool of {pool} cannot give {len(weights)} tenants one each"
+        )
+    if not weights:
+        return {}
+    for tenant, w in weights.items():
+        if w <= 0:
+            raise ValueError(f"bad weight {w} for tenant {tenant!r}")
+    total_w = sum(weights.values())
+    ideal = {t: pool * w / total_w for t, w in weights.items()}
+    out = {t: max(1, int(share)) for t, share in ideal.items()}
+    # Largest remainder first for the leftovers; clamp overshoot from
+    # the one-credit floor by trimming the largest holdings.
+    leftover = pool - sum(out.values())
+    by_remainder = sorted(
+        weights, key=lambda t: (ideal[t] - int(ideal[t]), ideal[t]),
+        reverse=True,
+    )
+    i = 0
+    while leftover > 0:
+        out[by_remainder[i % len(by_remainder)]] += 1
+        leftover -= 1
+        i += 1
+    while leftover < 0:
+        biggest = max(out, key=lambda t: (out[t], ideal[t]))
+        if out[biggest] <= 1:  # pragma: no cover - pool >= len guards this
+            break
+        out[biggest] -= 1
+        leftover += 1
+    return out

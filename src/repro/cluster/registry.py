@@ -1,0 +1,193 @@
+"""Fleet registry: advertised capacity, reservations, and liveness.
+
+Each server advertises ``capacity_bytes`` of RAM; admission may reserve
+up to ``capacity * overcommit`` (the excess lives behind the RamDisk
+residency cap and spills to the server's local disk).  Reservations use
+a bump allocator per server — tenants reserve on connect and hold their
+area for the life of the run, so there is no free-list to manage; a
+released extent only returns bytes to the accounting, not address
+space.
+
+Liveness piggybacks on the fault-injection hooks: a heartbeat process
+polls each daemon's ``alive`` flag (which :mod:`repro.faults` flips on
+``ServerCrash``) and keeps the registry's view — and its capacity
+accounting — honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hpbd.server import HPBDServer
+from ..simulator import SimulationError, Simulator, StatsRegistry
+
+__all__ = ["CapacityError", "FleetRegistry", "Reservation"]
+
+
+class CapacityError(SimulationError):
+    """A reservation that does not fit the server's advertised limit."""
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """One tenant's extent on one server's store."""
+
+    tenant: str
+    server: int
+    offset: int  # bytes into the server's store
+    nbytes: int
+
+
+class FleetRegistry:
+    """Capacity + liveness book-keeping for one server fleet."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        servers: list[HPBDServer],
+        capacity_bytes: int,
+        overcommit: float = 1.0,
+        heartbeat_interval_usec: float = 1_000.0,
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"bad capacity {capacity_bytes}")
+        if overcommit < 1.0:
+            raise ValueError(f"overcommit must be >= 1, got {overcommit}")
+        self.sim = sim
+        self.servers = servers
+        self.capacity_bytes = capacity_bytes
+        self.limit_bytes = int(capacity_bytes * overcommit)
+        self.heartbeat_interval_usec = heartbeat_interval_usec
+        self.stats = stats if stats is not None else StatsRegistry()
+        n = len(servers)
+        self.reserved = [0] * n
+        self._cursor = [0] * n
+        self.alive = [True] * n
+        self.last_heartbeat = [0.0] * n
+        self.reservations: list[Reservation] = []
+        #: bytes reserved per tenant across the whole fleet
+        self.by_tenant: dict[str, int] = {}
+        self._c_reserved = self.stats.counter("cluster.reserved_bytes")
+        self._c_released = self.stats.counter("cluster.released_bytes")
+        self._c_down = self.stats.counter("cluster.server_down")
+        self._c_up = self.stats.counter("cluster.server_up")
+        self._heartbeat_proc = None
+
+    # -- capacity ------------------------------------------------------------
+
+    def free_bytes(self, server: int) -> int:
+        """Unreserved bytes below the (overcommitted) admission limit."""
+        return self.limit_bytes - self.reserved[server]
+
+    def reserve(self, tenant: str, server: int, nbytes: int) -> int:
+        """Reserve ``nbytes`` on ``server`` for ``tenant``; returns the
+        store offset of the new extent."""
+        if nbytes <= 0:
+            raise ValueError(f"bad reservation size {nbytes}")
+        if not (0 <= server < len(self.servers)):
+            raise ValueError(f"no server {server}")
+        if not self.alive[server]:
+            raise CapacityError(
+                f"server {server} is down (heartbeat lost)"
+            )
+        if nbytes > self.free_bytes(server):
+            raise CapacityError(
+                f"server {server}: {nbytes} B does not fit "
+                f"({self.free_bytes(server)} B free of {self.limit_bytes})"
+            )
+        offset = self._cursor[server]
+        self._cursor[server] += nbytes
+        self.reserved[server] += nbytes
+        self.by_tenant[tenant] = self.by_tenant.get(tenant, 0) + nbytes
+        self.reservations.append(Reservation(tenant, server, offset, nbytes))
+        self._c_reserved.add(nbytes)
+        self.sim.monitors.check(
+            self.reserved[server] <= self.limit_bytes,
+            "cluster.capacity_conserved", f"server{server}",
+            "reserved bytes exceed the admission limit",
+            reserved=self.reserved[server], limit=self.limit_bytes,
+        )
+        self.sim.monitors.watermark(
+            f"cluster.reserved.server{server}", float(self.reserved[server])
+        )
+        return offset
+
+    def release(self, tenant: str, server: int, nbytes: int) -> None:
+        """Return ``nbytes`` of a tenant's reservation to the books.
+
+        Address space is not recycled (bump allocator); only the
+        capacity accounting moves.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"bad release size {nbytes}")
+        have = self.by_tenant.get(tenant, 0)
+        self.sim.monitors.check(
+            nbytes <= have and nbytes <= self.reserved[server],
+            "cluster.capacity_conserved", f"server{server}",
+            "release exceeds what the tenant reserved",
+            tenant=tenant, release=nbytes, held=have,
+        )
+        self.reserved[server] -= nbytes
+        self.by_tenant[tenant] = have - nbytes
+        self._c_released.add(nbytes)
+
+    # -- liveness ------------------------------------------------------------
+
+    def start_heartbeat(self) -> None:
+        """Spawn the liveness poller (idempotent)."""
+        if self._heartbeat_proc is None:
+            self._heartbeat_proc = self.sim.spawn(
+                self._heartbeat(), name="cluster.heartbeat"
+            )
+
+    def _heartbeat(self):
+        sim = self.sim
+        while True:
+            yield sim.timeout(self.heartbeat_interval_usec)
+            for i, srv in enumerate(self.servers):
+                self.last_heartbeat[i] = sim.now
+                if self.alive[i] and not srv.alive:
+                    self.alive[i] = False
+                    self._c_down.add()
+                    sim.trace.instant(
+                        "cluster", "registry", "server_down", server=i,
+                    )
+                elif not self.alive[i] and srv.alive:
+                    self.alive[i] = True
+                    self._c_up.add()
+                    sim.trace.instant(
+                        "cluster", "registry", "server_up", server=i,
+                    )
+
+    @property
+    def alive_count(self) -> int:
+        return sum(self.alive)
+
+    # -- teardown audit ------------------------------------------------------
+
+    def audit_teardown(self) -> None:
+        """Capacity-conservation invariants for the whole fleet."""
+        monitors = self.sim.monitors
+        for i in range(len(self.servers)):
+            held = sum(
+                r.nbytes for r in self.reservations if r.server == i
+            )
+            # ``release`` moves accounting without deleting records, so
+            # the ledger check is reserved <= sum(extents) <= limit.
+            monitors.check(
+                0 <= self.reserved[i] <= held <= self.limit_bytes
+                or (held == 0 and self.reserved[i] == 0),
+                "cluster.capacity_conserved", f"server{i}",
+                "reservation ledger does not balance at teardown",
+                reserved=self.reserved[i], extents=held,
+                limit=self.limit_bytes,
+            )
+        total_by_tenant = sum(self.by_tenant.values())
+        total_reserved = sum(self.reserved)
+        monitors.check(
+            total_by_tenant == total_reserved,
+            "cluster.capacity_conserved", "fleet",
+            "per-tenant and per-server reservation totals disagree",
+            by_tenant=total_by_tenant, by_server=total_reserved,
+        )

@@ -1,0 +1,113 @@
+"""Cluster run results: per-tenant outcomes + fairness metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..results import ScenarioResult
+
+__all__ = ["ClusterResult", "TenantResult"]
+
+
+@dataclass
+class TenantResult:
+    """One tenant node's outcome."""
+
+    name: str
+    workload: str
+    elapsed_usec: float
+    major_faults: int
+    minor_faults: int
+    stall_usec: float
+    weight: float
+    swap_bytes: int
+    #: bytes the fleet served this tenant (per-tenant server accounting)
+    bytes_served: int = 0
+    #: admission NACKed — ran on its local disk instead of the fleet
+    disk_fallback: bool = False
+    #: which policy placed it ("least_loaded" after a remap retry)
+    placement: str = "blocking"
+
+
+@dataclass
+class ClusterResult(ScenarioResult):
+    """A cluster scenario's outcome.
+
+    Extends :class:`~repro.results.ScenarioResult` (so sweeps, caching
+    and reporting work unchanged) with the per-tenant view and the
+    fairness metrics the acceptance gates check.
+    """
+
+    tenants: list[TenantResult] = field(default_factory=list)
+    placement: str = "blocking"
+    qos: bool = True
+    nservers: int = 0
+    admission_nacks: int = 0
+
+    def _admitted(self) -> list[TenantResult]:
+        return [t for t in self.tenants if not t.disk_fallback]
+
+    @property
+    def spread(self) -> float:
+        """Max/min per-tenant completion time over fleet-admitted
+        tenants — 1.0 is perfectly fair, 2.0 means the slowest tenant
+        took twice the fastest's time."""
+        admitted = self._admitted()
+        if not admitted:
+            return 0.0
+        lo = min(t.elapsed_usec for t in admitted)
+        hi = max(t.elapsed_usec for t in admitted)
+        return hi / lo if lo > 0 else 0.0
+
+    @property
+    def jain_index(self) -> float:
+        """Jain's fairness index over per-tenant weight-normalized
+        throughput (1/elapsed/weight): 1.0 = perfectly weighted-fair,
+        1/n = one tenant got everything."""
+        admitted = self._admitted()
+        if not admitted:
+            return 0.0
+        xs = [
+            1.0 / (t.elapsed_usec * t.weight)
+            for t in admitted
+            if t.elapsed_usec > 0
+        ]
+        if not xs:
+            return 0.0
+        return sum(xs) ** 2 / (len(xs) * sum(x * x for x in xs))
+
+    def fairness_report(self) -> dict:
+        """The JSON payload the CLI and CI artifact carry."""
+        return {
+            "placement": self.placement,
+            "qos": self.qos,
+            "nservers": self.nservers,
+            "elapsed_usec": self.elapsed_usec,
+            "spread": self.spread,
+            "jain_index": self.jain_index,
+            "admission_nacks": self.admission_nacks,
+            "tenants": [
+                {
+                    "name": t.name,
+                    "workload": t.workload,
+                    "elapsed_usec": t.elapsed_usec,
+                    "weight": t.weight,
+                    "major_faults": t.major_faults,
+                    "bytes_served": t.bytes_served,
+                    "disk_fallback": t.disk_fallback,
+                    "placement": t.placement,
+                }
+                for t in self.tenants
+            ],
+        }
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.label}: {self.elapsed_sec:.2f} s",
+            f"{len(self.tenants)} tenants x {self.nservers} servers",
+            f"placement={self.placement} qos={'on' if self.qos else 'off'}",
+            f"spread={self.spread:.2f} jain={self.jain_index:.3f}",
+        ]
+        if self.admission_nacks:
+            parts.append(f"nacks={self.admission_nacks}")
+        return "  ".join(parts)

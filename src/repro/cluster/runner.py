@@ -1,0 +1,393 @@
+"""Cluster scenario runner: N tenant nodes over one shared fleet.
+
+The cluster analogue of :mod:`repro.runner`: build the server fleet
+once, admit every tenant through placement + admission control, give
+each tenant its own full compute node (VM, CPUs, HPBD driver tagged
+with its tenant identity), run all workloads concurrently over the
+shared fabric, and collect a :class:`ClusterResult` with per-tenant
+completion times and fairness metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ClusterScenarioConfig, TenantSpec
+from ..disk.driver import DiskDevice
+from ..disk.model import ST340014A
+from ..faults import FaultInjector
+from ..hpbd.client import HPBDClient
+from ..hpbd.server import HPBDServer
+from ..hpbd.striping import ChunkMapDistribution
+from ..kernel.node import Node
+from ..net.link import Fabric
+from ..results import InstanceResult
+from ..simulator import Simulator, StatsRegistry, all_of
+from ..units import MiB, PAGE_SIZE
+from ..workloads.base import execute
+from .admission import AdmissionController, AdmissionNack
+from .qos import WeightedFairScheduler, partition_credits
+from .registry import FleetRegistry
+from .results import ClusterResult, TenantResult
+
+__all__ = ["run_cluster_scenario", "build_cluster_scenario"]
+
+
+def _default_capacity(cfg: ClusterScenarioConfig) -> int:
+    """Advertised per-server capacity when the config leaves it out:
+    an even split of total demand, rounded up to MiB, plus a MiB of
+    slack for allocator rounding."""
+    demand = sum(t.swap_bytes for t in cfg.tenants)
+    share = -(-demand // cfg.nservers)
+    return -(-share // MiB) * MiB + MiB
+
+
+class _Tenant:
+    """Everything built for one tenant node."""
+
+    def __init__(self, spec: TenantSpec) -> None:
+        self.spec = spec
+        self.node: Node | None = None
+        self.client: HPBDClient | None = None
+        self.disk: DiskDevice | None = None
+        self.fallback_disk: DiskDevice | None = None
+        self.queue = None
+        self.admission = None
+        self.disk_fallback = False
+
+
+class _ClusterScenario:
+    """One cluster run's full object graph (exposed for white-box tests)."""
+
+    def __init__(self, cfg: ClusterScenarioConfig, trace: bool = False) -> None:
+        if cfg.faults is not None and cfg.faults.degraded_mode == "remap":
+            raise ValueError(
+                "cluster scenarios do not support degraded_mode='remap' "
+                "(chunk-map layouts have no successor-chunk convention); "
+                "use 'disk' or 'none'"
+            )
+        self.cfg = cfg
+        self.sim = Simulator()
+        if trace:
+            self.sim.enable_tracing()
+        self.stats = StatsRegistry()
+        self.fabric = Fabric(self.sim, stats=self.stats)
+        capacity = (
+            cfg.server_capacity_bytes
+            if cfg.server_capacity_bytes is not None
+            else _default_capacity(cfg)
+        )
+        limit = int(capacity * cfg.overcommit)
+        store = -(-limit // MiB) * MiB
+        resident = None
+        if cfg.overcommit > 1.0:
+            resident = capacity - capacity % PAGE_SIZE
+        self.servers: list[HPBDServer] = [
+            HPBDServer(
+                self.sim,
+                self.fabric,
+                f"mem{i}",
+                store_bytes=store,
+                ib_params=cfg.ib,
+                staging_pool_bytes=cfg.staging_pool_bytes,
+                max_outstanding_rdma=cfg.max_outstanding_rdma,
+                stats=self.stats,
+                resident_bytes=resident,
+                scheduler=WeightedFairScheduler() if cfg.qos else None,
+            )
+            for i in range(cfg.nservers)
+        ]
+        self.registry = FleetRegistry(
+            self.sim,
+            self.servers,
+            capacity_bytes=capacity,
+            overcommit=cfg.overcommit,
+            heartbeat_interval_usec=cfg.heartbeat_interval_usec,
+            stats=self.stats,
+        )
+        self.admission = AdmissionController(
+            self.registry, policy=cfg.placement, stats=self.stats
+        )
+        if cfg.qos:
+            credits = partition_credits(
+                cfg.credit_pool, {t.name: t.weight for t in cfg.tenants}
+            )
+        else:
+            credits = {t.name: cfg.credits_per_server for t in cfg.tenants}
+        self.tenants: list[_Tenant] = []
+        for spec in cfg.tenants:
+            self.tenants.append(self._build_tenant(spec, credits[spec.name]))
+        self.fault_injector: FaultInjector | None = None
+        if cfg.faults is not None and cfg.faults.plan is not None:
+            self.fault_injector = FaultInjector(
+                self.sim,
+                cfg.faults.plan,
+                stats=self.stats,
+                fabric=self.fabric,
+                hpbd_servers=self.servers,
+            )
+
+    def _build_tenant(self, spec: TenantSpec, credits: int) -> _Tenant:
+        cfg = self.cfg
+        tenant = _Tenant(spec)
+        tenant.node = Node(
+            self.sim,
+            self.fabric,
+            spec.name,
+            mem_bytes=spec.mem_bytes - cfg.mem_reserved_bytes,
+            ncpus=spec.ncpus,
+            vm_params=cfg.vm_params,
+            stats=self.stats,
+        )
+        try:
+            tenant.admission = self.admission.admit(
+                spec.name, spec.swap_bytes
+            )
+        except AdmissionNack:
+            if cfg.admission_fallback != "disk":
+                raise
+            # NACKed tenants keep running — on their own local disk,
+            # the same degradation the per-request recovery ladder ends
+            # in (PR 4's disk fallback, applied at admission time).
+            tenant.disk_fallback = True
+            tenant.disk = DiskDevice(
+                self.sim,
+                name=f"{spec.name}-hda",
+                params=(
+                    cfg.faults.fallback_disk
+                    if cfg.faults is not None
+                    else ST340014A
+                ),
+                swap_partition_bytes=spec.swap_bytes,
+                stats=self.stats,
+            )
+            tenant.queue = tenant.disk.queue
+            return tenant
+        recovery: dict = {}
+        faults = cfg.faults
+        if faults is not None:
+            if faults.degraded_mode == "disk":
+                tenant.fallback_disk = DiskDevice(
+                    self.sim,
+                    name=f"{spec.name}-fallback",
+                    params=faults.fallback_disk,
+                    swap_partition_bytes=spec.swap_bytes,
+                    stats=self.stats,
+                )
+                recovery["fallback_queue"] = tenant.fallback_disk.queue
+            recovery.update(
+                request_timeout_usec=faults.request_timeout_usec,
+                max_retries=faults.max_retries,
+                retry_backoff_usec=faults.retry_backoff_usec,
+                backoff_mult=faults.backoff_mult,
+                degraded_mode=faults.degraded_mode,
+            )
+        tenant.client = HPBDClient(
+            self.sim,
+            tenant.node,
+            self.servers,
+            total_bytes=spec.swap_bytes,
+            ib_params=cfg.ib,
+            pool_bytes=cfg.pool_bytes,
+            credits_per_server=credits,
+            name=f"{spec.name}-hpbd",
+            stats=self.stats,
+            server_area_bases=tenant.admission.area_bases,
+            tenant=spec.name,
+            qos_weight=spec.weight,
+            distribution=ChunkMapDistribution(
+                spec.swap_bytes, cfg.nservers, tenant.admission.chunks
+            ),
+            **recovery,
+        )
+        tenant.queue = tenant.client.queue
+        return tenant
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> ClusterResult:
+        cfg = self.cfg
+        sim = self.sim
+        instances: list[InstanceResult] = []
+        tenant_elapsed: dict[str, float] = {}
+        tenant_faults: dict[str, tuple[int, int, float]] = {}
+
+        def tenant_main(tenant: _Tenant):
+            spec = tenant.spec
+            aspace = tenant.node.vmm.create_address_space(
+                spec.workload.npages, name=f"{spec.name}.ws"
+            )
+            elapsed = yield from execute(
+                spec.workload, tenant.node, aspace
+            )
+            tenant_elapsed[spec.name] = elapsed
+            tenant_faults[spec.name] = (
+                aspace.major_faults, aspace.minor_faults, aspace.stall_usec
+            )
+            return elapsed
+
+        def main(sim):
+            # Fleet + tenant bring-up, outside the measured window.
+            for tenant in self.tenants:
+                if tenant.client is not None:
+                    yield from tenant.client.connect()
+                tenant.node.swapon(tenant.queue, tenant.spec.swap_bytes)
+            self.registry.start_heartbeat()
+            if self.fault_injector is not None:
+                self.fault_injector.start()
+            t_start = sim.now
+            procs = [
+                sim.spawn(tenant_main(tenant), name=tenant.spec.name)
+                for tenant in self.tenants
+            ]
+            yield all_of(sim, procs)
+            wall = sim.now - t_start
+            for tenant in self.tenants:
+                yield from tenant.node.vmm.quiesce()
+                tenant.node.vmm.check_frame_accounting()
+                tenant.queue.audit_teardown()
+                if tenant.fallback_disk is not None:
+                    tenant.fallback_disk.queue.audit_teardown()
+                if tenant.client is not None:
+                    tenant.client.pool.check_invariants()
+                    tenant.client.audit_teardown()
+            for srv in self.servers:
+                srv.audit_teardown()
+            self.registry.audit_teardown()
+            return wall
+
+        proc = sim.spawn(main(sim), name="cluster")
+        wall = sim.run(until=proc)
+        for tenant in self.tenants:
+            spec = tenant.spec
+            major, minor, stall = tenant_faults[spec.name]
+            instances.append(
+                InstanceResult(
+                    workload=spec.workload.name,
+                    elapsed_usec=tenant_elapsed[spec.name],
+                    major_faults=major,
+                    minor_faults=minor,
+                    stall_usec=stall,
+                )
+            )
+        return self._collect(instances, tenant_elapsed, tenant_faults, wall)
+
+    def _collect(
+        self,
+        instances: list[InstanceResult],
+        tenant_elapsed: dict[str, float],
+        tenant_faults: dict[str, tuple[int, int, float]],
+        wall: float,
+    ) -> ClusterResult:
+        cfg = self.cfg
+        stats = self.stats
+
+        def counter_total(name: str) -> int:
+            c = stats.get(name)
+            return int(c.total) if c is not None else 0
+
+        swapout = sum(
+            counter_total(f"{t.spec.name}.vm.swapout_pages")
+            for t in self.tenants
+        )
+        swapin = sum(
+            counter_total(f"{t.spec.name}.vm.swapin_pages")
+            for t in self.tenants
+        )
+        reads, writes = [], []
+        request_trace: list[tuple[float, str, int]] = []
+        for tenant in self.tenants:
+            rt = stats.get(f"{tenant.queue.name}.req_bytes.read")
+            wt = stats.get(f"{tenant.queue.name}.req_bytes.write")
+            if rt is not None:
+                reads.append(rt.values())
+            if wt is not None:
+                writes.append(wt.values())
+            request_trace.extend(tenant.queue.request_trace())
+        request_trace.sort(key=lambda item: item[0])
+        network_bytes: dict[str, int] = {}
+        for name in stats.names():
+            if name.startswith("fabric.bytes."):
+                network_bytes[name.removeprefix("fabric.bytes.")] = int(
+                    stats.get(name).total
+                )
+        blame_usec: dict[str, float] = {}
+        if self.sim.trace.enabled:
+            from ..analysis.critpath import aggregate_blame, request_paths
+
+            blame_usec = aggregate_blame(request_paths(self.sim.trace))
+        tenant_results = []
+        for tenant in self.tenants:
+            spec = tenant.spec
+            major, minor, stall = tenant_faults[spec.name]
+            tenant_results.append(
+                TenantResult(
+                    name=spec.name,
+                    workload=spec.workload.name,
+                    elapsed_usec=tenant_elapsed[spec.name],
+                    major_faults=major,
+                    minor_faults=minor,
+                    stall_usec=stall,
+                    weight=spec.weight,
+                    swap_bytes=spec.swap_bytes,
+                    bytes_served=sum(
+                        srv.tenant_bytes.get(spec.name, 0)
+                        for srv in self.servers
+                    ),
+                    disk_fallback=tenant.disk_fallback,
+                    placement=(
+                        tenant.admission.policy
+                        if tenant.admission is not None
+                        else "disk"
+                    ),
+                )
+            )
+        monitors = self.sim.monitors
+        return ClusterResult(
+            label=cfg.label,
+            instances=instances,
+            elapsed_usec=wall,
+            swapout_pages=swapout,
+            swapin_pages=swapin,
+            read_request_bytes=(
+                np.concatenate(reads)
+                if reads
+                else np.array([], dtype=np.float64)
+            ),
+            write_request_bytes=(
+                np.concatenate(writes)
+                if writes
+                else np.array([], dtype=np.float64)
+            ),
+            request_trace=request_trace,
+            network_bytes=network_bytes,
+            client_copy_usec=sum(
+                t.client.copy_usec
+                for t in self.tenants
+                if t.client is not None
+            ),
+            blame_usec=blame_usec,
+            invariant_violations=monitors.summary(),
+            monitor_watermarks=dict(monitors.watermarks),
+            registry=stats,
+            trace=self.sim.trace if self.sim.trace.enabled else None,
+            tenants=tenant_results,
+            placement=cfg.placement,
+            qos=cfg.qos,
+            nservers=cfg.nservers,
+            admission_nacks=counter_total("cluster.admission_nacks"),
+        )
+
+
+def build_cluster_scenario(
+    cfg: ClusterScenarioConfig, trace: bool = False
+) -> _ClusterScenario:
+    """Construct without running (white-box tests poke at the pieces)."""
+    return _ClusterScenario(cfg, trace=trace)
+
+
+def run_cluster_scenario(
+    cfg: ClusterScenarioConfig, trace: bool = False
+) -> ClusterResult:
+    """Build and run one cluster scenario to completion."""
+    return _ClusterScenario(cfg, trace=trace).run()

@@ -35,6 +35,9 @@ __all__ = [
     "DeviceConfig",
     "FaultConfig",
     "ScenarioConfig",
+    "TenantSpec",
+    "ClusterScenarioConfig",
+    "PLACEMENT_POLICIES",
 ]
 
 
@@ -175,3 +178,109 @@ class ScenarioConfig:
     def with_device(self, device: DeviceConfig) -> "ScenarioConfig":
         """Same scenario on a different swap device."""
         return replace(self, device=device)
+
+
+#: placement policies the cluster layer knows (repro.cluster.placement)
+PLACEMENT_POLICIES = ("blocking", "least_loaded", "hash")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One client node sharing the cluster's server fleet.
+
+    A tenant is a full compute node (its own VM, CPUs and HPBD driver)
+    running one workload; ``weight`` is its share under weighted-fair
+    QoS (credits and server service order).
+    """
+
+    name: str
+    workload: Workload
+    mem_bytes: int
+    swap_bytes: int
+    weight: float = 1.0
+    ncpus: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c in self.name for c in ". /"):
+            raise ValueError(f"bad tenant name {self.name!r}")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name}: bad weight {self.weight}")
+        if self.swap_bytes <= 0:
+            raise ValueError(f"tenant {self.name}: needs swap_bytes > 0")
+
+
+@dataclass
+class ClusterScenarioConfig:
+    """N tenants sharing one capacity-managed memory-server fleet.
+
+    The single-node :class:`ScenarioConfig` runs the paper's topology;
+    this is the scale-out variant (repro.cluster): placement decides
+    where each tenant's swap area lands, admission control reserves it
+    against advertised capacity (optionally overcommitted, with
+    server-side eviction-to-disk), and per-tenant QoS keeps one
+    thrashing tenant from starving the rest.
+    """
+
+    tenants: list[TenantSpec]
+    nservers: int = 2
+    #: advertised RAM per server; ``None`` sizes the fleet to total
+    #: demand split evenly (plus slack for allocator rounding).
+    server_capacity_bytes: int | None = None
+    #: "blocking" (the paper's contiguous layout), "least_loaded"
+    #: bin-packing, or consistent-"hash" sharding
+    placement: str = "blocking"
+    #: weighted-fair QoS: partition server credits by tenant weight and
+    #: serve requests in start-time-fair order (off = FIFO free-for-all)
+    qos: bool = True
+    #: per-server credit pool partitioned across tenants under QoS
+    credit_pool: int = 48
+    #: per-tenant, per-server credits when QoS is off
+    credits_per_server: int = 16
+    #: admit up to ``capacity * overcommit`` bytes per server; the
+    #: excess lives behind a residency cap and spills to the server's
+    #: local disk on eviction
+    overcommit: float = 1.0
+    #: tenant whose reservation is NACKed outright: "raise" or fall
+    #: back to a local "disk" swap on its own node
+    admission_fallback: str = "raise"
+    pool_bytes: int = MiB
+    staging_pool_bytes: int = 4 * MiB
+    max_outstanding_rdma: int = 8
+    ib: IBParams = IB_DEFAULT
+    vm_params: VMParams = DEFAULT_VM_PARAMS
+    mem_reserved_bytes: int = 24 * MiB
+    heartbeat_interval_usec: float = 1_000.0
+    seed: int = 42
+    faults: FaultConfig | None = None
+    label: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("cluster scenario needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        if self.nservers < 1:
+            raise ValueError(f"need at least one server, got {self.nservers}")
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"placement {self.placement!r} not in {PLACEMENT_POLICIES}"
+            )
+        if self.overcommit < 1.0:
+            raise ValueError(f"overcommit must be >= 1, got {self.overcommit}")
+        if self.admission_fallback not in ("raise", "disk"):
+            raise ValueError(
+                f"admission_fallback {self.admission_fallback!r} "
+                f"not in ('raise', 'disk')"
+            )
+        if self.credit_pool < len(self.tenants):
+            raise ValueError(
+                f"credit pool {self.credit_pool} cannot give "
+                f"{len(self.tenants)} tenants one credit each"
+            )
+        for t in self.tenants:
+            if t.mem_bytes <= self.mem_reserved_bytes:
+                raise ValueError(
+                    f"tenant {t.name}: memory {t.mem_bytes} does not cover "
+                    f"the kernel reserve {self.mem_reserved_bytes}"
+                )

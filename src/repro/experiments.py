@@ -17,7 +17,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .config import FaultConfig, HPBD, LocalDisk, LocalMemory, NBD, ScenarioConfig
+from .config import (
+    ClusterScenarioConfig,
+    FaultConfig,
+    HPBD,
+    LocalDisk,
+    LocalMemory,
+    NBD,
+    ScenarioConfig,
+    TenantSpec,
+)
 from .faults import CreditStarve, FaultPlan, LinkDegrade, ServerCrash
 from .net.fabrics import (
     GIGE_DEFAULT,
@@ -49,6 +58,9 @@ __all__ = [
     "fig10_servers",
     "fig10_points",
     "faults_points",
+    "cluster_points",
+    "cluster_fair_config",
+    "cluster_unfair_config",
     "sec62_runs",
     "SWEEPS",
     "PAPER_FIG5",
@@ -396,6 +408,89 @@ def faults_points(scale: int = DEFAULT_SCALE) -> list[SweepPoint]:
     ]
 
 
+def _cluster_tenant(
+    name: str,
+    scale: int,
+    *,
+    memdiv: int = 1,
+    datamul: int = 1,
+    weight: float = 1.0,
+) -> TenantSpec:
+    """One quicksort tenant at fig07 sizing (512 MiB RAM, 1 GiB data,
+    both over ``scale``); ``memdiv``/``datamul`` make it thrash."""
+    return TenantSpec(
+        name=name,
+        workload=QuicksortWorkload(
+            nelems=datamul * 256 * 1024 * 1024 // scale, seed=7
+        ),
+        mem_bytes=512 * MiB // scale // memdiv,
+        swap_bytes=datamul * GiB // scale,
+        weight=weight,
+    )
+
+
+def cluster_fair_config(
+    scale: int = DEFAULT_SCALE,
+    nservers: int = 2,
+    placement: str = "blocking",
+) -> ClusterScenarioConfig:
+    """The fairness acceptance run: three *identical* quicksort tenants
+    under weighted-fair QoS — completion times must land within 10%."""
+    return ClusterScenarioConfig(
+        tenants=[_cluster_tenant(f"t{i}", scale) for i in range(3)],
+        nservers=nservers,
+        placement=placement,
+        qos=True,
+        mem_reserved_bytes=24 * MiB // scale,
+    )
+
+
+def cluster_unfair_config(
+    scale: int = DEFAULT_SCALE, nservers: int = 2
+) -> ClusterScenarioConfig:
+    """The unfair baseline: QoS off, one thrashing tenant (quarter the
+    memory, double the data) sharing the fleet with two healthy ones —
+    the spread the QoS machinery exists to prevent (>= 2x)."""
+    return ClusterScenarioConfig(
+        tenants=[
+            _cluster_tenant("thrash", scale, memdiv=4, datamul=2),
+            _cluster_tenant("t1", scale),
+            _cluster_tenant("t2", scale),
+        ],
+        nservers=nservers,
+        qos=False,
+        mem_reserved_bytes=24 * MiB // scale,
+    )
+
+
+def cluster_points(scale: int = DEFAULT_SCALE) -> list[SweepPoint]:
+    """Cluster grid: clients x servers x placement policy, all under
+    QoS, plus the QoS-off unfair baseline."""
+    points = []
+    for nclients in (2, 3):
+        for nservers in (2, 4):
+            for policy in ("blocking", "least_loaded", "hash"):
+                cfg = ClusterScenarioConfig(
+                    tenants=[
+                        _cluster_tenant(f"t{i}", scale)
+                        for i in range(nclients)
+                    ],
+                    nservers=nservers,
+                    placement=policy,
+                    qos=True,
+                    mem_reserved_bytes=24 * MiB // scale,
+                )
+                points.append(
+                    SweepPoint(
+                        f"cluster/c{nclients}s{nservers}/{policy}", cfg
+                    )
+                )
+    points.append(
+        SweepPoint("cluster/unfair-baseline", cluster_unfair_config(scale))
+    )
+    return points
+
+
 def sec62_runs(
     scale: int = DEFAULT_SCALE,
     *,
@@ -418,4 +513,6 @@ SWEEPS: dict = {
     "fig09": (fig09_points, "two concurrent quick sorts"),
     "fig10": (fig10_points, "quick sort vs number of servers"),
     "faults": (faults_points, "fault injection / recovery grid"),
+    "cluster": (cluster_points,
+                "multi-tenant cluster: clients x servers x placement"),
 }

@@ -16,11 +16,18 @@ from .protocol import (
     PageRequest,
     ProtocolError,
     STATUS_ERROR,
+    STATUS_NACK,
     STATUS_OK,
 )
 from .ramdisk import RamDisk, RamDiskError
 from .server import HPBDServer
-from .striping import BlockingDistribution, Segment, StripedDistribution
+from .striping import (
+    BlockingDistribution,
+    Chunk,
+    ChunkMapDistribution,
+    Segment,
+    StripedDistribution,
+)
 
 __all__ = [
     "HPBDClient",
@@ -35,6 +42,8 @@ __all__ = [
     "RamDiskError",
     "BlockingDistribution",
     "StripedDistribution",
+    "ChunkMapDistribution",
+    "Chunk",
     "Segment",
     "PageRequest",
     "PageReply",
@@ -43,5 +52,6 @@ __all__ = [
     "OP_WRITE",
     "STATUS_OK",
     "STATUS_ERROR",
+    "STATUS_NACK",
     "CTRL_MSG_BYTES",
 ]

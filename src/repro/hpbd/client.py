@@ -134,6 +134,9 @@ class HPBDClient:
         register_on_fly: bool = False,
         stripe_bytes: int | None = None,
         server_area_base: int = 0,
+        server_area_bases: list[int] | None = None,
+        tenant: str | None = None,
+        qos_weight: float = 1.0,
         distribution=None,
         mirror: bool = False,
         request_timeout_usec: float | None = None,
@@ -172,8 +175,29 @@ class HPBDClient:
         #: fly instead of copying through the pre-registered pool.
         self.register_on_fly = register_on_fly
         #: where this client's area starts inside each server's store
-        #: (lets one server serve several clients, §5).
+        #: (lets one server serve several clients, §5).  The cluster
+        #: placement layer hands per-server bases; the scalar form keeps
+        #: the original one-base-everywhere behaviour.
+        if server_area_bases is not None:
+            if len(server_area_bases) != len(servers):
+                raise ValueError(
+                    f"{len(server_area_bases)} area bases for "
+                    f"{len(servers)} servers"
+                )
+            if server_area_base:
+                raise ValueError(
+                    "pass server_area_base or server_area_bases, not both"
+                )
+            self.server_area_bases = list(server_area_bases)
+        else:
+            self.server_area_bases = [server_area_base] * len(servers)
         self.server_area_base = server_area_base
+        #: cluster identity: tags this driver's traffic on every server
+        #: (per-tenant accounting + weighted-fair service).
+        self.tenant = tenant
+        if qos_weight <= 0:
+            raise ValueError(f"bad qos weight {qos_weight}")
+        self.qos_weight = qos_weight
         if distribution is not None:
             # Custom layout (e.g. the cooperative WeightedDistribution).
             if distribution.total_bytes != total_bytes:
@@ -208,7 +232,11 @@ class HPBDClient:
         self.mirror = mirror
         for i, srv in enumerate(servers):
             share = self.dist.share_of(i)
-            need = server_area_base + share
+            if share == 0 and not mirror and degraded_mode != "remap":
+                # Chunk-map layouts may leave a fleet server unused by
+                # this tenant; nothing to size against.
+                continue
+            need = self.server_area_bases[i] + share
             if mirror:
                 # room for the predecessor's replica behind its own area
                 prev = (i - 1) % len(servers)
@@ -275,6 +303,7 @@ class HPBDClient:
         self._c_remaps = self.stats.counter(f"{name}.remaps")
         self._c_disk_fallbacks = self.stats.counter(f"{name}.disk_fallbacks")
         self._c_stale = self.stats.counter(f"{name}.stale_replies")
+        self._c_nacks = self.stats.counter(f"{name}.nacks")
         self._c_dead = self.stats.counter(f"{name}.servers_dead")
         self.copy_usec = 0.0  # client-side memcpy (host overhead share)
 
@@ -324,7 +353,13 @@ class HPBDClient:
             depth = min(4 * self.credits_per_server, qp_c.max_recv_wr)
             for _ in range(depth):
                 qp_c.post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
-            srv.register_client(qp_s, area_base=self.server_area_base)
+            srv.register_client(
+                qp_s,
+                area_base=self.server_area_bases[i],
+                tenant=self.tenant,
+                credits=self.credits_per_server,
+                weight=self.qos_weight,
+            )
         self.sim.spawn(self._sender(), name=f"{self.name}.sender")
         self.sim.spawn(self._receiver(), name=f"{self.name}.receiver")
         if self.request_timeout_usec is not None:
@@ -575,7 +610,13 @@ class HPBDClient:
                 self._credits[att.server].release()
                 entry = att.entry
                 if not reply.ok:
-                    self._fail_attempt(att, cause="error")
+                    if reply.nack:
+                        # Typed back-pressure (pool exhaustion /
+                        # admission bound): retryable by design.
+                        self._c_nacks.add()
+                        self._fail_attempt(att, cause="nack")
+                    else:
+                        self._fail_attempt(att, cause="error")
                     continue
                 entry.copies_left -= 1
                 if entry.copies_left > 0:
@@ -729,7 +770,8 @@ class HPBDClient:
             return
         # 4. Legacy behaviour (timeouts disabled): fail loudly.
         raise SimulationError(
-            f"{self.name}: server error on request {entry.pending.req.req_id}"
+            f"{self.name}: server {cause} on request "
+            f"{entry.pending.req.req_id}"
         )
 
     def _mark_failed_span(self, att: _Attempt, cause: str) -> None:

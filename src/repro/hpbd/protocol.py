@@ -22,6 +22,7 @@ __all__ = [
     "OP_WRITE",
     "STATUS_OK",
     "STATUS_ERROR",
+    "STATUS_NACK",
     "PageRequest",
     "PageReply",
     "ProtocolError",
@@ -38,6 +39,10 @@ OP_WRITE = "write"  # swap-out: server pulls data (RDMA read)
 
 STATUS_OK = 0
 STATUS_ERROR = 1
+#: typed negative acknowledgement: the daemon is alive but out of a
+#: resource (staging pool exhausted, admission bound hit) — retryable,
+#: unlike STATUS_ERROR which marks the request itself as unservable.
+STATUS_NACK = 2
 
 _req_ids = itertools.count(1)
 
@@ -132,3 +137,7 @@ class PageReply:
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
+
+    @property
+    def nack(self) -> bool:
+        return self.status == STATUS_NACK

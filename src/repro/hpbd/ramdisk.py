@@ -16,7 +16,13 @@ from ..net.fabrics import MEMCPY
 from ..simulator import SimulationError
 from ..units import PAGE_SIZE
 
-__all__ = ["RamDisk", "RamDiskError"]
+__all__ = ["RamDisk", "RamDiskError", "SPILL_BYTES_PER_USEC"]
+
+#: Server-side spill device throughput (bytes/µs).  Models the testbed's
+#: commodity IDE disk class (~50 MB/s streaming), so spilling one 4 KiB
+#: page costs ~82 µs — two orders of magnitude above the RDMA path,
+#: which is exactly why overcommitted tenants feel eviction.
+SPILL_BYTES_PER_USEC = 50.0
 
 
 class RamDiskError(SimulationError):
@@ -31,17 +37,42 @@ class RamDisk:
     with outstanding RDMAs exactly where the paper does.
     """
 
-    def __init__(self, size: int, name: str = "ramdisk") -> None:
+    def __init__(
+        self,
+        size: int,
+        name: str = "ramdisk",
+        resident_bytes: int | None = None,
+    ) -> None:
         if size <= 0:
             raise ValueError(f"ramdisk size must be positive, got {size}")
         if size % PAGE_SIZE:
             raise ValueError(f"ramdisk size must be page-aligned, got {size}")
+        if resident_bytes is not None:
+            if resident_bytes <= 0 or resident_bytes % PAGE_SIZE:
+                raise ValueError(
+                    f"residency cap must be positive and page-aligned, "
+                    f"got {resident_bytes}"
+                )
         self.size = size
         self.name = name
         #: page-granular store: page index -> (token, page_offset_in_write)
         self._pages: dict[int, tuple[object, int]] = {}
+        #: pages evicted to the local spill disk under an overcommitted
+        #: residency cap (cluster admission control, overcommit > 1).
+        self._spilled: dict[int, tuple[object, int]] = {}
+        self._max_resident = (
+            None if resident_bytes is None else resident_bytes // PAGE_SIZE
+        )
         self.bytes_written = 0
         self.bytes_read = 0
+        self.evictions = 0
+        self.spill_bytes_written = 0
+        self.spill_bytes_read = 0
+        #: accumulated spill-disk latency the *server* owes; drained via
+        #: :meth:`drain_spill_usec` and charged as simulated wait time by
+        #: the daemon (the disk is not a CPU cost, so it must not go
+        #: through ``cpus.run``).
+        self.pending_spill_usec = 0.0
 
     def _check(self, offset: int, nbytes: int) -> range:
         if nbytes <= 0:
@@ -59,13 +90,29 @@ class RamDisk:
             )
         return range(offset // PAGE_SIZE, (offset + nbytes) // PAGE_SIZE)
 
+    def _insert_resident(self, page: int, entry: tuple[object, int]) -> None:
+        """Insert (or refresh) a resident page, evicting FIFO-oldest
+        resident pages to the spill store while over the cap."""
+        if page in self._pages:
+            del self._pages[page]  # re-insert to refresh FIFO position
+        self._pages[page] = entry
+        if self._max_resident is None:
+            return
+        while len(self._pages) > self._max_resident:
+            victim = next(iter(self._pages))
+            self._spilled[victim] = self._pages.pop(victim)
+            self.evictions += 1
+            self.spill_bytes_written += PAGE_SIZE
+            self.pending_spill_usec += PAGE_SIZE / SPILL_BYTES_PER_USEC
+
     def write(self, offset: int, nbytes: int, token: object = None) -> float:
         """Store ``token`` across the extent's pages; returns the memcpy
         CPU cost.  Overwrites (including partial overlaps of stale
         extents from freed swap slots) are normal."""
         pages = self._check(offset, nbytes)
         for i, page in enumerate(pages):
-            self._pages[page] = (token, i)
+            self._spilled.pop(page, None)  # overwrite supersedes old spill
+            self._insert_resident(page, (token, i))
         self.bytes_written += nbytes
         return MEMCPY.cost(nbytes)
 
@@ -74,21 +121,48 @@ class RamDisk:
 
         Pages never written read back as ``None`` (zero pages) —
         legitimate when swap read-ahead pulls a never-used slot.
+        Spilled pages fault back in from the spill disk (charged to
+        :attr:`pending_spill_usec`) and become resident again.
         """
         pages = self._check(offset, nbytes)
         self.bytes_read += nbytes
-        tokens = tuple(self._pages.get(p) for p in pages)
-        return tokens, MEMCPY.cost(nbytes)
+        tokens = []
+        for p in pages:
+            if p in self._spilled:
+                entry = self._spilled.pop(p)
+                self.spill_bytes_read += PAGE_SIZE
+                self.pending_spill_usec += PAGE_SIZE / SPILL_BYTES_PER_USEC
+                self._insert_resident(p, entry)
+                tokens.append(entry)
+            else:
+                tokens.append(self._pages.get(p))
+        return tuple(tokens), MEMCPY.cost(nbytes)
+
+    def drain_spill_usec(self) -> float:
+        """Return and reset the accumulated spill-disk latency owed."""
+        usec, self.pending_spill_usec = self.pending_spill_usec, 0.0
+        return usec
 
     def wipe(self) -> None:
         """Drop every stored page (a crashed server loses its RAM).
 
         The store geometry survives — after a restart the server serves
         the same area, but everything reads back as never-written
-        (``None`` tokens), i.e. zero pages.
+        (``None`` tokens), i.e. zero pages.  The spill store dies with
+        the daemon too (it is process-local scratch, not durable swap).
         """
         self._pages.clear()
+        self._spilled.clear()
+        self.pending_spill_usec = 0.0
 
     @property
     def pages_stored(self) -> int:
+        return len(self._pages) + len(self._spilled)
+
+    @property
+    def pages_resident(self) -> int:
         return len(self._pages)
+
+    @property
+    def pages_spilled(self) -> int:
+        return len(self._spilled)

@@ -38,6 +38,7 @@ from .protocol import (
     PageRequest,
     ProtocolError,
     STATUS_ERROR,
+    STATUS_NACK,
     STATUS_OK,
 )
 from .ramdisk import RamDisk
@@ -62,6 +63,9 @@ class HPBDServer:
         poll_interval_usec: float = 5.0,
         credits_per_client: int = 16,
         stats: StatsRegistry | None = None,
+        max_alloc_waiters: int = 32,
+        resident_bytes: int | None = None,
+        scheduler=None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -71,7 +75,9 @@ class HPBDServer:
         self.send_cq = self.hca.create_cq(f"{name}.scq")
         self.recv_cq = self.hca.create_cq(f"{name}.rcq")
         self.cpus = CPUSet(sim, ncpus, name=f"{name}.cpus")
-        self.ramdisk = RamDisk(store_bytes, name=f"{name}.ramdisk")
+        self.ramdisk = RamDisk(
+            store_bytes, name=f"{name}.ramdisk", resident_bytes=resident_bytes
+        )
         self.staging_pool_bytes = staging_pool_bytes
         self.idle_sleep_usec = idle_sleep_usec
         self.poll_interval_usec = poll_interval_usec
@@ -82,6 +88,20 @@ class HPBDServer:
         )
         self._qp_by_num: dict[int, object] = {}
         self._area_base: dict[int, int] = {}
+        #: bound on processes parked in the staging-pool wait queue; one
+        #: more would be NACKed instead of blocking (reliability §4.1: a
+        #: loaded daemon must shed load, never wedge).
+        self.max_alloc_waiters = max_alloc_waiters
+        #: cluster QoS hook: a WeightedFairScheduler (or anything with
+        #: ``push``/``pop``/``__len__``) reorders request handling per
+        #: tenant; ``None`` keeps the paper's FIFO dispatch.
+        self.scheduler = scheduler
+        self._max_handlers = max_outstanding_rdma
+        #: multi-tenancy (repro.cluster): tenant identity and served-byte
+        #: accounting per connected client QP.
+        self._tenant_by_qp: dict[int, str] = {}
+        self._weight_by_qp: dict[int, float] = {}
+        self.tenant_bytes: dict[str, int] = {}
         self._proc = None
         self.requests_served = 0
         self.busy_handlers = 0
@@ -113,25 +133,44 @@ class HPBDServer:
         )
         self._proc = self.sim.spawn(self._main(), name=f"{self.name}.daemon")
 
-    def register_client(self, server_qp, area_base: int = 0) -> None:
+    def register_client(
+        self,
+        server_qp,
+        area_base: int = 0,
+        tenant: str | None = None,
+        credits: int | None = None,
+        weight: float = 1.0,
+    ) -> None:
         """Adopt the server side of a freshly connected QP: pre-post the
         request receives that back the client's credits.
 
         ``area_base`` places this client's swap area inside the RamDisk
         — §5: the server "is able to serve multiple clients using
-        different swap areas".
+        different swap areas".  ``tenant``/``weight`` tag the QP for the
+        cluster layer's per-tenant accounting and weighted-fair service;
+        ``credits`` overrides the per-client water-mark (the cluster QoS
+        layer partitions one credit pool across tenants).
         """
         if not (0 <= area_base < self.ramdisk.size):
             raise SimulationError(
                 f"{self.name}: client area base {area_base} outside store"
             )
+        if weight <= 0:
+            raise SimulationError(
+                f"{self.name}: bad tenant weight {weight}"
+            )
         self._qp_by_num[server_qp.qp_num] = server_qp
         self._area_base[server_qp.qp_num] = area_base
+        if tenant is not None:
+            self._tenant_by_qp[server_qp.qp_num] = tenant
+            self.tenant_bytes.setdefault(tenant, 0)
+        self._weight_by_qp[server_qp.qp_num] = weight
         # Post several water-marks' worth of receives: client-side
         # timeouts return a credit before the original message is
         # consumed here, so retry bursts can transiently put more than
         # one water-mark of control messages in flight.
-        depth = min(4 * self.credits_per_client, server_qp.max_recv_wr)
+        water_mark = self.credits_per_client if credits is None else credits
+        depth = min(4 * water_mark, server_qp.max_recv_wr)
         for _ in range(depth):
             server_qp.post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
 
@@ -210,8 +249,39 @@ class HPBDServer:
                 raise
             self.stats.counter(f"{self.name}.bad_requests").add()
             return
+        if self.scheduler is not None:
+            # Cluster QoS: park the request in the weighted-fair queue;
+            # the pump admits it when a handler slot frees up, in
+            # virtual-time order rather than arrival order.
+            tenant = self._tenant_by_qp.get(qp.qp_num, "-")
+            weight = self._weight_by_qp.get(qp.qp_num, 1.0)
+            self.scheduler.push(
+                tenant, weight, req.nbytes, (qp, req, self.sim.now)
+            )
+            self._pump_scheduler()
+            return
         self.busy_handlers += 1
         self.sim.spawn(self._handle(qp, req), name=f"{self.name}.h{req.req_id}")
+
+    def _pump_scheduler(self) -> None:
+        """Admit queued requests while handler slots are free, in the
+        scheduler's (weighted-fair) order."""
+        sim = self.sim
+        while self.busy_handlers < self._max_handlers:
+            popped = self.scheduler.pop()
+            if popped is None:
+                return
+            tenant, (qp, req, enq_at) = popped
+            if sim.trace.enabled and sim.now > enq_at:
+                sim.trace.complete(
+                    self.name, "handlers", "qos_wait", "srv.qos",
+                    enq_at, sim.now,
+                    tenant=tenant, nbytes=req.nbytes,
+                    **({} if req.blk_req_id is None
+                       else {"req_id": req.blk_req_id}),
+                )
+            self.busy_handlers += 1
+            sim.spawn(self._handle(qp, req), name=f"{self.name}.h{req.req_id}")
 
     def _post_reply(self, qp, reply: PageReply, blk_req_id) -> None:
         """Post an acknowledgement — unless the daemon crashed while the
@@ -228,6 +298,21 @@ class HPBDServer:
                 req_id=blk_req_id,
             )
         )
+
+    def _drain_spill(self, ident: dict):
+        """Charge any spill-disk latency the last RamDisk access accrued
+        (residency-cap eviction / fault-in under overcommit); generator.
+        Waiting — not CPU — so it must not go through ``cpus.run``."""
+        spill = self.ramdisk.drain_spill_usec()
+        if spill <= 0:
+            return
+        t0 = self.sim.now
+        yield self.sim.timeout(spill)
+        if self.sim.trace.enabled:
+            self.sim.trace.complete(
+                self.name, "handlers", "spill_io", "srv.spill",
+                t0, self.sim.now, **ident,
+            )
 
     def _handle(self, qp, req: PageRequest):
         """Serve one physical page request (own process per request)."""
@@ -247,6 +332,22 @@ class HPBDServer:
                 self._post_reply(
                     qp,
                     PageReply(req_id=req.req_id, status=STATUS_ERROR),
+                    req.blk_req_id,
+                )
+                return
+            # Staging-pool exhaustion sheds load with a typed NACK: a
+            # request that cannot get a buffer (too big for the pool, or
+            # the wait queue already at its bound) must never block
+            # indefinitely — the client retries, re-routes, or falls
+            # back to disk.
+            if (
+                req.nbytes > self.pool.size
+                or self.pool.waiting >= self.max_alloc_waiters
+            ):
+                self.stats.counter(f"{self.name}.pool_exhausted").add()
+                self._post_reply(
+                    qp,
+                    PageReply(req_id=req.req_id, status=STATUS_NACK),
                     req.blk_req_id,
                 )
                 return
@@ -276,6 +377,7 @@ class HPBDServer:
                             "srv.copy", t_copy, self.sim.now,
                             nbytes=req.nbytes, **ident,
                         )
+                    yield from self._drain_spill(ident)
                     self.pool.free(buf)
                     self._post_reply(
                         qp,
@@ -294,6 +396,7 @@ class HPBDServer:
                             "srv.copy", t_copy, self.sim.now,
                             nbytes=req.nbytes, **ident,
                         )
+                    yield from self._drain_spill(ident)
                     rdma_done = qp.post_send(
                         RDMAWriteWR(
                             nbytes=req.nbytes,
@@ -319,10 +422,18 @@ class HPBDServer:
                     raise SimulationError(f"bad opcode {req.op!r}")
                 self.requests_served += 1
                 self.stats.counter(f"{self.name}.requests").add(req.nbytes)
+                tenant = self._tenant_by_qp.get(qp.qp_num)
+                if tenant is not None:
+                    self.tenant_bytes[tenant] += req.nbytes
+                    self.stats.counter(
+                        f"{self.name}.tenant.{tenant}.bytes"
+                    ).add(req.nbytes)
             finally:
                 self._rdma_slots.release()
         finally:
             self.busy_handlers -= 1
+            if self.scheduler is not None:
+                self._pump_scheduler()
             if trace.enabled:
                 trace.complete(
                     self.name, "handlers", "handle", "srv.handle",
@@ -348,5 +459,12 @@ class HPBDServer:
             "outstanding-RDMA slots still held at teardown",
             in_use=self._rdma_slots.in_use,
         )
+        if self.scheduler is not None:
+            monitors.check(
+                len(self.scheduler) == 0,
+                "server.scheduler_drained", self.name,
+                "QoS scheduler still holds queued requests at teardown",
+                queued=len(self.scheduler),
+            )
         if self.pool is not None:
             self.pool.audit_teardown()

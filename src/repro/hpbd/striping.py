@@ -13,9 +13,16 @@ servers depending on the address range and size of the request."
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 
-__all__ = ["Segment", "BlockingDistribution", "StripedDistribution"]
+__all__ = [
+    "Segment",
+    "Chunk",
+    "BlockingDistribution",
+    "StripedDistribution",
+    "ChunkMapDistribution",
+]
 
 
 @dataclass(frozen=True)
@@ -25,6 +32,26 @@ class Segment:
     server: int
     server_offset: int  # bytes into the server's own store
     nbytes: int
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One contiguous device extent placed on one server.
+
+    ``server_offset`` is relative to the *client's area* on that server
+    (the server relocates it by the registered area base), exactly like
+    :class:`Segment`.  A chunk map is what a cluster placement policy
+    hands the driver.
+    """
+
+    start: int  # device byte offset
+    nbytes: int
+    server: int
+    server_offset: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.nbytes
 
 
 class StripedDistribution:
@@ -151,6 +178,127 @@ class BlockingDistribution:
             server, soff = self.locate(pos)
             take = min(remaining, self.chunk_bytes - soff)
             out.append(Segment(server=server, server_offset=soff, nbytes=take))
+            pos += take
+            remaining -= take
+        return out
+
+
+class ChunkMapDistribution:
+    """An explicit chunk map: arbitrary device extents on arbitrary servers.
+
+    The cluster placement layer (:mod:`repro.cluster.placement`) produces
+    these — the paper's blocking layout generalized so a shared server
+    fleet can host differently-sized, differently-placed tenant areas
+    (least-loaded bin-packing, consistent-hash sharding).  The chunks
+    must cover ``[0, total_bytes)`` exactly, in device order, and each
+    server's chunks must be disjoint in its store space.
+    """
+
+    def __init__(self, total_bytes: int, nservers: int, chunks: list[Chunk]) -> None:
+        if nservers < 1:
+            raise ValueError(f"need at least one server, got {nservers}")
+        if not chunks:
+            raise ValueError("chunk map is empty")
+        pos = 0
+        per_server: dict[int, list[tuple[int, int]]] = {}
+        for c in chunks:
+            if c.start != pos:
+                raise ValueError(
+                    f"chunk map gap/overlap at device offset {pos} "
+                    f"(next chunk starts at {c.start})"
+                )
+            if c.nbytes <= 0:
+                raise ValueError(f"empty chunk at {c.start}")
+            if not (0 <= c.server < nservers):
+                raise ValueError(f"chunk at {c.start} names server {c.server}")
+            per_server.setdefault(c.server, []).append(
+                (c.server_offset, c.nbytes)
+            )
+            pos = c.end
+        if pos != total_bytes:
+            raise ValueError(
+                f"chunk map covers {pos} bytes, device is {total_bytes}"
+            )
+        for server, extents in per_server.items():
+            extents.sort()
+            for (o1, n1), (o2, _n2) in zip(extents, extents[1:]):
+                if o1 + n1 > o2:
+                    raise ValueError(
+                        f"server {server} store extents overlap at {o2}"
+                    )
+        self.total_bytes = total_bytes
+        self.nservers = nservers
+        self.chunks = list(chunks)
+        self._starts = [c.start for c in self.chunks]
+        self._share = {
+            server: sum(n for _o, n in extents)
+            for server, extents in per_server.items()
+        }
+
+    def share_of(self, server: int) -> int:
+        """Bytes of the device stored by ``server`` (0 if unused)."""
+        if not (0 <= server < self.nservers):
+            raise ValueError(f"no server {server}")
+        return self._share.get(server, 0)
+
+    @property
+    def servers_used(self) -> list[int]:
+        return sorted(self._share)
+
+    def _chunk_at(self, offset: int) -> Chunk:
+        return self.chunks[bisect.bisect_right(self._starts, offset) - 1]
+
+    def locate(self, offset: int) -> tuple[int, int]:
+        """Map a device byte offset to ``(server, server_offset)``."""
+        if not (0 <= offset < self.total_bytes):
+            raise ValueError(f"offset {offset} outside device of {self.total_bytes}")
+        c = self._chunk_at(offset)
+        return c.server, c.server_offset + (offset - c.start)
+
+    def absolute_offset(self, seg: Segment) -> int:
+        """Device byte offset of a segment (inverse of :meth:`locate`).
+
+        Split segments never cross a chunk boundary, so each maps back
+        into exactly one chunk — which keeps the disk-fallback degraded
+        mode working under any placement policy.
+        """
+        for c in self.chunks:
+            if (
+                c.server == seg.server
+                and c.server_offset
+                <= seg.server_offset
+                < c.server_offset + c.nbytes
+            ):
+                return c.start + (seg.server_offset - c.server_offset)
+        raise ValueError(f"segment {seg} not in chunk map")
+
+    def split(self, offset: int, nbytes: int) -> list[Segment]:
+        """Split ``[offset, offset+nbytes)`` into per-chunk segments,
+        coalescing neighbours that are contiguous on the same server."""
+        if nbytes <= 0:
+            raise ValueError(f"bad extent size {nbytes}")
+        if offset < 0 or offset + nbytes > self.total_bytes:
+            raise ValueError(
+                f"extent [{offset}, {offset + nbytes}) outside device of "
+                f"{self.total_bytes} bytes"
+            )
+        out: list[Segment] = []
+        pos = offset
+        remaining = nbytes
+        while remaining > 0:
+            c = self._chunk_at(pos)
+            soff = c.server_offset + (pos - c.start)
+            take = min(remaining, c.end - pos)
+            if (
+                out
+                and out[-1].server == c.server
+                and out[-1].server_offset + out[-1].nbytes == soff
+            ):
+                out[-1] = Segment(
+                    c.server, out[-1].server_offset, out[-1].nbytes + take
+                )
+            else:
+                out.append(Segment(c.server, soff, take))
             pos += take
             remaining -= take
         return out

@@ -369,5 +369,15 @@ def run_scenario(cfg: ScenarioConfig, trace: bool = False) -> ScenarioResult:
     With ``trace=True`` the run records a full cross-layer span tree
     (``result.trace``) and samples vmstat counters, at some simulation
     overhead; exporting is up to the caller (see :mod:`repro.obs`).
+
+    Also accepts a :class:`~repro.config.ClusterScenarioConfig` —
+    dispatching here keeps the sweep engine and every CLI entry point
+    working unchanged for multi-tenant runs.
     """
+    from .config import ClusterScenarioConfig
+
+    if isinstance(cfg, ClusterScenarioConfig):
+        from .cluster.runner import run_cluster_scenario
+
+        return run_cluster_scenario(cfg, trace=trace)
     return _Scenario(cfg, trace=trace).run()

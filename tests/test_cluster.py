@@ -1,0 +1,472 @@
+"""Tests for the multi-tenant cluster subsystem (``repro.cluster``).
+
+Unit coverage for the registry / placement / QoS / admission pieces,
+plus the two acceptance scenarios the ISSUE gates on: three identical
+tenants under weighted-fair QoS finish within 10% of each other, and
+the QoS-off baseline with one thrashing tenant spreads by >= 2x.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    AdmissionController,
+    AdmissionNack,
+    CapacityError,
+    FleetRegistry,
+    WeightedFairScheduler,
+    partition_credits,
+    plan_placement,
+)
+from repro.config import ClusterScenarioConfig, TenantSpec
+from repro.hpbd import ChunkMapDistribution, HPBDServer
+from repro.units import GiB, MiB, PAGE_SIZE
+
+CLUSTER_SCALE = 64
+
+
+@pytest.fixture
+def fleet(sim, fabric):
+    servers = [
+        HPBDServer(sim, fabric, f"mem{i}", store_bytes=64 * MiB)
+        for i in range(3)
+    ]
+    registry = FleetRegistry(sim, servers, capacity_bytes=16 * MiB)
+    return servers, registry
+
+
+class TestFleetRegistry:
+    def test_reserve_bumps_offsets_and_accounting(self, sim, fleet):
+        _servers, reg = fleet
+        a = reg.reserve("t0", 0, 4 * MiB)
+        b = reg.reserve("t1", 0, 2 * MiB)
+        assert (a, b) == (0, 4 * MiB)
+        assert reg.reserved[0] == 6 * MiB
+        assert reg.free_bytes(0) == 10 * MiB
+        assert reg.by_tenant == {"t0": 4 * MiB, "t1": 2 * MiB}
+        assert not sim.monitors.summary()
+
+    def test_overflow_rejected(self, fleet):
+        _servers, reg = fleet
+        reg.reserve("t0", 1, 15 * MiB)
+        with pytest.raises(CapacityError):
+            reg.reserve("t1", 1, 2 * MiB)
+
+    def test_dead_server_rejected(self, fleet):
+        _servers, reg = fleet
+        reg.alive[2] = False
+        with pytest.raises(CapacityError):
+            reg.reserve("t0", 2, MiB)
+
+    def test_release_returns_capacity(self, sim, fleet):
+        _servers, reg = fleet
+        reg.reserve("t0", 0, 8 * MiB)
+        reg.release("t0", 0, 8 * MiB)
+        assert reg.free_bytes(0) == 16 * MiB
+        assert reg.by_tenant["t0"] == 0
+        reg.audit_teardown()
+        assert not sim.monitors.summary()
+
+    def test_over_release_flags_monitor(self, sim, fleet):
+        _servers, reg = fleet
+        reg.reserve("t0", 0, MiB)
+        reg.release("t0", 0, 2 * MiB)
+        violations = sim.monitors.summary()
+        assert violations
+        assert violations[0]["monitor"] == "cluster.capacity_conserved"
+
+    def test_heartbeat_tracks_crash_and_restart(self, sim, fleet):
+        servers, reg = fleet
+        reg.start_heartbeat()
+
+        def script(sim):
+            yield sim.timeout(2_500.0)  # a couple of beats, all alive
+            servers[1].crash()
+            yield sim.timeout(2_500.0)
+            down = (reg.alive_count, list(reg.alive))
+            servers[1].restart()
+            yield sim.timeout(2_500.0)
+            return down
+
+        down = sim.run(until=sim.spawn(script(sim)))
+        assert down == (2, [True, False, True])
+        assert reg.alive_count == 3
+        assert reg.stats.get("cluster.server_down").count == 1
+        assert reg.stats.get("cluster.server_up").count == 1
+
+    def test_validation(self, sim, fleet):
+        servers, reg = fleet
+        with pytest.raises(ValueError):
+            FleetRegistry(sim, servers, capacity_bytes=0)
+        with pytest.raises(ValueError):
+            FleetRegistry(sim, servers, capacity_bytes=MiB, overcommit=0.5)
+        with pytest.raises(ValueError):
+            reg.reserve("t0", 0, 0)
+        with pytest.raises(ValueError):
+            reg.reserve("t0", 9, MiB)
+
+
+class TestPlacement:
+    def test_blocking_equal_contiguous_shares(self, fleet):
+        _servers, reg = fleet
+        chunks = plan_placement("blocking", "t0", 12 * MiB, reg)
+        assert [c.server for c in chunks] == [0, 1, 2]
+        assert all(c.nbytes == 4 * MiB for c in chunks)
+        # the map must be consumable by the striping layer
+        dist = ChunkMapDistribution(12 * MiB, 3, chunks)
+        assert dist.share_of(0) == 4 * MiB
+
+    def test_blocking_skips_dead_server(self, fleet):
+        _servers, reg = fleet
+        reg.alive[1] = False
+        chunks = plan_placement("blocking", "t0", 12 * MiB, reg)
+        assert sorted({c.server for c in chunks}) == [0, 2]
+
+    def test_blocking_rejects_oversized_share(self, fleet):
+        _servers, reg = fleet
+        reg.reserve("other", 0, 15 * MiB)
+        with pytest.raises(CapacityError):
+            plan_placement("blocking", "t0", 12 * MiB, reg)
+
+    def test_least_loaded_levels_the_fleet(self, fleet):
+        _servers, reg = fleet
+        reg.reserve("other", 0, 8 * MiB)
+        chunks = plan_placement("least_loaded", "t0", 12 * MiB, reg)
+        dist = ChunkMapDistribution(12 * MiB, 3, chunks)
+        # the pre-loaded server ends up with the smallest share
+        assert dist.share_of(0) < dist.share_of(1)
+        assert dist.share_of(0) < dist.share_of(2)
+        assert sum(dist.share_of(i) for i in range(3)) == 12 * MiB
+
+    def test_hash_is_deterministic_per_tenant(self, fleet):
+        _servers, reg = fleet
+        a = plan_placement("hash", "t0", 8 * MiB, reg)
+        b = plan_placement("hash", "t0", 8 * MiB, reg)
+        assert a == b
+        ChunkMapDistribution(8 * MiB, 3, a)
+
+    def test_interleaving_policies_fall_back_to_page_granule(self, fleet):
+        _servers, reg = fleet
+        total = MiB + PAGE_SIZE  # not MiB-aligned
+        for policy in ("least_loaded", "hash"):
+            chunks = plan_placement(policy, "t0", total, reg)
+            assert sum(c.nbytes for c in chunks) == total
+
+    def test_full_fleet_rejected(self, fleet):
+        _servers, reg = fleet
+        for i in range(3):
+            reg.reserve("hog", i, 16 * MiB)
+        for policy in ("blocking", "least_loaded", "hash"):
+            with pytest.raises(CapacityError):
+                plan_placement(policy, "t0", 4 * MiB, reg)
+
+    def test_validation(self, fleet):
+        _servers, reg = fleet
+        with pytest.raises(ValueError):
+            plan_placement("blocking", "t0", PAGE_SIZE - 1, reg)
+        with pytest.raises(ValueError):
+            plan_placement("round_robin", "t0", MiB, reg)
+
+
+class TestWeightedFairScheduler:
+    def test_equal_weights_interleave(self):
+        sched = WeightedFairScheduler()
+        for i in range(3):
+            sched.push("a", 1.0, 1.0, f"a{i}")
+            sched.push("b", 1.0, 1.0, f"b{i}")
+        order = [sched.pop()[0] for _ in range(6)]
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_weight_two_gets_double_service(self):
+        sched = WeightedFairScheduler()
+        for i in range(6):
+            sched.push("heavy", 2.0, 1.0, f"h{i}")
+            sched.push("light", 1.0, 1.0, f"l{i}")
+        first6 = [sched.pop()[0] for _ in range(6)]
+        assert first6.count("heavy") == 4
+        assert first6.count("light") == 2
+
+    def test_fifo_within_tenant(self):
+        sched = WeightedFairScheduler()
+        for i in range(4):
+            sched.push("a", 1.0, 4096.0, i)
+        assert [sched.pop()[1] for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_pop_empty_and_len(self):
+        sched = WeightedFairScheduler()
+        assert sched.pop() is None
+        sched.push("a", 1.0, 1.0, "x")
+        assert len(sched) == 1
+        assert sched.pop() == ("a", "x")
+        assert len(sched) == 0
+        assert sched.max_depth == 1
+
+    def test_rejects_bad_weight_and_cost(self):
+        sched = WeightedFairScheduler()
+        with pytest.raises(ValueError):
+            sched.push("a", 0.0, 1.0, "x")
+        with pytest.raises(ValueError):
+            sched.push("a", 1.0, 0.0, "x")
+
+
+class TestPartitionCredits:
+    def test_equal_split(self):
+        assert partition_credits(48, {"a": 1, "b": 1, "c": 1}) == {
+            "a": 16, "b": 16, "c": 16,
+        }
+
+    def test_proportional_split(self):
+        out = partition_credits(48, {"a": 2, "b": 1, "c": 1})
+        assert out == {"a": 24, "b": 12, "c": 12}
+
+    def test_floor_of_one_credit(self):
+        out = partition_credits(4, {"big": 1000.0, "small": 1.0})
+        assert out["small"] >= 1
+        assert sum(out.values()) == 4
+
+    def test_always_sums_to_pool(self):
+        for pool in (7, 16, 33):
+            out = partition_credits(pool, {"a": 3.0, "b": 1.5, "c": 1.0})
+            assert sum(out.values()) == pool
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_credits(2, {"a": 1, "b": 1, "c": 1})
+        with pytest.raises(ValueError):
+            partition_credits(8, {"a": -1.0})
+
+
+class TestAdmission:
+    def test_admit_reserves_and_maps(self, sim, fleet):
+        _servers, reg = fleet
+        ctl = AdmissionController(reg, policy="blocking")
+        adm = ctl.admit("t0", 12 * MiB)
+        assert sum(adm.share_bytes) == 12 * MiB
+        assert adm.policy == "blocking"
+        assert reg.by_tenant["t0"] == 12 * MiB
+        # a second tenant lands after the first on every server
+        adm2 = ctl.admit("t1", 6 * MiB)
+        assert all(
+            base >= adm.share_bytes[i]
+            for i, base in enumerate(adm2.area_bases)
+            if adm2.share_bytes[i]
+        )
+        assert not sim.monitors.summary()
+
+    def test_remap_retry_on_skewed_fleet(self, fleet):
+        _servers, reg = fleet
+        reg.reserve("hog", 0, 15 * MiB)
+        ctl = AdmissionController(reg, policy="blocking")
+        # the blocking share (3 MiB/server) does not fit server 0; the
+        # controller re-plans with least-loaded bin-packing instead
+        adm = ctl.admit("t0", 9 * MiB)
+        assert adm.policy == "least_loaded"
+        assert ctl.stats.get("cluster.admission_remaps").count == 1
+        assert ctl.stats.get("cluster.admitted").count == 1
+
+    def test_nack_when_fleet_is_full(self, fleet):
+        _servers, reg = fleet
+        ctl = AdmissionController(reg, policy="blocking")
+        ctl.admit("hog", 36 * MiB)
+        with pytest.raises(AdmissionNack) as exc:
+            ctl.admit("t0", 24 * MiB)
+        assert exc.value.tenant == "t0"
+        assert ctl.stats.get("cluster.admission_nacks").count == 1
+
+    def test_evict_returns_reservation(self, fleet):
+        _servers, reg = fleet
+        ctl = AdmissionController(reg, policy="blocking")
+        adm = ctl.admit("t0", 12 * MiB)
+        ctl.evict(adm)
+        assert reg.by_tenant["t0"] == 0
+        assert all(reg.free_bytes(i) == 16 * MiB for i in range(3))
+
+
+def _tiny_tenant(name, *, memdiv=1, datamul=1, weight=1.0, scale=256):
+    from repro.workloads import QuicksortWorkload
+
+    return TenantSpec(
+        name=name,
+        workload=QuicksortWorkload(
+            nelems=datamul * 256 * 1024 * 1024 // scale, seed=7
+        ),
+        mem_bytes=512 * MiB // scale // memdiv,
+        swap_bytes=datamul * GiB // scale,
+        weight=weight,
+    )
+
+
+class TestScenarioConfig:
+    def test_tenant_names_validated(self):
+        with pytest.raises(ValueError):
+            TenantSpec("bad name", None, MiB, MiB)
+        with pytest.raises(ValueError):
+            ClusterScenarioConfig(
+                tenants=[_tiny_tenant("a"), _tiny_tenant("a")]
+            )
+
+    def test_placement_and_overcommit_validated(self):
+        with pytest.raises(ValueError):
+            ClusterScenarioConfig(
+                tenants=[_tiny_tenant("a")], placement="scatter"
+            )
+        with pytest.raises(ValueError):
+            ClusterScenarioConfig(
+                tenants=[_tiny_tenant("a")], overcommit=0.5
+            )
+
+
+@pytest.fixture(scope="session")
+def fair_result():
+    from repro.experiments import cluster_fair_config
+    from repro.runner import run_scenario
+
+    return run_scenario(cluster_fair_config(CLUSTER_SCALE), trace=True)
+
+
+@pytest.fixture(scope="session")
+def unfair_result():
+    from repro.experiments import cluster_unfair_config
+    from repro.runner import run_scenario
+
+    return run_scenario(cluster_unfair_config(CLUSTER_SCALE), trace=True)
+
+
+class TestFairnessAcceptance:
+    def test_identical_tenants_within_ten_percent(self, fair_result):
+        assert len(fair_result.tenants) == 3
+        assert fair_result.spread <= 1.10
+        assert fair_result.jain_index >= 0.99
+
+    def test_fair_run_clean_and_served(self, fair_result):
+        assert fair_result.invariant_violations == []
+        assert fair_result.admission_nacks == 0
+        served = [t.bytes_served for t in fair_result.tenants]
+        assert all(b > 0 for b in served)
+        assert max(served) <= 1.10 * min(served)
+
+    def test_fair_run_attributes_blame(self, fair_result):
+        # traced run: the cross-layer blame classes must be populated
+        assert sum(fair_result.blame_usec.values()) > 0
+
+    def test_unfair_baseline_spreads_2x(self, unfair_result):
+        assert unfair_result.spread >= 2.0
+        assert unfair_result.invariant_violations == []
+        slowest = max(
+            unfair_result.tenants, key=lambda t: t.elapsed_usec
+        )
+        assert slowest.name == "thrash"
+
+    def test_deterministic_replay(self, fair_result):
+        from repro.experiments import cluster_fair_config
+        from repro.runner import run_scenario
+
+        second = run_scenario(
+            cluster_fair_config(CLUSTER_SCALE), trace=True
+        )
+        assert second.fairness_report() == fair_result.fairness_report()
+
+
+class TestScenarioVariants:
+    def test_all_placement_policies_run_clean(self):
+        from repro.cluster import run_cluster_scenario
+
+        for policy in ("least_loaded", "hash"):
+            cfg = ClusterScenarioConfig(
+                tenants=[_tiny_tenant(f"{policy[0]}{i}") for i in range(2)],
+                nservers=2,
+                placement=policy,
+                mem_reserved_bytes=24 * MiB // 256,
+            )
+            result = run_cluster_scenario(cfg)
+            assert result.invariant_violations == []
+            assert all(t.bytes_served > 0 for t in result.tenants)
+
+    def test_overcommit_spills_to_server_disk(self):
+        from repro.cluster.runner import build_cluster_scenario
+
+        cfg = ClusterScenarioConfig(
+            tenants=[_tiny_tenant(f"t{i}") for i in range(2)],
+            nservers=2,
+            server_capacity_bytes=3 * MiB,
+            overcommit=2.0,
+            mem_reserved_bytes=24 * MiB // 256,
+        )
+        scn = build_cluster_scenario(cfg)
+        result = scn.run()
+        assert result.invariant_violations == []
+        assert sum(s.ramdisk.evictions for s in scn.servers) > 0
+        assert sum(s.ramdisk.spill_bytes_read for s in scn.servers) > 0
+
+    def test_admission_nack_falls_back_to_disk(self):
+        from repro.cluster import run_cluster_scenario
+        from repro.workloads import TestswapWorkload
+
+        small = TenantSpec(
+            name="t0",
+            workload=TestswapWorkload(size_bytes=2 * MiB),
+            mem_bytes=2 * MiB,
+            swap_bytes=4 * MiB,
+        )
+        late = TenantSpec(
+            name="late",
+            workload=TestswapWorkload(size_bytes=2 * MiB),
+            mem_bytes=2 * MiB,
+            swap_bytes=4 * MiB,
+        )
+        cfg = ClusterScenarioConfig(
+            tenants=[small, late],
+            nservers=1,
+            server_capacity_bytes=5 * MiB,
+            admission_fallback="disk",
+            mem_reserved_bytes=MiB,
+        )
+        result = run_cluster_scenario(cfg)
+        assert result.admission_nacks == 1
+        by_name = {t.name: t for t in result.tenants}
+        assert not by_name["t0"].disk_fallback
+        assert by_name["late"].disk_fallback
+        assert by_name["late"].placement == "disk"
+        assert result.invariant_violations == []
+
+    def test_admission_nack_raises_by_default(self):
+        from repro.cluster import run_cluster_scenario
+        from repro.workloads import TestswapWorkload
+
+        spec = TenantSpec(
+            name="t0",
+            workload=TestswapWorkload(size_bytes=2 * MiB),
+            mem_bytes=2 * MiB,
+            swap_bytes=16 * MiB,
+        )
+        cfg = ClusterScenarioConfig(
+            tenants=[spec],
+            nservers=1,
+            server_capacity_bytes=4 * MiB,
+            mem_reserved_bytes=MiB,
+        )
+        with pytest.raises(AdmissionNack):
+            run_cluster_scenario(cfg)
+
+
+class TestClusterCLI:
+    def test_cluster_command_fair_only(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "fairness.json"
+        status = main([
+            "cluster",
+            "--scale", "128",
+            "--skip-baseline",
+            "--json", str(out),
+        ])
+        assert status == 0
+        payload = json.loads(out.read_text())
+        assert payload["fair"]["spread"] <= 1.10
+        assert payload["violations"] == []
+        assert len(payload["fair"]["tenants"]) == 3
+        captured = capsys.readouterr().out
+        assert "spread" in captured

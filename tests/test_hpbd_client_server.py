@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.hpbd import HPBDClient, HPBDServer
+from repro.hpbd import Chunk, ChunkMapDistribution, HPBDClient, HPBDServer
 from repro.kernel import Node
 from repro.kernel.blockdev import Bio, READ, WRITE
 from repro.simulator import Event
@@ -217,6 +217,195 @@ class TestConcurrencyAndFlowControl:
         sim.run(until=sim.spawn(later(sim)))
         t = do_io(sim, client, WRITE, sector=256, nsectors=8)
         assert t > 10_000.0  # served after the sleep
+
+
+class TestPoolExhaustionNack:
+    """Satellite audit: a PageRequest that cannot allocate staging pool
+    must get a typed NACK (bounded wait queue), never block forever —
+    and the client's retry machinery must absorb it."""
+
+    @pytest.fixture
+    def tight(self, sim, fabric):
+        node = Node(sim, fabric, "client", mem_bytes=16 * MiB)
+        # 256 KiB staging pool, 128 KiB requests, at most one parked
+        # alloc waiter: a flood drives the pool into exhaustion fast.
+        srv = HPBDServer(
+            sim, fabric, "mem0", store_bytes=32 * MiB,
+            staging_pool_bytes=256 * KiB, max_alloc_waiters=1,
+            stats=node.stats,
+        )
+        client = HPBDClient(
+            sim, node, [srv], total_bytes=16 * MiB,
+            request_timeout_usec=50_000.0,
+            max_retries=50, retry_backoff_usec=100.0,
+        )
+        return node, srv, client
+
+    def test_flood_nacks_then_recovers(self, sim, tight):
+        node, srv, client = tight
+        connect(sim, client)
+
+        def flood(sim):
+            evts = []
+            for i in range(32):
+                done = Event(sim)
+                evts.append(done)
+                client.queue.submit_bio(
+                    Bio(op=WRITE, sector=i * 256, nsectors=256, done=done)
+                )
+            client.queue.unplug()
+            for evt in evts:
+                yield evt
+            return sim.now
+
+        sim.run(until=sim.spawn(flood(sim)))
+        nacks = node.stats.get("hpbd0.nacks").count
+        exhausted = node.stats.get("mem0.pool_exhausted").count
+        assert exhausted > 0
+        assert nacks == exhausted
+        assert node.stats.get("hpbd0.retries").count >= nacks
+        # every write completed despite the NACKs, and nothing leaked
+        assert client.outstanding == 0
+        assert client.pool.allocated_bytes == 0
+        assert srv.pool.allocated_bytes == 0
+        assert srv.pool.waiting == 0
+        srv.audit_teardown()
+        client.audit_teardown()
+        assert not sim.monitors.summary()
+
+    def test_no_nacks_below_the_bound(self, sim, fabric):
+        # The stock server (32-waiter bound, 8 RDMA slots) never NACKs
+        # under a plain flood: the slot limit keeps waiters below the
+        # bound, so the NACK path is reserved for true exhaustion.
+        node = Node(sim, fabric, "client", mem_bytes=16 * MiB)
+        srv = HPBDServer(
+            sim, fabric, "mem0", store_bytes=32 * MiB, stats=node.stats
+        )
+        client = HPBDClient(sim, node, [srv], total_bytes=16 * MiB)
+        connect(sim, client)
+
+        def flood(sim):
+            evts = []
+            for i in range(64):
+                done = Event(sim)
+                evts.append(done)
+                client.queue.submit_bio(
+                    Bio(op=WRITE, sector=i * 256, nsectors=256, done=done)
+                )
+            client.queue.unplug()
+            for evt in evts:
+                yield evt
+
+        sim.run(until=sim.spawn(flood(sim)))
+        assert node.stats.get("mem0.pool_exhausted") is None
+        assert node.stats.get("hpbd0.nacks").count == 0
+
+
+def _interleaved_chunks(total, chunk):
+    """Device chunks alternating server 0 / server 1."""
+    chunks = []
+    offsets = {0: 0, 1: 0}
+    pos = 0
+    server = 0
+    while pos < total:
+        chunks.append(Chunk(pos, chunk, server, offsets[server]))
+        offsets[server] += chunk
+        pos += chunk
+        server ^= 1
+    return chunks
+
+
+class TestChunkBoundaryIO:
+    """Satellite coverage: requests spanning two servers' chunks under
+    a custom chunk map — byte-exact placement on each server's store
+    plus correct per-server counters, with and without mirroring."""
+
+    TOTAL = 8 * MiB
+    CHUNK = 2 * MiB
+
+    def build(self, sim, fabric, mirror=False):
+        node = Node(sim, fabric, "client", mem_bytes=16 * MiB)
+        servers = [
+            HPBDServer(
+                sim, fabric, f"mem{i}", store_bytes=64 * MiB,
+                stats=node.stats,
+            )
+            for i in range(2)
+        ]
+        dist = ChunkMapDistribution(
+            self.TOTAL, 2, _interleaved_chunks(self.TOTAL, self.CHUNK)
+        )
+        client = HPBDClient(
+            sim, node, servers, total_bytes=self.TOTAL,
+            distribution=dist, mirror=mirror,
+        )
+        connect(sim, client)
+        return node, servers, client
+
+    def test_write_spanning_chunk_boundary(self, sim, fabric):
+        node, servers, client = self.build(sim, fabric)
+        # 64 KiB centred on the first server-0 -> server-1 boundary
+        boundary = self.CHUNK // SECTOR_SIZE
+        do_io(sim, client, WRITE, sector=boundary - 64, nsectors=128)
+        assert node.stats.get("hpbd0.split_requests").count == 1
+        assert servers[0].ramdisk.bytes_written == 32 * KiB
+        assert servers[1].ramdisk.bytes_written == 32 * KiB
+        # byte-exact placement: server 0 holds the tail of its chunk,
+        # server 1 the head of its own store extent
+        tokens0, _ = servers[0].ramdisk.read(self.CHUNK - 32 * KiB, 32 * KiB)
+        tokens1, _ = servers[1].ramdisk.read(0, 32 * KiB)
+        assert all(t is not None for t in tokens0)
+        assert all(t is not None for t in tokens1)
+
+    def test_boundary_into_noncontiguous_extent(self, sim, fabric):
+        # The 4 MiB device boundary maps server-1 -> server-0, where
+        # server 0's second extent starts at store offset 2 MiB.
+        node, servers, client = self.build(sim, fabric)
+        boundary = (2 * self.CHUNK) // SECTOR_SIZE
+        do_io(sim, client, WRITE, sector=boundary - 64, nsectors=128)
+        tokens1, _ = servers[1].ramdisk.read(self.CHUNK - 32 * KiB, 32 * KiB)
+        tokens0, _ = servers[0].ramdisk.read(self.CHUNK, 32 * KiB)
+        assert all(t is not None for t in tokens1)
+        assert all(t is not None for t in tokens0)
+
+    def test_read_reassembles_from_both_servers(self, sim, fabric):
+        node, servers, client = self.build(sim, fabric)
+        boundary = self.CHUNK // SECTOR_SIZE
+        do_io(sim, client, WRITE, sector=boundary - 64, nsectors=128)
+        do_io(sim, client, READ, sector=boundary - 64, nsectors=128)
+        assert servers[0].ramdisk.bytes_read == 32 * KiB
+        assert servers[1].ramdisk.bytes_read == 32 * KiB
+        assert servers[0].requests_served == 2  # one write + one read
+        assert servers[1].requests_served == 2
+        assert node.stats.get("hpbd0.physical_requests").count == 4
+        assert client.pool.allocated_bytes == 0
+
+    def test_mirrored_boundary_write_replicates_both_halves(
+        self, sim, fabric
+    ):
+        node, servers, client = self.build(sim, fabric, mirror=True)
+        boundary = self.CHUNK // SECTOR_SIZE
+        do_io(sim, client, WRITE, sector=boundary - 64, nsectors=128)
+        # each server holds its primary half plus the other's replica
+        assert servers[0].ramdisk.bytes_written == 64 * KiB
+        assert servers[1].ramdisk.bytes_written == 64 * KiB
+        assert servers[0].ramdisk.pages_stored == 16
+        assert servers[1].ramdisk.pages_stored == 16
+        # replica of server i's chunk lives on the peer at base
+        # share_of(peer); the split halves sit at their chunk-local
+        # offsets inside that replica area
+        share = client.dist.share_of(0)
+        tokens, _ = servers[0].ramdisk.read(share, 32 * KiB)
+        assert all(t is not None for t in tokens)
+
+    def test_mirrored_read_served_from_primaries(self, sim, fabric):
+        node, servers, client = self.build(sim, fabric, mirror=True)
+        boundary = self.CHUNK // SECTOR_SIZE
+        do_io(sim, client, WRITE, sector=boundary - 64, nsectors=128)
+        do_io(sim, client, READ, sector=boundary - 64, nsectors=128)
+        assert servers[0].ramdisk.bytes_read == 32 * KiB
+        assert servers[1].ramdisk.bytes_read == 32 * KiB
+        assert node.stats.get("hpbd0.failovers").count == 0
 
 
 class TestTiming:

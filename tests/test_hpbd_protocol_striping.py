@@ -6,6 +6,8 @@ import pytest
 
 from repro.hpbd import (
     BlockingDistribution,
+    Chunk,
+    ChunkMapDistribution,
     CTRL_MSG_BYTES,
     OP_READ,
     OP_WRITE,
@@ -15,7 +17,10 @@ from repro.hpbd import (
     RamDisk,
     RamDiskError,
     STATUS_ERROR,
+    STATUS_NACK,
 )
+from repro.hpbd.ramdisk import SPILL_BYTES_PER_USEC
+from repro.hpbd.striping import Segment
 from repro.units import KiB, MiB, PAGE_SIZE
 
 
@@ -59,6 +64,14 @@ class TestProtocol:
     def test_control_message_small(self):
         # Control messages must stay tiny relative to a page.
         assert CTRL_MSG_BYTES < PAGE_SIZE // 8
+
+    def test_nack_is_typed_and_distinct(self):
+        rep = PageReply(req_id=7, status=STATUS_NACK)
+        rep.validate()
+        assert rep.nack and not rep.ok
+        err = PageReply(req_id=8, status=STATUS_ERROR)
+        assert not err.nack and not err.ok
+        assert PageReply(req_id=9).ok
 
 
 class TestBlockingDistribution:
@@ -113,6 +126,149 @@ class TestBlockingDistribution:
             d.split(0, 0)
         with pytest.raises(ValueError):
             d.locate(MiB)
+
+
+def _alternating_map(total=8 * MiB, chunk=2 * MiB):
+    """total/chunk chunks alternating between servers 0 and 1."""
+    chunks = []
+    offsets = {0: 0, 1: 0}
+    pos, server = 0, 0
+    while pos < total:
+        chunks.append(Chunk(pos, chunk, server, offsets[server]))
+        offsets[server] += chunk
+        pos += chunk
+        server ^= 1
+    return ChunkMapDistribution(total, 2, chunks)
+
+
+class TestChunkMapDistribution:
+    def test_locate_follows_the_map(self):
+        d = _alternating_map()
+        assert d.locate(0) == (0, 0)
+        assert d.locate(2 * MiB) == (1, 0)
+        # server 0's second device chunk starts at store offset 2 MiB
+        assert d.locate(4 * MiB) == (0, 2 * MiB)
+        assert d.locate(8 * MiB - 1) == (1, 4 * MiB - 1)
+
+    def test_share_and_servers_used(self):
+        d = _alternating_map()
+        assert d.share_of(0) == 4 * MiB
+        assert d.share_of(1) == 4 * MiB
+        assert d.servers_used == [0, 1]
+        one_sided = ChunkMapDistribution(MiB, 2, [Chunk(0, MiB, 1, 0)])
+        assert one_sided.share_of(0) == 0
+        assert one_sided.servers_used == [1]
+
+    def test_split_across_chunk_boundary(self):
+        d = _alternating_map()
+        segs = d.split(2 * MiB - 64 * KiB, 128 * KiB)
+        assert len(segs) == 2
+        assert segs[0] == Segment(0, 2 * MiB - 64 * KiB, 64 * KiB)
+        assert segs[1] == Segment(1, 0, 64 * KiB)
+
+    def test_split_coalesces_contiguous_same_server_chunks(self):
+        # two device chunks that happen to be adjacent in one server's
+        # store collapse into a single physical request
+        chunks = [
+            Chunk(0, MiB, 0, 0),
+            Chunk(MiB, MiB, 0, MiB),
+            Chunk(2 * MiB, MiB, 1, 0),
+        ]
+        d = ChunkMapDistribution(3 * MiB, 2, chunks)
+        segs = d.split(0, 2 * MiB)
+        assert segs == [Segment(0, 0, 2 * MiB)]
+
+    def test_absolute_offset_inverts_locate(self):
+        d = _alternating_map()
+        for off in (0, MiB, 2 * MiB, 5 * MiB - 4096, 8 * MiB - 4096):
+            (seg,) = d.split(off, 4096)
+            assert d.absolute_offset(seg) == off
+        with pytest.raises(ValueError):
+            d.absolute_offset(Segment(0, 64 * MiB, 4096))
+
+    def test_rejects_gaps_overlaps_and_short_maps(self):
+        with pytest.raises(ValueError):  # gap at MiB
+            ChunkMapDistribution(
+                2 * MiB, 2,
+                [Chunk(0, MiB, 0, 0), Chunk(MiB + 4096, MiB - 4096, 1, 0)],
+            )
+        with pytest.raises(ValueError):  # doesn't cover the device
+            ChunkMapDistribution(2 * MiB, 2, [Chunk(0, MiB, 0, 0)])
+        with pytest.raises(ValueError):  # store extents overlap
+            ChunkMapDistribution(
+                2 * MiB, 1,
+                [Chunk(0, MiB, 0, 0), Chunk(MiB, MiB, 0, 512 * KiB)],
+            )
+        with pytest.raises(ValueError):  # names a server out of range
+            ChunkMapDistribution(MiB, 1, [Chunk(0, MiB, 3, 0)])
+        with pytest.raises(ValueError):
+            ChunkMapDistribution(MiB, 1, [])
+
+
+class TestRamDiskSpill:
+    def test_residency_cap_evicts_fifo(self):
+        rd = RamDisk(MiB, resident_bytes=2 * PAGE_SIZE)
+        rd.write(0, PAGE_SIZE, token="a")
+        rd.write(PAGE_SIZE, PAGE_SIZE, token="b")
+        rd.write(2 * PAGE_SIZE, PAGE_SIZE, token="c")
+        assert rd.pages_resident == 2
+        assert rd.pages_spilled == 1
+        assert rd.evictions == 1
+        assert rd.spill_bytes_written == PAGE_SIZE
+        assert rd.pages_stored == 3
+
+    def test_spill_cost_accrues_and_drains(self):
+        rd = RamDisk(MiB, resident_bytes=PAGE_SIZE)
+        rd.write(0, PAGE_SIZE)
+        rd.write(PAGE_SIZE, PAGE_SIZE)  # evicts page 0
+        expect = PAGE_SIZE / SPILL_BYTES_PER_USEC
+        assert rd.pending_spill_usec == pytest.approx(expect)
+        assert rd.drain_spill_usec() == pytest.approx(expect)
+        assert rd.pending_spill_usec == 0.0
+
+    def test_read_faults_spilled_page_back_in(self):
+        rd = RamDisk(MiB, resident_bytes=2 * PAGE_SIZE)
+        rd.write(0, PAGE_SIZE, token="a")
+        rd.write(PAGE_SIZE, PAGE_SIZE, token="b")
+        rd.write(2 * PAGE_SIZE, PAGE_SIZE, token="c")  # spills "a"
+        rd.drain_spill_usec()
+        tokens, _ = rd.read(0, PAGE_SIZE)
+        assert tokens == (("a", 0),)
+        assert rd.spill_bytes_read == PAGE_SIZE
+        # faulting "a" back in pushed another page over the cap
+        assert rd.pages_resident == 2
+        assert rd.pending_spill_usec > 0
+
+    def test_overwrite_supersedes_spilled_copy(self):
+        rd = RamDisk(MiB, resident_bytes=2 * PAGE_SIZE)
+        rd.write(0, PAGE_SIZE, token="old")
+        rd.write(PAGE_SIZE, PAGE_SIZE)
+        rd.write(2 * PAGE_SIZE, PAGE_SIZE)  # spills page 0
+        rd.write(0, PAGE_SIZE, token="new")
+        tokens, _ = rd.read(0, PAGE_SIZE)
+        assert tokens == (("new", 0),)
+
+    def test_uncapped_ramdisk_never_spills(self):
+        rd = RamDisk(MiB)
+        for i in range(16):
+            rd.write(i * PAGE_SIZE, PAGE_SIZE)
+        assert rd.evictions == 0
+        assert rd.pages_spilled == 0
+        assert rd.pending_spill_usec == 0.0
+
+    def test_wipe_clears_spill_state(self):
+        rd = RamDisk(MiB, resident_bytes=PAGE_SIZE)
+        rd.write(0, PAGE_SIZE)
+        rd.write(PAGE_SIZE, PAGE_SIZE)
+        rd.wipe()
+        assert rd.pages_stored == 0
+        assert rd.pending_spill_usec == 0.0
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            RamDisk(MiB, resident_bytes=0)
+        with pytest.raises(ValueError):
+            RamDisk(MiB, resident_bytes=PAGE_SIZE + 1)
 
 
 class TestRamDisk:
