@@ -1,0 +1,43 @@
+"""Always-on health overhead: what a cluster run pays for live SLOs.
+
+The fleet health model (``repro.obs.health``) is on by default for
+every cluster scenario — each completed request lands in a windowed
+quantile sketch, each acknowledged attempt updates a per-server EWMA,
+and a periodic tick scores every objective and detector.  All of that
+is O(1) per sample against bounded state, so a run with the engine
+enabled must stay within a few percent of one with ``health=None``.
+This benchmark measures that gap on the three-tenant fair cluster and
+enforces the documented <10% floor; ``repro bench`` records the same
+numbers into ``BENCH_simulator.json``.
+"""
+
+from __future__ import annotations
+
+from conftest import record
+
+from repro.bench import bench_health_overhead
+
+# Per-request work is a handful of float ops plus one log() per sketch
+# record; the tick walks a dozen sketches per millisecond of simulated
+# time.  Measured overhead on the fair cluster is a few percent; 10%
+# is the documented gate — above that, always-on SLOs would no longer
+# be a defensible default.
+MAX_HEALTH_OVERHEAD = 0.10
+
+
+def test_health_overhead(benchmark):
+    """Fair cluster run, monitors-only vs. the always-on SLO engine."""
+
+    def run():
+        return bench_health_overhead(scale=64, rounds=5)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        benchmark,
+        baseline_wall_sec=result["baseline_wall_sec"],
+        health_wall_sec=result["health_wall_sec"],
+        baseline_events_per_sec=result["baseline_events_per_sec"],
+        health_events_per_sec=result["health_events_per_sec"],
+        overhead_frac=result["overhead_frac"],
+    )
+    assert result["overhead_frac"] < MAX_HEALTH_OVERHEAD

@@ -36,7 +36,7 @@ from .export import (
     trace_to_csv,
     write_csv,
 )
-from .report import comparison_table, format_table, ratio
+from .report import comparison_table, format_table, ratio, write_json_report
 from .reqsize import RequestCluster, cluster_requests, size_histogram
 
 __all__ = [
@@ -70,6 +70,7 @@ __all__ = [
     "format_table",
     "comparison_table",
     "ratio",
+    "write_json_report",
     "series_to_csv",
     "results_to_csv",
     "clusters_to_csv",

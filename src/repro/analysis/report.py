@@ -2,11 +2,29 @@
 
 from __future__ import annotations
 
+import json
+import os
 from collections.abc import Sequence
 
 from ..results import ScenarioResult
 
-__all__ = ["format_table", "comparison_table", "ratio"]
+__all__ = ["format_table", "comparison_table", "ratio", "write_json_report"]
+
+
+def write_json_report(path: str, payload: dict) -> None:
+    """Write a machine-readable report: atomic (temp file + rename, so a
+    crashed run never leaves a half-written artifact) with stable key
+    order and a trailing newline — byte-identical for identical
+    payloads, which is what ``--replay-check`` diffs against.
+
+    Shared by ``repro critpath --json``, ``repro health``, and anything
+    else emitting a report a CI gate consumes.
+    """
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
 
 
 def format_table(

@@ -13,6 +13,7 @@ Numbers here are host wall-clock, not simulated time — they measure the
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
@@ -29,6 +30,7 @@ __all__ = [
     "bench_obs_overhead",
     "bench_blame_split",
     "bench_cluster_fairness",
+    "bench_health_overhead",
     "bench_figure_sweep",
     "run_bench",
 ]
@@ -181,6 +183,54 @@ def bench_cluster_fairness(scale: int = 64) -> dict[str, Any]:
     }
 
 
+def bench_health_overhead(scale: int = 64, rounds: int = 5) -> dict[str, Any]:
+    """Cost of the always-on fleet health model on the cluster hot path.
+
+    Two identical fair cluster runs: ``health=None`` (invariant
+    monitors only) vs. the default :class:`~repro.config.HealthConfig`
+    (per-request sketch updates, per-server RTT EWMAs, and the periodic
+    SLO/detector tick).  The overhead fraction is the extra host wall
+    time every cluster run pays for SLOs being evaluated online; the
+    satellite benchmark asserts it stays under 10% (best-of-``rounds``
+    to shrug off host noise).
+    """
+    from .cluster.runner import build_cluster_scenario
+    from .experiments import cluster_fair_config
+
+    def run_once(with_health: bool) -> tuple[float, int]:
+        cfg = cluster_fair_config(scale)
+        if not with_health:
+            cfg.health = None
+        scenario = build_cluster_scenario(cfg)
+        # collect the previous round's dead scenario graph now, so its
+        # reclamation isn't billed to whichever arm triggers GC next
+        gc.collect()
+        t0 = time.perf_counter()
+        scenario.run()
+        return time.perf_counter() - t0, scenario.sim.events_processed
+
+    base_wall = health_wall = float("inf")
+    base_events = health_events = 0
+    for _ in range(rounds):
+        wall, nev = run_once(False)
+        if wall < base_wall:
+            base_wall, base_events = wall, nev
+        wall, nev = run_once(True)
+        if wall < health_wall:
+            health_wall, health_events = wall, nev
+    return {
+        "scale": scale,
+        "rounds": rounds,
+        "baseline_wall_sec": base_wall,
+        "health_wall_sec": health_wall,
+        "baseline_events": base_events,
+        "health_events": health_events,
+        "baseline_events_per_sec": base_events / base_wall,
+        "health_events_per_sec": health_events / health_wall,
+        "overhead_frac": health_wall / base_wall - 1.0,
+    }
+
+
 def bench_figure_sweep(
     scale: int = 64, workers: "int | str | None" = "auto"
 ) -> dict[str, Any]:
@@ -254,6 +304,7 @@ def run_bench(
         payload["sweep"] = bench_figure_sweep(sweep_scale, workers)
         payload["blame"] = bench_blame_split(sweep_scale)
         payload["cluster_fairness"] = bench_cluster_fairness(sweep_scale)
+        payload["health_overhead"] = bench_health_overhead(sweep_scale)
     return payload
 
 

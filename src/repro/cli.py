@@ -26,6 +26,7 @@ from .analysis import (
     comparison_table,
     format_table,
     render_table1,
+    write_json_report,
 )
 from .results import ScenarioResult
 from .units import KiB
@@ -335,8 +336,7 @@ def _run_critpath(args) -> int:
                 for p in slowest(paths, args.top)
             ],
         }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2)
+        write_json_report(args.json, payload)
         print(f"wrote {args.json}")
     return status
 
@@ -614,6 +614,173 @@ def _run_cluster(args) -> int:
     return status
 
 
+def _run_health(args) -> int:
+    """``repro health``: per-run fleet health report (SLOs + fail-slow).
+
+    Runs the seeded three-tenant cluster with one fail-slow server (a
+    mid-run ``LinkDegrade`` on mem1) — or, under ``--healthy``, the
+    fault-free fair scenario — with the always-on SLO engine and
+    anomaly detector, then prints the per-server / per-tenant health
+    report.  Exit status is nonzero on invariant violations or when
+    the health gate fails: by default any fail-slow flag or SLO breach
+    fails the gate; under ``--expect-breach`` the gate inverts and
+    fails unless the detector flagged exactly the degraded server and
+    at least one latency SLO breach was recorded.  ``--replay-check``
+    fails when a second run of the same seed yields a byte-different
+    report.
+    """
+    from .experiments import cluster_failslow_config, cluster_fair_config
+    from .obs import write_chrome_trace
+    from .runner import run_scenario
+
+    scale = args.scale
+    degraded = "mem1"  # cluster_failslow_config degrades this server
+
+    def run_once():
+        if args.healthy:
+            cfg = cluster_fair_config(scale, nservers=args.nservers)
+        else:
+            cfg = cluster_failslow_config(
+                scale,
+                nservers=args.nservers,
+                latency_mult=args.latency_mult,
+            )
+        cfg.seed = args.seed
+        return run_scenario(cfg, trace=bool(args.output))
+
+    scenario = "cluster-fair" if args.healthy else "cluster-failslow"
+    print(
+        f"health run: {scenario}, 3 tenants x {args.nservers} servers "
+        f"(scale=1/{scale}, seed={args.seed})..."
+    )
+    result = run_once()
+    report = result.health
+    if not report:
+        print("ERROR: run produced no health report", file=sys.stderr)
+        return 1
+    print(result.summary())
+    print()
+    print("servers:")
+    print(format_table(
+        ["server", "status", "flagged", "samples", "ewma (us)",
+         "p99 (us)", "peak score"],
+        [
+            [name, s["status"], "yes" if s["flagged"] else "no",
+             s["samples"], s["ewma_usec"] or 0.0, s["p99_usec"] or 0.0,
+             s["peak_score"]]
+            for name, s in report["servers"].items()
+        ],
+    ))
+    print()
+    print("tenants:")
+    print(format_table(
+        ["tenant", "requests", "fails", "avail", "p50 (us)", "p99 (us)",
+         "peak burn", "breaches", "slo met"],
+        [
+            [name, t["requests"], t["failed_attempts"],
+             t["availability"] if t["availability"] is not None else "-",
+             t["p50_usec"] or 0.0, t["p99_usec"] or 0.0,
+             t["peak_burn_rate"], t["breaches"],
+             "yes" if t["slo_met"] else "no"]
+            for name, t in report["tenants"].items()
+        ],
+    ))
+    timeline = report["breach_timeline"]
+    if timeline:
+        print()
+        print(f"breach timeline ({len(timeline)} edges, "
+              f"{len(report['burn_timeline'])} burn samples):")
+        for b in timeline[:args.top]:
+            print(
+                f"  t={b['t_usec']:>12.1f}  {b['tenant']:<8s} "
+                f"{b['slo']:<12s} {b['edge']:<5s} "
+                f"observed={b['observed']:.1f} burn={b['burn_rate']:.2f}"
+            )
+        if len(timeline) > args.top:
+            print(f"  ... {len(timeline) - args.top} more")
+    status = 0
+    violations = result.invariant_violations
+    if violations:
+        print(
+            f"ERROR: {len(violations)} invariant violations:",
+            file=sys.stderr,
+        )
+        for v in violations[:20]:
+            print(
+                f"  t={v['t_usec']:.1f} {v['monitor']} "
+                f"[{v['component']}]: {v['message']}",
+                file=sys.stderr,
+            )
+        status = 1
+    else:
+        print("invariant monitors: clean (0 violations)")
+    flagged = report["flagged_servers"]
+    lat_breaches = [
+        b for b in timeline
+        if b["slo"] == "latency_p99" and b["edge"] == "start"
+    ]
+    if args.expect_breach:
+        if flagged != [degraded]:
+            print(
+                f"ERROR: expected fail-slow flag on exactly "
+                f"[{degraded!r}], detector flagged {flagged}",
+                file=sys.stderr,
+            )
+            status = 1
+        if not lat_breaches:
+            print(
+                "ERROR: expected at least one latency_p99 SLO breach, "
+                "got none",
+                file=sys.stderr,
+            )
+            status = 1
+        if status == 0:
+            print(
+                f"expected breach confirmed: flagged {flagged}, "
+                f"{len(lat_breaches)} latency breach(es), "
+                f"victims: {', '.join(report['breached_tenants'])}"
+            )
+    elif flagged or report["breached_tenants"]:
+        print(
+            f"ERROR: health gate failed — flagged servers {flagged}, "
+            f"breached tenants {report['breached_tenants']}",
+            file=sys.stderr,
+        )
+        status = 1
+    else:
+        print("health gate: all SLOs met, no fail-slow flags")
+    if args.replay_check:
+        second = run_once()
+        a = json.dumps(report, sort_keys=True)
+        b = json.dumps(second.health, sort_keys=True)
+        if a != b:
+            print(
+                "ERROR: replay diverged for the same seed "
+                "(health reports differ)",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print("replay check: second run's health report byte-identical")
+    if args.output:
+        write_chrome_trace(result.trace, args.output)
+        print(f"wrote {args.output}  (load in Perfetto / chrome://tracing)")
+    if args.json:
+        payload = {
+            "scenario": scenario,
+            "scale": scale,
+            "seed": args.seed,
+            "nservers": args.nservers,
+            "elapsed_usec": result.elapsed_usec,
+            "health": report,
+            "violations": violations,
+            "status": status,
+        }
+        write_json_report(args.json, payload)
+        print(f"wrote {args.json}")
+    return status
+
+
 def _run_sweep_cmd(args) -> int:
     """``repro sweep``: run figure grids through the parallel engine."""
     from .analysis.critpath import blame_split
@@ -671,6 +838,20 @@ def _run_sweep_cmd(args) -> int:
                 }
                 for p, r in zip(report.points, report.results)
             }
+        # Cluster points carry a fleet health report; aggregate the
+        # verdicts so a grid's fail-slow flags and SLO breaches land
+        # in one payload (cached results may predate the field).
+        health = {
+            p.name: {
+                "flagged_servers": h["flagged_servers"],
+                "breached_tenants": h["breached_tenants"],
+                "breach_events": len(h["breach_timeline"]),
+            }
+            for p, r in zip(report.points, report.results)
+            if (h := getattr(r, "health", {}))
+        }
+        if health:
+            payload[name]["health"] = health
     if args.json:
         with open(args.json, "w") as fh:
             json.dump({"scale": args.scale, "sweeps": payload}, fh, indent=2)
@@ -734,6 +915,13 @@ def _run_bench(args) -> int:
             f"{cf['nservers']} servers, scale=1/{cf['scale']}): "
             f"{cf['events_per_sec']:,.0f} ev/s, "
             f"spread {cf['spread']:.2f}, jain {cf['jain_index']:.3f}"
+        )
+    if "health_overhead" in payload:
+        ho = payload["health_overhead"]
+        print(
+            f"always-on health overhead: {ho['overhead_frac']:+.2%} "
+            f"({ho['health_wall_sec']:.2f} s with SLO engine vs "
+            f"{ho['baseline_wall_sec']:.2f} s monitors-only)"
         )
     write_bench_json(args.json, payload)
     print(f"wrote {args.json}")
@@ -905,6 +1093,52 @@ def main(argv: Sequence[str] | None = None) -> int:
     cl.add_argument(
         "--json", metavar="PATH", help="dump the fairness report as JSON"
     )
+    he = sub.add_parser(
+        "health",
+        help="run the fail-slow cluster scenario; print the fleet "
+        "health report (SLO attainment, breach timeline, anomaly "
+        "verdicts; nonzero exit on failed health gates)",
+    )
+    he.add_argument(
+        "--scale", type=int, default=64,
+        help="size divisor; 1 = full paper sizes (default: 64)",
+    )
+    he.add_argument(
+        "--nservers", type=int, default=3,
+        help="memory servers in the fleet (default: 3)",
+    )
+    he.add_argument("--seed", type=int, default=42)
+    he.add_argument(
+        "--latency-mult", type=float, default=20.0,
+        help="LinkDegrade latency multiplier on the limping server "
+        "(default: 20)",
+    )
+    he.add_argument(
+        "--healthy", action="store_true",
+        help="run the fault-free fair scenario instead (gate passes "
+        "only when nothing is flagged or breached)",
+    )
+    he.add_argument(
+        "--expect-breach", action="store_true",
+        help="invert the gate: fail unless the detector flagged "
+        "exactly the degraded server and a latency SLO breach occurred",
+    )
+    he.add_argument(
+        "--replay-check", action="store_true",
+        help="run twice; fail if the health reports are not "
+        "byte-identical",
+    )
+    he.add_argument(
+        "--top", type=int, default=10,
+        help="breach-timeline edges to print (default: 10)",
+    )
+    he.add_argument(
+        "-o", "--output", metavar="PATH",
+        help="also write the Chrome trace-event JSON (runs traced)",
+    )
+    he.add_argument(
+        "--json", metavar="PATH", help="dump the health report as JSON"
+    )
     sw = sub.add_parser(
         "sweep",
         help="run a figure's scenario grid through the parallel sweep "
@@ -1009,6 +1243,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.scale < 1:
             parser.error("--scale must be >= 1")
         return _run_cluster(args)
+    if args.command == "health":
+        if args.scale < 1:
+            parser.error("--scale must be >= 1")
+        return _run_health(args)
     if args.command == "sweep":
         if args.scale < 1:
             parser.error("--scale must be >= 1")

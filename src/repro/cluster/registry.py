@@ -73,6 +73,10 @@ class FleetRegistry:
         self._c_down = self.stats.counter("cluster.server_down")
         self._c_up = self.stats.counter("cluster.server_up")
         self._heartbeat_proc = None
+        #: optional fleet health model (repro.obs.health.HealthHub);
+        #: liveness edges are forwarded so crash/flap and fail-slow
+        #: verdicts share one per-server status.
+        self.health = None
 
     # -- capacity ------------------------------------------------------------
 
@@ -150,12 +154,16 @@ class FleetRegistry:
                 if self.alive[i] and not srv.alive:
                     self.alive[i] = False
                     self._c_down.add()
+                    if self.health is not None:
+                        self.health.set_server_alive(i, False)
                     sim.trace.instant(
                         "cluster", "registry", "server_down", server=i,
                     )
                 elif not self.alive[i] and srv.alive:
                     self.alive[i] = True
                     self._c_up.add()
+                    if self.health is not None:
+                        self.health.set_server_alive(i, True)
                     sim.trace.instant(
                         "cluster", "registry", "server_up", server=i,
                     )

@@ -21,6 +21,8 @@ from ..hpbd.server import HPBDServer
 from ..hpbd.striping import ChunkMapDistribution
 from ..kernel.node import Node
 from ..net.link import Fabric
+from ..obs.health import HealthHub
+from ..obs.metrics import MetricsHub
 from ..results import InstanceResult
 from ..simulator import Simulator, StatsRegistry, all_of
 from ..units import MiB, PAGE_SIZE
@@ -54,6 +56,7 @@ class _Tenant:
         self.queue = None
         self.admission = None
         self.disk_fallback = False
+        self.metrics: MetricsHub | None = None
 
 
 class _ClusterScenario:
@@ -108,6 +111,19 @@ class _ClusterScenario:
         self.admission = AdmissionController(
             self.registry, policy=cfg.placement, stats=self.stats
         )
+        self.health: HealthHub | None = None
+        if cfg.health is not None:
+            self.health = HealthHub(
+                self.sim,
+                [srv.name for srv in self.servers],
+                [t.name for t in cfg.tenants],
+                cfg=cfg.health,
+                stats=self.stats,
+            )
+            # Heartbeat liveness edges feed the same health model the
+            # data-path hooks do — crash, flap, degrade, and slow all
+            # land in one per-server status.
+            self.registry.health = self.health
         if cfg.qos:
             credits = partition_credits(
                 cfg.credit_pool, {t.name: t.weight for t in cfg.tenants}
@@ -198,10 +214,69 @@ class _ClusterScenario:
             distribution=ChunkMapDistribution(
                 spec.swap_bytes, cfg.nservers, tenant.admission.chunks
             ),
+            health=self.health,
             **recovery,
         )
         tenant.queue = tenant.client.queue
         return tenant
+
+    def _register_tenant_metrics(self) -> None:
+        """Per-tenant MetricsHub + utilization gauges (traced runs only,
+        matching the single-node runner): tenant-prefixed names keep the
+        shared registry collision-free; fleet-level server gauges ride
+        on the first tenant's hub."""
+        for tenant in self.tenants:
+            spec = tenant.spec
+            metrics = MetricsHub(
+                tenant.node,
+                stats=self.stats,
+                prefix=f"obs.vmstat.{spec.name}",
+            )
+            tenant.metrics = metrics
+            node = tenant.node
+            metrics.watch(
+                f"{spec.name}.cpus",
+                lambda node=node: {"busy": float(node.cpus.in_use)},
+            )
+            queue = tenant.queue
+            metrics.watch(
+                f"{spec.name}.rq",
+                lambda queue=queue: {
+                    "in_flight": float(queue.in_flight),
+                    "ready": float(queue.dispatch_depth),
+                },
+            )
+            client = tenant.client
+            if client is not None:
+                metrics.watch(
+                    f"{spec.name}.credits",
+                    lambda client=client: {
+                        "tokens": float(
+                            sum(b.tokens for b in client._credits)
+                        ),
+                        "waiting": float(
+                            sum(b.queue_length for b in client._credits)
+                        ),
+                    },
+                )
+                metrics.watch(
+                    f"{spec.name}.pool",
+                    lambda client=client: {
+                        "free_bytes": float(client.pool.free_bytes),
+                        "waiting": float(client.pool.waiting),
+                    }
+                    if client.pool is not None
+                    else {},
+                )
+        first = self.tenants[0].metrics
+        if first is not None:
+            for srv in self.servers:
+                first.watch(
+                    f"{srv.name}.rdma",
+                    lambda srv=srv: {
+                        "slots_in_use": float(srv._rdma_slots.in_use)
+                    },
+                )
 
     # -- execution ----------------------------------------------------------
 
@@ -233,6 +308,12 @@ class _ClusterScenario:
                     yield from tenant.client.connect()
                 tenant.node.swapon(tenant.queue, tenant.spec.swap_bytes)
             self.registry.start_heartbeat()
+            if self.health is not None:
+                self.health.start()
+            if sim.trace.enabled:
+                self._register_tenant_metrics()
+                for tenant in self.tenants:
+                    tenant.metrics.start()
             if self.fault_injector is not None:
                 self.fault_injector.start()
             t_start = sim.now
@@ -242,6 +323,9 @@ class _ClusterScenario:
             ]
             yield all_of(sim, procs)
             wall = sim.now - t_start
+            for tenant in self.tenants:
+                if tenant.metrics is not None:
+                    tenant.metrics.stop()
             for tenant in self.tenants:
                 yield from tenant.node.vmm.quiesce()
                 tenant.node.vmm.check_frame_accounting()
@@ -371,6 +455,7 @@ class _ClusterScenario:
             monitor_watermarks=dict(monitors.watermarks),
             registry=stats,
             trace=self.sim.trace if self.sim.trace.enabled else None,
+            health=self.health.report() if self.health is not None else {},
             tenants=tenant_results,
             placement=cfg.placement,
             qos=cfg.qos,

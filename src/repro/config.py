@@ -17,6 +17,7 @@ from dataclasses import dataclass, replace
 from .disk.model import DiskParams, ST340014A
 from .faults.plan import FaultPlan
 from .kernel.params import DEFAULT_VM_PARAMS, VMParams
+from .obs.health import HealthConfig
 from .net.fabrics import (
     GIGE_DEFAULT,
     IB_DEFAULT,
@@ -34,6 +35,7 @@ __all__ = [
     "LocalDisk",
     "DeviceConfig",
     "FaultConfig",
+    "HealthConfig",
     "ScenarioConfig",
     "TenantSpec",
     "ClusterScenarioConfig",
@@ -252,6 +254,9 @@ class ClusterScenarioConfig:
     heartbeat_interval_usec: float = 1_000.0
     seed: int = 42
     faults: FaultConfig | None = None
+    #: always-on fleet health model (SLO engine + fail-slow detector);
+    #: ``None`` disables it (the overhead-benchmark baseline).
+    health: HealthConfig | None = HealthConfig()
     label: str = "cluster"
 
     def __post_init__(self) -> None:

@@ -60,6 +60,7 @@ __all__ = [
     "faults_points",
     "cluster_points",
     "cluster_fair_config",
+    "cluster_failslow_config",
     "cluster_unfair_config",
     "sec62_runs",
     "SWEEPS",
@@ -442,6 +443,32 @@ def cluster_fair_config(
         placement=placement,
         qos=True,
         mem_reserved_bytes=24 * MiB // scale,
+    )
+
+
+def cluster_failslow_config(
+    scale: int = DEFAULT_SCALE,
+    nservers: int = 3,
+    latency_mult: float = 20.0,
+) -> ClusterScenarioConfig:
+    """The fail-slow acceptance run (``repro health``): three identical
+    quicksort tenants over three servers, with ``mem1``'s link degraded
+    mid-run.  Timeouts stay disabled so the recovery machine never
+    declares the server dead — it *limps*, which is exactly the failure
+    mode the fail-slow detector exists to catch (a crash would already
+    surface through the registry heartbeat)."""
+    mid = 73_000_000.0 / scale
+    degrade = FaultPlan(events=(
+        LinkDegrade(at=mid, node="mem1", duration=mid / 2,
+                    latency_mult=latency_mult, bandwidth_mult=0.25),
+    ))
+    return ClusterScenarioConfig(
+        tenants=[_cluster_tenant(f"t{i}", scale) for i in range(3)],
+        nservers=nservers,
+        qos=True,
+        mem_reserved_bytes=24 * MiB // scale,
+        faults=FaultConfig(plan=degrade, request_timeout_usec=None),
+        label="cluster-failslow",
     )
 
 

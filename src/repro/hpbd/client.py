@@ -145,6 +145,7 @@ class HPBDClient:
         backoff_mult: float = 2.0,
         degraded_mode: str = "none",
         fallback_queue: RequestQueue | None = None,
+        health=None,
     ) -> None:
         if not servers:
             raise ValueError("HPBD needs at least one memory server")
@@ -306,6 +307,10 @@ class HPBDClient:
         self._c_nacks = self.stats.counter(f"{name}.nacks")
         self._c_dead = self.stats.counter(f"{name}.servers_dead")
         self.copy_usec = 0.0  # client-side memcpy (host overhead share)
+        #: fleet health sink (repro.obs.health.HealthHub) — fed per-server
+        #: RTTs, per-tenant request latencies, and failed attempts; the
+        #: cluster runner shares one hub across every tenant's driver.
+        self.health = health
 
     # -- setup ---------------------------------------------------------------
 
@@ -618,6 +623,12 @@ class HPBDClient:
                     else:
                         self._fail_attempt(att, cause="error")
                     continue
+                if self.health is not None:
+                    # Per-server service signal for the fail-slow
+                    # detector: this attempt's post-to-ack round trip.
+                    self.health.record_server_rtt(
+                        att.server, sim.now - att.sent_at
+                    )
                 entry.copies_left -= 1
                 if entry.copies_left > 0:
                     continue  # mirrored write: wait for the other copy
@@ -663,6 +674,11 @@ class HPBDClient:
         entry.pending.done_segs += 1
         if entry.pending.done_segs == entry.pending.nsegs:
             self._t_req.record(sim.now - entry.pending.submit_time)
+            if self.health is not None:
+                self.health.record_request(
+                    self.tenant or self.name,
+                    sim.now - entry.pending.submit_time,
+                )
             if trace.enabled:
                 req = entry.pending.req
                 trace.complete(
@@ -721,6 +737,8 @@ class HPBDClient:
         """
         entry = att.entry
         seg = entry.seg
+        if self.health is not None:
+            self.health.record_error(self.tenant or self.name, att.server)
         retries_enabled = self.request_timeout_usec is not None
         # 1. Mirror read failover (works even with retries disabled —
         #    the original reliability extension).

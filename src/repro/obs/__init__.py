@@ -44,12 +44,35 @@ __all__ = [
     "MonitorHub",
     "InvariantViolation",
     "Violation",
+    "QuantileSketch",
+    "EWMA",
+    "RateTracker",
+    "WindowedSketch",
+    "HealthConfig",
+    "HealthHub",
+    "SLOBreach",
 ]
+
+#: lazily re-exported names -> defining submodule (the simulator core
+#: imports repro.obs.trace while loading, so nothing here may pull in
+#: heavier layers eagerly)
+_LAZY = {
+    "MetricsHub": "metrics",
+    "QuantileSketch": "sketch",
+    "EWMA": "sketch",
+    "RateTracker": "sketch",
+    "WindowedSketch": "sketch",
+    "HealthConfig": "health",
+    "HealthHub": "health",
+    "SLOBreach": "health",
+}
 
 
 def __getattr__(name: str):
-    if name == "MetricsHub":
-        from .metrics import MetricsHub
+    modname = _LAZY.get(name)
+    if modname is not None:
+        import importlib
 
-        return MetricsHub
+        mod = importlib.import_module(f".{modname}", __name__)
+        return getattr(mod, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,502 @@
+"""Fleet health: per-server/per-tenant SLOs and fail-slow detection.
+
+The cluster layer (PR 5) already notices *dead* servers — the
+:class:`~repro.cluster.registry.FleetRegistry` heartbeat flips liveness
+when a daemon crashes.  This module adds the signals the ROADMAP's
+straggler-mitigation and autoscaling work need *before* a server dies:
+
+* a **per-tenant SLO engine** — declarative objectives (p99 block-request
+  latency, attempt-level availability) evaluated online over a sliding
+  window of :class:`~repro.obs.sketch.WindowedSketch` buckets, emitting
+  ``obs.slo.*`` series, Perfetto counter tracks, and typed breach events
+  with an error-budget **burn rate** (fraction of requests over the
+  latency threshold divided by the budget the quantile allows: burn > 1
+  means the budget is being spent faster than it accrues);
+* a **fail-slow anomaly detector** — each server's service-time EWMA is
+  scored against the fleet median with a MAD-based robust z-score; a
+  server above ``anomaly_threshold`` for ``anomaly_consecutive`` ticks
+  is flagged as limping.  Crash/flap (registry liveness), degrade, and
+  slow all land in one per-server status: ``ok`` → ``slow`` → ``down``;
+* a deterministic :meth:`HealthHub.report` — everything is driven by
+  simulated time and recorded in fixed order, so the same seed + fault
+  plan yields a byte-identical report (``repro health --replay-check``).
+
+Metric taxonomy (see ``docs/OBSERVABILITY.md``):
+
+* ``obs.slo.<tenant>.p99_usec`` / ``.burn_rate`` / ``.availability``
+* ``obs.health.server.<name>.ewma_usec`` / ``.score`` / ``.status``
+  (status encodes 0 = ok, 1 = slow, 2 = down)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulator.stats import StatsRegistry
+from .sketch import EWMA, QuantileSketch, WindowedSketch
+
+__all__ = ["HealthConfig", "SLOBreach", "HealthHub", "STATUS_CODES"]
+
+#: per-server status encoding used by the ``.status`` time series
+STATUS_CODES = {"ok": 0, "slow": 1, "down": 2}
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Objectives and detector tuning for one fleet."""
+
+    #: SLO/detector evaluation period (simulated µs).  Finer than the
+    #: window rotation on purpose: the fail-slow EWMA spikes at
+    #: millisecond granularity, and the windowed SLO view amortizes
+    #: sub-rotation ticks through its frozen-bucket merge cache.
+    tick_usec: float = 1_000.0
+    #: sliding window the SLOs are judged over
+    window_usec: float = 50_000.0
+    #: window sub-buckets (sketches rotate at window/nbuckets)
+    nbuckets: int = 10
+    #: sketch relative-error bound (documented in OBSERVABILITY.md)
+    rel_err: float = 0.01
+    #: latency SLO: this quantile of block-request latency...
+    slo_quantile: float = 99.0
+    #: ...must stay under this many µs (calibrated against the repo's
+    #: quicksort cluster runs: healthy windowed p99 stays under ~700 µs,
+    #: a degraded link pushes it past 2000)
+    slo_latency_usec: float = 1_500.0
+    #: availability SLO: fraction of attempts acknowledged OK
+    slo_availability: float = 0.999
+    #: don't judge a window with fewer samples than this
+    min_samples: int = 20
+    #: per-server service-time EWMA weight
+    ewma_alpha: float = 0.2
+    #: robust z-score above which a server counts as anomalous (with the
+    #: 0.5 relative scale floor this reads "EWMA at least ~3x the fleet
+    #: median"; healthy cluster runs stay under ~2)
+    anomaly_threshold: float = 4.0
+    #: consecutive anomalous ticks before the fail-slow flag raises
+    anomaly_consecutive: int = 3
+    #: z-score scale floors: fraction of the fleet median, absolute µs.
+    #: Small fleets serving phase-shifted workloads see healthy EWMA
+    #: spreads of ~2x the median (MAD alone would flag them); the 0.5
+    #: floor means only a server several multiples above the fleet
+    #: median can score past the threshold.
+    mad_rel_floor: float = 0.5
+    mad_abs_floor_usec: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.tick_usec <= 0:
+            raise ValueError(f"bad tick_usec {self.tick_usec}")
+        if self.window_usec < self.tick_usec:
+            raise ValueError("window must cover at least one tick")
+        if not (0.0 < self.slo_quantile < 100.0):
+            raise ValueError(f"bad slo_quantile {self.slo_quantile}")
+        if self.slo_latency_usec <= 0:
+            raise ValueError(f"bad slo_latency_usec {self.slo_latency_usec}")
+        if not (0.0 < self.slo_availability <= 1.0):
+            raise ValueError(f"bad slo_availability {self.slo_availability}")
+        if self.anomaly_threshold <= 0:
+            raise ValueError(f"bad anomaly_threshold {self.anomaly_threshold}")
+        if self.anomaly_consecutive < 1:
+            raise ValueError(f"bad anomaly_consecutive {self.anomaly_consecutive}")
+
+
+@dataclass(frozen=True)
+class SLOBreach:
+    """One typed breach-edge event (also emitted as a trace instant)."""
+
+    t_usec: float
+    tenant: str
+    slo: str  # "latency_p99" | "availability"
+    edge: str  # "start" | "end"
+    observed: float
+    threshold: float
+    burn_rate: float
+
+    def to_dict(self) -> dict:
+        return {
+            "t_usec": self.t_usec,
+            "tenant": self.tenant,
+            "slo": self.slo,
+            "edge": self.edge,
+            "observed": self.observed,
+            "threshold": self.threshold,
+            "burn_rate": self.burn_rate,
+        }
+
+
+class _ServerHealth:
+    """Detector state for one memory server."""
+
+    __slots__ = (
+        "name", "ewma", "service_sketch", "samples", "streak",
+        "flagged_at", "peak_score", "status", "alive",
+    )
+
+    def __init__(self, name: str, alpha: float, rel_err: float) -> None:
+        self.name = name
+        self.ewma = EWMA(alpha)
+        #: cumulative service-time distribution (whole run)
+        self.service_sketch = QuantileSketch(
+            f"health.{name}.rtt", rel_err=rel_err
+        )
+        self.samples = 0
+        self.streak = 0
+        self.flagged_at: float | None = None
+        self.peak_score = 0.0
+        self.status = "ok"
+        self.alive = True
+
+
+class _TenantHealth:
+    """SLO state for one tenant."""
+
+    __slots__ = (
+        "name", "window", "bad_total", "good_total",
+        "lat_breached", "avail_breached", "peak_burn",
+    )
+
+    def __init__(self, name: str, cfg: HealthConfig) -> None:
+        self.name = name
+        #: sliding SLO window; expired buckets fold into a lifetime
+        #: sketch, so the whole-run distribution costs no second
+        #: record on the request path
+        self.window = WindowedSketch(
+            cfg.window_usec, nbuckets=cfg.nbuckets, rel_err=cfg.rel_err,
+            keep_lifetime=True,
+        )
+        self.bad_total = 0
+        self.good_total = 0
+        self.lat_breached = False
+        self.avail_breached = False
+        self.peak_burn = 0.0
+
+
+class HealthHub:
+    """Always-on fleet health model for one cluster run.
+
+    Feed it from the data path (client RTT/latency/error hooks and the
+    registry's liveness edges), :meth:`start` it alongside the
+    heartbeat, and read :meth:`report` after the run.  All inputs are
+    simulated-time quantities, so the output is replay-deterministic.
+    """
+
+    def __init__(
+        self,
+        sim,
+        server_names: list[str],
+        tenant_names: list[str],
+        cfg: HealthConfig | None = None,
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        self.sim = sim
+        self.cfg = cfg if cfg is not None else HealthConfig()
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.servers = [
+            _ServerHealth(name, self.cfg.ewma_alpha, self.cfg.rel_err)
+            for name in server_names
+        ]
+        self.tenants = {
+            name: _TenantHealth(name, self.cfg) for name in tenant_names
+        }
+        self.breaches: list[SLOBreach] = []
+        #: (t_usec, server, from_status, to_status) edges, in tick order
+        self.status_timeline: list[tuple[float, str, str, str]] = []
+        #: (t_usec, tenant, burn_rate) per tick while burn > 0
+        self.burn_timeline: list[tuple[float, str, float]] = []
+        self.ticks = 0
+        self._started = False
+        c = self.cfg
+        #: error budget per window: the latency quantile leaves this
+        #: fraction of requests allowed over the threshold
+        self._budget = 1.0 - c.slo_quantile / 100.0
+        # obs.slo.* / obs.health.* series, registered eagerly so empty
+        # runs still expose the taxonomy.
+        self._s_srv = {
+            s.name: {
+                "ewma": self.stats.timeseries(
+                    f"obs.health.server.{s.name}.ewma_usec"
+                ),
+                "score": self.stats.timeseries(
+                    f"obs.health.server.{s.name}.score"
+                ),
+                "status": self.stats.timeseries(
+                    f"obs.health.server.{s.name}.status"
+                ),
+            }
+            for s in self.servers
+        }
+        self._s_ten = {
+            name: {
+                "p99": self.stats.timeseries(f"obs.slo.{name}.p99_usec"),
+                "burn": self.stats.timeseries(f"obs.slo.{name}.burn_rate"),
+                "avail": self.stats.timeseries(
+                    f"obs.slo.{name}.availability"
+                ),
+            }
+            for name in tenant_names
+        }
+
+    # -- data-path hooks (O(1), always on) ------------------------------
+
+    def record_server_rtt(self, server: int, rtt_usec: float) -> None:
+        """One acknowledged physical request's round trip on ``server``."""
+        s = self.servers[server]
+        s.ewma.update(rtt_usec)
+        s.service_sketch.record(rtt_usec)
+        s.samples += 1
+
+    def record_request(self, tenant: str, latency_usec: float) -> None:
+        """One completed block request for ``tenant``."""
+        t = self.tenants.get(tenant)
+        if t is None:
+            return
+        t.window.record(self.sim.now, latency_usec)
+        t.good_total += 1
+
+    def record_error(self, tenant: str | None, server: int | None) -> None:
+        """One failed attempt (nack/error/timeout) — burns availability."""
+        if tenant is not None:
+            t = self.tenants.get(tenant)
+            if t is not None:
+                t.window.record_bad(self.sim.now)
+                t.bad_total += 1
+
+    def set_server_alive(self, server: int, alive: bool) -> None:
+        """Liveness edge from the registry heartbeat."""
+        self.servers[server].alive = alive
+
+    # -- evaluation -----------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the periodic evaluator (idempotent)."""
+        if not self._started:
+            self._started = True
+            self.sim.spawn(self._ticker(), name="obs.health.tick")
+
+    def _ticker(self):
+        while True:
+            yield self.sim.timeout(self.cfg.tick_usec)
+            self.tick()
+
+    def tick(self) -> None:
+        """Evaluate every objective and detector once (also callable
+        directly from tests)."""
+        self.ticks += 1
+        now = self.sim.now
+        self._tick_servers(now)
+        for name in sorted(self.tenants):
+            self._tick_tenant(now, self.tenants[name])
+
+    def _tick_servers(self, now: float) -> None:
+        cfg = self.cfg
+        trace = self.sim.trace
+        scored = [
+            s for s in self.servers
+            if s.alive and s.samples >= cfg.min_samples
+        ]
+        values = sorted(s.ewma.value for s in scored)
+        median = _median(values)
+        if values:
+            mad = _median(sorted(abs(v - median) for v in values))
+            scale = max(
+                1.4826 * mad,
+                cfg.mad_rel_floor * median,
+                cfg.mad_abs_floor_usec,
+            )
+        else:
+            scale = None
+        for i, s in enumerate(self.servers):
+            score = 0.0
+            if not s.alive:
+                status = "down"
+                s.streak = 0
+            else:
+                if s in scored and scale:
+                    score = (s.ewma.value - median) / scale
+                    s.peak_score = max(s.peak_score, score)
+                if score > cfg.anomaly_threshold:
+                    s.streak += 1
+                    if (
+                        s.streak >= cfg.anomaly_consecutive
+                        and s.flagged_at is None
+                    ):
+                        s.flagged_at = now
+                        trace.instant(
+                            "health", "detector", "fail_slow",
+                            server=s.name, score=score,
+                            ewma_usec=s.ewma.value,
+                        )
+                else:
+                    s.streak = 0
+                status = (
+                    "slow"
+                    if s.streak >= cfg.anomaly_consecutive
+                    or (s.flagged_at is not None and score > cfg.anomaly_threshold)
+                    else "ok"
+                )
+            if status != s.status:
+                self.status_timeline.append((now, s.name, s.status, status))
+                s.status = status
+            series = self._s_srv[s.name]
+            ewma = s.ewma.value if s.samples else 0.0
+            series["ewma"].record(now, ewma)
+            series["score"].record(now, score)
+            series["status"].record(now, float(STATUS_CODES[status]))
+            if trace.enabled:
+                trace.counter(
+                    "health", f"server.{s.name}",
+                    ewma_usec=ewma, score=score,
+                    status=float(STATUS_CODES[status]),
+                )
+
+    def _tick_tenant(self, now: float, t: _TenantHealth) -> None:
+        cfg = self.cfg
+        trace = self.sim.trace
+        n, bad, p99, frac_over = t.window.summary(
+            now, cfg.slo_quantile, cfg.slo_latency_usec
+        )
+        total = n + bad
+        if total < cfg.min_samples:
+            return
+        burn = frac_over / self._budget
+        t.peak_burn = max(t.peak_burn, burn)
+        avail = 1.0 - bad / total
+        series = self._s_ten[t.name]
+        series["p99"].record(now, p99 if n else 0.0)
+        series["burn"].record(now, burn)
+        series["avail"].record(now, avail)
+        if burn > 0.0:
+            self.burn_timeline.append((now, t.name, burn))
+        if trace.enabled:
+            trace.counter(
+                "health", f"slo.{t.name}",
+                p99_usec=p99 if n else 0.0, burn_rate=burn,
+                availability=avail,
+            )
+        t.lat_breached = self._edge(
+            now, t, "latency_p99", t.lat_breached,
+            active=burn > 1.0, observed=p99 if n else 0.0,
+            threshold=cfg.slo_latency_usec, burn=burn,
+        )
+        t.avail_breached = self._edge(
+            now, t, "availability", t.avail_breached,
+            active=avail < cfg.slo_availability, observed=avail,
+            threshold=cfg.slo_availability, burn=burn,
+        )
+
+    def _edge(
+        self,
+        now: float,
+        t: _TenantHealth,
+        slo: str,
+        was_active: bool,
+        active: bool,
+        observed: float,
+        threshold: float,
+        burn: float,
+    ) -> bool:
+        if active == was_active:
+            return was_active
+        breach = SLOBreach(
+            t_usec=now, tenant=t.name, slo=slo,
+            edge="start" if active else "end",
+            observed=observed, threshold=threshold, burn_rate=burn,
+        )
+        self.breaches.append(breach)
+        self.sim.trace.instant(
+            "health", "slo", f"breach_{breach.edge}",
+            tenant=t.name, slo=slo, observed=observed,
+            threshold=threshold, burn_rate=burn,
+        )
+        return active
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def flagged_servers(self) -> list[str]:
+        """Servers the fail-slow detector has flagged, in fleet order."""
+        return [s.name for s in self.servers if s.flagged_at is not None]
+
+    def breached_tenants(self) -> list[str]:
+        """Tenants with at least one breach-start event, sorted."""
+        return sorted(
+            {b.tenant for b in self.breaches if b.edge == "start"}
+        )
+
+    def report(self) -> dict:
+        """The full health model as a plain, deterministic dict."""
+        cfg = self.cfg
+        servers = {}
+        for s in self.servers:
+            servers[s.name] = {
+                "status": s.status,
+                "alive": s.alive,
+                "samples": s.samples,
+                "ewma_usec": round(s.ewma.value, 3) if s.samples else None,
+                "p99_usec": (
+                    round(s.service_sketch.quantile(99), 3)
+                    if s.samples
+                    else None
+                ),
+                "peak_score": round(s.peak_score, 3),
+                "flagged": s.flagged_at is not None,
+                "flagged_at_usec": s.flagged_at,
+            }
+        tenants = {}
+        for name in sorted(self.tenants):
+            t = self.tenants[name]
+            total = t.good_total + t.bad_total
+            life = t.window.lifetime() if t.good_total else None
+            starts = [
+                b for b in self.breaches
+                if b.tenant == name and b.edge == "start"
+            ]
+            tenants[name] = {
+                "requests": t.good_total,
+                "failed_attempts": t.bad_total,
+                "availability": (
+                    round(1.0 - t.bad_total / total, 6) if total else None
+                ),
+                "p50_usec": (
+                    round(life.quantile(50), 3) if life else None
+                ),
+                "p99_usec": (
+                    round(life.quantile(99), 3) if life else None
+                ),
+                "peak_burn_rate": round(t.peak_burn, 3),
+                "breaches": len(starts),
+                "slo_met": not starts and not t.avail_breached
+                and not t.lat_breached,
+            }
+        return {
+            "slo": {
+                "latency_quantile": cfg.slo_quantile,
+                "latency_threshold_usec": cfg.slo_latency_usec,
+                "availability_target": cfg.slo_availability,
+                "window_usec": cfg.window_usec,
+                "sketch_rel_err": cfg.rel_err,
+            },
+            "ticks": self.ticks,
+            "servers": servers,
+            "tenants": tenants,
+            "flagged_servers": self.flagged_servers,
+            "breached_tenants": self.breached_tenants(),
+            "breach_timeline": [b.to_dict() for b in self.breaches],
+            "burn_timeline": [
+                {"t_usec": t_usec, "tenant": tenant, "burn_rate": round(b, 4)}
+                for t_usec, tenant, b in self.burn_timeline
+            ],
+            "status_timeline": [
+                {"t_usec": t_usec, "server": srv, "from": a, "to": b}
+                for t_usec, srv, a, b in self.status_timeline
+            ],
+        }
+
+
+def _median(sorted_values: list[float]) -> float:
+    n = len(sorted_values)
+    if not n:
+        return 0.0
+    mid = n // 2
+    if n % 2:
+        return sorted_values[mid]
+    return 0.5 * (sorted_values[mid - 1] + sorted_values[mid])

@@ -1,0 +1,563 @@
+"""Memory-bounded streaming sketches for long-horizon telemetry.
+
+The exact collectors in :mod:`repro.simulator.stats` keep every sample
+(`Tally` is an append-only numpy buffer), which is fine for one paper
+figure but cannot survive the ROADMAP's long-horizon campaigns —
+millions of requests per tenant, hours of simulated time.  This module
+provides the bounded-memory counterparts the health subsystem is built
+on:
+
+* :class:`QuantileSketch` — a DDSketch-style log-bucketed quantile
+  estimator: every recorded value lands in the bucket whose bounds are
+  a factor ``gamma = (1+a)/(1-a)`` apart, so any reported quantile is
+  within relative error ``a`` of the exact *nearest-rank* sample
+  quantile, using O(log(max/min)/a) buckets regardless of sample count.
+* :class:`EWMA` — exponentially weighted moving average, the per-server
+  service-time tracker the fail-slow detector scores.
+* :class:`RateTracker` — EWMA-smoothed rate of a monotonic counter
+  (events/bytes per simulated second).
+* :class:`WindowedSketch` — a ring of time-bucketed quantile sketches
+  giving sliding-window quantiles and good/bad counts; the SLO engine's
+  evaluation substrate (sketches merge by adding bucket counts).
+
+Everything is driven by simulated-time arguments — nothing reads a host
+clock — so health reports built on these are replay-deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+
+import numpy as np
+
+__all__ = ["QuantileSketch", "EWMA", "RateTracker", "WindowedSketch"]
+
+
+class QuantileSketch:
+    """Streaming quantile estimator with a relative-error guarantee.
+
+    Values are mapped to logarithmic buckets ``key = ceil(log_gamma x)``
+    with ``gamma = (1 + rel_err) / (1 - rel_err)``; a bucket's midpoint
+    estimate ``2 * gamma^key / (gamma + 1)`` is within ``rel_err`` of
+    every value the bucket can hold.  Non-positive values (and values
+    below ``min_value``) share a zero bucket.  When the bucket map
+    exceeds ``max_bins`` the lowest keys collapse into one, preserving
+    the guarantee for upper quantiles — the tail is what SLOs read.
+
+    The interface mirrors :class:`~repro.simulator.stats.Tally`
+    (``record`` / ``record_many`` / ``percentile`` / summary properties)
+    so a :class:`~repro.simulator.stats.StatsRegistry` can hand out a
+    sketch wherever a sample-hoarding tally used to sit.
+    """
+
+    __slots__ = (
+        "name", "rel_err", "max_bins", "_gamma", "_log_gamma",
+        "_min_value", "_min_key", "_bins", "_zero", "_n", "_sum",
+        "_min", "_max", "collapsed",
+    )
+
+    def __init__(
+        self,
+        name: str = "",
+        rel_err: float = 0.01,
+        max_bins: int = 4096,
+        min_value: float = 1e-9,
+    ) -> None:
+        if not (0.0 < rel_err < 1.0):
+            raise ValueError(f"rel_err {rel_err} not in (0, 1)")
+        if max_bins < 8:
+            raise ValueError(f"max_bins {max_bins} too small")
+        if min_value <= 0:
+            raise ValueError(f"min_value {min_value} must be positive")
+        self.name = name
+        self.rel_err = rel_err
+        self.max_bins = max_bins
+        self._gamma = (1.0 + rel_err) / (1.0 - rel_err)
+        self._log_gamma = math.log(self._gamma)
+        self._min_value = min_value
+        self._min_key = self._key(min_value)
+        self._bins: dict[int, int] = {}
+        self._zero = 0  # values <= min_value
+        self._n = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        #: low buckets merged away under the max_bins bound
+        self.collapsed = 0
+
+    # -- recording ------------------------------------------------------
+
+    def _key(self, value: float) -> int:
+        return math.ceil(math.log(value) / self._log_gamma)
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError(f"sketch {self.name!r}: NaN sample")
+        self._n += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value <= self._min_value:
+            self._zero += 1
+            return
+        bins = self._bins
+        key = math.ceil(math.log(value) / self._log_gamma)
+        bins[key] = bins.get(key, 0) + 1
+        if len(bins) > self.max_bins:
+            self._collapse()
+
+    def record_many(self, values) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if not len(values):
+            return
+        if np.isnan(values).any():
+            raise ValueError(f"sketch {self.name!r}: NaN sample")
+        self._n += len(values)
+        self._sum += float(values.sum())
+        self._min = min(self._min, float(values.min()))
+        self._max = max(self._max, float(values.max()))
+        small = values <= self._min_value
+        self._zero += int(small.sum())
+        big = values[~small]
+        if len(big):
+            keys = np.ceil(np.log(big) / self._log_gamma).astype(np.int64)
+            uniq, counts = np.unique(keys, return_counts=True)
+            for key, count in zip(uniq.tolist(), counts.tolist()):
+                self._bins[key] = self._bins.get(key, 0) + count
+            if len(self._bins) > self.max_bins:
+                self._collapse()
+
+    def _collapse(self) -> None:
+        """Merge the lowest buckets until the bound holds (DDSketch's
+        collapsing policy: tails stay exact, the floor coarsens)."""
+        keys = sorted(self._bins)
+        while len(self._bins) > self.max_bins:
+            lowest, second = keys[0], keys[1]
+            self._bins[second] += self._bins.pop(lowest)
+            keys.pop(0)
+            self.collapsed += 1
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch in (bucket maps simply add)."""
+        if other._gamma != self._gamma:
+            raise ValueError("cannot merge sketches with different rel_err")
+        self._n += other._n
+        self._sum += other._sum
+        self._zero += other._zero
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        for key, count in other._bins.items():
+            self._bins[key] = self._bins.get(key, 0) + count
+        if len(self._bins) > self.max_bins:
+            self._collapse()
+
+    def copy(self) -> "QuantileSketch":
+        """An independent snapshot (bucket map duplicated)."""
+        dup = self.__class__.__new__(self.__class__)
+        dup.name = self.name
+        dup.rel_err = self.rel_err
+        dup.max_bins = self.max_bins
+        dup._gamma = self._gamma
+        dup._log_gamma = self._log_gamma
+        dup._min_value = self._min_value
+        dup._min_key = self._min_key
+        dup._bins = dict(self._bins)
+        dup._zero = self._zero
+        dup._n = self._n
+        dup._sum = self._sum
+        dup._min = self._min
+        dup._max = self._max
+        dup.collapsed = self.collapsed
+        return dup
+
+    # -- views ----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def nbins(self) -> int:
+        return len(self._bins) + (1 if self._zero else 0)
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._n if self._n else math.nan
+
+    @property
+    def min(self) -> float:
+        return self._min if self._n else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self._n else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``q`` in [0, 100], matching
+        :meth:`Tally.percentile`): the value of the sample at rank
+        ``q/100 * (n-1)``, within ``rel_err`` relative error."""
+        if not (0.0 <= q <= 100.0):
+            raise ValueError(f"percentile {q} not in [0, 100]")
+        if not self._n:
+            return math.nan
+        rank = q / 100.0 * (self._n - 1)
+        cum = self._zero
+        if rank < cum:
+            # Sub-resolution bucket: values here are only known to within
+            # min_value absolutely; report the smallest seen sample.
+            return self._min
+        for key in sorted(self._bins):
+            cum += self._bins[key]
+            if cum > rank:
+                est = 2.0 * self._gamma ** key / (self._gamma + 1.0)
+                # The true sample never leaves [min, max]; clamping can
+                # only reduce the error.
+                return min(max(est, self._min), self._max)
+        return self._max  # pragma: no cover - cum always reaches n
+
+    # Drop-in for Tally consumers.
+    percentile = quantile
+
+    def __repr__(self) -> str:
+        if not self._n:
+            return f"QuantileSketch({self.name}: empty)"
+        return (
+            f"QuantileSketch({self.name}: n={self._n}, bins={self.nbins}, "
+            f"p50~{self.quantile(50):g}, p99~{self.quantile(99):g})"
+        )
+
+
+class EWMA:
+    """Exponentially weighted moving average of a sampled quantity.
+
+    ``alpha`` is the per-sample weight of the newest observation; the
+    first sample initializes the average.  Deterministic and O(1) —
+    the per-server service-time tracker the fail-slow detector reads.
+    """
+
+    __slots__ = ("alpha", "value", "count")
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError(f"alpha {alpha} not in (0, 1]")
+        self.alpha = alpha
+        self.value = math.nan
+        self.count = 0
+
+    def update(self, sample: float) -> float:
+        self.count += 1
+        if self.count == 1:
+            self.value = float(sample)
+        else:
+            self.value += self.alpha * (float(sample) - self.value)
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"EWMA(alpha={self.alpha}, value={self.value:g}, n={self.count})"
+
+
+class RateTracker:
+    """EWMA-smoothed rate of a monotonic counter.
+
+    Feed it ``observe(t_usec, cumulative)`` on each health tick; it
+    differentiates against the previous observation and smooths the
+    per-interval rate (units: counter units per simulated second).
+    """
+
+    __slots__ = ("_ewma", "_last_t", "_last_value")
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        self._ewma = EWMA(alpha)
+        self._last_t: float | None = None
+        self._last_value = 0.0
+
+    def observe(self, t_usec: float, cumulative: float) -> float:
+        if self._last_t is None:
+            self._last_t = t_usec
+            self._last_value = cumulative
+            return math.nan
+        dt = t_usec - self._last_t
+        if dt <= 0:
+            return self._ewma.value
+        rate = (cumulative - self._last_value) / dt * 1e6
+        self._last_t = t_usec
+        self._last_value = cumulative
+        return self._ewma.update(rate)
+
+    @property
+    def rate(self) -> float:
+        """Current smoothed rate (units/sec); NaN before two samples."""
+        return self._ewma.value
+
+
+def _count_over(sketch: QuantileSketch, threshold: float) -> int:
+    """Samples strictly above ``threshold``, at bucket resolution: a
+    bucket counts by its midpoint estimate, consistent with the sketch
+    bound.  ``est > threshold`` is evaluated in the log domain — one
+    log per call instead of one pow per bucket."""
+    if threshold < 0.0:
+        return sketch._n
+    if threshold == 0.0:
+        return sketch._n - sketch._zero
+    kthr = (
+        math.log(threshold * (sketch._gamma + 1.0) * 0.5)
+        / sketch._log_gamma
+    )
+    return sum(c for k, c in sketch._bins.items() if k > kthr)
+
+
+class WindowedSketch:
+    """Sliding-window quantiles + good/bad counts over simulated time.
+
+    The window ``[t - window_usec, t]`` is covered by ``nbuckets``
+    rotating sub-buckets, each holding a small :class:`QuantileSketch`
+    and a bad-event count; expired buckets are dropped as time advances,
+    so memory stays bounded at ``nbuckets`` sketches.  Quantiles merge
+    the live buckets (DDSketch merge = bucket-count addition), which
+    keeps the same relative-error bound as a single sketch.
+    """
+
+    __slots__ = (
+        "window_usec", "nbuckets", "rel_err", "max_bins",
+        "_span", "_buckets", "_max_idx", "_lifetime",
+        "_frozen_ids", "_frozen", "_frozen_bad",
+        "_frozen_keys", "_frozen_suffix",
+    )
+
+    def __init__(
+        self,
+        window_usec: float,
+        nbuckets: int = 8,
+        rel_err: float = 0.01,
+        max_bins: int = 512,
+        keep_lifetime: bool = False,
+    ) -> None:
+        if window_usec <= 0:
+            raise ValueError(f"bad window {window_usec}")
+        if nbuckets < 1:
+            raise ValueError(f"bad bucket count {nbuckets}")
+        self.window_usec = window_usec
+        self.nbuckets = nbuckets
+        self.rel_err = rel_err
+        self.max_bins = max_bins
+        self._span = window_usec / nbuckets
+        #: bucket index -> (sketch, bad count); index = floor(t / span)
+        self._buckets: dict[int, tuple[QuantileSketch, int]] = {}
+        self._max_idx = -(1 << 62)
+        #: expired buckets folded here when ``keep_lifetime`` — the
+        #: whole-run distribution without a second hot-path record
+        self._lifetime = (
+            QuantileSketch(rel_err=rel_err) if keep_lifetime else None
+        )
+        # summary() cache: merge of every live bucket except the active
+        # one, plus its sorted keys and top-down suffix counts —
+        # rebuilt only when the live bucket set rotates
+        self._frozen_ids: "tuple[int, ...] | None" = None
+        self._frozen: "QuantileSketch | None" = None
+        self._frozen_bad = 0
+        self._frozen_keys: list[int] = []
+        self._frozen_suffix: list[int] = [0]
+
+    def _advance(self, t_usec: float) -> None:
+        floor_idx = int(t_usec // self._span) - self.nbuckets
+        for idx in [i for i in self._buckets if i <= floor_idx]:
+            sketch, _bad = self._buckets.pop(idx)
+            if self._lifetime is not None and sketch.count:
+                self._lifetime.merge(sketch)
+
+    def _bucket(self, t_usec: float) -> tuple[QuantileSketch, int]:
+        idx = int(t_usec // self._span)
+        if idx < self._max_idx:
+            # rewinding time mutates a bucket summary() may have frozen
+            self._frozen_ids = None
+        else:
+            self._max_idx = idx
+        entry = self._buckets.get(idx)
+        if entry is None:
+            # Purge only on rotation: the common record hits the
+            # current bucket, and reads (`_live`) advance anyway.
+            self._advance(t_usec)
+            entry = (
+                QuantileSketch(
+                    rel_err=self.rel_err, max_bins=self.max_bins
+                ),
+                0,
+            )
+            self._buckets[idx] = entry
+        return entry
+
+    def record(self, t_usec: float, value: float, bad: bool = False) -> None:
+        idx = int(t_usec // self._span)
+        if idx < self._max_idx:
+            # rewinding time mutates a bucket summary() may have frozen
+            self._frozen_ids = None
+        else:
+            self._max_idx = idx
+        entry = self._buckets.get(idx)
+        if entry is None:
+            self._advance(t_usec)
+            entry = (
+                QuantileSketch(
+                    rel_err=self.rel_err, max_bins=self.max_bins
+                ),
+                0,
+            )
+            self._buckets[idx] = entry
+        entry[0].record(value)
+        if bad:
+            self._buckets[idx] = (entry[0], entry[1] + 1)
+
+    def record_bad(self, t_usec: float) -> None:
+        """Count a bad event with no latency sample (timeout/error)."""
+        sketch, nbad = self._bucket(t_usec)
+        self._buckets[int(t_usec // self._span)] = (sketch, nbad + 1)
+
+    # -- window views ---------------------------------------------------
+
+    def _live(self, t_usec: float) -> list[tuple[QuantileSketch, int]]:
+        self._advance(t_usec)
+        return [self._buckets[i] for i in sorted(self._buckets)]
+
+    def count(self, t_usec: float) -> int:
+        return sum(s.count for s, _bad in self._live(t_usec))
+
+    def bad_count(self, t_usec: float) -> int:
+        return sum(bad for _s, bad in self._live(t_usec))
+
+    def quantile(self, t_usec: float, q: float) -> float:
+        live = [s for s, _bad in self._live(t_usec) if s.count]
+        if not live:
+            return math.nan
+        merged = QuantileSketch(rel_err=self.rel_err, max_bins=self.max_bins)
+        for sketch in live:
+            merged.merge(sketch)
+        return merged.quantile(q)
+
+    def summary(
+        self, t_usec: float, q: float, threshold: float
+    ) -> tuple[int, int, float, float]:
+        """One-pass window view: ``(count, bad, quantile, frac_over)``.
+
+        The SLO tick reads all four every period.  Only the active
+        bucket can have changed since the last call (records follow
+        simulated time forward), so the merge of the older live
+        buckets is cached and rebuilt only when the window rotates;
+        each call pays one bucket-map copy plus one merge.
+        """
+        self._advance(t_usec)
+        buckets = self._buckets
+        cur = int(t_usec // self._span)
+        frozen_ids = tuple(i for i in sorted(buckets) if i != cur)
+        if frozen_ids != self._frozen_ids:
+            frozen = QuantileSketch(
+                rel_err=self.rel_err, max_bins=self.max_bins
+            )
+            fbad = 0
+            for i in frozen_ids:
+                sketch, b = buckets[i]
+                if sketch.count:
+                    frozen.merge(sketch)
+                fbad += b
+            fkeys = sorted(frozen._bins)
+            suffix = [0] * (len(fkeys) + 1)
+            for i in range(len(fkeys) - 1, -1, -1):
+                suffix[i] = suffix[i + 1] + frozen._bins[fkeys[i]]
+            self._frozen_ids = frozen_ids
+            self._frozen = frozen
+            self._frozen_bad = fbad
+            self._frozen_keys = fkeys
+            self._frozen_suffix = suffix
+        frozen = self._frozen
+        fbins = frozen._bins
+        entry = buckets.get(cur)
+        bad = self._frozen_bad
+        if entry is None or not entry[0]._n:
+            abins: dict[int, int] = {}
+            n, zero, mn, mx = frozen._n, frozen._zero, frozen._min, frozen._max
+            if entry is not None:
+                bad += entry[1]
+        else:
+            active = entry[0]
+            bad += entry[1]
+            abins = active._bins
+            n = frozen._n + active._n
+            zero = frozen._zero + active._zero
+            mn = min(frozen._min, active._min)
+            mx = max(frozen._max, active._max)
+        if not n:
+            return 0, bad, math.nan, 0.0
+        gamma = frozen._gamma
+        fkeys = self._frozen_keys
+        if threshold < 0.0:
+            over = n
+        elif threshold == 0.0:
+            over = n - zero
+        else:
+            kthr = (
+                math.log(threshold * (gamma + 1.0) * 0.5)
+                / frozen._log_gamma
+            )
+            over = self._frozen_suffix[bisect_right(fkeys, kthr)]
+            if abins:
+                over += sum(c for k, c in abins.items() if k > kthr)
+        # Nearest-rank quantile over the frozen/active key union,
+        # walked from the top: for the tail quantiles the SLO reads,
+        # this touches only the buckets holding the top 100-q percent.
+        rank = q / 100.0 * (n - 1)
+        quant = mn
+        if rank >= zero:
+            akeys = sorted(abins) if abins else []
+            i = len(fkeys) - 1
+            j = len(akeys) - 1
+            above = 0
+            while i >= 0 or j >= 0:
+                if j < 0 or (i >= 0 and fkeys[i] >= akeys[j]):
+                    k = fkeys[i]
+                    c = fbins[k]
+                    i -= 1
+                    if j >= 0 and akeys[j] == k:
+                        c += abins[k]
+                        j -= 1
+                else:
+                    k = akeys[j]
+                    c = abins[k]
+                    j -= 1
+                if rank >= n - above - c:
+                    est = 2.0 * gamma ** k / (gamma + 1.0)
+                    quant = min(max(est, mn), mx)
+                    break
+                above += c
+        return n, bad, quant, over / n
+
+    def frac_over(self, t_usec: float, threshold: float) -> float:
+        """Fraction of windowed samples strictly above ``threshold``
+        (bucket-resolution: a bucket straddling the threshold counts
+        by its midpoint estimate, consistent with the sketch bound)."""
+        total = over = 0
+        for sketch, _bad in self._live(t_usec):
+            total += sketch.count
+            if sketch.count:
+                over += _count_over(sketch, threshold)
+        if not total:
+            return 0.0
+        return over / total
+
+    def lifetime(self) -> QuantileSketch:
+        """The whole-run distribution (requires ``keep_lifetime``):
+        every expired bucket plus the live ones, merged on demand."""
+        if self._lifetime is None:
+            raise ValueError("WindowedSketch built without keep_lifetime")
+        merged = self._lifetime.copy()
+        for idx in sorted(self._buckets):
+            sketch, _bad = self._buckets[idx]
+            if sketch.count:
+                merged.merge(sketch)
+        return merged

@@ -57,6 +57,10 @@ class ScenarioResult:
     invariant_violations: list[dict] = field(default_factory=list)
     #: monitored high-water marks (queue depths etc.)
     monitor_watermarks: dict[str, float] = field(default_factory=dict)
+    #: fleet health report (repro.obs.health.HealthHub.report()): SLO
+    #: attainment, breach/burn timelines, fail-slow verdicts.  Plain
+    #: dict so sweeps aggregate health across the grid from the cache.
+    health: dict = field(default_factory=dict)
     registry: StatsRegistry = field(repr=False, default_factory=StatsRegistry)
     #: cross-layer span recording (run_scenario(..., trace=True)), else None
     trace: "TraceRecorder | None" = field(repr=False, default=None)
@@ -74,6 +78,8 @@ class ScenarioResult:
         return state
 
     def __setstate__(self, state: dict) -> None:
+        # Results cached before the health field existed unpickle clean.
+        state.setdefault("health", {})
         self.__dict__.update(state)
 
     @property

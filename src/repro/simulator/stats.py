@@ -181,6 +181,25 @@ class StatsRegistry:
             raise TypeError(f"{name} already registered as {type(item).__name__}")
         return item
 
+    def sketch(self, name: str, rel_err: float = 0.01, max_bins: int = 4096):
+        """A bounded-memory quantile sketch (:mod:`repro.obs.sketch`).
+
+        Drop-in for :meth:`tally` on the always-on hot path: same
+        ``record``/``record_many``/``percentile`` surface, O(bins)
+        memory instead of O(samples).  ``rel_err``/``max_bins`` only
+        apply on first registration.
+        """
+        from ..obs.sketch import QuantileSketch
+
+        item = self._items.get(name)
+        if item is None:
+            item = self._items[name] = QuantileSketch(
+                name, rel_err=rel_err, max_bins=max_bins
+            )
+        elif not isinstance(item, QuantileSketch):
+            raise TypeError(f"{name} already registered as {type(item).__name__}")
+        return item
+
     def timeseries(self, name: str) -> TimeSeries:
         item = self._items.get(name)
         if item is None:
@@ -218,5 +237,15 @@ class StatsRegistry:
                 out[name] = {
                     "count": item.count,
                     "time_weighted_mean": item.time_weighted_mean(),
+                }
+            else:  # QuantileSketch (duck-typed: avoids an obs import here)
+                out[name] = {
+                    "count": item.count,
+                    "total": item.total,
+                    "mean": item.mean,
+                    "max": item.max,
+                    "p50": item.percentile(50),
+                    "p95": item.percentile(95),
+                    "p99": item.percentile(99),
                 }
         return out

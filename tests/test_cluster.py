@@ -470,3 +470,30 @@ class TestClusterCLI:
         assert len(payload["fair"]["tenants"]) == 3
         captured = capsys.readouterr().out
         assert "spread" in captured
+
+
+class TestTenantMetricsWiring:
+    def test_traced_run_exports_utilization_gauges(self, fair_result):
+        """Every traced cluster run samples per-tenant vmstat and
+        utilization gauges (CPU busyness, request queue, credits,
+        pool) plus fleet-level RDMA slot occupancy."""
+        names = set(fair_result.registry.names())
+        for tenant in ("t0", "t1", "t2"):
+            assert f"obs.vmstat.{tenant}.free_bytes" in names
+            assert f"obs.vmstat.{tenant}.pgfault_major" in names
+            for gauge in ("cpus.busy", "rq.in_flight", "rq.ready",
+                          "credits.tokens", "pool.free_bytes"):
+                assert f"obs.util.{tenant}.{gauge}" in names
+        assert "obs.util.mem0.rdma.slots_in_use" in names
+        # the samplers actually ran
+        ts = fair_result.registry.get("obs.util.t0.cpus.busy")
+        assert ts.count > 10
+
+    def test_untraced_run_skips_metrics(self):
+        from repro.cluster import run_cluster_scenario
+        from repro.experiments import cluster_fair_config
+
+        result = run_cluster_scenario(cluster_fair_config(256))
+        assert not any(
+            n.startswith("obs.util.") for n in result.registry.names()
+        )

@@ -1,0 +1,328 @@
+"""Tests for the fleet health model (``repro.obs.health``).
+
+Unit coverage drives a :class:`HealthHub` with synthetic feeds — a
+limping server must trip the fail-slow detector, liveness edges must
+land in the per-server status, SLO breaches must open and close as
+typed events.  The acceptance scenario is the ISSUE gate: the seeded
+three-tenant cluster with one ``LinkDegrade``-limped server flags
+exactly that server, every victim tenant breaches its p99 latency SLO
+with a burn-rate timeline, and the same seed replays to a
+byte-identical report.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs import HealthConfig, HealthHub
+
+CLUSTER_SCALE = 64
+# cluster_failslow_config degrades mem1 at mid-run for half as long
+DEGRADE_START = 73_000_000.0 / CLUSTER_SCALE
+DEGRADE_END = DEGRADE_START * 1.5
+
+
+def _drive(sim, hub: HealthHub, feed, steps: int, dt: float = 1_000.0):
+    """Run ``feed(i)`` every ``dt`` simulated µs with the hub ticking."""
+
+    def proc():
+        for i in range(steps):
+            feed(i)
+            yield sim.timeout(dt)
+
+    hub.start()
+    sim.run(until=sim.spawn(proc()))
+
+
+@pytest.fixture
+def cfg() -> HealthConfig:
+    return HealthConfig(min_samples=5)
+
+
+class TestFailSlowDetector:
+    def test_limping_server_flagged(self, sim, cfg):
+        hub = HealthHub(sim, ["s0", "s1", "s2"], ["t"], cfg=cfg)
+
+        def feed(i):
+            hub.record_server_rtt(0, 100.0)
+            hub.record_server_rtt(1, 110.0)
+            hub.record_server_rtt(2, 100.0 if i < 20 else 900.0)
+
+        _drive(sim, hub, feed, steps=40)
+        assert hub.flagged_servers == ["s2"]
+        s2 = hub.servers[2]
+        assert s2.status == "slow"
+        assert s2.flagged_at is not None and s2.flagged_at > 20_000.0
+        assert any(
+            srv == "s2" and to == "slow"
+            for _t, srv, _frm, to in hub.status_timeline
+        )
+        # healthy peers never score anywhere near the threshold
+        assert hub.servers[0].peak_score < cfg.anomaly_threshold / 2
+
+    def test_healthy_fleet_stays_quiet(self, sim, cfg):
+        hub = HealthHub(sim, ["s0", "s1", "s2"], ["t"], cfg=cfg)
+
+        def feed(i):
+            for srv in range(3):
+                hub.record_server_rtt(srv, 100.0 + (i + srv) % 7)
+
+        _drive(sim, hub, feed, steps=40)
+        assert hub.flagged_servers == []
+        assert all(s.status == "ok" for s in hub.servers)
+
+    def test_under_min_samples_not_scored(self, sim, cfg):
+        hub = HealthHub(sim, ["s0", "s1"], ["t"], cfg=cfg)
+
+        def feed(i):
+            hub.record_server_rtt(0, 100.0)
+            if i < 3:  # stays below min_samples
+                hub.record_server_rtt(1, 50_000.0)
+
+        _drive(sim, hub, feed, steps=30)
+        assert hub.flagged_servers == []
+
+    def test_liveness_edge_sets_down_status(self, sim, cfg):
+        hub = HealthHub(sim, ["s0", "s1"], ["t"], cfg=cfg)
+
+        def feed(i):
+            hub.record_server_rtt(0, 100.0)
+            hub.record_server_rtt(1, 100.0)
+            if i == 10:
+                hub.set_server_alive(1, False)
+            if i == 20:
+                hub.set_server_alive(1, True)
+
+        _drive(sim, hub, feed, steps=30)
+        edges = [
+            (srv, frm, to) for _t, srv, frm, to in hub.status_timeline
+        ]
+        assert ("s1", "ok", "down") in edges
+        assert ("s1", "down", "ok") in edges
+        assert hub.servers[1].status == "ok"
+
+
+class TestSLOEngine:
+    def test_latency_breach_opens_and_closes(self, sim, cfg):
+        hub = HealthHub(sim, ["s0"], ["t"], cfg=cfg)
+
+        def feed(i):
+            slow = 60 <= i < 90
+            for _ in range(3):
+                hub.record_request("t", 50_000.0 if slow else 100.0)
+
+        _drive(sim, hub, feed, steps=200)
+        edges = [(b.slo, b.edge) for b in hub.breaches]
+        assert ("latency_p99", "start") in edges
+        assert ("latency_p99", "end") in edges
+        assert hub.breached_tenants() == ["t"]
+        assert hub.burn_timeline  # burn > 0 while the breach was open
+        start = next(b for b in hub.breaches if b.edge == "start")
+        assert start.burn_rate > 1.0
+        assert start.threshold == cfg.slo_latency_usec
+        report = hub.report()
+        assert report["tenants"]["t"]["breaches"] == 1
+        assert not report["tenants"]["t"]["slo_met"]
+        assert report["tenants"]["t"]["peak_burn_rate"] > 1.0
+
+    def test_availability_breach(self, sim, cfg):
+        hub = HealthHub(sim, ["s0"], ["t"], cfg=cfg)
+
+        def feed(i):
+            for _ in range(5):
+                hub.record_request("t", 100.0)
+            if 50 <= i < 70:
+                hub.record_error("t", 0)
+
+        _drive(sim, hub, feed, steps=120)
+        assert any(
+            b.slo == "availability" and b.edge == "start"
+            for b in hub.breaches
+        )
+        report = hub.report()
+        assert report["tenants"]["t"]["failed_attempts"] == 20
+
+    def test_fast_tenant_meets_slo(self, sim, cfg):
+        hub = HealthHub(sim, ["s0"], ["t"], cfg=cfg)
+
+        def feed(i):
+            for _ in range(3):
+                hub.record_request("t", 200.0)
+
+        _drive(sim, hub, feed, steps=100)
+        assert hub.breaches == []
+        report = hub.report()
+        assert report["tenants"]["t"]["slo_met"]
+        assert report["tenants"]["t"]["peak_burn_rate"] == 0.0
+
+    def test_unknown_tenant_ignored(self, sim, cfg):
+        hub = HealthHub(sim, ["s0"], ["t"], cfg=cfg)
+        hub.record_request("ghost", 1.0)
+        hub.record_error("ghost", 0)
+        hub.record_error(None, None)
+        assert hub.tenants["t"].good_total == 0
+
+    def test_synthetic_report_deterministic(self, cfg):
+        from repro.simulator import Simulator
+
+        def run():
+            sim = Simulator()
+            hub = HealthHub(sim, ["s0", "s1"], ["a", "b"], cfg=cfg)
+
+            def feed(i):
+                hub.record_server_rtt(0, 100.0 + i % 5)
+                hub.record_server_rtt(1, 110.0 if i < 30 else 2_000.0)
+                hub.record_request("a", 150.0)
+                hub.record_request("b", 5_000.0 if i % 3 else 100.0)
+                if i % 11 == 0:
+                    hub.record_error("b", 1)
+
+            _drive(sim, hub, feed, steps=80)
+            return hub.report()
+
+        assert json.dumps(run(), sort_keys=True) == json.dumps(
+            run(), sort_keys=True
+        )
+
+
+class TestHealthConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            HealthConfig(tick_usec=0.0)
+        with pytest.raises(ValueError):
+            HealthConfig(window_usec=1.0, tick_usec=10.0)
+        with pytest.raises(ValueError):
+            HealthConfig(slo_quantile=100.0)
+        with pytest.raises(ValueError):
+            HealthConfig(slo_availability=0.0)
+        with pytest.raises(ValueError):
+            HealthConfig(anomaly_consecutive=0)
+
+
+@pytest.fixture(scope="session")
+def failslow_result():
+    from repro.experiments import cluster_failslow_config
+    from repro.runner import run_scenario
+
+    return run_scenario(cluster_failslow_config(CLUSTER_SCALE))
+
+
+@pytest.fixture(scope="session")
+def fair_health_result():
+    from repro.experiments import cluster_fair_config
+    from repro.runner import run_scenario
+
+    return run_scenario(cluster_fair_config(CLUSTER_SCALE))
+
+
+class TestFailSlowAcceptance:
+    def test_detector_flags_exactly_the_degraded_server(self, failslow_result):
+        health = failslow_result.health
+        assert health["flagged_servers"] == ["mem1"]
+        flagged_at = health["servers"]["mem1"]["flagged_at_usec"]
+        assert DEGRADE_START <= flagged_at <= DEGRADE_END
+        for name in ("mem0", "mem2"):
+            srv = health["servers"][name]
+            assert not srv["flagged"]
+            assert srv["peak_score"] < HealthConfig().anomaly_threshold
+
+    def test_victim_tenants_breach_with_burn_timeline(self, failslow_result):
+        health = failslow_result.health
+        assert health["breached_tenants"] == ["t0", "t1", "t2"]
+        starts = [
+            b for b in health["breach_timeline"]
+            if b["slo"] == "latency_p99" and b["edge"] == "start"
+        ]
+        assert len(starts) == 3
+        # the degrade window is where the budget burns
+        assert all(
+            DEGRADE_START <= b["t_usec"] <= DEGRADE_END + 100_000.0
+            for b in starts
+        )
+        assert health["burn_timeline"]
+        assert all(
+            e["burn_rate"] > 0 for e in health["burn_timeline"]
+        )
+        for t in health["tenants"].values():
+            assert t["peak_burn_rate"] > 1.0
+            assert not t["slo_met"]
+
+    def test_slo_and_health_series_registered(self, failslow_result):
+        names = set(failslow_result.registry.names())
+        for tenant in ("t0", "t1", "t2"):
+            assert f"obs.slo.{tenant}.p99_usec" in names
+            assert f"obs.slo.{tenant}.burn_rate" in names
+            assert f"obs.slo.{tenant}.availability" in names
+        for srv in ("mem0", "mem1", "mem2"):
+            assert f"obs.health.server.{srv}.ewma_usec" in names
+            assert f"obs.health.server.{srv}.score" in names
+            assert f"obs.health.server.{srv}.status" in names
+
+    def test_no_invariant_violations(self, failslow_result):
+        assert failslow_result.invariant_violations == []
+
+    def test_replay_byte_identical(self, failslow_result):
+        from repro.experiments import cluster_failslow_config
+        from repro.runner import run_scenario
+
+        second = run_scenario(cluster_failslow_config(CLUSTER_SCALE))
+        assert json.dumps(second.health, sort_keys=True) == json.dumps(
+            failslow_result.health, sort_keys=True
+        )
+
+    def test_health_survives_pickling(self, failslow_result):
+        clone = pickle.loads(pickle.dumps(failslow_result))
+        assert clone.health == failslow_result.health
+        # results cached before the field existed still unpickle
+        state = failslow_result.__getstate__()
+        state.pop("health")
+        old = object.__new__(type(failslow_result))
+        old.__setstate__(state)
+        assert old.health == {}
+
+    def test_fault_free_run_stays_quiet(self, fair_health_result):
+        health = fair_health_result.health
+        assert health["flagged_servers"] == []
+        assert health["breached_tenants"] == []
+        assert health["breach_timeline"] == []
+        assert all(t["slo_met"] for t in health["tenants"].values())
+        assert all(
+            s["status"] == "ok" for s in health["servers"].values()
+        )
+
+    def test_health_disabled_when_config_none(self):
+        import dataclasses
+
+        from repro.experiments import cluster_fair_config
+        from repro.runner import run_scenario
+
+        cfg = dataclasses.replace(cluster_fair_config(256), health=None)
+        result = run_scenario(cfg)
+        assert result.health == {}
+
+
+class TestHealthCLI:
+    def test_health_command_expect_breach(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "health.json"
+        status = main([
+            "health",
+            "--scale", str(CLUSTER_SCALE),
+            "--expect-breach",
+            "--json", str(out),
+        ])
+        printed = capsys.readouterr().out
+        assert status == 0
+        assert "expected breach confirmed" in printed
+        assert not (tmp_path / "health.json.tmp").exists()
+        payload = json.loads(out.read_text())
+        assert payload["health"]["flagged_servers"] == ["mem1"]
+        assert payload["health"]["breached_tenants"] == ["t0", "t1", "t2"]
+        assert payload["status"] == 0
+        # the shared report writer emits stable key order + newline
+        assert out.read_text().endswith("\n")
+        assert list(payload) == sorted(payload)

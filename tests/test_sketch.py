@@ -1,0 +1,286 @@
+"""Tests for the streaming sketches (``repro.obs.sketch``).
+
+The DDSketch-style quantile estimator carries a relative-error
+guarantee against the exact nearest-rank sample quantile; these tests
+enforce it on adversarial distributions (heavy tails, bimodal spikes,
+log-uniform spans), through merges and vectorized recording, and at
+the documented edges (zero bucket, bucket collapse).  The windowed /
+EWMA / rate trackers and the ``StatsRegistry.sketch`` drop-in are
+covered alongside, plus the empty-``Tally`` regression guard.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import EWMA, QuantileSketch, RateTracker, WindowedSketch
+from repro.simulator import StatsRegistry
+
+REL_ERR = 0.01
+
+
+def exact_bounds(samples, q: float) -> tuple[float, float]:
+    """The two samples bracketing rank ``q/100 * (n-1)``.
+
+    At a fractional rank the nearest-rank convention may legitimately
+    return either neighbor, so the sketch only has to land within
+    ``rel_err`` of the interval they span.
+    """
+    s = np.sort(np.asarray(samples, dtype=np.float64))
+    rank = q / 100.0 * (len(s) - 1)
+    return float(s[math.floor(rank)]), float(s[math.ceil(rank)])
+
+
+def assert_within_bound(
+    samples, sketch: QuantileSketch,
+    qs=(0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0),
+    rel_err: float = REL_ERR,
+) -> None:
+    for q in qs:
+        lo, hi = exact_bounds(samples, q)
+        est = sketch.quantile(q)
+        assert lo * (1.0 - rel_err) - 1e-12 <= est <= hi * (1.0 + rel_err) + 1e-12, (
+            q, est, lo, hi)
+
+
+def _distributions() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(42)
+    n = 20_000
+    return {
+        "uniform": rng.uniform(50.0, 5_000.0, n),
+        "lognormal": rng.lognormal(5.0, 2.0, n),
+        "pareto": (rng.pareto(1.5, n) + 1.0) * 10.0,
+        "exponential": rng.exponential(1_000.0, n) + 1.0,
+        # Two tight modes six orders of magnitude apart: quantiles jump
+        # across the gap, the worst case for bucketed estimators.
+        "bimodal": np.concatenate([
+            np.abs(rng.normal(100.0, 5.0, n // 2)) + 1.0,
+            rng.normal(1e6, 1e4, n // 2),
+        ]),
+        "loguniform": 10.0 ** rng.uniform(0.0, 6.0, n),
+    }
+
+
+class TestQuantileSketchBound:
+    @pytest.mark.parametrize("name", sorted(_distributions()))
+    def test_relative_error_bound(self, name):
+        samples = _distributions()[name]
+        sk = QuantileSketch(name, rel_err=REL_ERR)
+        sk.record_many(samples)
+        assert sk.count == len(samples)
+        assert_within_bound(samples, sk)
+
+    def test_scalar_and_vector_recording_agree(self):
+        samples = _distributions()["lognormal"][:2_000]
+        a = QuantileSketch("scalar")
+        for v in samples:
+            a.record(v)
+        b = QuantileSketch("vector")
+        b.record_many(samples)
+        assert a.count == b.count
+        assert a.total == pytest.approx(b.total)
+        for q in (50, 90, 99, 99.9):
+            assert a.quantile(q) == b.quantile(q)
+
+    def test_merge_matches_single_sketch(self):
+        samples = _distributions()["pareto"]
+        whole = QuantileSketch("whole")
+        whole.record_many(samples)
+        left = QuantileSketch("left")
+        left.record_many(samples[: len(samples) // 2])
+        right = QuantileSketch("right")
+        right.record_many(samples[len(samples) // 2:])
+        left.merge(right)
+        assert left.count == whole.count
+        for q in (50, 90, 99, 99.9):
+            assert left.quantile(q) == whole.quantile(q)
+        assert_within_bound(samples, left)
+
+    def test_merge_rejects_mismatched_resolution(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(rel_err=0.01).merge(QuantileSketch(rel_err=0.05))
+
+    def test_zero_bucket_absolute_bound(self):
+        """Below ``min_value`` the guarantee degrades to an absolute
+        error of ``min_value``; q=0 stays exact."""
+        rng = np.random.default_rng(7)
+        samples = rng.uniform(1e-12, 1e-6, 5_000)
+        sk = QuantileSketch("tiny", min_value=1e-3)
+        sk.record_many(samples)
+        assert sk.quantile(0) == float(samples.min())
+        for q in (25, 50, 99):
+            lo, hi = exact_bounds(samples, q)
+            assert abs(sk.quantile(q) - lo) <= 1e-3
+            assert abs(sk.quantile(q) - hi) <= 1e-3
+
+    def test_collapse_bounds_memory_and_keeps_tail(self):
+        """Under ``max_bins`` pressure the lowest buckets collapse: the
+        map stays bounded and upper quantiles keep the guarantee (the
+        collapsed floor is where accuracy is surrendered)."""
+        samples = _distributions()["loguniform"]
+        sk = QuantileSketch("tight", rel_err=REL_ERR, max_bins=256)
+        sk.record_many(samples)
+        assert sk.collapsed > 0
+        assert sk.nbins <= 257  # max_bins + the (empty here) zero bucket
+        assert_within_bound(samples, sk, qs=(90.0, 95.0, 99.0, 99.9, 100.0))
+
+    def test_empty_and_nan(self):
+        sk = QuantileSketch("empty")
+        assert math.isnan(sk.quantile(50))
+        assert math.isnan(sk.mean)
+        assert sk.count == 0
+        with pytest.raises(ValueError):
+            sk.record(math.nan)
+        with pytest.raises(ValueError):
+            sk.record_many([1.0, math.nan])
+        with pytest.raises(ValueError):
+            sk.quantile(101)
+
+    def test_tally_drop_in_surface(self):
+        """Same call surface as ``Tally`` where it matters: record,
+        record_many, percentile, count/total/mean/min/max."""
+        sk = QuantileSketch("compat")
+        sk.record(10.0)
+        sk.record_many([20.0, 30.0])
+        assert QuantileSketch.percentile is QuantileSketch.quantile
+        assert sk.percentile(0) == pytest.approx(10.0, rel=REL_ERR)
+        assert sk.count == 3
+        assert sk.total == pytest.approx(60.0)
+        assert sk.mean == pytest.approx(20.0)
+        assert (sk.min, sk.max) == (10.0, 30.0)
+
+
+class TestEWMAAndRate:
+    def test_first_sample_initializes(self):
+        e = EWMA(alpha=0.5)
+        assert e.update(10.0) == 10.0
+        assert e.update(20.0) == 15.0
+        assert e.update(20.0) == 17.5
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EWMA(alpha=0.0)
+
+    def test_rate_tracker_differentiates(self):
+        r = RateTracker(alpha=0.3)
+        assert math.isnan(r.observe(0.0, 0.0))
+        assert r.observe(1e6, 1_000.0) == pytest.approx(1_000.0)
+        # next interval runs at 2000/s; EWMA pulls 30% of the way
+        assert r.observe(2e6, 3_000.0) == pytest.approx(1_300.0)
+        assert r.rate == pytest.approx(1_300.0)
+
+
+class TestWindowedSketch:
+    def test_rotation_expires_old_samples(self):
+        w = WindowedSketch(window_usec=100.0, nbuckets=4)
+        for t in range(0, 100, 10):
+            w.record(float(t), 1_000.0)
+        assert w.count(99.0) == 10
+        assert w.quantile(99.0, 50) == pytest.approx(1_000.0, rel=REL_ERR)
+        # one full window later everything has aged out
+        assert w.count(300.0) == 0
+        assert math.isnan(w.quantile(300.0, 50))
+        w.record(300.0, 5.0)
+        assert w.count(300.0) == 1
+        assert w.quantile(300.0, 50) == pytest.approx(5.0, rel=REL_ERR)
+
+    def test_bad_counts_and_frac_over(self):
+        w = WindowedSketch(window_usec=1_000.0, nbuckets=10)
+        for i in range(90):
+            w.record(float(i), 100.0)
+        for i in range(90, 100):
+            w.record(float(i), 10_000.0)
+        w.record_bad(50.0)
+        w.record_bad(60.0)
+        assert w.count(100.0) == 100
+        assert w.bad_count(100.0) == 2
+        assert w.frac_over(100.0, 1_500.0) == pytest.approx(0.10)
+        assert w.frac_over(100.0, 1e9) == 0.0
+
+    def test_summary_matches_separate_views(self):
+        rng = np.random.default_rng(3)
+        w = WindowedSketch(window_usec=5_000.0, nbuckets=8)
+        t = 0.0
+        for _ in range(500):
+            t += float(rng.uniform(1.0, 20.0))
+            w.record(t, float(rng.lognormal(5.0, 1.0)))
+            if rng.uniform() < 0.05:
+                w.record_bad(t)
+        count, bad, p99, frac = w.summary(t, 99.0, 300.0)
+        assert count == w.count(t)
+        assert bad == w.bad_count(t)
+        assert p99 == w.quantile(t, 99.0)
+        assert frac == w.frac_over(t, 300.0)
+
+
+class TestStatsRegistrySketch:
+    def test_registration_and_snapshot(self):
+        reg = StatsRegistry()
+        sk = reg.sketch("lat", rel_err=0.02)
+        assert reg.sketch("lat") is sk
+        sk.record_many([100.0] * 99 + [1_000.0])
+        snap = reg.snapshot()["lat"]
+        assert snap["count"] == 100
+        # nearest-rank p99 of 100 samples is the 99th sample (100.0);
+        # only the max reaches the outlier
+        assert snap["p99"] == pytest.approx(100.0, rel=0.02)
+        assert snap["max"] == 1_000.0
+
+    def test_type_conflict_raises(self):
+        reg = StatsRegistry()
+        reg.sketch("x")
+        with pytest.raises(TypeError):
+            reg.tally("x")
+        reg.tally("y")
+        with pytest.raises(TypeError):
+            reg.sketch("y")
+
+    def test_empty_tally_percentile_and_snapshot(self):
+        """Regression: an empty series must summarize as NaN, not
+        raise or warn from ``np.percentile`` on a zero-length buffer."""
+        reg = StatsRegistry()
+        t = reg.tally("never.recorded")
+        assert math.isnan(t.percentile(50))
+        assert math.isnan(t.percentile(99))
+        assert math.isnan(t.mean)
+        snap = reg.snapshot()["never.recorded"]
+        assert snap["count"] == 0
+        assert math.isnan(snap["p99"])
+
+
+def test_fig07_sketch_matches_exact_tally(traced_fig07_hpbd):
+    """Acceptance: on the fig07 HPBD scenario, sketch quantiles agree
+    with the exact sample-hoarding ``Tally`` within the documented
+    relative-error bound."""
+    tally = traced_fig07_hpbd.registry.get("hpbd0.request_usec")
+    values = tally.values()
+    assert len(values) > 1_000
+    sk = QuantileSketch("fig07", rel_err=REL_ERR)
+    sk.record_many(values)
+    assert sk.count == len(values)
+    assert_within_bound(values, sk, qs=(50.0, 90.0, 95.0, 99.0, 99.9))
+    for q in (50.0, 95.0, 99.0):
+        assert sk.quantile(q) == pytest.approx(
+            tally.percentile(q), rel=3 * REL_ERR
+        )
+
+
+@pytest.mark.parametrize("fabric", ["ipoib", "gige"])
+def test_fig07_nbd_devices_within_bound(fabric):
+    """The NBD fig07 variants, at a small scale: the bound must hold
+    on every request-latency profile the figure produces."""
+    from repro.config import NBD
+    from repro.experiments import fig07_points
+    from repro.runner import run_scenario
+
+    point = fig07_points(256, [NBD(fabric)])[0]
+    result = run_scenario(point.cfg)
+    tally = result.registry.get("nbd0.request_usec")
+    assert tally is not None and tally.count > 100
+    values = tally.values()
+    sk = QuantileSketch(fabric, rel_err=REL_ERR)
+    sk.record_many(values)
+    assert_within_bound(values, sk, qs=(50.0, 90.0, 99.0))
