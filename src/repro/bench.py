@@ -28,6 +28,7 @@ __all__ = [
     "bench_timeout_churn",
     "bench_relay_resume",
     "bench_obs_overhead",
+    "bench_fluid_bulk",
     "bench_blame_split",
     "bench_cluster_fairness",
     "bench_health_overhead",
@@ -122,6 +123,67 @@ def bench_obs_overhead(nevents: int = 100_000, rounds: int = 3) -> dict[str, Any
         "bare_events_per_sec": bare_rate,
         "guarded_events_per_sec": guarded_rate,
         "overhead_frac": bare_rate / guarded_rate - 1.0,
+    }
+
+
+def bench_fluid_bulk(
+    chunk_bytes: int = 8 * 1024 * 1024,
+    nchunks: int = 8,
+    rounds: int = 3,
+) -> dict[str, Any]:
+    """Fluid fast path vs. per-page discrete stepping on a bulk workload.
+
+    ``nchunks`` sequential uncontended transfers through one
+    :class:`~repro.simulator.FluidChannel` — the spill/migration shape.
+    The fluid arm collapses each transfer to O(1) scheduler entries; the
+    forced-discrete arm steps every 4 KiB page (what an enabled tracer
+    or fault window costs).  Both arms must produce bit-identical
+    completion times — the equivalence the fast path is allowed to
+    exist on — and the payload records the event-count and wall-clock
+    ratios the CI floor tracks.
+    """
+    from .simulator import FluidChannel
+
+    def run_once(force_discrete: bool) -> tuple[float, int, list[float]]:
+        sim = Simulator()
+        chan = FluidChannel(sim, rate_bytes_per_usec=800.0)
+        chan.force_discrete = force_discrete
+
+        def workload(sim):
+            finish_times = []
+            for _ in range(nchunks):
+                yield chan.transfer(chunk_bytes)
+                finish_times.append(sim.now)
+            return finish_times
+
+        p = sim.spawn(workload(sim))
+        t0 = time.perf_counter()
+        times = sim.run(until=p)
+        return time.perf_counter() - t0, sim.events_processed, times
+
+    fluid_wall = discrete_wall = float("inf")
+    fluid_events = discrete_events = 0
+    fluid_times: list[float] = []
+    discrete_times: list[float] = []
+    for _ in range(rounds):
+        wall, nev, times = run_once(False)
+        if wall < fluid_wall:
+            fluid_wall, fluid_events, fluid_times = wall, nev, times
+        wall, nev, times = run_once(True)
+        if wall < discrete_wall:
+            discrete_wall, discrete_events, discrete_times = wall, nev, times
+    return {
+        "chunk_bytes": chunk_bytes,
+        "nchunks": nchunks,
+        "rounds": rounds,
+        "fluid_wall_sec": fluid_wall,
+        "discrete_wall_sec": discrete_wall,
+        "fluid_events": fluid_events,
+        "discrete_events": discrete_events,
+        "event_reduction": discrete_events / fluid_events if fluid_events else None,
+        "wall_speedup": discrete_wall / fluid_wall if fluid_wall else None,
+        "identical_results": fluid_times == discrete_times,
+        "final_usec": fluid_times[-1] if fluid_times else None,
     }
 
 
@@ -239,6 +301,16 @@ def bench_figure_sweep(
     The four swap devices (HPBD, NBD over IPoIB and GigE, local disk)
     form the grid; the local-memory baseline is excluded so every point
     actually swaps.  The cached re-run must re-simulate zero points.
+
+    The parallel arm is always measured.  On a 1-CPU host ``auto``
+    resolves to one worker, which used to leave ``parallel_sec: null``
+    in BENCH files — silently, so nobody knew whether the pool was
+    broken or just skipped.  Now the arm runs with two workers anyway
+    (exercising the process-pool path; it will be slower than serial,
+    which is fine — it's a smoke measurement there, not a speedup
+    claim) and the payload carries ``parallel_workers`` plus a
+    ``parallel_note`` explaining the forcing so readers and the CLI can
+    tell the two situations apart.
     """
     from .config import HPBD, LocalDisk, NBD
     from .experiments import fig07_points
@@ -252,11 +324,17 @@ def bench_figure_sweep(
     run_sweep(points, workers=1)
     serial_sec = time.perf_counter() - t0
 
-    parallel_sec = None
-    if nworkers > 1:
-        t0 = time.perf_counter()
-        run_sweep(points, workers=nworkers)
-        parallel_sec = time.perf_counter() - t0
+    parallel_note = None
+    parallel_workers = nworkers
+    if nworkers <= 1:
+        parallel_workers = 2
+        parallel_note = (
+            f"host has {os.cpu_count()} CPU(s); forced workers=2 to "
+            "exercise the process pool — expect no speedup over serial"
+        )
+    t0 = time.perf_counter()
+    run_sweep(points, workers=parallel_workers)
+    parallel_sec = time.perf_counter() - t0
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
         warm = run_sweep(points, workers=1, cache=tmp)
@@ -270,6 +348,8 @@ def bench_figure_sweep(
         "workers": nworkers,
         "serial_sec": serial_sec,
         "parallel_sec": parallel_sec,
+        "parallel_workers": parallel_workers,
+        "parallel_note": parallel_note,
         "cached_rerun_sec": cached_sec,
         "warm_simulated": warm.simulated,
         "cached_points_resimulated": rerun.simulated,
@@ -292,6 +372,7 @@ def run_bench(
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "cpus": os.cpu_count(),
+        "scheduler": os.environ.get("REPRO_SCHEDULER", "wheel"),
         "event_loop": {
             "nevents": nevents,
             "rounds": rounds,
@@ -299,6 +380,7 @@ def run_bench(
             "relay_events_per_sec": bench_relay_resume(nevents, rounds),
         },
         "obs_overhead": bench_obs_overhead(nevents, rounds),
+        "fluid_bulk": bench_fluid_bulk(rounds=rounds),
     }
     if not skip_sweep:
         payload["sweep"] = bench_figure_sweep(sweep_scale, workers)

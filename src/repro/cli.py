@@ -863,6 +863,12 @@ def _run_bench(args) -> int:
     """``repro bench``: measure the simulator itself, write JSON."""
     from .bench import run_bench, write_bench_json
 
+    profiler = None
+    if args.profile or args.profile_out:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     payload = run_bench(
         nevents=args.events,
         rounds=args.rounds,
@@ -870,6 +876,17 @@ def _run_bench(args) -> int:
         workers=args.workers if args.workers else "auto",
         skip_sweep=args.skip_sweep,
     )
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        if args.profile_out:
+            profiler.dump_stats(args.profile_out)
+            print(f"wrote profile to {args.profile_out} "
+                  "(inspect with python -m pstats)")
+        if args.profile:
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.strip_dirs().sort_stats("cumulative").print_stats(25)
     loop = payload["event_loop"]
     print(
         f"event loop: timeout churn {loop['timeout_events_per_sec']:,.0f} ev/s, "
@@ -881,19 +898,28 @@ def _run_bench(args) -> int:
         f"({obs['guarded_events_per_sec']:,.0f} ev/s guarded vs "
         f"{obs['bare_events_per_sec']:,.0f} bare)"
     )
+    fb = payload["fluid_bulk"]
+    print(
+        f"fluid bulk fast path: {fb['event_reduction']:,.0f}x fewer events "
+        f"({fb['fluid_events']:,} vs {fb['discrete_events']:,} discrete), "
+        f"{fb['wall_speedup']:,.1f}x wall speedup, results "
+        f"{'identical' if fb['identical_results'] else 'DIVERGED'}"
+    )
+    if not fb["identical_results"]:
+        print("ERROR: fluid fast path diverged from discrete stepping",
+              file=sys.stderr)
+        return 1
     if "sweep" in payload:
         sw = payload["sweep"]
-        par = (
-            f", parallel {sw['parallel_sec']:.2f} s (x{sw['workers']})"
-            if sw["parallel_sec"] is not None
-            else ""
-        )
         print(
             f"fig07 sweep ({sw['points']} points, scale=1/{sw['scale']}): "
-            f"serial {sw['serial_sec']:.2f} s{par}, cached re-run "
-            f"{sw['cached_rerun_sec']:.3f} s "
+            f"serial {sw['serial_sec']:.2f} s, parallel "
+            f"{sw['parallel_sec']:.2f} s (x{sw['parallel_workers']}), "
+            f"cached re-run {sw['cached_rerun_sec']:.3f} s "
             f"({sw['cached_points_resimulated']} re-simulated)"
         )
+        if sw.get("parallel_note"):
+            print(f"  note: {sw['parallel_note']}")
         if sw["cached_points_resimulated"] != 0:
             print("ERROR: cached re-run re-simulated points", file=sys.stderr)
             return 1
@@ -1200,6 +1226,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     be.add_argument(
         "--min-events-per-sec", type=float, default=0.0,
         help="fail (exit 1) if timeout churn drops below this floor",
+    )
+    be.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top 25 functions by "
+        "cumulative time",
+    )
+    be.add_argument(
+        "--profile-out", metavar="FILE", default=None,
+        help="dump raw cProfile stats to FILE (pstats format; implies "
+        "profiling even without --profile)",
     )
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])

@@ -12,10 +12,13 @@ client.  This package supplies the pieces a shared fleet needs:
   NACKs and overcommit;
 * :mod:`.qos`        — weighted-fair credit partitioning and service
   scheduling per tenant;
+* :mod:`.migration`  — chunk migration between servers over a fluid
+  bulk channel (elastic-fleet enabler);
 * :mod:`.runner`     — the N-tenants-over-one-fleet scenario runner.
 """
 
 from .admission import AdmissionController, AdmissionNack
+from .migration import ChunkMigrator
 from .placement import plan_placement
 from .qos import WeightedFairScheduler, partition_credits
 from .registry import CapacityError, FleetRegistry
@@ -26,6 +29,7 @@ __all__ = [
     "AdmissionController",
     "AdmissionNack",
     "CapacityError",
+    "ChunkMigrator",
     "ClusterResult",
     "FleetRegistry",
     "TenantResult",

@@ -1,0 +1,104 @@
+"""Chunk migration between memory servers over a fluid bulk channel.
+
+The ROADMAP's elastic-fleet work (drain a server before maintenance,
+rebalance after admission skew, INDIGO-style page-migration campaigns)
+all reduce to the same primitive: move a tenant's chunk from one server
+to another without perturbing the request path.  A chunk is megabytes —
+thousands of pages — so modelling it page-by-page through the scheduler
+is exactly the event-chain shape the fluid fast path collapses:
+uncontended, untraced migrations cost O(1) events per chunk, while a
+tracer, a fault window, or a competing migration on the same uplink
+expands them to per-page fidelity with bit-identical completion times
+(see :mod:`repro.simulator.fluid`).
+
+Capacity accounting goes through the :class:`~repro.cluster.registry.
+FleetRegistry` ledger: the destination extent is reserved *before* the
+copy starts (migration must never oversubscribe a server) and the
+source extent is released only after the copy completes (the chunk is
+never homeless); both edges land in the registry's conservation
+monitors.
+"""
+
+from __future__ import annotations
+
+from ..simulator import Process, Simulator, StatsRegistry
+from ..simulator.fluid import FluidChannel
+from .registry import FleetRegistry
+
+__all__ = ["ChunkMigrator"]
+
+
+class ChunkMigrator:
+    """Moves tenant chunks between servers over one shared bulk channel.
+
+    ``rate_bytes_per_usec`` models the migration uplink (defaults to
+    ~800 MB/s, a conservative share of one IB SDR link so migrations do
+    not shadow the request path).  Concurrent migrations share the
+    channel fairly; each one is a :class:`BulkFlow` under the hood.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        registry: FleetRegistry,
+        rate_bytes_per_usec: float = 800.0,
+        page_bytes: int = 4096,
+        name: str = "mig",
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        self.sim = sim
+        self.registry = registry
+        self.name = name
+        self.stats = stats if stats is not None else registry.stats
+        self.channel = FluidChannel(
+            sim,
+            rate_bytes_per_usec,
+            page_bytes=page_bytes,
+            name=f"{name}.chan",
+            stats=self.stats,
+        )
+        self._c_migrations = self.stats.counter(f"{name}.migrations")
+        self._c_bytes = self.stats.counter(f"{name}.bytes")
+        self._c_failed = self.stats.counter(f"{name}.failed")
+
+    def migrate(
+        self, tenant: str, src: int, dst: int, nbytes: int
+    ) -> Process:
+        """Move ``nbytes`` of ``tenant``'s data from server ``src`` to
+        ``dst``; returns the driving process (join it with ``yield``).
+        The process value is the destination store offset.
+
+        Reserve-before-copy happens *here*, synchronously: a migration
+        that cannot fit on the destination raises
+        :class:`~repro.cluster.registry.CapacityError` at the call site,
+        before any simulated bytes move (mirroring how admission NACKs
+        surface).
+        """
+        if src == dst:
+            raise ValueError(f"migration src == dst ({src})")
+        try:
+            offset = self.registry.reserve(tenant, dst, nbytes)
+        except Exception:
+            self._c_failed.add()
+            raise
+        return self.sim.spawn(
+            self._run(tenant, src, dst, nbytes, offset),
+            name=f"{self.name}.move",
+        )
+
+    def _run(self, tenant: str, src: int, dst: int, nbytes: int, offset: int):
+        sim = self.sim
+        t0 = sim.now
+        done = yield self.channel.transfer(nbytes, name=f"{self.name}.{tenant}")
+        self.registry.release(tenant, src, nbytes)
+        self._c_migrations.add()
+        self._c_bytes.add(int(done))
+        trace = sim.trace
+        if trace.enabled:
+            trace.complete(
+                self.name, "cluster", "migrate", "mig.move",
+                t0, sim.now,
+                tenant=tenant, src=src, dst=dst, nbytes=nbytes,
+                dst_offset=offset,
+            )
+        return offset

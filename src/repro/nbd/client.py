@@ -145,15 +145,18 @@ class NBDClient:
         recv would orphan a message); replies are matched by ``req_id``
         so an answer to an earlier, given-up-on send is discarded as
         stale rather than mistaken for the current one.
+
+        The guard timer is tombstoned (:meth:`~repro.simulator.Event.cancel`)
+        when the reply wins the race, so a healthy run never pays for
+        its dead timers surfacing through the scheduler.
         """
         sim = self.sim
         attempts = 0
         while True:
             if self._pending_recv is None:
                 self._pending_recv = conn.recv()
-            idx, value = yield any_of(
-                sim, [self._pending_recv, sim.timeout(self.request_timeout_usec)]
-            )
+            timer = sim.timeout(self.request_timeout_usec)
+            idx, value = yield any_of(sim, [self._pending_recv, timer])
             if idx == 1:  # timed out
                 attempts += 1
                 if attempts > self.max_retries:
@@ -169,6 +172,7 @@ class NBDClient:
                     )
                 yield from conn.send(nbytes, payload=payload, req_id=req.req_id)
                 continue
+            timer.cancel()
             self._pending_recv = None
             reply = value
             if reply.req_id != req.req_id:

@@ -18,6 +18,7 @@ from .errors import (
     SchedulingInPast,
     SimulationError,
 )
+from .fluid import BulkFlow, FluidChannel
 from .resources import Mutex, Resource, Store, TokenBucket, WaitQueue
 from .stats import Counter, StatsRegistry, Tally, TimeSeries
 from .sync import all_of, any_of
@@ -37,6 +38,8 @@ __all__ = [
     "TokenBucket",
     "all_of",
     "any_of",
+    "FluidChannel",
+    "BulkFlow",
     "Counter",
     "Tally",
     "TimeSeries",

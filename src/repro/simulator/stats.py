@@ -105,6 +105,18 @@ class Tally:
     def histogram(self, bins: int | np.ndarray = 20) -> tuple[np.ndarray, np.ndarray]:
         return np.histogram(self.values(), bins=bins)
 
+    def __getstate__(self) -> dict:
+        """Trim the growth buffer's uninitialized tail before pickling:
+        equal sample streams must serialize to equal bytes (the sweep
+        cache and the scheduler-equivalence harness both compare pickled
+        results byte-for-byte)."""
+        return {"name": self.name, "buf": self._buf[: self._n].copy()}
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self._buf = state["buf"]
+        self._n = len(self._buf)
+
     def __repr__(self) -> str:
         if not self._n:
             return f"Tally({self.name}: empty)"
@@ -154,6 +166,20 @@ class TimeSeries:
         if span <= 0:
             return float(v.mean())
         return float((v[:-1] * dt).sum() / span)
+
+    def __getstate__(self) -> dict:
+        """Same deterministic-pickle contract as :class:`Tally`."""
+        return {
+            "name": self.name,
+            "t": self._t[: self._n].copy(),
+            "v": self._v[: self._n].copy(),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self._t = state["t"]
+        self._v = state["v"]
+        self._n = len(self._t)
 
     def __repr__(self) -> str:
         return f"TimeSeries({self.name}: n={self._n})"

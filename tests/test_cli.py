@@ -228,6 +228,40 @@ class TestBenchCommand:
             "--min-events-per-sec", "1e12",
         ]) == 1
 
+    def test_bench_fluid_payload_and_parallel_never_null(self, capsys, tmp_path):
+        path = tmp_path / "bench.json"
+        assert main([
+            "bench", "--json", str(path), "--events", "2000",
+            "--rounds", "1", "--sweep-scale", "128",
+        ]) == 0
+        payload = json.loads(path.read_text())
+        fb = payload["fluid_bulk"]
+        assert fb["identical_results"] is True
+        assert fb["event_reduction"] > 10
+        # the 1-CPU regression: parallel_sec must never be null again
+        assert payload["sweep"]["parallel_sec"] is not None
+        assert payload["sweep"]["parallel_workers"] >= 2
+        out = capsys.readouterr().out
+        assert "fluid bulk fast path" in out
+        if payload["sweep"]["parallel_note"]:
+            assert "note:" in out
+
+    def test_bench_profile_flags(self, capsys, tmp_path):
+        import pstats
+
+        path = tmp_path / "bench.json"
+        prof = tmp_path / "bench.prof"
+        assert main([
+            "bench", "--json", str(path), "--events", "2000",
+            "--rounds", "1", "--skip-sweep",
+            "--profile", "--profile-out", str(prof),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out  # pstats table printed
+        assert prof.exists()
+        stats = pstats.Stats(str(prof))
+        assert stats.total_calls > 0
+
 
 class TestFaultsCommand:
     def test_faults_remap_smoke(self, capsys, tmp_path):

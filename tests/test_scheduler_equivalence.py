@@ -1,0 +1,96 @@
+"""Heap-vs-wheel scheduler equivalence across every sweep scenario.
+
+The calendar-queue scheduler is only allowed to exist because it is
+*observationally identical* to the reference binary heap: same event
+order, same clock, same counters, same blame, same health verdicts.
+This module is the enforcement: every ``SWEEPS`` family runs under both
+schedulers (traced, so per-request blame and invariant monitors are in
+play) and the results must match field for field — including the pickled
+result bytes, the same fingerprint the sweep cache stores.
+
+A replay-check-style test re-runs the fault grid twice under the wheel
+to catch nondeterminism *within* a scheduler, not just between them.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.experiments import SWEEPS
+from repro.runner import run_scenario
+
+SCALE = 64
+
+#: points per family — the grids are large (cluster is clients x servers
+#: x placement); the first/middle/last slice exercises every builder's
+#: config shapes without running the whole grid twice per scheduler.
+MAX_POINTS = 3
+
+
+def _select_points(name):
+    builder, _desc = SWEEPS[name]
+    points = builder(SCALE)
+    if len(points) <= MAX_POINTS:
+        return points
+    return [points[0], points[len(points) // 2], points[-1]]
+
+
+def _run(cfg, scheduler, monkeypatch, trace=True):
+    monkeypatch.setenv("REPRO_SCHEDULER", scheduler)
+    return run_scenario(cfg, trace=trace)
+
+
+def _fingerprint(result):
+    """The cache's view of a result: pickled with the live trace dropped."""
+    return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _assert_identical(name, heap, wheel):
+    assert heap.elapsed_usec == wheel.elapsed_usec, name
+    assert heap.swapout_pages == wheel.swapout_pages, name
+    assert heap.swapin_pages == wheel.swapin_pages, name
+    assert heap.request_trace == wheel.request_trace, name
+    assert heap.network_bytes == wheel.network_bytes, name
+    assert heap.client_copy_usec == wheel.client_copy_usec, name
+    assert heap.blame_usec == wheel.blame_usec, name
+    assert heap.invariant_violations == wheel.invariant_violations, name
+    assert heap.monitor_watermarks == wheel.monitor_watermarks, name
+    assert heap.health == wheel.health, name
+    assert (heap.read_request_bytes == wheel.read_request_bytes).all()
+    assert (heap.write_request_bytes == wheel.write_request_bytes).all()
+    assert _fingerprint(heap) == _fingerprint(wheel), name
+
+
+@pytest.mark.parametrize("family", sorted(SWEEPS))
+def test_sweep_family_identical_under_both_schedulers(family, monkeypatch):
+    for point in _select_points(family):
+        heap = _run(point.cfg, "heap", monkeypatch)
+        wheel = _run(point.cfg, "wheel", monkeypatch)
+        _assert_identical(point.name, heap, wheel)
+
+
+def test_fault_grid_replay_stable_under_wheel(monkeypatch):
+    """--replay-check semantics: same config, same scheduler, twice.
+
+    The fault grid is the adversarial case — recovery timers, crash
+    windows, failovers — where a nondeterministic scheduler would show
+    first.  Two wheel runs must be byte-identical.
+    """
+    point = _select_points("faults")[-1]
+    first = _run(point.cfg, "wheel", monkeypatch)
+    second = _run(point.cfg, "wheel", monkeypatch)
+    _assert_identical(point.name, first, second)
+
+
+def test_traced_and_untraced_clocks_agree(monkeypatch):
+    """Tracing disables the fluid fast path and adds span recording;
+    neither may move the simulated clock."""
+    point = _select_points("fig07")[0]
+    for scheduler in ("heap", "wheel"):
+        traced = _run(point.cfg, scheduler, monkeypatch, trace=True)
+        bare = _run(point.cfg, scheduler, monkeypatch, trace=False)
+        assert traced.elapsed_usec == bare.elapsed_usec
+        assert traced.swapout_pages == bare.swapout_pages
+        assert traced.swapin_pages == bare.swapin_pages
