@@ -36,6 +36,17 @@ from .export import (
     trace_to_csv,
     write_csv,
 )
+from .campaign import CampaignSummary, MetricStats, aggregate, dedupe
+from .compare import (
+    CompareReport,
+    FloorViolation,
+    MetricDelta,
+    check_floors,
+    compare_summaries,
+    format_compare,
+    metric_direction,
+)
+from .htmlreport import render_campaign_html
 from .report import comparison_table, format_table, ratio, write_json_report
 from .reqsize import RequestCluster, cluster_requests, size_histogram
 
@@ -76,4 +87,16 @@ __all__ = [
     "clusters_to_csv",
     "trace_to_csv",
     "write_csv",
+    "MetricStats",
+    "CampaignSummary",
+    "aggregate",
+    "dedupe",
+    "MetricDelta",
+    "CompareReport",
+    "compare_summaries",
+    "metric_direction",
+    "FloorViolation",
+    "check_floors",
+    "format_compare",
+    "render_campaign_html",
 ]

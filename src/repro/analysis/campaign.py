@@ -1,0 +1,292 @@
+"""Cross-seed campaign aggregation with confidence intervals.
+
+Takes the :class:`~repro.obs.campaign.RunRecord` stream out of a
+campaign store and turns it into the statistics the comparison gate and
+the HTML dashboard consume: per (point × metric) groups with
+mean/p50/p95/p99 and either Student-t or bootstrap confidence
+intervals, plus pooled quantiles from merging the per-seed
+:class:`~repro.obs.sketch.QuantileSketch` snapshots (DDSketch merge =
+bucket-count addition, so the pooled estimate keeps the single-sketch
+relative-error bound).
+
+CI fine print:
+
+* The **t interval** treats the per-seed values as i.i.d. samples of
+  the metric and reports ``mean ± t_{n-1, level} · s/√n`` with the
+  two-sided critical value from a built-in table (no scipy).  With a
+  single seed the interval is degenerate (``[mean, mean]``) — the
+  comparator then falls back to threshold-only significance.
+* The **bootstrap interval** is the percentile bootstrap of the mean
+  (seeded numpy generator, so aggregation is deterministic).  With few
+  seeds (< ~5) it under-covers; t is the default for exactly that
+  regime.
+* Quantile metrics (``<sketch>.p99`` etc.) get their CI from the
+  *per-seed* quantile values — the spread across replicas — while the
+  ``pooled`` field carries the merged-sketch estimate over all seeds'
+  samples at once.  The two answer different questions (run-to-run
+  variability vs the population quantile) and the dashboard shows both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs.campaign import RunRecord
+from ..obs.sketch import QuantileSketch
+
+__all__ = [
+    "MetricStats",
+    "CampaignSummary",
+    "aggregate",
+    "t_critical",
+    "DEFAULT_QUANTILES",
+]
+
+#: quantiles extracted from each serialized sketch
+DEFAULT_QUANTILES = (50, 95, 99)
+
+#: two-sided Student-t critical values, df 1..30, by confidence level;
+#: beyond df=30 the normal asymptote is used.
+_T_TABLE = {
+    0.90: (
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833,
+        1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734,
+        1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703,
+        1.701, 1.699, 1.697,
+    ),
+    0.95: (
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048, 2.045, 2.042,
+    ),
+    0.99: (
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250,
+        3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878,
+        2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771,
+        2.763, 2.756, 2.750,
+    ),
+}
+_Z_ASYMPTOTE = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+def t_critical(df: int, level: float = 0.95) -> float:
+    """Two-sided Student-t critical value (table lookup, no scipy)."""
+    if level not in _T_TABLE:
+        raise ValueError(
+            f"unsupported confidence level {level} "
+            f"(choose from {sorted(_T_TABLE)})"
+        )
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    table = _T_TABLE[level]
+    if df <= len(table):
+        return table[df - 1]
+    return _Z_ASYMPTOTE[level]
+
+
+@dataclass
+class MetricStats:
+    """One (point × metric) group's cross-seed statistics."""
+
+    point: str
+    metric: str
+    values: list[float]  # one per seed, record order
+    mean: float
+    std: float  # sample std (ddof=1); 0.0 with a single seed
+    ci_lo: float
+    ci_hi: float
+    method: str  # "t" | "bootstrap"
+    #: merged-sketch estimate over all seeds' samples (quantile metrics
+    #: only); None for scalar metrics
+    pooled: "float | None" = None
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def halfwidth(self) -> float:
+        return (self.ci_hi - self.ci_lo) / 2.0
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "metric": self.metric,
+            "n": self.n,
+            "values": list(self.values),
+            "mean": self.mean,
+            "std": self.std,
+            "ci_lo": self.ci_lo,
+            "ci_hi": self.ci_hi,
+            "method": self.method,
+            "pooled": self.pooled,
+        }
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregated campaign: ``groups[point][metric] -> MetricStats``."""
+
+    groups: dict[str, dict[str, MetricStats]]
+    seeds: dict[str, list[int]] = field(default_factory=dict)
+    nrecords: int = 0
+    ci_level: float = 0.95
+    method: str = "t"
+
+    @property
+    def points(self) -> list[str]:
+        return sorted(self.groups)
+
+    def metrics(self, point: str) -> list[str]:
+        return sorted(self.groups.get(point, {}))
+
+    def get(self, point: str, metric: str) -> "MetricStats | None":
+        return self.groups.get(point, {}).get(metric)
+
+    def to_dict(self) -> dict:
+        return {
+            "ci_level": self.ci_level,
+            "method": self.method,
+            "nrecords": self.nrecords,
+            "seeds": {p: list(s) for p, s in sorted(self.seeds.items())},
+            "groups": {
+                point: {
+                    metric: stats.to_dict()
+                    for metric, stats in sorted(metrics.items())
+                }
+                for point, metrics in sorted(self.groups.items())
+            },
+        }
+
+
+def _interval(
+    values: list[float],
+    level: float,
+    method: str,
+    bootstrap_iters: int,
+    bootstrap_seed: int,
+) -> tuple[float, float, float, float]:
+    """``(mean, std, ci_lo, ci_hi)`` for one group's per-seed values."""
+    arr = np.asarray(values, dtype=np.float64)
+    mean = float(arr.mean())
+    if len(arr) < 2:
+        return mean, 0.0, mean, mean
+    std = float(arr.std(ddof=1))
+    if method == "t":
+        half = t_critical(len(arr) - 1, level) * std / math.sqrt(len(arr))
+        return mean, std, mean - half, mean + half
+    if method == "bootstrap":
+        rng = np.random.default_rng(bootstrap_seed)
+        resamples = rng.integers(0, len(arr), size=(bootstrap_iters, len(arr)))
+        means = arr[resamples].mean(axis=1)
+        alpha = (1.0 - level) / 2.0
+        lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+        return mean, std, float(lo), float(hi)
+    raise ValueError(f"unknown CI method {method!r} (use 't' or 'bootstrap')")
+
+
+def dedupe(records: "list[RunRecord]") -> "list[RunRecord]":
+    """Keep the *last* record per (point, seed): re-running a campaign
+    appends fresh records that supersede earlier ones."""
+    latest: dict[tuple[str, int], RunRecord] = {}
+    for record in records:
+        latest[(record.point, record.seed)] = record
+    # Preserve first-seen group order, not file order of the survivor.
+    seen: set[tuple[str, int]] = set()
+    out: list[RunRecord] = []
+    for record in records:
+        key = (record.point, record.seed)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(latest[key])
+    return out
+
+
+def aggregate(
+    records: "list[RunRecord]",
+    *,
+    quantiles: "tuple[int, ...]" = DEFAULT_QUANTILES,
+    ci_level: float = 0.95,
+    method: str = "t",
+    bootstrap_iters: int = 2000,
+    bootstrap_seed: int = 0,
+) -> CampaignSummary:
+    """Group records by (point × metric) and attach CIs.
+
+    Scalar metrics come straight off ``record.metrics``; each serialized
+    sketch additionally contributes ``<name>.p<q>`` quantile metrics
+    (per-seed values + pooled merged-sketch estimate) and ``<name>.mean``.
+    """
+    records = dedupe(records)
+    by_point: dict[str, list[RunRecord]] = {}
+    for record in records:
+        by_point.setdefault(record.point, []).append(record)
+
+    groups: dict[str, dict[str, MetricStats]] = {}
+    seeds: dict[str, list[int]] = {}
+    for point, recs in sorted(by_point.items()):
+        seeds[point] = [r.seed for r in recs]
+        metric_values: dict[str, list[float]] = {}
+        pooled: dict[str, float] = {}
+        for rec in recs:
+            for name, value in rec.metrics.items():
+                metric_values.setdefault(name, []).append(float(value))
+        # Sketch-backed quantile metrics: per-seed values from each
+        # record's own sketch, pooled estimate from the merged sketch.
+        sketch_names = sorted(
+            {name for rec in recs for name in rec.sketches}
+        )
+        for name in sketch_names:
+            merged: "QuantileSketch | None" = None
+            per_seed: dict[int, QuantileSketch] = {}
+            for rec in recs:
+                if name not in rec.sketches:
+                    continue
+                sketch = rec.sketch(name)
+                per_seed[rec.seed] = sketch
+                if merged is None:
+                    merged = sketch.copy()
+                else:
+                    merged.merge(sketch)
+            if merged is None or not merged.count:
+                continue
+            for q in quantiles:
+                metric = f"{name}.p{q}"
+                metric_values[metric] = [
+                    s.quantile(q) for s in per_seed.values()
+                ]
+                pooled[metric] = merged.quantile(q)
+            metric = f"{name}.mean"
+            metric_values[metric] = [s.mean for s in per_seed.values()]
+            pooled[metric] = merged.mean
+
+        stats: dict[str, MetricStats] = {}
+        for metric, values in sorted(metric_values.items()):
+            mean, std, lo, hi = _interval(
+                values, ci_level, method, bootstrap_iters, bootstrap_seed
+            )
+            stats[metric] = MetricStats(
+                point=point,
+                metric=metric,
+                values=values,
+                mean=mean,
+                std=std,
+                ci_lo=lo,
+                ci_hi=hi,
+                method=method,
+                pooled=pooled.get(metric),
+            )
+        groups[point] = stats
+
+    return CampaignSummary(
+        groups=groups,
+        seeds=seeds,
+        nrecords=len(records),
+        ci_level=ci_level,
+        method=method,
+    )

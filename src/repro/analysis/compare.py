@@ -1,0 +1,265 @@
+"""Campaign comparison and regression gating.
+
+Two modes, both surfaced as ``repro compare``:
+
+* **campaign vs campaign** — align two aggregated campaigns on
+  (point × metric) and flag statistically significant changes.  A
+  change is *significant* when the confidence intervals are disjoint
+  **and** the relative change in means exceeds the threshold; with a
+  single seed per side the intervals are degenerate, so the relative
+  threshold alone decides (documented fine print, not a silent
+  behavior).  Whether a significant change is a *regression* depends
+  on the metric's direction (latency down = good, availability up =
+  good); metrics with no known direction report as neutral *shifts*
+  and do not trip the gate.
+* **campaign vs bench floors** — ``BENCH_simulator.json`` carries a
+  ``campaign_floors`` list of ``{point-glob, metric, min/max}`` bounds;
+  every record of the campaign is checked against every matching
+  floor, turning the bench file into a hard regression gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+
+from ..obs.campaign import RunRecord
+from .campaign import CampaignSummary, MetricStats
+
+__all__ = [
+    "MetricDelta",
+    "CompareReport",
+    "compare_summaries",
+    "metric_direction",
+    "FloorViolation",
+    "check_floors",
+    "format_compare",
+]
+
+#: metric-name fragments implying "lower is better"
+_LOWER_MARKERS = (
+    "usec", "violations", "breach", "spread", "burn", "retries",
+    "timeouts", "stall",
+)
+#: metric-name fragments implying "higher is better"
+_HIGHER_MARKERS = (
+    "availability", "jain", "events_per_sec", "throughput",
+)
+
+
+def metric_direction(name: str) -> "str | None":
+    """``"lower"``/``"higher"``-is-better, or None when a change in the
+    metric is neither good nor bad per se (page counts, byte counts)."""
+    low = name.lower()
+    if any(marker in low for marker in _HIGHER_MARKERS):
+        return "higher"
+    if any(marker in low for marker in _LOWER_MARKERS):
+        return "lower"
+    return None
+
+
+@dataclass
+class MetricDelta:
+    """One aligned (point × metric) pair across two campaigns."""
+
+    point: str
+    metric: str
+    base: MetricStats
+    test: MetricStats
+    rel_change: float  # (test.mean - base.mean) / |base.mean|
+    direction: "str | None"
+    significant: bool
+    #: "regression" | "improvement" | "shift" | "ok"
+    kind: str
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "metric": self.metric,
+            "base_mean": self.base.mean,
+            "base_ci": [self.base.ci_lo, self.base.ci_hi],
+            "base_n": self.base.n,
+            "test_mean": self.test.mean,
+            "test_ci": [self.test.ci_lo, self.test.ci_hi],
+            "test_n": self.test.n,
+            "rel_change": self.rel_change,
+            "direction": self.direction,
+            "significant": self.significant,
+            "kind": self.kind,
+        }
+
+
+@dataclass
+class CompareReport:
+    """All aligned deltas plus the gate verdict."""
+
+    deltas: list[MetricDelta]
+    threshold: float
+    missing_points: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.kind == "regression"]
+
+    @property
+    def improvements(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.kind == "improvement"]
+
+    @property
+    def shifts(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.kind == "shift"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "ok": self.ok,
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+            "shifts": len(self.shifts),
+            "missing_points": list(self.missing_points),
+            "deltas": [d.to_dict() for d in self.deltas],
+        }
+
+
+def _disjoint(a: MetricStats, b: MetricStats) -> bool:
+    return b.ci_lo > a.ci_hi or b.ci_hi < a.ci_lo
+
+
+def compare_summaries(
+    base: CampaignSummary,
+    test: CampaignSummary,
+    *,
+    threshold: float = 0.05,
+) -> CompareReport:
+    """Diff two aggregated campaigns.
+
+    Only points and metrics present on both sides are compared; points
+    present in exactly one campaign are listed in ``missing_points``
+    (informational, not a gate failure — grids legitimately evolve).
+    """
+    deltas: list[MetricDelta] = []
+    base_points = set(base.groups)
+    test_points = set(test.groups)
+    missing = sorted(base_points ^ test_points)
+    for point in sorted(base_points & test_points):
+        bmetrics = base.groups[point]
+        tmetrics = test.groups[point]
+        for metric in sorted(set(bmetrics) & set(tmetrics)):
+            b, t = bmetrics[metric], tmetrics[metric]
+            denom = abs(b.mean)
+            if denom == 0.0:
+                rel = 0.0 if t.mean == 0.0 else float("inf")
+            else:
+                rel = (t.mean - b.mean) / denom
+            significant = abs(rel) >= threshold and _disjoint(b, t)
+            direction = metric_direction(metric)
+            if not significant:
+                kind = "ok"
+            elif direction is None:
+                kind = "shift"
+            elif (rel > 0) == (direction == "lower"):
+                kind = "regression"
+            else:
+                kind = "improvement"
+            deltas.append(
+                MetricDelta(
+                    point=point,
+                    metric=metric,
+                    base=b,
+                    test=t,
+                    rel_change=rel,
+                    direction=direction,
+                    significant=significant,
+                    kind=kind,
+                )
+            )
+    return CompareReport(
+        deltas=deltas, threshold=threshold, missing_points=missing
+    )
+
+
+@dataclass
+class FloorViolation:
+    """One record outside a bench-file bound."""
+
+    point: str
+    seed: int
+    metric: str
+    value: float
+    bound: str  # "min" | "max"
+    limit: float
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "seed": self.seed,
+            "metric": self.metric,
+            "value": self.value,
+            "bound": self.bound,
+            "limit": self.limit,
+        }
+
+
+def check_floors(
+    records: "list[RunRecord]", floors: "list[dict]"
+) -> list[FloorViolation]:
+    """Check every record against every matching ``campaign_floors``
+    entry: ``{"point": glob, "metric": name, "min": x, "max": y}``
+    (either bound optional).  Per-record, not per-mean — a floor is a
+    hard bound, so one bad seed trips it.
+    """
+    violations: list[FloorViolation] = []
+    for floor in floors:
+        pattern = floor.get("point", "*")
+        metric = floor["metric"]
+        fmin = floor.get("min")
+        fmax = floor.get("max")
+        for record in records:
+            if not fnmatch(record.point, pattern):
+                continue
+            value = record.metrics.get(metric)
+            if value is None:
+                continue
+            if fmin is not None and value < fmin:
+                violations.append(
+                    FloorViolation(
+                        record.point, record.seed, metric,
+                        float(value), "min", float(fmin),
+                    )
+                )
+            if fmax is not None and value > fmax:
+                violations.append(
+                    FloorViolation(
+                        record.point, record.seed, metric,
+                        float(value), "max", float(fmax),
+                    )
+                )
+    return violations
+
+
+def format_compare(report: CompareReport, *, all_rows: bool = False) -> str:
+    """Fixed-width text rendering of a comparison (significant rows
+    only unless ``all_rows``)."""
+    from .report import format_table
+
+    rows = []
+    for d in report.deltas:
+        if not all_rows and d.kind == "ok":
+            continue
+        rows.append([
+            d.point,
+            d.metric,
+            f"{d.base.mean:.4g}",
+            f"{d.test.mean:.4g}",
+            f"{d.rel_change:+.1%}",
+            d.kind,
+        ])
+    if not rows:
+        return "no significant changes"
+    return format_table(
+        ["point", "metric", "base", "test", "change", "verdict"], rows
+    )

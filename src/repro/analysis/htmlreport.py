@@ -1,0 +1,441 @@
+"""Self-contained HTML campaign dashboard (no external deps).
+
+``repro report --campaign`` renders one static HTML file: per-metric
+CI-band charts across the sweep grid, per-tenant SLO burn timelines
+from the health reports embedded in the records, a full stats table
+(the accessible table-view twin of every chart), and — when a baseline
+campaign is supplied — the run-to-run diff table.
+
+Everything is inline (CSS + SVG), deterministic for a fixed campaign
+store (stable iteration order, fixed float formatting, no timestamps),
+and byte-identical across renders — ``--replay-check`` diffs two
+renders to prove it.
+
+Chart conventions follow the repo-wide viz rules: single-series charts
+carry no legend (the title names the series); multi-series timelines
+get a legend and at most the three all-pairs-validated categorical
+hues before folding; marks are thin (2px lines, r=4 markers with a 2px
+surface ring); grid/axes are solid hairlines; text wears ink tokens,
+never the series color; every value is also in the stats table, so
+nothing is gated behind hover.
+"""
+
+from __future__ import annotations
+
+import math
+from html import escape
+
+from ..obs.campaign import RunRecord
+from .campaign import CampaignSummary
+from .compare import CompareReport
+
+__all__ = ["render_campaign_html"]
+
+#: categorical series slots available in the CSS (validated reference
+#: palette; the first three are all-pairs CVD-safe, which is the cap
+#: before extra series fold onto the last slot)
+_NSERIES = 3
+
+_CSS = """\
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --good: #0ca30c; --critical: #d03b3b; --warning: #fab219;
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-muted: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+  }
+}
+body { margin: 0; padding: 24px; background: var(--page); color: var(--ink-1);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif; }
+h1 { font-size: 20px; font-weight: 600; margin: 0 0 4px; }
+h2 { font-size: 15px; font-weight: 600; margin: 28px 0 8px; }
+.meta { color: var(--ink-2); margin-bottom: 16px; }
+.card { background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px; margin: 12px 0; }
+.card h3 { font-size: 13px; font-weight: 600; margin: 0 0 8px;
+  color: var(--ink-2); }
+svg text { fill: var(--ink-muted); font: 11px system-ui, sans-serif; }
+svg .tick { font-variant-numeric: tabular-nums; }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th { text-align: left; color: var(--ink-2); font-weight: 600; }
+th, td { padding: 4px 10px 4px 0; border-bottom: 1px solid var(--grid); }
+td.num { font-variant-numeric: tabular-nums; }
+.key { display: inline-block; width: 10px; height: 10px; border-radius: 5px;
+  margin-right: 6px; vertical-align: baseline; }
+.legend { color: var(--ink-2); font-size: 12px; margin: 4px 0 0; }
+.legend span { margin-right: 16px; }
+.verdict-regression { color: var(--critical); font-weight: 600; }
+.verdict-improvement { color: var(--good); font-weight: 600; }
+.verdict-shift { color: var(--ink-2); }
+.note { color: var(--ink-muted); font-size: 13px; }
+"""
+
+
+def _fmt(value: float) -> str:
+    """Stable human formatting (fixed precision, no locale)."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "–"
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:,.4g}"
+
+
+def _c(value: float) -> str:
+    """SVG coordinate: fixed 2-decimal formatting for byte stability."""
+    return f"{value:.2f}"
+
+
+def _nice_ticks(lo: float, hi: float, nticks: int = 5) -> list[float]:
+    """Clean 1/2/5-step tick values covering [lo, hi]."""
+    if hi <= lo:
+        return [lo]
+    span = hi - lo
+    raw = span / max(nticks - 1, 1)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 5.0, 10.0):
+        step = mag * mult
+        if step >= raw:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-9 * span:
+        ticks.append(0.0 if abs(t) < step * 1e-9 else t)
+        t += step
+    return ticks
+
+
+def _short(name: str, limit: int = 24) -> str:
+    return name if len(name) <= limit else "…" + name[-(limit - 1):]
+
+
+def _ci_band_chart(points: list[str], stats: list, title: str) -> str:
+    """One metric across the grid: CI band + mean line + markers.
+
+    Single series — no legend; identity is the card title.  Every
+    marker carries a native ``<title>`` tooltip, and the full numbers
+    live in the stats table below (tooltips never gate).
+    """
+    width, height = 720, 250
+    ml, mr, mt, mb = 70, 16, 12, 72
+    plot_w, plot_h = width - ml - mr, height - mt - mb
+    hi = max((s.ci_hi for s in stats), default=0.0)
+    if hi <= 0:
+        hi = 1.0
+    top = hi * 1.05
+    ticks = _nice_ticks(0.0, top)
+
+    def x(i: int) -> float:
+        if len(points) == 1:
+            return ml + plot_w / 2.0
+        return ml + plot_w * i / (len(points) - 1)
+
+    def y(v: float) -> float:
+        return mt + plot_h * (1.0 - v / top)
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="{escape(title)}">'
+    ]
+    for t in ticks:
+        yy = _c(y(t))
+        parts.append(
+            f'<line x1="{ml}" y1="{yy}" x2="{width - mr}" y2="{yy}" '
+            f'stroke="var(--grid)" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text class="tick" x="{ml - 8}" y="{yy}" dy="4" '
+            f'text-anchor="end">{escape(_fmt(t))}</text>'
+        )
+    parts.append(
+        f'<line x1="{ml}" y1="{_c(y(0.0))}" x2="{width - mr}" '
+        f'y2="{_c(y(0.0))}" stroke="var(--axis)" stroke-width="1"/>'
+    )
+    # CI band: upper edge left-to-right, lower edge back.
+    band = [f"{_c(x(i))},{_c(y(s.ci_hi))}" for i, s in enumerate(stats)]
+    band += [
+        f"{_c(x(i))},{_c(y(s.ci_lo))}"
+        for i, s in reversed(list(enumerate(stats)))
+    ]
+    parts.append(
+        f'<polygon points="{" ".join(band)}" fill="var(--series-1)" '
+        f'fill-opacity="0.10"/>'
+    )
+    mean_pts = " ".join(
+        f"{_c(x(i))},{_c(y(s.mean))}" for i, s in enumerate(stats)
+    )
+    parts.append(
+        f'<polyline points="{mean_pts}" fill="none" '
+        f'stroke="var(--series-1)" stroke-width="2" '
+        f'stroke-linejoin="round" stroke-linecap="round"/>'
+    )
+    for i, s in enumerate(stats):
+        tip = (
+            f"{points[i]}: mean {_fmt(s.mean)} "
+            f"[{_fmt(s.ci_lo)}, {_fmt(s.ci_hi)}], n={s.n}"
+        )
+        parts.append(
+            f'<circle cx="{_c(x(i))}" cy="{_c(y(s.mean))}" r="4" '
+            f'fill="var(--series-1)" stroke="var(--surface-1)" '
+            f'stroke-width="2"><title>{escape(tip)}</title></circle>'
+        )
+        lx, ly = _c(x(i)), _c(mt + plot_h + 12)
+        parts.append(
+            f'<text x="{lx}" y="{ly}" text-anchor="end" '
+            f'transform="rotate(-30 {lx} {ly})">'
+            f"{escape(_short(points[i]))}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _slot_color(slot: int) -> str:
+    """Categorical color for a series slot; past the validated 3-slot
+    prefix the palette can't guarantee separation, so extra entities
+    fold into muted ink (and stay identifiable via their tooltips)."""
+    if slot >= _NSERIES:
+        return "var(--ink-muted)"
+    return f"var(--series-{slot + 1})"
+
+
+def _burn_chart(
+    series: "dict[str, list[tuple[float, float]]]",
+    slots: "dict[str, int]",
+    title: str,
+) -> str:
+    """Per-tenant SLO burn-rate timeline (µs → s on the x axis).
+
+    Color follows the *tenant* (``slots`` maps series name → tenant
+    slot), so a tenant's seed-replica lines share a hue and the seed
+    lives in the tooltip, not the palette."""
+    width, height = 720, 220
+    ml, mr, mt, mb = 70, 16, 12, 36
+    plot_w, plot_h = width - ml - mr, height - mt - mb
+    all_pts = [p for pts in series.values() for p in pts]
+    t_hi = max((p[0] for p in all_pts), default=1.0) or 1.0
+    b_hi = max((p[1] for p in all_pts), default=1.0) or 1.0
+    top = b_hi * 1.05
+    ticks = _nice_ticks(0.0, top, 4)
+    xticks = _nice_ticks(0.0, t_hi / 1e6, 6)
+
+    def x(t_usec: float) -> float:
+        return ml + plot_w * t_usec / t_hi
+
+    def y(v: float) -> float:
+        return mt + plot_h * (1.0 - v / top)
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="{escape(title)}">'
+    ]
+    for t in ticks:
+        yy = _c(y(t))
+        parts.append(
+            f'<line x1="{ml}" y1="{yy}" x2="{width - mr}" y2="{yy}" '
+            f'stroke="var(--grid)" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text class="tick" x="{ml - 8}" y="{yy}" dy="4" '
+            f'text-anchor="end">{escape(_fmt(t))}</text>'
+        )
+    for ts in xticks:
+        if ts * 1e6 > t_hi:
+            continue
+        xx = _c(x(ts * 1e6))
+        parts.append(
+            f'<text class="tick" x="{xx}" y="{mt + plot_h + 16}" '
+            f'text-anchor="middle">{escape(_fmt(ts))}s</text>'
+        )
+    parts.append(
+        f'<line x1="{ml}" y1="{_c(y(0.0))}" x2="{width - mr}" '
+        f'y2="{_c(y(0.0))}" stroke="var(--axis)" stroke-width="1"/>'
+    )
+    for name, pts in sorted(series.items()):
+        color = _slot_color(slots.get(name, _NSERIES))
+        line = " ".join(f"{_c(x(t))},{_c(y(b))}" for t, b in pts)
+        parts.append(
+            f'<polyline points="{line}" fill="none" stroke="{color}" '
+            f'stroke-width="2" stroke-linejoin="round" '
+            f'stroke-linecap="round"><title>{escape(name)}</title>'
+            f"</polyline>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _legend(entries: "list[tuple[str, int]]") -> str:
+    spans = []
+    for name, slot in entries:
+        spans.append(
+            f'<span><i class="key" style="background:{_slot_color(slot)}">'
+            f"</i>{escape(name)}</span>"
+        )
+    return f'<p class="legend">{"".join(spans)}</p>'
+
+
+#: metrics charted by default (beyond every sketch p99): run time plus
+#: the cluster fairness scalar
+_CHART_SCALARS = ("elapsed_usec", "spread")
+
+
+def _chart_metrics(summary: CampaignSummary) -> list[str]:
+    metrics: set[str] = set()
+    for stats in summary.groups.values():
+        for name in stats:
+            if name in _CHART_SCALARS or name.endswith(".p99"):
+                metrics.add(name)
+    return sorted(metrics)
+
+
+def render_campaign_html(
+    summary: CampaignSummary,
+    records: "list[RunRecord]",
+    *,
+    against: "CampaignSummary | None" = None,
+    compare_report: "CompareReport | None" = None,
+    title: str = "Campaign report",
+) -> str:
+    """The complete dashboard as one HTML string (deterministic)."""
+    out: list[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{escape(title)}</h1>",
+    ]
+    commits = sorted(
+        {r.git_commit[:12] for r in records if r.git_commit}
+    )
+    schedulers = sorted({r.scheduler for r in records})
+    seeds = sorted({r.seed for r in records})
+    out.append(
+        '<p class="meta">'
+        f"{summary.nrecords} records · {len(summary.points)} points · "
+        f"seeds {', '.join(str(s) for s in seeds)} · "
+        f"{int(summary.ci_level * 100)}% CI ({escape(summary.method)}) · "
+        f"scheduler {escape('/'.join(schedulers) or '?')} · "
+        f"commit {escape('/'.join(commits) or 'unknown')}"
+        "</p>"
+    )
+
+    # -- per-metric CI bands across the grid ---------------------------
+    out.append("<h2>Cross-seed metrics (mean with CI band)</h2>")
+    for metric in _chart_metrics(summary):
+        points = [
+            p for p in summary.points if metric in summary.groups[p]
+        ]
+        if not points:
+            continue
+        stats = [summary.groups[p][metric] for p in points]
+        out.append('<div class="card">')
+        out.append(f"<h3>{escape(metric)}</h3>")
+        out.append(_ci_band_chart(points, stats, metric))
+        out.append("</div>")
+
+    # -- per-tenant SLO burn timelines ---------------------------------
+    out.append("<h2>SLO burn timelines</h2>")
+    burn_cards = 0
+    by_point: dict[str, list[RunRecord]] = {}
+    for record in records:
+        by_point.setdefault(record.point, []).append(record)
+    for point in sorted(by_point):
+        series: dict[str, list[tuple[float, float]]] = {}
+        tenant_of: dict[str, str] = {}
+        for record in sorted(by_point[point], key=lambda r: r.seed):
+            for entry in record.health.get("burn_timeline", []):
+                key = f"{entry['tenant']} (seed {record.seed})"
+                tenant_of[key] = entry["tenant"]
+                series.setdefault(key, []).append(
+                    (float(entry["t_usec"]), float(entry["burn_rate"]))
+                )
+        if not series:
+            continue
+        # color follows the tenant; the seed replica lives in the
+        # tooltip, so the legend carries one entry per tenant
+        tenants = sorted(set(tenant_of.values()))
+        tenant_slot = {t: i for i, t in enumerate(tenants)}
+        slots = {k: tenant_slot[tenant_of[k]] for k in series}
+        burn_cards += 1
+        out.append('<div class="card">')
+        out.append(
+            f"<h3>{escape(point)} — burn rate over time "
+            f"(one line per seed)</h3>"
+        )
+        out.append(_burn_chart(series, slots, f"{point} SLO burn"))
+        out.append(_legend([(t, tenant_slot[t]) for t in tenants]))
+        out.append("</div>")
+    if not burn_cards:
+        out.append(
+            '<p class="note">No SLO burn recorded — every tenant stayed '
+            "inside its error budget.</p>"
+        )
+
+    # -- run-to-run diff table -----------------------------------------
+    if compare_report is not None:
+        out.append("<h2>Run-to-run diff</h2>")
+        out.append('<div class="card">')
+        out.append(
+            '<p class="meta">'
+            f"{len(compare_report.regressions)} regressions · "
+            f"{len(compare_report.improvements)} improvements · "
+            f"{len(compare_report.shifts)} shifts · threshold "
+            f"{compare_report.threshold:.0%}</p>"
+        )
+        rows = [
+            d for d in compare_report.deltas if d.kind != "ok"
+        ]
+        if rows:
+            out.append(
+                "<table><thead><tr><th>point</th><th>metric</th>"
+                "<th>base</th><th>test</th><th>change</th>"
+                "<th>verdict</th></tr></thead><tbody>"
+            )
+            for d in rows:
+                out.append(
+                    f"<tr><td>{escape(d.point)}</td>"
+                    f"<td>{escape(d.metric)}</td>"
+                    f'<td class="num">{escape(_fmt(d.base.mean))}</td>'
+                    f'<td class="num">{escape(_fmt(d.test.mean))}</td>'
+                    f'<td class="num">{d.rel_change:+.1%}</td>'
+                    f'<td class="verdict-{d.kind}">{escape(d.kind)}</td>'
+                    "</tr>"
+                )
+            out.append("</tbody></table>")
+        else:
+            out.append('<p class="note">No significant changes.</p>')
+        out.append("</div>")
+
+    # -- full stats table (the table-view twin of every chart) ---------
+    out.append("<h2>All aggregates</h2>")
+    out.append('<div class="card"><table><thead><tr>')
+    out.append(
+        "<th>point</th><th>metric</th><th>n</th><th>mean</th>"
+        "<th>ci lo</th><th>ci hi</th><th>pooled</th>"
+    )
+    out.append("</tr></thead><tbody>")
+    for point in summary.points:
+        for metric in summary.metrics(point):
+            s = summary.groups[point][metric]
+            pooled = _fmt(s.pooled) if s.pooled is not None else "–"
+            out.append(
+                f"<tr><td>{escape(point)}</td><td>{escape(metric)}</td>"
+                f'<td class="num">{s.n}</td>'
+                f'<td class="num">{escape(_fmt(s.mean))}</td>'
+                f'<td class="num">{escape(_fmt(s.ci_lo))}</td>'
+                f'<td class="num">{escape(_fmt(s.ci_hi))}</td>'
+                f'<td class="num">{escape(pooled)}</td></tr>'
+            )
+    out.append("</tbody></table></div>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"

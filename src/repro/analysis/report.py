@@ -19,11 +19,19 @@ def write_json_report(path: str, payload: dict) -> None:
 
     Shared by ``repro critpath --json``, ``repro health``, and anything
     else emitting a report a CI gate consumes.
+
+    NaN/Inf are rejected (``ValueError``) rather than serialized as the
+    non-standard ``NaN``/``Infinity`` literals JSON parsers disagree on;
+    a rejected payload leaves no temp file behind.
     """
     tmp = f"{path}.tmp"
-    with open(tmp, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, allow_nan=False)
+            fh.write("\n")
+    except ValueError:
+        os.unlink(tmp)
+        raise
     os.replace(tmp, path)
 
 

@@ -366,13 +366,22 @@ def run_bench(
     skip_sweep: bool = False,
 ) -> dict[str, Any]:
     """Run every benchmark; returns the JSON-ready payload."""
+    from .obs.campaign import git_provenance
+
+    commit, dirty = git_provenance()
     payload: dict[str, Any] = {
         "schema": "repro-bench/1",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "hostname": platform.node(),
         "cpus": os.cpu_count(),
+        "git_commit": commit,
+        "git_dirty": dirty,
         "scheduler": os.environ.get("REPRO_SCHEDULER", "wheel"),
+        "campaign_floors": [
+            {"point": "*", "metric": "violations", "max": 0},
+        ],
         "event_loop": {
             "nevents": nevents,
             "rounds": rounds,

@@ -785,11 +785,14 @@ def _run_sweep_cmd(args) -> int:
     """``repro sweep``: run figure grids through the parallel engine."""
     from .analysis.critpath import blame_split
     from .experiments import SWEEPS
-    from .sweep import default_cache_dir, run_sweep
+    from .sweep import ResultCache, default_cache_dir, run_sweep
     from .units import SEC
 
     names = list(SWEEPS) if args.experiment == "all" else [args.experiment]
-    cache = False if args.no_cache else (args.cache or default_cache_dir())
+    store = None
+    if not args.no_cache:
+        store = ResultCache(args.cache or default_cache_dir())
+    cache = store if store is not None else False
     payload: dict[str, dict] = {}
     status = 0
     for name in names:
@@ -801,6 +804,7 @@ def _run_sweep_cmd(args) -> int:
             cache=cache,
             force=args.force,
             trace=args.trace,
+            campaign=args.campaign,
             progress=(
                 None if args.quiet
                 else lambda pname, how: print(f"  {pname}: {how}")
@@ -852,6 +856,10 @@ def _run_sweep_cmd(args) -> int:
         }
         if health:
             payload[name]["health"] = health
+    if store is not None:
+        print(f"cache: {store.summary()}")
+    if args.campaign:
+        print(f"appended run records to {args.campaign}")
     if args.json:
         with open(args.json, "w") as fh:
             json.dump({"scale": args.scale, "sweeps": payload}, fh, indent=2)
@@ -962,6 +970,185 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _run_campaign_cmd(args) -> int:
+    """``repro campaign``: replicate a sweep grid across seeds into a
+    JSONL campaign store, then print the cross-seed aggregates."""
+    from .analysis.campaign import aggregate
+    from .experiments import SWEEPS
+    from .obs.campaign import run_campaign
+    from .sweep import ResultCache, default_cache_dir
+
+    builder, desc = SWEEPS[args.experiment]
+    points = builder(args.scale)
+    if args.filter:
+        points = [p for p in points if args.filter in p.name]
+    if args.limit:
+        points = points[: args.limit]
+    if not points:
+        print("no points match the filter", file=sys.stderr)
+        return 2
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    store = None
+    if not args.no_cache:
+        store = ResultCache(args.cache or default_cache_dir())
+    report = run_campaign(
+        points,
+        seeds,
+        args.store,
+        workers=args.workers,
+        cache=store if store is not None else False,
+        force=args.force,
+        progress=(
+            None if args.quiet
+            else lambda pname, how: print(f"  {pname}: {how}")
+        ),
+    )
+    print(
+        f"{args.experiment} — {desc}: {len(points)} points x "
+        f"{len(seeds)} seeds, {report.simulated} simulated, "
+        f"{report.cached} cached, {report.wall_sec:.2f} s wall"
+    )
+    if store is not None:
+        print(f"cache: {store.summary()}")
+    summary = aggregate(
+        report.store.load(), ci_level=args.ci_level, method=args.method
+    )
+    rows = []
+    for point in summary.points:
+        stats = summary.get(point, "elapsed_usec")
+        if stats is None:
+            continue
+        rows.append([
+            point, stats.n, stats.mean,
+            f"±{stats.halfwidth:.4g}",
+        ])
+    print(format_table(
+        ["point", "seeds", "mean elapsed (us)",
+         f"{int(summary.ci_level * 100)}% CI"],
+        rows,
+    ))
+    print(f"appended {len(report.records)} records to {report.store.path}")
+    return 0
+
+
+def _load_campaign(path: str):
+    from .obs.campaign import CampaignStore
+
+    records = CampaignStore(path).load()
+    if not records:
+        raise SystemExit(f"campaign store {path} is empty or missing")
+    return records
+
+
+def _run_compare_cmd(args) -> int:
+    """``repro compare``: regression-gate one campaign against another
+    (or against the bench file's campaign floors); nonzero on
+    regression."""
+    from .analysis.campaign import aggregate
+    from .analysis.compare import (
+        check_floors,
+        compare_summaries,
+        format_compare,
+    )
+
+    status = 0
+    payload: dict = {}
+    test_records = _load_campaign(args.test if args.test else args.base)
+    if args.test:
+        base_records = _load_campaign(args.base)
+        base = aggregate(
+            base_records, ci_level=args.ci_level, method=args.method
+        )
+        test = aggregate(
+            test_records, ci_level=args.ci_level, method=args.method
+        )
+        report = compare_summaries(base, test, threshold=args.threshold)
+        print(format_compare(report, all_rows=args.all))
+        if report.missing_points:
+            print(
+                f"note: {len(report.missing_points)} points present on "
+                f"only one side: {', '.join(report.missing_points)}"
+            )
+        print(
+            f"{len(report.regressions)} regressions, "
+            f"{len(report.improvements)} improvements, "
+            f"{len(report.shifts)} shifts "
+            f"(threshold {args.threshold:.0%}, "
+            f"{int(args.ci_level * 100)}% CI)"
+        )
+        payload["compare"] = report.to_dict()
+        if not report.ok:
+            status = 1
+    if args.bench:
+        with open(args.bench) as fh:
+            floors = json.load(fh).get("campaign_floors", [])
+        violations = check_floors(test_records, floors)
+        if violations:
+            for v in violations:
+                print(
+                    f"FLOOR VIOLATION: {v.point} seed {v.seed} "
+                    f"{v.metric}={v.value:g} breaks {v.bound} "
+                    f"bound {v.limit:g}",
+                    file=sys.stderr,
+                )
+            status = 1
+        else:
+            print(
+                f"{len(floors)} bench floors checked against "
+                f"{len(test_records)} records: all clear"
+            )
+        payload["floors"] = {
+            "checked": len(floors),
+            "violations": [v.to_dict() for v in violations],
+        }
+    if args.json:
+        write_json_report(args.json, payload)
+        print(f"wrote {args.json}")
+    return status
+
+
+def _report_campaign(args) -> int:
+    """``repro report --campaign``: render the HTML dashboard."""
+    from .analysis.campaign import aggregate
+    from .analysis.compare import compare_summaries
+    from .analysis.htmlreport import render_campaign_html
+
+    records = _load_campaign(args.campaign)
+    summary = aggregate(records)
+    compare_report = None
+    if args.against:
+        base = aggregate(_load_campaign(args.against))
+        compare_report = compare_summaries(base, summary)
+    html = render_campaign_html(
+        summary,
+        records,
+        compare_report=compare_report,
+        title=f"Campaign report — {args.campaign}",
+    )
+    output = args.output
+    if output == "REPORT.md":  # the markdown-mode default doesn't fit
+        output = "report.html"
+    if args.replay_check:
+        again = render_campaign_html(
+            summary,
+            records,
+            compare_report=compare_report,
+            title=f"Campaign report — {args.campaign}",
+        )
+        if again != html:
+            print(
+                "ERROR: replay check failed — two renders of the same "
+                "campaign store differ",
+                file=sys.stderr,
+            )
+            return 1
+        print("replay check passed: render is byte-identical")
+    with open(output, "w") as fh:
+        fh.write(html)
+    print(f"wrote {output}")
+    return 0
+
+
 def _report(scale: int, output: str) -> int:
     """Run every experiment, capturing the printed tables into markdown."""
     import contextlib
@@ -1004,6 +1191,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     rep.add_argument("--scale", type=int, default=8)
     rep.add_argument("-o", "--output", default="REPORT.md")
+    rep.add_argument(
+        "--campaign", metavar="JSONL", default=None,
+        help="render an HTML dashboard from this campaign store instead "
+        "of running the experiments (output defaults to report.html)",
+    )
+    rep.add_argument(
+        "--against", metavar="JSONL", default=None,
+        help="with --campaign: include a diff table vs this baseline store",
+    )
+    rep.add_argument(
+        "--replay-check", action="store_true",
+        help="with --campaign: render twice and fail unless byte-identical",
+    )
     tr = sub.add_parser(
         "trace",
         help="run one traced scenario; print the measured §6.2 breakdown "
@@ -1200,6 +1400,93 @@ def main(argv: Sequence[str] | None = None) -> int:
         "aggregates (queueing-vs-wire split in the JSON payload)",
     )
     sw.add_argument("--json", metavar="PATH", help="dump raw numbers as JSON")
+    sw.add_argument(
+        "--campaign", metavar="JSONL", default=None,
+        help="append a RunRecord per point to this campaign store",
+    )
+    ca = sub.add_parser(
+        "campaign",
+        help="replicate a sweep grid across seeds into a JSONL campaign "
+        "store and print cross-seed aggregates",
+    )
+    ca.add_argument("experiment", choices=list(_SWEEPS))
+    ca.add_argument(
+        "--seeds", default="1,2,3",
+        help="comma-separated campaign seeds (default: 1,2,3)",
+    )
+    ca.add_argument(
+        "--scale", type=int, default=8,
+        help="size divisor; 1 = full paper sizes (default: 8)",
+    )
+    ca.add_argument(
+        "--store", metavar="JSONL", default="campaign.jsonl",
+        help="campaign store to append to (default: campaign.jsonl)",
+    )
+    ca.add_argument(
+        "--filter", default=None,
+        help="only run points whose name contains this substring",
+    )
+    ca.add_argument(
+        "--limit", type=int, default=None,
+        help="cap the number of points after filtering",
+    )
+    ca.add_argument(
+        "--workers", default=None,
+        help="process count, 'auto' = one per CPU (default: "
+        "$REPRO_SWEEP_WORKERS or serial)",
+    )
+    ca.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    ca.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    ca.add_argument(
+        "--force", action="store_true",
+        help="re-simulate every replica (still refreshes the cache)",
+    )
+    ca.add_argument("--quiet", action="store_true", help="no per-point lines")
+    ca.add_argument(
+        "--ci-level", type=float, default=0.95,
+        help="confidence level for the printed aggregates (default: 0.95)",
+    )
+    ca.add_argument(
+        "--method", choices=["t", "bootstrap"], default="t",
+        help="confidence-interval method (default: t)",
+    )
+    co = sub.add_parser(
+        "compare",
+        help="regression-gate one campaign store against another and/or "
+        "against the bench file's campaign floors (exit 1 on regression)",
+    )
+    co.add_argument("base", help="baseline campaign JSONL (or sole store "
+                    "when only checking --bench floors)")
+    co.add_argument(
+        "test", nargs="?", default=None,
+        help="candidate campaign JSONL to compare against base",
+    )
+    co.add_argument(
+        "--bench", metavar="JSON", default=None,
+        help="also check records against this bench file's campaign_floors",
+    )
+    co.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="relative-change significance threshold (default: 0.05)",
+    )
+    co.add_argument(
+        "--ci-level", type=float, default=0.95,
+        help="confidence level for the interval test (default: 0.95)",
+    )
+    co.add_argument(
+        "--method", choices=["t", "bootstrap"], default="t",
+        help="confidence-interval method (default: t)",
+    )
+    co.add_argument(
+        "--all", action="store_true",
+        help="print every aligned metric, not just significant ones",
+    )
+    co.add_argument("--json", metavar="PATH", help="dump the verdict as JSON")
     be = sub.add_parser(
         "bench",
         help="measure host-side simulator performance and write "
@@ -1260,6 +1547,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_table1())
         return 0
     if args.command == "report":
+        if args.campaign:
+            return _report_campaign(args)
         if args.scale < 1:
             parser.error("--scale must be >= 1")
         return _report(args.scale, args.output)
@@ -1287,6 +1576,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.scale < 1:
             parser.error("--scale must be >= 1")
         return _run_sweep_cmd(args)
+    if args.command == "campaign":
+        if args.scale < 1:
+            parser.error("--scale must be >= 1")
+        return _run_campaign_cmd(args)
+    if args.command == "compare":
+        return _run_compare_cmd(args)
     if args.command == "bench":
         return _run_bench(args)
 

@@ -59,6 +59,7 @@ __all__ = [
     "fig10_points",
     "faults_points",
     "cluster_points",
+    "campaign_points",
     "cluster_fair_config",
     "cluster_failslow_config",
     "cluster_unfair_config",
@@ -518,6 +519,22 @@ def cluster_points(scale: int = DEFAULT_SCALE) -> list[SweepPoint]:
     return points
 
 
+def campaign_points(scale: int = DEFAULT_SCALE) -> list[SweepPoint]:
+    """The campaign preset: a small cluster grid with one deliberately
+    degraded point, sized for seed replication.  The fair points give
+    the regression gate a healthy baseline; the fail-slow point is the
+    known-bad outlier CI uses to prove ``repro compare`` actually fires
+    (relabel it onto a fair point's name and the latency regression
+    must flag as significant)."""
+    return [
+        SweepPoint("campaign/fair-2s", cluster_fair_config(scale)),
+        SweepPoint(
+            "campaign/fair-3s", cluster_fair_config(scale, nservers=3)
+        ),
+        SweepPoint("campaign/failslow", cluster_failslow_config(scale)),
+    ]
+
+
 def sec62_runs(
     scale: int = DEFAULT_SCALE,
     *,
@@ -542,4 +559,6 @@ SWEEPS: dict = {
     "faults": (faults_points, "fault injection / recovery grid"),
     "cluster": (cluster_points,
                 "multi-tenant cluster: clients x servers x placement"),
+    "campaign": (campaign_points,
+                 "campaign preset: fair cluster points + fail-slow outlier"),
 }

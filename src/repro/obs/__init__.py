@@ -51,6 +51,13 @@ __all__ = [
     "HealthConfig",
     "HealthHub",
     "SLOBreach",
+    "SketchMismatchError",
+    "CampaignStore",
+    "RunRecord",
+    "record_from_result",
+    "run_campaign",
+    "reseed_config",
+    "git_provenance",
 ]
 
 #: lazily re-exported names -> defining submodule (the simulator core
@@ -65,6 +72,13 @@ _LAZY = {
     "HealthConfig": "health",
     "HealthHub": "health",
     "SLOBreach": "health",
+    "SketchMismatchError": "sketch",
+    "CampaignStore": "campaign",
+    "RunRecord": "campaign",
+    "record_from_result": "campaign",
+    "run_campaign": "campaign",
+    "reseed_config": "campaign",
+    "git_provenance": "campaign",
 }
 
 

@@ -1,0 +1,408 @@
+"""Longitudinal run-series store: the campaign layer.
+
+Every observability layer below this one (tracing, critpath blame,
+fleet health) reports on exactly one run and then forgets it.  A
+*campaign* is the longitudinal view the ROADMAP's capacity-planning
+claims need: the same sweep grid replicated across seeds (and commits),
+each run summarized into a compact :class:`RunRecord` and appended to
+an on-disk JSONL store.  The analysis side
+(:mod:`repro.analysis.campaign`, :mod:`repro.analysis.compare`) merges
+sketches across seeds, attaches confidence intervals, and diffs
+campaigns across configs and commits.
+
+Design notes:
+
+* Records are *summaries*, not results: scalar counters, blame shares,
+  health verdicts, and serialized :class:`~repro.obs.sketch.QuantileSketch`
+  snapshots of the latency/RTT distributions.  A record is a few KiB
+  regardless of run length — the store scales to thousands of runs.
+* The store is append-only JSONL with one ``os.write`` per record
+  (O_APPEND), so concurrent sweep processes can share a store without
+  interleaving partial lines; a torn final line from a crashed run is
+  skipped (with a warning) on load.
+* Every line is self-describing (``schema`` field), so the reader can
+  refuse records written by an incompatible future format.
+* Workload randomness is pre-generated at construction time, so seed
+  replication goes through :func:`reseed_config`, which rebuilds the
+  workload objects (see :meth:`repro.workloads.base.Workload.reseed`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..sweep.fingerprint import config_fingerprint
+from .sketch import QuantileSketch
+
+__all__ = [
+    "SCHEMA",
+    "RunRecord",
+    "CampaignStore",
+    "record_from_result",
+    "reseed_config",
+    "git_provenance",
+    "run_campaign",
+    "CampaignReport",
+]
+
+#: schema tag carried by every record; the loader accepts exactly this
+SCHEMA = "repro-campaign/1"
+
+#: registry Tally/sketch name suffixes serialized into each record as
+#: quantile sketches: per-queue block-layer request latency and
+#: per-driver request round-trip time
+SKETCH_SUFFIXES = (".req_latency_usec", ".request_usec")
+
+#: relative error of the serialized sketches (matches obs.health)
+SKETCH_REL_ERR = 0.01
+
+#: burn-timeline entries kept per record (deterministic stride
+#: downsampling beyond this keeps records bounded)
+MAX_BURN_ENTRIES = 512
+
+
+def git_provenance(cwd: "str | os.PathLike | None" = None):
+    """``(commit, dirty)`` of the working tree, or ``(None, None)``
+    outside a git checkout (or without a git binary)."""
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if commit.returncode != 0:
+            return None, None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+        return commit.stdout.strip(), dirty
+    except (OSError, subprocess.SubprocessError):
+        return None, None
+
+
+@dataclass
+class RunRecord:
+    """One run's summary, as stored in the campaign JSONL.
+
+    ``point`` is the seed-independent group key (the sweep point name);
+    ``config_key`` is the structural config fingerprint (seed included),
+    so identical reruns of the same point+seed are recognizable.
+    """
+
+    point: str
+    seed: int
+    config_key: str
+    label: str
+    scheduler: str
+    git_commit: "str | None" = None
+    git_dirty: "bool | None" = None
+    elapsed_usec: float = 0.0
+    #: scalar metrics: key counters plus derived fairness/health scalars
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: per-request blame aggregate (µs per class; traced runs only)
+    blame_usec: dict[str, float] = field(default_factory=dict)
+    #: invariant-monitor violation count
+    violations: int = 0
+    #: compact health verdicts + burn timeline (cluster runs)
+    health: dict = field(default_factory=dict)
+    #: serialized QuantileSketch per latency/RTT distribution
+    sketches: dict[str, dict] = field(default_factory=dict)
+    schema: str = SCHEMA
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "RunRecord":
+        if state.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported campaign record schema "
+                f"{state.get('schema')!r} (expected {SCHEMA!r})"
+            )
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in state.items() if k in names})
+
+    def sketch(self, name: str) -> QuantileSketch:
+        """Deserialize one of the record's distribution sketches."""
+        return QuantileSketch.from_dict(self.sketches[name])
+
+
+def _compact_health(health: dict) -> dict:
+    """The record-sized view of a HealthHub report: verdicts, per-tenant
+    SLO scalars, and the (downsampled) burn timeline the dashboard's
+    SLO-burn charts read."""
+    if not health:
+        return {}
+    burn = health.get("burn_timeline", [])
+    if len(burn) > MAX_BURN_ENTRIES:
+        stride = -(-len(burn) // MAX_BURN_ENTRIES)
+        burn = burn[::stride]
+    return {
+        "flagged_servers": list(health.get("flagged_servers", [])),
+        "breached_tenants": list(health.get("breached_tenants", [])),
+        "breaches": len(health.get("breach_timeline", [])),
+        "tenants": {
+            name: {
+                "availability": t.get("availability"),
+                "p50_usec": t.get("p50_usec"),
+                "p99_usec": t.get("p99_usec"),
+                "peak_burn_rate": t.get("peak_burn_rate"),
+                "slo_met": t.get("slo_met"),
+            }
+            for name, t in sorted(health.get("tenants", {}).items())
+        },
+        "burn_timeline": burn,
+    }
+
+
+def record_from_result(
+    point_name: str,
+    cfg: Any,
+    result: Any,
+    *,
+    provenance: "tuple[str | None, bool | None] | None" = None,
+    sketch_suffixes: "tuple[str, ...]" = SKETCH_SUFFIXES,
+) -> RunRecord:
+    """Summarize one finished run into a :class:`RunRecord`.
+
+    The seed is read off the config (``reseed_config`` stamps it), the
+    latency/RTT distributions are rebuilt as bounded sketches from the
+    run's exact registry tallies, and everything else is plain scalars.
+    """
+    if provenance is None:
+        provenance = git_provenance()
+    commit, dirty = provenance
+
+    metrics: dict[str, float] = {
+        "elapsed_usec": float(result.elapsed_usec),
+        "swapout_pages": float(result.swapout_pages),
+        "swapin_pages": float(result.swapin_pages),
+        "client_copy_usec": float(result.client_copy_usec),
+        "violations": float(len(result.invariant_violations)),
+    }
+    for tag, nbytes in sorted(result.network_bytes.items()):
+        metrics[f"net.{tag}_bytes"] = float(nbytes)
+    # Cluster results add the fairness scalars the QoS gates read.
+    for attr in ("spread", "jain_index", "admission_nacks"):
+        value = getattr(result, attr, None)
+        if value is not None:
+            metrics[attr] = float(value)
+    health = getattr(result, "health", {}) or {}
+    for name, tenant in sorted(health.get("tenants", {}).items()):
+        avail = tenant.get("availability")
+        if avail is not None:
+            metrics[f"tenant.{name}.availability"] = float(avail)
+        p99 = tenant.get("p99_usec")
+        if p99 is not None:
+            metrics[f"tenant.{name}.p99_usec"] = float(p99)
+
+    sketches: dict[str, dict] = {}
+    registry = getattr(result, "registry", None)
+    if registry is not None:
+        for name in registry.names():
+            if not name.endswith(sketch_suffixes):
+                continue
+            item = registry.get(name)
+            if isinstance(item, QuantileSketch):
+                if item.count:
+                    sketches[name] = item.to_dict()
+                continue
+            values = getattr(item, "values", None)
+            if values is None or not getattr(item, "count", 0):
+                continue
+            sketch = QuantileSketch(name, rel_err=SKETCH_REL_ERR)
+            sketch.record_many(values())
+            sketches[name] = sketch.to_dict()
+
+    return RunRecord(
+        point=point_name,
+        seed=int(getattr(cfg, "seed", 0)),
+        config_key=config_fingerprint(cfg),
+        label=str(result.label),
+        scheduler=os.environ.get("REPRO_SCHEDULER", "wheel"),
+        git_commit=commit,
+        git_dirty=dirty,
+        elapsed_usec=float(result.elapsed_usec),
+        metrics=metrics,
+        blame_usec={k: float(v) for k, v in sorted(result.blame_usec.items())},
+        violations=len(result.invariant_violations),
+        health=_compact_health(health),
+        sketches=sketches,
+    )
+
+
+class CampaignStore:
+    """Append-only JSONL store of :class:`RunRecord` lines.
+
+    Appends are a single ``os.write`` on an ``O_APPEND`` descriptor —
+    atomic at the line level on POSIX, so concurrent writers never
+    interleave partial records.  ``load`` tolerates exactly one torn
+    line at the end of the file (a crashed writer) and refuses records
+    from an unknown schema.
+    """
+
+    def __init__(self, path: "str | os.PathLike") -> None:
+        self.path = Path(path)
+
+    def append(self, record: RunRecord) -> None:
+        line = json.dumps(record.to_dict(), sort_keys=True, allow_nan=False)
+        data = (line + "\n").encode()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    def load(self) -> list[RunRecord]:
+        """Every record in append order (torn final line skipped)."""
+        if not self.path.exists():
+            return []
+        records: list[RunRecord] = []
+        with open(self.path, encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                state = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    warnings.warn(
+                        f"campaign store {self.path}: skipping torn "
+                        f"final line (crashed writer?)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                raise ValueError(
+                    f"campaign store {self.path}: corrupt record at "
+                    f"line {i + 1}"
+                ) from None
+            records.append(RunRecord.from_dict(state))
+        return records
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+
+def _mix_seed(base_seed: int, campaign_seed: int) -> int:
+    """Derive a workload seed that preserves within-scenario structure:
+    identical base seeds (the fairness scenarios' *identical tenants*)
+    stay identical, distinct ones stay distinct."""
+    return (base_seed * 1_000_003 + campaign_seed) % (1 << 31)
+
+
+def reseed_config(cfg: Any, seed: int) -> Any:
+    """A copy of ``cfg`` replicated under ``seed``.
+
+    Rebuilds every randomized workload through
+    :meth:`~repro.workloads.base.Workload.reseed` (op traces are
+    pre-generated at construction, so mutating ``.seed`` in place would
+    silently change nothing) and stamps ``cfg.seed`` so the resulting
+    run's :class:`RunRecord` carries the campaign seed.
+    """
+    from ..config import ClusterScenarioConfig, ScenarioConfig
+
+    if isinstance(cfg, ClusterScenarioConfig):
+        tenants = [
+            dataclasses.replace(
+                spec,
+                workload=spec.workload.reseed(
+                    _mix_seed(getattr(spec.workload, "seed", 0), seed)
+                ),
+            )
+            for spec in cfg.tenants
+        ]
+        return dataclasses.replace(cfg, tenants=tenants, seed=seed)
+    if isinstance(cfg, ScenarioConfig):
+        workloads = [
+            w.reseed(_mix_seed(getattr(w, "seed", 0), seed))
+            for w in cfg.workloads
+        ]
+        return dataclasses.replace(cfg, workloads=workloads, seed=seed)
+    raise TypeError(f"cannot reseed config of type {type(cfg).__name__}")
+
+
+@dataclass
+class CampaignReport:
+    """What one campaign invocation did."""
+
+    store: CampaignStore
+    seeds: list[int]
+    points: list[str]
+    records: list[RunRecord]
+    simulated: int
+    cached: int
+    wall_sec: float
+
+
+def run_campaign(
+    points,
+    seeds,
+    store: "CampaignStore | str | os.PathLike",
+    *,
+    workers: "int | str | None" = None,
+    cache=None,
+    force: bool = False,
+    progress=None,
+) -> CampaignReport:
+    """Replicate a sweep grid across seeds, appending one
+    :class:`RunRecord` per (point, seed) to ``store``.
+
+    Each seed's grid goes through :func:`repro.sweep.run_sweep` (so
+    caching and parallel fan-out apply per replica); records are built
+    once here and appended directly, with git provenance resolved a
+    single time for the whole campaign.
+    """
+    from ..sweep.engine import SweepPoint, run_sweep
+
+    if not isinstance(store, CampaignStore):
+        store = CampaignStore(store)
+    points = list(points)
+    seeds = [int(s) for s in seeds]
+    if not seeds:
+        raise ValueError("campaign needs at least one seed")
+    provenance = git_provenance()
+    records: list[RunRecord] = []
+    simulated = cached = 0
+    wall = 0.0
+    for seed in seeds:
+        replica = [
+            SweepPoint(p.name, reseed_config(p.cfg, seed)) for p in points
+        ]
+        report = run_sweep(
+            replica,
+            workers=workers,
+            cache=cache,
+            force=force,
+            progress=progress,
+        )
+        simulated += report.simulated
+        cached += report.cached
+        wall += report.wall_sec
+        for point, result in zip(report.points, report.results):
+            record = record_from_result(
+                point.name, point.cfg, result, provenance=provenance
+            )
+            store.append(record)
+            records.append(record)
+    return CampaignReport(
+        store=store,
+        seeds=seeds,
+        points=[p.name for p in points],
+        records=records,
+        simulated=simulated,
+        cached=cached,
+        wall_sec=wall,
+    )

@@ -31,7 +31,20 @@ from bisect import bisect_right
 
 import numpy as np
 
-__all__ = ["QuantileSketch", "EWMA", "RateTracker", "WindowedSketch"]
+__all__ = [
+    "QuantileSketch",
+    "EWMA",
+    "RateTracker",
+    "WindowedSketch",
+    "SketchMismatchError",
+]
+
+
+class SketchMismatchError(ValueError):
+    """Raised when two sketches with incompatible bucket geometry
+    (``rel_err``/``gamma`` or ``min_value``) are merged.  Adding bucket
+    counts across different geometries would silently corrupt every
+    quantile, so the mismatch is a hard error."""
 
 
 class QuantileSketch:
@@ -142,9 +155,24 @@ class QuantileSketch:
             self.collapsed += 1
 
     def merge(self, other: "QuantileSketch") -> None:
-        """Fold another sketch in (bucket maps simply add)."""
+        """Fold another sketch in (bucket maps simply add).
+
+        Raises :class:`SketchMismatchError` unless both sketches share
+        the same bucket geometry — same ``gamma`` (i.e. ``rel_err``) and
+        same ``min_value`` zero-bucket floor.
+        """
         if other._gamma != self._gamma:
-            raise ValueError("cannot merge sketches with different rel_err")
+            raise SketchMismatchError(
+                f"cannot merge sketch {other.name!r} (rel_err="
+                f"{other.rel_err}) into {self.name!r} (rel_err="
+                f"{self.rel_err}): bucket geometries differ"
+            )
+        if other._min_value != self._min_value:
+            raise SketchMismatchError(
+                f"cannot merge sketch {other.name!r} (min_value="
+                f"{other._min_value}) into {self.name!r} (min_value="
+                f"{self._min_value}): zero-bucket floors differ"
+            )
         self._n += other._n
         self._sum += other._sum
         self._zero += other._zero
@@ -173,6 +201,47 @@ class QuantileSketch:
         dup._max = self._max
         dup.collapsed = self.collapsed
         return dup
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot: everything needed to reconstruct the
+        sketch exactly (bucket map as sorted ``[key, count]`` pairs, so
+        the encoding is deterministic and JSON-safe — dict int keys
+        would stringify).  ``min``/``max`` serialize as ``None`` while
+        empty (JSON has no ``inf``)."""
+        return {
+            "name": self.name,
+            "rel_err": self.rel_err,
+            "max_bins": self.max_bins,
+            "min_value": self._min_value,
+            "bins": [[k, self._bins[k]] for k in sorted(self._bins)],
+            "zero": self._zero,
+            "n": self._n,
+            "sum": self._sum,
+            "min": self._min if self._n else None,
+            "max": self._max if self._n else None,
+            "collapsed": self.collapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "QuantileSketch":
+        """Inverse of :meth:`to_dict`; round-trips exactly."""
+        sketch = cls(
+            state.get("name", ""),
+            rel_err=state["rel_err"],
+            max_bins=state["max_bins"],
+            min_value=state.get("min_value", 1e-9),
+        )
+        sketch._bins = {int(k): int(c) for k, c in state["bins"]}
+        sketch._zero = int(state["zero"])
+        sketch._n = int(state["n"])
+        sketch._sum = float(state["sum"])
+        if sketch._n:
+            sketch._min = float(state["min"])
+            sketch._max = float(state["max"])
+        sketch.collapsed = int(state.get("collapsed", 0))
+        return sketch
 
     # -- views ----------------------------------------------------------
 

@@ -37,6 +37,10 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: corrupt/unreadable entries dropped on the read path
+        self.evictions = 0
+        #: fresh entries written this run
+        self.puts = 0
         #: set on the first failed write (e.g. ``$REPRO_CACHE_DIR``
         #: pointing somewhere unwritable): the sweep keeps running
         #: uncached instead of crashing.
@@ -63,6 +67,7 @@ class ResultCache:
                 path.unlink(missing_ok=True)
             except OSError:
                 pass
+            self.evictions += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -78,6 +83,7 @@ class ResultCache:
             with open(tmp, "wb") as fh:
                 pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
+            self.puts += 1
         except OSError as exc:
             # An unwritable cache root must not kill the sweep: results
             # still come back, just uncached.
@@ -88,6 +94,18 @@ class ResultCache:
                 RuntimeWarning,
                 stacklevel=2,
             )
+
+    def summary(self) -> str:
+        """One-line hit/miss/evict accounting (``repro sweep`` prints
+        this at exit)."""
+        line = (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.puts} writes, {self.evictions} evictions "
+            f"({self.root})"
+        )
+        if self.disabled:
+            line += " [disabled: unwritable]"
+        return line
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

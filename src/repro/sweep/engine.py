@@ -104,6 +104,7 @@ def run_sweep(
     force: bool = False,
     trace: bool = False,
     progress: "Callable[[str, str], None] | None" = None,
+    campaign=None,
 ) -> SweepReport:
     """Run every point, in parallel where possible, reusing cached results.
 
@@ -119,6 +120,10 @@ def run_sweep(
       (the live span recorder itself still never crosses the cache).
     * ``progress`` — optional ``fn(point_name, "cached"|"simulated")``
       called as each point completes.
+    * ``campaign`` — optional :class:`~repro.obs.campaign.CampaignStore`
+      (or a JSONL path): every completed point — cached hits included,
+      they are equally valid runs — is summarized into a
+      :class:`~repro.obs.campaign.RunRecord` and appended.
 
     Points whose configs hash identically are simulated once and share
     the result.  Results come back in input order.
@@ -191,6 +196,23 @@ def run_sweep(
                     progress(points[j].name, "cached")
     else:
         nworkers = 1
+
+    if campaign is not None:
+        from ..obs.campaign import (
+            CampaignStore,
+            git_provenance,
+            record_from_result,
+        )
+
+        if not isinstance(campaign, CampaignStore):
+            campaign = CampaignStore(campaign)
+        provenance = git_provenance()
+        for point, result in zip(points, results):
+            campaign.append(
+                record_from_result(
+                    point.name, point.cfg, result, provenance=provenance
+                )
+            )
 
     return SweepReport(
         points=points,

@@ -152,3 +152,11 @@ class BarnesWorkload(Workload):
 
     def ops(self) -> Iterable[TraceOp]:
         return iter(self._trace)
+
+    def reseed(self, seed: int) -> "BarnesWorkload":
+        """Regenerate the body distribution from a new seed (same size
+        and compute calibration); the trace is built in ``__init__``,
+        so this returns a fresh instance."""
+        return BarnesWorkload(
+            nbodies=self.nbodies, timesteps=self.timesteps, seed=seed
+        )

@@ -47,6 +47,18 @@ class Workload(ABC):
             for op in self.ops()
         )
 
+    def reseed(self, seed: int) -> "Workload":
+        """A same-shaped workload regenerated from ``seed``.
+
+        Randomized workloads pre-generate their op trace in
+        ``__init__``, so mutating ``.seed`` after construction is a
+        silent no-op — campaign replication across seeds must go
+        through this hook, which returns a *new* instance.  The default
+        covers deterministic workloads (no randomness): reseeding is
+        the identity.
+        """
+        return self
+
 
 def execute(workload: Workload, node: Node, aspace: AddressSpace):
     """Run a workload against a node's VM; generator (spawn as process).

@@ -1,0 +1,402 @@
+"""Campaign observability: the longitudinal run-series store and its
+cross-seed analytics (``repro.obs.campaign``, ``repro.analysis.campaign``,
+``repro.analysis.compare``, ``repro.analysis.htmlreport``).
+
+The acceptance spine is a real 3-seed x 3-point cluster campaign at
+tiny scale (module-scoped fixture, run once): aggregated p99s must
+carry nonzero confidence intervals, merged-sketch quantiles must match
+the pooled exact samples within the sketch's relative-error bound, the
+comparator must flag the degraded-link point as a significant latency
+regression against the fair baseline while passing a self-comparison
+across disjoint seed sets, and the HTML dashboard must render
+byte-identically for a fixed store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.campaign import (
+    aggregate,
+    dedupe,
+    t_critical,
+)
+from repro.analysis.compare import (
+    check_floors,
+    compare_summaries,
+    metric_direction,
+)
+from repro.analysis.htmlreport import render_campaign_html
+from repro.config import ClusterScenarioConfig
+from repro.experiments import campaign_points, cluster_fair_config
+from repro.obs.campaign import (
+    SCHEMA,
+    SKETCH_REL_ERR,
+    CampaignStore,
+    RunRecord,
+    record_from_result,
+    reseed_config,
+    run_campaign,
+)
+from repro.obs.sketch import QuantileSketch
+
+SCALE = 256
+SEEDS = [1, 2, 3]
+
+
+def _record(point="p", seed=1, **over) -> RunRecord:
+    base = dict(
+        point=point,
+        seed=seed,
+        config_key="c" * 16,
+        label="lbl",
+        scheduler="wheel",
+        git_commit=None,
+        git_dirty=None,
+        elapsed_usec=100.0,
+        metrics={"elapsed_usec": 100.0, "violations": 0.0},
+        blame_usec={"wire": 40.0},
+        violations=0,
+        health={},
+        sketches={},
+    )
+    base.update(over)
+    return RunRecord(**base)
+
+
+class TestStore:
+    def test_append_load_roundtrip(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl")
+        sk = QuantileSketch("lat", rel_err=SKETCH_REL_ERR)
+        sk.record_many([10.0, 20.0, 300.0])
+        rec = _record(sketches={"lat": sk.to_dict()})
+        store.append(rec)
+        store.append(_record(point="q", seed=2))
+        loaded = store.load()
+        assert len(store) == 2
+        assert [r.point for r in loaded] == ["p", "q"]
+        assert loaded[0].schema == SCHEMA
+        assert loaded[0].metrics == rec.metrics
+        clone = loaded[0].sketch("lat")
+        assert clone.count == 3 and clone.quantile(100) == sk.quantile(100)
+
+    def test_load_missing_store_is_empty(self, tmp_path):
+        assert CampaignStore(tmp_path / "absent.jsonl").load() == []
+
+    def test_torn_final_line_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        store = CampaignStore(path)
+        store.append(_record())
+        with open(path, "a") as fh:
+            fh.write('{"schema": "repro-campaign/1", "point": "tor')
+        with pytest.warns(RuntimeWarning, match="torn"):
+            loaded = store.load()
+        assert len(loaded) == 1  # crashed writer's tail dropped
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        store = CampaignStore(path)
+        store.append(_record())
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+        store.append(_record(seed=2))
+        with pytest.raises(ValueError):
+            store.load()
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        line = json.dumps({**_record().to_dict(), "schema": "repro-campaign/9"})
+        path.write_text(line + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            CampaignStore(path).load()
+
+    def test_lines_are_single_writes(self, tmp_path):
+        """Every line is complete JSON ending in newline — the property
+        O_APPEND atomicity hinges on."""
+        path = tmp_path / "c.jsonl"
+        store = CampaignStore(path)
+        for seed in range(5):
+            store.append(_record(seed=seed))
+        raw = path.read_bytes()
+        assert raw.endswith(b"\n")
+        for line in raw.decode().splitlines():
+            assert json.loads(line)["schema"] == SCHEMA
+
+
+class TestReseed:
+    def test_cluster_reseed_rebuilds_workloads(self):
+        cfg = cluster_fair_config(SCALE)
+        r1 = reseed_config(cfg, 1)
+        r2 = reseed_config(cfg, 2)
+        assert isinstance(r1, ClusterScenarioConfig)
+        assert r1.seed == 1 and r2.seed == 2
+        # workloads are rebuilt (op traces are baked at construction,
+        # so mutating .seed would be a silent no-op)
+        for spec, orig in zip(r1.tenants, cfg.tenants):
+            assert spec.workload is not orig.workload
+        # identical tenants stay identical, and the campaign seed
+        # actually moves the derived workload seed
+        w1 = {s.workload.seed for s in r1.tenants}
+        w2 = {s.workload.seed for s in r2.tenants}
+        assert len(w1) == 1 and len(w2) == 1 and w1 != w2
+
+    def test_workload_reseed_changes_trace(self):
+        from repro.workloads import QuicksortWorkload
+
+        w = QuicksortWorkload(nelems=4 * 1024 * 1024, seed=7)
+        r = w.reseed(8)
+        assert r.seed == 8 and r.nelems == w.nelems
+        assert r._ops != w._ops  # pivot choices actually differ
+        assert w.reseed(7)._ops == w._ops  # same seed -> same trace
+
+    def test_rejects_unknown_config_type(self):
+        with pytest.raises(TypeError):
+            reseed_config(object(), 1)
+
+
+class TestAggregateUnits:
+    def test_t_critical_table_and_asymptote(self):
+        assert t_critical(2, 0.95) == pytest.approx(4.303, abs=5e-3)
+        assert t_critical(10_000, 0.95) == pytest.approx(1.960, abs=2e-2)
+        with pytest.raises(ValueError):
+            t_critical(3, 0.42)
+
+    def test_single_seed_ci_degenerates(self):
+        summary = aggregate([_record()])
+        stats = summary.get("p", "elapsed_usec")
+        assert stats.n == 1
+        assert stats.ci_lo == stats.ci_hi == stats.mean
+
+    def test_t_interval_matches_hand_computation(self):
+        values = [100.0, 110.0, 120.0]
+        records = [
+            _record(seed=s, metrics={"elapsed_usec": v})
+            for s, v in enumerate(values)
+        ]
+        stats = aggregate(records).get("p", "elapsed_usec")
+        mean = np.mean(values)
+        half = t_critical(2, 0.95) * np.std(values, ddof=1) / math.sqrt(3)
+        assert stats.mean == pytest.approx(mean)
+        assert stats.ci_lo == pytest.approx(mean - half)
+        assert stats.ci_hi == pytest.approx(mean + half)
+
+    def test_bootstrap_is_deterministic_and_sane(self):
+        records = [
+            _record(seed=s, metrics={"elapsed_usec": v})
+            for s, v in enumerate([90.0, 100.0, 105.0, 120.0, 95.0])
+        ]
+        a = aggregate(records, method="bootstrap").get("p", "elapsed_usec")
+        b = aggregate(records, method="bootstrap").get("p", "elapsed_usec")
+        assert (a.ci_lo, a.ci_hi) == (b.ci_lo, b.ci_hi)
+        assert a.ci_lo <= a.mean <= a.ci_hi
+        assert a.ci_lo > 80.0 and a.ci_hi < 130.0
+
+    def test_dedupe_keeps_last_per_point_seed(self):
+        records = [
+            _record(seed=1, metrics={"elapsed_usec": 1.0}),
+            _record(seed=2, metrics={"elapsed_usec": 2.0}),
+            _record(seed=1, metrics={"elapsed_usec": 9.0}),  # re-run wins
+        ]
+        out = dedupe(records)
+        assert len(out) == 2
+        assert out[0].metrics["elapsed_usec"] == 9.0
+
+    def test_metric_direction_registry(self):
+        assert metric_direction("elapsed_usec") == "lower"
+        assert metric_direction("tenant.t0.availability") == "higher"
+        assert metric_direction("jain_index") == "higher"
+        assert metric_direction("swapout_pages") is None
+
+
+class TestCompareUnits:
+    def _pair(self, base_vals, test_vals, metric="elapsed_usec"):
+        base = aggregate(
+            [_record(seed=s, metrics={metric: v})
+             for s, v in enumerate(base_vals)]
+        )
+        test = aggregate(
+            [_record(seed=s, metrics={metric: v})
+             for s, v in enumerate(test_vals)]
+        )
+        return compare_summaries(base, test, threshold=0.05)
+
+    def test_disjoint_cis_and_threshold_trip_the_gate(self):
+        report = self._pair([100.0, 101.0, 99.0], [200.0, 201.0, 199.0])
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.metric == "elapsed_usec"
+        assert delta.rel_change == pytest.approx(1.0, rel=0.05)
+
+    def test_overlapping_cis_do_not_trip(self):
+        # means 10% apart but huge spread -> overlapping intervals
+        report = self._pair([100.0, 200.0, 300.0], [110.0, 220.0, 330.0])
+        assert report.ok and not report.regressions
+
+    def test_improvement_direction(self):
+        report = self._pair([200.0, 201.0, 199.0], [100.0, 101.0, 99.0])
+        assert report.ok  # improvements never fail the gate
+        assert len(report.improvements) == 1
+
+    def test_directionless_metric_is_a_shift(self):
+        report = self._pair(
+            [100.0, 101.0, 99.0], [200.0, 201.0, 199.0],
+            metric="swapout_pages",
+        )
+        assert report.ok
+        assert len(report.shifts) == 1
+
+    def test_floors(self):
+        records = [
+            _record(point="campaign/fair-2s", seed=1,
+                    metrics={"violations": 0.0}),
+            _record(point="campaign/fair-2s", seed=2,
+                    metrics={"violations": 3.0}),
+        ]
+        floors = [{"point": "campaign/*", "metric": "violations", "max": 0}]
+        violations = check_floors(records, floors)
+        assert len(violations) == 1
+        assert violations[0].seed == 2 and violations[0].bound == "max"
+        assert check_floors(records, [{"point": "other/*",
+                                       "metric": "violations",
+                                       "max": 0}]) == []
+
+
+# -- the acceptance spine: one real campaign, inspected many ways ------
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    root = tmp_path_factory.mktemp("campaign")
+    store = root / "campaign.jsonl"
+    return run_campaign(campaign_points(SCALE), SEEDS, store, cache=False)
+
+
+class TestCampaignRun:
+    def test_one_record_per_point_seed(self, campaign):
+        records = campaign.store.load()
+        assert len(records) == 3 * len(SEEDS)
+        assert {r.seed for r in records} == set(SEEDS)
+        assert {r.point for r in records} == {
+            "campaign/fair-2s", "campaign/fair-3s", "campaign/failslow",
+        }
+        for r in records:
+            assert r.schema == SCHEMA
+            assert r.config_key
+            assert r.metrics["elapsed_usec"] > 0
+            assert r.sketches  # latency distributions captured
+
+    def test_p99_cis_are_nonzero(self, campaign):
+        """Seed replication must actually move the distributions: the
+        aggregated p99s (and elapsed) carry nonzero CI halfwidths."""
+        summary = aggregate(campaign.store.load())
+        for point in summary.points:
+            stats = summary.get(point, "elapsed_usec")
+            assert stats.n == len(SEEDS)
+            assert stats.halfwidth > 0.0
+            p99s = [m for m in summary.metrics(point) if m.endswith(".p99")]
+            assert p99s
+            assert any(summary.get(point, m).halfwidth > 0 for m in p99s)
+
+    def test_merged_sketch_matches_pooled_exact_tally(self, campaign):
+        """DDSketch merge = bucket addition, so pooling the three seeds'
+        sketches must estimate the pooled exact sample quantiles within
+        the single-sketch relative-error bound.  The exact side comes
+        from re-running one point's replicas and pooling the raw
+        registry tallies."""
+        from repro.cluster import run_cluster_scenario
+
+        cfg = cluster_fair_config(SCALE)
+        merged: QuantileSketch | None = None
+        pooled: list[np.ndarray] = []
+        name = None
+        for seed in SEEDS:
+            result = run_cluster_scenario(reseed_config(cfg, seed))
+            record = record_from_result(
+                "campaign/fair-2s", reseed_config(cfg, seed), result,
+                provenance=(None, None),
+            )
+            if name is None:
+                name = sorted(record.sketches)[0]
+            part = record.sketch(name)
+            if merged is None:
+                merged = part
+            else:
+                merged.merge(part)
+            pooled.append(np.asarray(result.registry.get(name).values()))
+        samples = np.sort(np.concatenate(pooled))
+        assert merged.count == len(samples)
+        for q in (50, 95, 99):
+            rank = q / 100 * (len(samples) - 1)
+            lo = float(samples[math.floor(rank)])
+            hi = float(samples[math.ceil(rank)])
+            estimate = merged.quantile(q)
+            assert lo * (1 - SKETCH_REL_ERR) <= estimate, (q, estimate, lo)
+            assert estimate <= hi * (1 + SKETCH_REL_ERR), (q, estimate, hi)
+
+    def test_compare_flags_injected_slowdown(self, campaign):
+        """The degraded-link point, relabeled onto the fair point's
+        name, must read as a significant latency regression."""
+        records = campaign.store.load()
+        fair = [r for r in records if r.point == "campaign/fair-2s"]
+        slow = [
+            dataclasses.replace(r, point="campaign/fair-2s")
+            for r in records
+            if r.point == "campaign/failslow"
+        ]
+        report = compare_summaries(aggregate(fair), aggregate(slow))
+        assert not report.ok
+        regressed = {d.metric for d in report.regressions}
+        assert any(m.endswith(".p99") for m in regressed)
+        for delta in report.regressions:
+            assert delta.rel_change > 0
+            assert delta.direction == "lower"
+
+    def test_self_compare_across_seed_sets_passes(self, campaign, tmp_path):
+        """Same grid, disjoint seeds: statistical noise only — the gate
+        must NOT fire (this is the false-positive guard)."""
+        other = run_campaign(
+            campaign_points(SCALE)[:2], [4, 5, 6],
+            tmp_path / "other.jsonl", cache=False,
+        )
+        base = aggregate(campaign.store.load())
+        test = aggregate(other.store.load())
+        report = compare_summaries(base, test)
+        assert report.ok, [d.to_dict() for d in report.regressions]
+        assert "campaign/failslow" in report.missing_points
+
+    def test_floors_clear_on_real_campaign(self, campaign):
+        floors = [{"point": "*", "metric": "violations", "max": 0}]
+        assert check_floors(campaign.store.load(), floors) == []
+
+    def test_html_report_is_byte_deterministic(self, campaign):
+        records = campaign.store.load()
+        summary = aggregate(records)
+        first = render_campaign_html(summary, records, title="t")
+        second = render_campaign_html(
+            aggregate(campaign.store.load()), campaign.store.load(),
+            title="t",
+        )
+        assert first == second
+        assert first.startswith("<!DOCTYPE html>")
+        assert "<script" not in first  # self-contained, no external deps
+        assert "http" not in first.split("</style>")[1]  # no remote fetches
+        assert "SLO burn" in first  # failslow point produced a timeline
+
+    def test_html_diff_table_renders_verdicts(self, campaign):
+        records = campaign.store.load()
+        fair = [r for r in records if r.point == "campaign/fair-2s"]
+        slow = [
+            dataclasses.replace(r, point="campaign/fair-2s")
+            for r in records
+            if r.point == "campaign/failslow"
+        ]
+        report = compare_summaries(aggregate(fair), aggregate(slow))
+        html = render_campaign_html(
+            aggregate(slow), slow, compare_report=report, title="t"
+        )
+        assert "verdict-regression" in html

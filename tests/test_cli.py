@@ -207,6 +207,100 @@ class TestSweepCommand:
         with pytest.raises(SystemExit):
             main(["sweep", "fig99"])
 
+    def test_sweep_prints_cache_summary_and_campaign(self, capsys, tmp_path):
+        store = tmp_path / "camp.jsonl"
+        assert main([
+            "sweep", "fig05", "--scale", "64",
+            "--cache", str(tmp_path / "cache"), "--quiet",
+            "--campaign", str(store),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cache:" in out and "misses" in out
+        assert f"appended run records to {store}" in out
+        from repro.obs.campaign import CampaignStore
+
+        assert len(CampaignStore(store).load()) == 5
+
+
+class TestCampaignCommands:
+    def _mini(self, tmp_path, name="camp.jsonl", seeds="1,2"):
+        store = tmp_path / name
+        assert main([
+            "campaign", "campaign", "--scale", "256", "--seeds", seeds,
+            "--store", str(store), "--filter", "fair-2s", "--no-cache",
+            "--quiet",
+        ]) == 0
+        return store
+
+    def test_campaign_runs_and_prints_aggregates(self, capsys, tmp_path):
+        store = self._mini(tmp_path)
+        out = capsys.readouterr().out
+        assert "2 simulated" in out
+        assert "95% CI" in out
+        assert f"appended 2 records to {store}" in out
+
+    def test_compare_self_is_clean_and_regression_exits_nonzero(
+        self, capsys, tmp_path
+    ):
+        import dataclasses
+
+        from repro.obs.campaign import CampaignStore
+
+        base = self._mini(tmp_path, "base.jsonl", seeds="1,2")
+        other = self._mini(tmp_path, "other.jsonl", seeds="3,4")
+        assert main(["compare", str(base), str(other)]) == 0
+        assert "0 regressions" in capsys.readouterr().out
+        # degrade the test side 3x -> the gate must fire
+        slow = tmp_path / "slow.jsonl"
+        slow_store = CampaignStore(slow)
+        for rec in CampaignStore(other).load():
+            slow_store.append(dataclasses.replace(
+                rec,
+                metrics={
+                    k: v * 3 if "usec" in k else v
+                    for k, v in rec.metrics.items()
+                },
+            ))
+        assert main(["compare", str(base), str(slow)]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_compare_bench_floors(self, capsys, tmp_path):
+        import dataclasses
+
+        from repro.obs.campaign import CampaignStore
+
+        store = self._mini(tmp_path)
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps({"campaign_floors": [
+            {"point": "*", "metric": "violations", "max": 0},
+        ]}))
+        assert main(["compare", str(store), "--bench", str(bench)]) == 0
+        assert "all clear" in capsys.readouterr().out
+        bad = tmp_path / "bad.jsonl"
+        bad_store = CampaignStore(bad)
+        for rec in CampaignStore(store).load():
+            bad_store.append(dataclasses.replace(
+                rec, metrics={**rec.metrics, "violations": 2.0},
+            ))
+        assert main(["compare", str(bad), "--bench", str(bench)]) == 1
+        assert "FLOOR VIOLATION" in capsys.readouterr().err
+
+    def test_report_campaign_html(self, capsys, tmp_path, monkeypatch):
+        store = self._mini(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "report", "--campaign", str(store), "--replay-check",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "replay check passed" in out
+        html = (tmp_path / "report.html").read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Campaign report" in html
+
+    def test_compare_missing_store_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["compare", str(tmp_path / "absent.jsonl")])
+
 
 class TestBenchCommand:
     def test_bench_writes_json(self, capsys, tmp_path):

@@ -80,3 +80,67 @@ class TestClusterAndTraceCSV:
         )
         rows = parse(path.read_text())
         assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+class TestChromeTraceCounters:
+    def test_counter_track_roundtrip(self):
+        """Counter samples survive the Chrome-trace encode: every
+        recorded ``(component, name, t, series)`` sample comes back as
+        a ``"C"`` event with the values intact, co-plotted series
+        staying in one event's args."""
+        import json
+
+        from repro.obs import TraceRecorder, chrome_trace_json
+
+        t = [0.0]
+        rec = TraceRecorder(lambda: t[0])
+        samples = [
+            ("kernel", "vmstat", 100.0, {"pswpin": 3.0, "pswpout": 7.0}),
+            ("kernel", "vmstat", 200.0, {"pswpin": 5.0, "pswpout": 9.0}),
+            ("hpbd0", "queue_depth", 150.0, {"depth": 12.0}),
+        ]
+        for component, name, ts, values in samples:
+            t[0] = ts
+            rec.counter(component, name, **values)
+        doc = json.loads(chrome_trace_json(rec))
+        counters = [e for e in doc["traceEvents"] if e.get("ph") == "C"]
+        assert [
+            (c["name"], c["ts"], c["args"]) for c in counters
+        ] == [(name, ts, values) for _comp, name, ts, values in samples]
+        # each counter's pid maps back to its component name
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "process_name"
+        }
+        assert [names[c["pid"]] for c in counters] == [
+            s[0] for s in samples
+        ]
+
+
+class TestWriteJsonReport:
+    def test_non_finite_raises_cleanly(self, tmp_path):
+        """NaN/Inf have no JSON encoding parsers agree on; the writer
+        must refuse them with ``ValueError`` and leave neither a
+        partial artifact nor a stray temp file behind."""
+        from repro.analysis import write_json_report
+
+        target = tmp_path / "report.json"
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                write_json_report(str(target), {"metric": bad})
+            assert not target.exists()
+            assert list(tmp_path.iterdir()) == []
+
+    def test_finite_payload_roundtrips_deterministically(self, tmp_path):
+        import json
+
+        from repro.analysis import write_json_report
+
+        target = tmp_path / "report.json"
+        payload = {"b": 2.5, "a": [1, 2]}
+        write_json_report(str(target), payload)
+        first = target.read_bytes()
+        write_json_report(str(target), dict(reversed(payload.items())))
+        assert target.read_bytes() == first  # sorted keys -> stable bytes
+        assert json.loads(first) == payload

@@ -16,7 +16,13 @@ import math
 import numpy as np
 import pytest
 
-from repro.obs import EWMA, QuantileSketch, RateTracker, WindowedSketch
+from repro.obs import (
+    EWMA,
+    QuantileSketch,
+    RateTracker,
+    SketchMismatchError,
+    WindowedSketch,
+)
 from repro.simulator import StatsRegistry
 
 REL_ERR = 0.01
@@ -102,6 +108,54 @@ class TestQuantileSketchBound:
     def test_merge_rejects_mismatched_resolution(self):
         with pytest.raises(ValueError):
             QuantileSketch(rel_err=0.01).merge(QuantileSketch(rel_err=0.05))
+
+    def test_merge_mismatch_is_typed_and_names_the_knob(self):
+        """A cross-resolution or cross-floor merge would silently break
+        the relative-error guarantee; both raise the typed error (a
+        ``ValueError`` subclass, so old ``except ValueError`` call
+        sites keep working) and the sketch is left untouched."""
+        a = QuantileSketch("a", rel_err=0.01)
+        a.record(1.0)
+        coarse = QuantileSketch("b", rel_err=0.05)
+        coarse.record(2.0)
+        with pytest.raises(SketchMismatchError, match="rel_err"):
+            a.merge(coarse)
+        floored = QuantileSketch("c", rel_err=0.01, min_value=1e-3)
+        floored.record(2.0)
+        with pytest.raises(SketchMismatchError, match="min_value"):
+            a.merge(floored)
+        assert issubclass(SketchMismatchError, ValueError)
+        assert a.count == 1 and a.quantile(50) == pytest.approx(1.0, rel=0.01)
+
+    def test_windowed_bucket_merge_guard_propagates(self):
+        """WindowedSketch merges its buckets internally; feeding a
+        foreign-resolution sketch into that path must trip the same
+        typed guard rather than corrupt the window."""
+        win = WindowedSketch(window_usec=1000.0, rel_err=0.01)
+        win.record(10.0, 5.0)
+        merged = QuantileSketch(rel_err=0.05)
+        with pytest.raises(SketchMismatchError):
+            for sketch, _bad in win._live(10.0):
+                merged.merge(sketch)
+
+    def test_serialization_roundtrip(self):
+        samples = _distributions()["pareto"]
+        sk = QuantileSketch("rt", rel_err=0.02, min_value=1e-6)
+        sk.record_many(samples)
+        clone = QuantileSketch.from_dict(sk.to_dict())
+        assert clone.count == sk.count
+        assert clone.total == sk.total
+        for q in (0, 50, 90, 99, 99.9, 100):
+            assert clone.quantile(q) == sk.quantile(q)
+        # the clone is a full citizen: merging it back doubles counts
+        sk.merge(clone)
+        assert sk.count == 2 * clone.count
+
+    def test_serialization_roundtrip_empty(self):
+        sk = QuantileSketch("empty")
+        clone = QuantileSketch.from_dict(sk.to_dict())
+        assert clone.count == 0
+        assert math.isnan(clone.quantile(50))
 
     def test_zero_bucket_absolute_bound(self):
         """Below ``min_value`` the guarantee degrades to an absolute

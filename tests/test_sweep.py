@@ -109,6 +109,24 @@ class TestCache:
         assert cache.clear() == 1
         assert len(cache) == 0
 
+    def test_counters_and_summary(self, tmp_path):
+        """hits/misses/puts/evictions tick, and the one-line summary
+        (what ``repro sweep`` prints at exit) reports all four; a
+        corrupt entry counts as both a miss and an eviction."""
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.get(key)                       # miss
+        cache.put(key, {"x": 1})             # put
+        cache.get(key)                       # hit
+        cache._path(key).write_bytes(b"garbage")
+        cache.get(key)                       # miss + eviction
+        assert (cache.hits, cache.misses, cache.puts, cache.evictions) \
+            == (1, 2, 1, 1)
+        line = cache.summary()
+        assert "1 hits" in line and "2 misses" in line
+        assert "1 writes" in line and "1 evictions" in line
+        assert str(tmp_path) in line
+
 
 class TestRunSweep:
     def test_cached_rerun_is_bit_identical(self, tmp_path):
@@ -177,6 +195,25 @@ class TestRunSweep:
         run_sweep(points, cache=tmp_path, progress=lambda n, how: seen.append((n, how)))
         run_sweep(points, cache=tmp_path, progress=lambda n, how: seen.append((n, how)))
         assert seen == [(points[0].name, "simulated"), (points[0].name, "cached")]
+
+
+class TestCampaignEmission:
+    def test_run_sweep_appends_run_records(self, tmp_path):
+        """``run_sweep(campaign=...)`` writes one RunRecord per point —
+        including cache hits, which are equally valid runs."""
+        from repro.obs.campaign import CampaignStore
+
+        points = _points(2)
+        store = tmp_path / "camp.jsonl"
+        run_sweep(points, cache=tmp_path / "cache", campaign=store)
+        records = CampaignStore(store).load()
+        assert [r.point for r in records] == [p.name for p in points]
+        assert all(r.metrics["elapsed_usec"] > 0 for r in records)
+        # second sweep is fully cached yet still appends records
+        run_sweep(points, cache=tmp_path / "cache", campaign=store)
+        again = CampaignStore(store).load()
+        assert len(again) == 2 * len(points)
+        assert again[0].metrics == again[len(points)].metrics
 
 
 class TestResolveWorkers:
