@@ -64,6 +64,13 @@ _BLAME_PRECEDENCE: tuple[tuple[str, frozenset[str]], ...] = (
     # unanswered remainder lands here instead of inflating "other".
     ("fault", frozenset({"hpbd.timeout", "hpbd.failover"})),
     ("retry", frozenset({"hpbd.retry"})),
+    # Hedged mirror reads (fail-slow mitigation): time the original
+    # attempt kept limping before its hedge won the race (hedge_win),
+    # and the losing hedge's own window when the primary answered first
+    # (hedge_waste).  Both rank below wire/ctrl so the racing attempts'
+    # wire time stays billed to the wire.
+    ("hedge_win", frozenset({"hpbd.hedge_win"})),
+    ("hedge_waste", frozenset({"hpbd.hedge_waste"})),
     ("disk", frozenset({"disk.service"})),
     ("copy", frozenset({"hpbd.copy"})),
     ("registration", frozenset({"reg"})),
@@ -74,6 +81,10 @@ _BLAME_PRECEDENCE: tuple[tuple[str, frozenset[str]], ...] = (
     # eviction or fault-in) — ranked above "server" so it wins over the
     # umbrella srv.handle it nests inside.
     ("spill", frozenset({"srv.spill"})),
+    # Fail-slow injection: the per-op stall a limping server adds on
+    # top of its scaled service time — ranked above "server" so it wins
+    # over the umbrella srv.handle it nests inside.
+    ("server_slow", frozenset({"srv.slow"})),
     ("server", frozenset({"srv.copy", "srv.handle"})),
     ("host", frozenset({"tcp.host"})),
     ("port_wait", frozenset({"net.wait"})),
@@ -116,6 +127,8 @@ REQUEST_PATH_CATS: frozenset[str] = frozenset(
         "hpbd.timeout",
         "hpbd.failover",
         "hpbd.retry",
+        "hpbd.hedge_win",
+        "hpbd.hedge_waste",
         "reg",
         "net.wait",
         "wire",
@@ -124,6 +137,7 @@ REQUEST_PATH_CATS: frozenset[str] = frozenset(
         "srv.copy",
         "srv.qos",
         "srv.spill",
+        "srv.slow",
         "nbd.rtt",
         "disk.service",
         "tcp.host",

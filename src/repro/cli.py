@@ -614,6 +614,203 @@ def _run_cluster(args) -> int:
     return status
 
 
+def _plan_degraded_servers(faults) -> list[str]:
+    """Server names a fault plan degrades without killing: the
+    ``LinkDegrade`` targets plus ``ServerSlow``'s indices mapped to the
+    runner's ``mem{i}`` naming.  Event order, no duplicates."""
+    from .faults import LinkDegrade, ServerSlow
+
+    names: list[str] = []
+    if faults is None or faults.plan is None:
+        return names
+    for ev in faults.plan.events:
+        if isinstance(ev, LinkDegrade):
+            name = ev.node
+        elif isinstance(ev, ServerSlow):
+            name = f"mem{ev.server}"
+        else:
+            continue
+        if name not in names:
+            names.append(name)
+    return names
+
+
+def _run_health_mitigate(args) -> int:
+    """``repro health --mitigate``: the limping-server acceptance run.
+
+    Runs the mirrored three-tenant fleet three ways — healthy baseline,
+    unmitigated fail-slow cliff, and fail-slow with EWMA replica
+    selection + hedged reads + quarantine armed — and gates on the
+    worst tenant p99: the unmitigated run must breach the ratio (the
+    fault bites) and the mitigated run must stay under it (the
+    countermeasures earn their keep).  The mitigated run is traced so
+    the critical-path blame must show hedge-win time; ``--replay-check``
+    reruns it and fails on a byte-different health report.
+    """
+    from .analysis.critpath import aggregate_blame, request_paths
+    from .experiments import cluster_failslow_mitigated_config
+    from .obs import write_chrome_trace
+    from .runner import run_scenario
+
+    scale = args.scale
+
+    def make_cfg(slow: bool, mitigate: bool):
+        cfg = cluster_failslow_mitigated_config(
+            scale,
+            nservers=args.nservers,
+            service_mult=args.service_mult,
+            extra_rtt_usec=args.extra_rtt_usec,
+            slow=slow,
+            mitigate=mitigate,
+        )
+        cfg.seed = args.seed
+        return cfg
+
+    def worst_p99(result) -> float:
+        return max(
+            t["p99_usec"] or 0.0
+            for t in result.health["tenants"].values()
+        )
+
+    print(
+        f"mitigation run: 3 mirrored tenants x {args.nservers} servers "
+        f"(scale=1/{scale}, seed={args.seed}, gate {args.p99_ratio}x)..."
+    )
+    runs = {}
+    for name, slow, mitigate, traced in (
+        ("healthy", False, True, False),
+        ("unmitigated", True, False, False),
+        ("mitigated", True, True, True),
+    ):
+        runs[name] = run_scenario(
+            make_cfg(slow, mitigate), trace=traced or bool(args.output)
+        )
+    status = 0
+    for name, result in runs.items():
+        violations = result.invariant_violations
+        if violations:
+            print(
+                f"ERROR: {name}: {len(violations)} invariant violations",
+                file=sys.stderr,
+            )
+            status = 1
+    healthy = worst_p99(runs["healthy"])
+    unmitigated = worst_p99(runs["unmitigated"])
+    mitigated = worst_p99(runs["mitigated"])
+    print()
+    print(format_table(
+        ["run", "worst tenant p99 (us)", "vs healthy"],
+        [
+            [name, round(p99, 1), f"{p99 / healthy:.2f}x"]
+            for name, p99 in (
+                ("healthy", healthy),
+                ("unmitigated", unmitigated),
+                ("mitigated", mitigated),
+            )
+        ],
+    ))
+    stats = runs["mitigated"].registry
+
+    def counter_total(name: str) -> int:
+        c = stats.get(name)
+        return int(c.total) if c is not None else 0
+
+    tenant_names = [t.name for t in runs["mitigated"].tenants]
+    counters = {
+        key: sum(
+            counter_total(f"{name}-hpbd.{key}") for name in tenant_names
+        )
+        for key in (
+            "hedges", "hedge_wins", "steered_reads", "semisync_writes",
+            "quarantines", "quarantine_lifts",
+        )
+    }
+    counters["server_slowdowns"] = counter_total("fault.server_slowdowns")
+    print()
+    print("mitigated-run counters:")
+    for key, value in counters.items():
+        print(f"  {key:<18s} {value}")
+    blame = aggregate_blame(request_paths(runs["mitigated"].trace))
+    hedge_win_usec = blame.get("hedge_win", 0.0)
+    print(
+        f"critpath blame: hedge_win={hedge_win_usec:.1f} us, "
+        f"hedge_waste={blame.get('hedge_waste', 0.0):.1f} us, "
+        f"server_slow={blame.get('server_slow', 0.0):.1f} us"
+    )
+    if unmitigated < args.p99_ratio * healthy:
+        print(
+            f"ERROR: unmitigated run did not breach the gate "
+            f"({unmitigated:.1f} < {args.p99_ratio}x {healthy:.1f}) — "
+            f"the injected fault is too mild to prove mitigation",
+            file=sys.stderr,
+        )
+        status = 1
+    if mitigated >= args.p99_ratio * healthy:
+        print(
+            f"ERROR: mitigated p99 {mitigated:.1f} us >= "
+            f"{args.p99_ratio}x healthy {healthy:.1f} us",
+            file=sys.stderr,
+        )
+        status = 1
+    if counters["hedges"] == 0 or counters["hedge_wins"] == 0:
+        print(
+            "ERROR: mitigated run fired no winning hedges",
+            file=sys.stderr,
+        )
+        status = 1
+    if hedge_win_usec <= 0.0:
+        print(
+            "ERROR: critical-path blame shows no hedge-win time",
+            file=sys.stderr,
+        )
+        status = 1
+    if status == 0:
+        print(
+            f"mitigation gate: mitigated {mitigated / healthy:.2f}x vs "
+            f"unmitigated {unmitigated / healthy:.2f}x healthy "
+            f"(threshold {args.p99_ratio}x)"
+        )
+    if args.replay_check:
+        second = run_scenario(make_cfg(True, True), trace=True)
+        a = json.dumps(runs["mitigated"].health, sort_keys=True)
+        b = json.dumps(second.health, sort_keys=True)
+        if a != b:
+            print(
+                "ERROR: replay diverged for the same seed "
+                "(mitigated health reports differ)",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(
+                "replay check: second mitigated run's health report "
+                "byte-identical"
+            )
+    if args.output:
+        write_chrome_trace(runs["mitigated"].trace, args.output)
+        print(f"wrote {args.output}  (load in Perfetto / chrome://tracing)")
+    if args.json:
+        payload = {
+            "scenario": "cluster-failslow-mitigated",
+            "scale": scale,
+            "seed": args.seed,
+            "nservers": args.nservers,
+            "p99_ratio_gate": args.p99_ratio,
+            "p99_usec": {
+                "healthy": healthy,
+                "unmitigated": unmitigated,
+                "mitigated": mitigated,
+            },
+            "counters": counters,
+            "blame_usec": blame,
+            "health": runs["mitigated"].health,
+            "status": status,
+        }
+        write_json_report(args.json, payload)
+        print(f"wrote {args.json}")
+    return status
+
+
 def _run_health(args) -> int:
     """``repro health``: per-run fleet health report (SLOs + fail-slow).
 
@@ -633,10 +830,12 @@ def _run_health(args) -> int:
     from .obs import write_chrome_trace
     from .runner import run_scenario
 
-    scale = args.scale
-    degraded = "mem1"  # cluster_failslow_config degrades this server
+    if args.mitigate:
+        return _run_health_mitigate(args)
 
-    def run_once():
+    scale = args.scale
+
+    def make_cfg():
         if args.healthy:
             cfg = cluster_fair_config(scale, nservers=args.nservers)
         else:
@@ -646,7 +845,14 @@ def _run_health(args) -> int:
                 latency_mult=args.latency_mult,
             )
         cfg.seed = args.seed
-        return run_scenario(cfg, trace=bool(args.output))
+        return cfg
+
+    # The server(s) the configured fault plan actually degrades — the
+    # --expect-breach gate checks the detector flagged exactly these.
+    degraded = _plan_degraded_servers(make_cfg().faults)
+
+    def run_once():
+        return run_scenario(make_cfg(), trace=bool(args.output))
 
     scenario = "cluster-fair" if args.healthy else "cluster-failslow"
     print(
@@ -720,10 +926,10 @@ def _run_health(args) -> int:
         if b["slo"] == "latency_p99" and b["edge"] == "start"
     ]
     if args.expect_breach:
-        if flagged != [degraded]:
+        if sorted(flagged) != sorted(degraded):
             print(
                 f"ERROR: expected fail-slow flag on exactly "
-                f"[{degraded!r}], detector flagged {flagged}",
+                f"{degraded}, detector flagged {flagged}",
                 file=sys.stderr,
             )
             status = 1
@@ -1348,6 +1554,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--expect-breach", action="store_true",
         help="invert the gate: fail unless the detector flagged "
         "exactly the degraded server and a latency SLO breach occurred",
+    )
+    he.add_argument(
+        "--mitigate", action="store_true",
+        help="limping-server acceptance: run the mirrored fleet "
+        "healthy, fail-slow unmitigated, and fail-slow with hedged "
+        "reads + EWMA selection + quarantine; gate on worst tenant "
+        "p99 vs the healthy baseline",
+    )
+    he.add_argument(
+        "--p99-ratio", type=float, default=2.0,
+        help="--mitigate gate: mitigated worst p99 must stay under "
+        "this multiple of healthy (and unmitigated must exceed it; "
+        "default: 2.0)",
+    )
+    he.add_argument(
+        "--service-mult", type=float, default=16.0,
+        help="--mitigate: fail-slow memcpy service-time multiplier "
+        "(default: 16)",
+    )
+    he.add_argument(
+        "--extra-rtt-usec", type=float, default=400.0,
+        help="--mitigate: fail-slow per-op stall in usec (default: 400)",
     )
     he.add_argument(
         "--replay-check", action="store_true",

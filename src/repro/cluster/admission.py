@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..hpbd.striping import Chunk
+from ..hpbd.striping import BlockingDistribution, Chunk
 from ..simulator import SimulationError, StatsRegistry
 from .placement import plan_placement
 from .registry import CapacityError, FleetRegistry
@@ -63,11 +63,15 @@ class AdmissionController:
         self._c_remapped = self.stats.counter("cluster.admission_remaps")
         self._c_nacked = self.stats.counter("cluster.admission_nacks")
 
-    def admit(self, tenant: str, total_bytes: int) -> Admission:
+    def admit(
+        self, tenant: str, total_bytes: int, mirror: bool = False
+    ) -> Admission:
         """Plan and reserve ``total_bytes`` for ``tenant``.
 
         Raises :class:`AdmissionNack` when no placement fits.
         """
+        if mirror:
+            return self._admit_mirrored(tenant, total_bytes)
         registry = self.registry
         policy = self.policy
         try:
@@ -98,6 +102,48 @@ class AdmissionController:
             area_bases=bases,
             share_bytes=shares,
             policy=policy,
+        )
+
+    def _admit_mirrored(self, tenant: str, total_bytes: int) -> Admission:
+        """Mirrored tenants use the paper's blocking layout over the
+        *whole* fleet — the driver addresses the replica of server i's
+        chunk on server i+1 (mod n) behind that server's own share, so
+        every server must be alive and each reserves its own share plus
+        its predecessor's replica area.  ``chunks`` stays empty: the
+        driver's default :class:`BlockingDistribution` already encodes
+        the map."""
+        registry = self.registry
+        n = len(registry.servers)
+        if n < 2:
+            self._c_nacked.add()
+            raise AdmissionNack(tenant, "mirroring needs at least two servers")
+        if not all(registry.alive):
+            self._c_nacked.add()
+            raise AdmissionNack(
+                tenant, "mirrored placement needs every server alive"
+            )
+        try:
+            dist = BlockingDistribution(total_bytes, n)
+        except ValueError as err:
+            self._c_nacked.add()
+            raise AdmissionNack(tenant, str(err)) from err
+        shares = [dist.share_of(i) for i in range(n)]
+        need = [shares[i] + shares[(i - 1) % n] for i in range(n)]
+        short = [i for i in range(n) if need[i] > registry.free_bytes(i)]
+        if short:
+            self._c_nacked.add()
+            raise AdmissionNack(
+                tenant,
+                f"mirrored shares do not fit servers {short}",
+            )
+        bases = [registry.reserve(tenant, i, need[i]) for i in range(n)]
+        self._c_admitted.add()
+        return Admission(
+            tenant=tenant,
+            chunks=[],
+            area_bases=bases,
+            share_bytes=need,
+            policy="mirror",
         )
 
     def evict(self, admission: Admission) -> None:

@@ -72,11 +72,15 @@ def _coalesce(assignment: list[tuple[int, int]]) -> list[Chunk]:
 
 
 def _alive_with_room(registry: FleetRegistry) -> list[int]:
-    return [
+    alive = [
         i
         for i in range(len(registry.servers))
         if registry.alive[i] and registry.free_bytes(i) > 0
     ]
+    # Quarantine is advisory: avoid fail-slow servers while a healthy
+    # candidate remains, but a limping server still beats a NACK.
+    healthy = [i for i in alive if not registry.quarantined[i]]
+    return healthy or alive
 
 
 def _blocking(

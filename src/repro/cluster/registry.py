@@ -64,6 +64,10 @@ class FleetRegistry:
         self.reserved = [0] * n
         self._cursor = [0] * n
         self.alive = [True] * n
+        #: fail-slow quarantine verdicts mirrored from the health hub on
+        #: each heartbeat; placement avoids quarantined servers while a
+        #: non-quarantined candidate remains.
+        self.quarantined = [False] * n
         self.last_heartbeat = [0.0] * n
         self.reservations: list[Reservation] = []
         #: bytes reserved per tenant across the whole fleet
@@ -72,6 +76,10 @@ class FleetRegistry:
         self._c_released = self.stats.counter("cluster.released_bytes")
         self._c_down = self.stats.counter("cluster.server_down")
         self._c_up = self.stats.counter("cluster.server_up")
+        self._c_quarantines = self.stats.counter("cluster.quarantines")
+        self._c_quarantine_lifts = self.stats.counter(
+            "cluster.quarantine_lifts"
+        )
         self._heartbeat_proc = None
         #: optional fleet health model (repro.obs.health.HealthHub);
         #: liveness edges are forwarded so crash/flap and fail-slow
@@ -149,24 +157,47 @@ class FleetRegistry:
         sim = self.sim
         while True:
             yield sim.timeout(self.heartbeat_interval_usec)
-            for i, srv in enumerate(self.servers):
-                self.last_heartbeat[i] = sim.now
-                if self.alive[i] and not srv.alive:
-                    self.alive[i] = False
-                    self._c_down.add()
-                    if self.health is not None:
-                        self.health.set_server_alive(i, False)
-                    sim.trace.instant(
-                        "cluster", "registry", "server_down", server=i,
-                    )
-                elif not self.alive[i] and srv.alive:
-                    self.alive[i] = True
-                    self._c_up.add()
-                    if self.health is not None:
-                        self.health.set_server_alive(i, True)
-                    sim.trace.instant(
-                        "cluster", "registry", "server_up", server=i,
-                    )
+            self.poll()
+
+    def poll(self) -> None:
+        """One heartbeat sweep: liveness edges plus the health hub's
+        fail-slow quarantine verdicts (also callable from tests)."""
+        sim = self.sim
+        for i, srv in enumerate(self.servers):
+            self.last_heartbeat[i] = sim.now
+            if self.alive[i] and not srv.alive:
+                self.alive[i] = False
+                self._c_down.add()
+                if self.health is not None:
+                    self.health.set_server_alive(i, False)
+                sim.trace.instant(
+                    "cluster", "registry", "server_down", server=i,
+                )
+            elif not self.alive[i] and srv.alive:
+                self.alive[i] = True
+                self._c_up.add()
+                if self.health is not None:
+                    self.health.set_server_alive(i, True)
+                sim.trace.instant(
+                    "cluster", "registry", "server_up", server=i,
+                )
+            slow = (
+                self.health is not None
+                and self.alive[i]
+                and self.health.server_is_slow(i)
+            )
+            if slow and not self.quarantined[i]:
+                self.quarantined[i] = True
+                self._c_quarantines.add()
+                sim.trace.instant(
+                    "cluster", "registry", "quarantine", server=i,
+                )
+            elif not slow and self.quarantined[i]:
+                self.quarantined[i] = False
+                self._c_quarantine_lifts.add()
+                sim.trace.instant(
+                    "cluster", "registry", "quarantine_lift", server=i,
+                )
 
     @property
     def alive_count(self) -> int:

@@ -40,6 +40,9 @@ def _default_capacity(cfg: ClusterScenarioConfig) -> int:
     an even split of total demand, rounded up to MiB, plus a MiB of
     slack for allocator rounding."""
     demand = sum(t.swap_bytes for t in cfg.tenants)
+    if cfg.mirror:
+        # Every byte lands twice (share + predecessor's replica area).
+        demand *= 2
     share = -(-demand // cfg.nservers)
     return -(-share // MiB) * MiB + MiB
 
@@ -157,7 +160,7 @@ class _ClusterScenario:
         )
         try:
             tenant.admission = self.admission.admit(
-                spec.name, spec.swap_bytes
+                spec.name, spec.swap_bytes, mirror=cfg.mirror
             )
         except AdmissionNack:
             if cfg.admission_fallback != "disk":
@@ -197,6 +200,10 @@ class _ClusterScenario:
                 retry_backoff_usec=faults.retry_backoff_usec,
                 backoff_mult=faults.backoff_mult,
                 degraded_mode=faults.degraded_mode,
+                ewma_select=faults.ewma_select,
+                hedge_reads=faults.hedge_reads,
+                hedge_k=faults.hedge_k,
+                hedge_min_usec=faults.hedge_min_usec,
             )
         tenant.client = HPBDClient(
             self.sim,
@@ -211,9 +218,16 @@ class _ClusterScenario:
             server_area_bases=tenant.admission.area_bases,
             tenant=spec.name,
             qos_weight=spec.weight,
-            distribution=ChunkMapDistribution(
-                spec.swap_bytes, cfg.nservers, tenant.admission.chunks
+            # Mirrored tenants use the driver's default blocking layout
+            # (the admission grant carries no chunk map).
+            distribution=(
+                None
+                if cfg.mirror
+                else ChunkMapDistribution(
+                    spec.swap_bytes, cfg.nservers, tenant.admission.chunks
+                )
             ),
+            mirror=cfg.mirror,
             health=self.health,
             **recovery,
         )
@@ -328,6 +342,10 @@ class _ClusterScenario:
                     tenant.metrics.stop()
             for tenant in self.tenants:
                 yield from tenant.node.vmm.quiesce()
+                if tenant.client is not None:
+                    # Semi-sync mirrored writes may still have straggler
+                    # acks in flight; let them land before the audits.
+                    yield from tenant.client.drain()
                 tenant.node.vmm.check_frame_accounting()
                 tenant.queue.audit_teardown()
                 if tenant.fallback_disk is not None:

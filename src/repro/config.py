@@ -127,6 +127,16 @@ class FaultConfig:
     degraded_mode: str = "none"
     #: the disk model backing ``degraded_mode="disk"``
     fallback_disk: DiskParams = ST340014A
+    #: fail-slow countermeasures (mirrored drivers only): per-server RTT
+    #: EWMAs steer mirror reads to the faster copy and quarantine
+    #: verdicts relax mirrored-write acks to semi-sync
+    ewma_select: bool = False
+    #: hedged reads: fire a tied request at the mirror when an attempt
+    #: exceeds its EWMA-derived deadline; first reply wins
+    hedge_reads: bool = False
+    #: hedge deadline = max(hedge_min_usec, srtt + hedge_k * rttvar)
+    hedge_k: float = 4.0
+    hedge_min_usec: float = 50.0
 
     def __post_init__(self) -> None:
         if self.degraded_mode not in ("none", "remap", "disk"):
@@ -135,6 +145,10 @@ class FaultConfig:
             raise ValueError(f"bad request_timeout_usec {self.request_timeout_usec}")
         if self.max_retries < 0:
             raise ValueError(f"bad max_retries {self.max_retries}")
+        if self.hedge_k <= 0 or self.hedge_min_usec < 0:
+            raise ValueError(
+                f"bad hedge parameters ({self.hedge_k}, {self.hedge_min_usec})"
+            )
 
 
 @dataclass
@@ -231,6 +245,11 @@ class ClusterScenarioConfig:
     #: "blocking" (the paper's contiguous layout), "least_loaded"
     #: bin-packing, or consistent-"hash" sharding
     placement: str = "blocking"
+    #: mirror every tenant's pages across the fleet (replica of server
+    #: i's chunk on server i+1): blocking layout over all servers, each
+    #: server reserving its own share plus its predecessor's replica
+    #: area.  Enables the fail-slow countermeasures in FaultConfig.
+    mirror: bool = False
     #: weighted-fair QoS: partition server credits by tenant weight and
     #: serve requests in start-time-fair order (off = FIFO free-for-all)
     qos: bool = True
@@ -267,6 +286,16 @@ class ClusterScenarioConfig:
             raise ValueError(f"duplicate tenant names in {names}")
         if self.nservers < 1:
             raise ValueError(f"need at least one server, got {self.nservers}")
+        if self.mirror and self.nservers < 2:
+            raise ValueError("mirrored cluster needs at least two servers")
+        if self.mirror:
+            for t in self.tenants:
+                if t.swap_bytes % self.nservers:
+                    raise ValueError(
+                        f"tenant {t.name}: mirrored swap area "
+                        f"{t.swap_bytes} B must divide evenly across "
+                        f"{self.nservers} servers"
+                    )
         if self.placement not in PLACEMENT_POLICIES:
             raise ValueError(
                 f"placement {self.placement!r} not in {PLACEMENT_POLICIES}"

@@ -13,7 +13,7 @@ benches print measured-vs-paper side by side.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -27,7 +27,13 @@ from .config import (
     ScenarioConfig,
     TenantSpec,
 )
-from .faults import CreditStarve, FaultPlan, LinkDegrade, ServerCrash
+from .faults import (
+    CreditStarve,
+    FaultPlan,
+    LinkDegrade,
+    ServerCrash,
+    ServerSlow,
+)
 from .net.fabrics import (
     GIGE_DEFAULT,
     IB_DEFAULT,
@@ -37,7 +43,7 @@ from .net.fabrics import (
 )
 from .results import ScenarioResult
 from .sweep import SweepPoint, run_sweep
-from .units import GiB, KiB, MiB
+from .units import GiB, KiB, MiB, PAGE_SIZE
 from .workloads import BarnesWorkload, QuicksortWorkload, TestswapWorkload
 from .workloads.base import Workload
 
@@ -62,6 +68,8 @@ __all__ = [
     "campaign_points",
     "cluster_fair_config",
     "cluster_failslow_config",
+    "cluster_failslow_mitigated_config",
+    "failslow_points",
     "cluster_unfair_config",
     "sec62_runs",
     "SWEEPS",
@@ -473,6 +481,83 @@ def cluster_failslow_config(
     )
 
 
+def _mirror_tenant(name: str, scale: int, nservers: int) -> TenantSpec:
+    """A fig07-sized quicksort tenant whose swap area is rounded up so
+    the mirror's blocking layout splits into page-aligned per-server
+    shares."""
+    spec = _cluster_tenant(name, scale)
+    grain = nservers * PAGE_SIZE
+    swap = -(-spec.swap_bytes // grain) * grain
+    return replace(spec, swap_bytes=swap)
+
+
+def cluster_failslow_mitigated_config(
+    scale: int = DEFAULT_SCALE,
+    nservers: int = 3,
+    service_mult: float = 16.0,
+    extra_rtt_usec: float = 400.0,
+    *,
+    slow: bool = True,
+    mitigate: bool = True,
+) -> ClusterScenarioConfig:
+    """The limping-server mitigation run: three mirrored quicksort
+    tenants with ``mem1`` fail-slow mid-run — its memcpy service rate
+    scaled by ``service_mult`` and every op stalled ``extra_rtt_usec``.
+    Timeouts stay disabled (the server limps, it never dies), so the
+    only defenses are the ones this config arms: ``mitigate=True``
+    turns on EWMA replica selection, hedged reads, and quarantine;
+    ``mitigate=False`` is the unmitigated cliff; ``slow=False`` is the
+    healthy mirrored baseline the acceptance gate compares against."""
+    mid = 73_000_000.0 / scale
+    plan = None
+    if slow:
+        plan = FaultPlan(events=(
+            ServerSlow(at=mid, server=1, duration=mid / 2,
+                       service_mult=service_mult,
+                       extra_rtt_usec=extra_rtt_usec),
+        ))
+    label = "cluster-mirror-healthy"
+    if slow:
+        label = ("cluster-failslow-mitigated" if mitigate
+                 else "cluster-failslow-unmitigated")
+    return ClusterScenarioConfig(
+        tenants=[
+            _mirror_tenant(f"t{i}", scale, nservers) for i in range(3)
+        ],
+        nservers=nservers,
+        mirror=True,
+        qos=True,
+        mem_reserved_bytes=24 * MiB // scale,
+        faults=FaultConfig(
+            plan=plan,
+            request_timeout_usec=None,
+            ewma_select=mitigate,
+            hedge_reads=mitigate,
+        ),
+        label=label,
+    )
+
+
+def failslow_points(scale: int = DEFAULT_SCALE) -> list[SweepPoint]:
+    """The limping-server grid: healthy mirrored baseline, the
+    unmitigated cliff, and the mitigated run the acceptance gate
+    compares against it."""
+    return [
+        SweepPoint(
+            "failslow/healthy",
+            cluster_failslow_mitigated_config(scale, slow=False),
+        ),
+        SweepPoint(
+            "failslow/unmitigated",
+            cluster_failslow_mitigated_config(scale, mitigate=False),
+        ),
+        SweepPoint(
+            "failslow/mitigated",
+            cluster_failslow_mitigated_config(scale),
+        ),
+    ]
+
+
 def cluster_unfair_config(
     scale: int = DEFAULT_SCALE, nservers: int = 2
 ) -> ClusterScenarioConfig:
@@ -559,6 +644,8 @@ SWEEPS: dict = {
     "faults": (faults_points, "fault injection / recovery grid"),
     "cluster": (cluster_points,
                 "multi-tenant cluster: clients x servers x placement"),
+    "failslow": (failslow_points,
+                 "limping server: healthy / unmitigated / mitigated"),
     "campaign": (campaign_points,
                  "campaign preset: fair cluster points + fail-slow outlier"),
 }

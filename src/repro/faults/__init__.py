@@ -12,6 +12,7 @@ from .plan import (
     LinkDegrade,
     LinkFlap,
     ServerCrash,
+    ServerSlow,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "LinkDegrade",
     "LinkFlap",
     "ServerCrash",
+    "ServerSlow",
 ]

@@ -21,7 +21,14 @@ import random
 from typing import TYPE_CHECKING
 
 from ..simulator import SimulationError
-from .plan import CreditStarve, FaultPlan, LinkDegrade, LinkFlap, ServerCrash
+from .plan import (
+    CreditStarve,
+    FaultPlan,
+    LinkDegrade,
+    LinkFlap,
+    ServerCrash,
+    ServerSlow,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..hpbd.client import HPBDClient
@@ -105,6 +112,18 @@ class FaultInjector:
                     self._restart_later(srv, ev.down_for),
                     name=f"faults.restart.{srv.name}",
                 )
+        elif isinstance(ev, ServerSlow):
+            srv = self._resolve_server(ev.server)
+            srv.slow(service_mult=ev.service_mult, extra_usec=ev.extra_rtt_usec)
+            self.stats.counter("fault.server_slowdowns").add()
+            sim.trace.instant(
+                "faults", "inject", "server_slow",
+                server=srv.name, duration=ev.duration,
+                service_mult=ev.service_mult,
+                extra_rtt_usec=ev.extra_rtt_usec,
+            )
+            sim.spawn(self._restore_speed_later(srv, ev.duration),
+                      name=f"faults.speedup.{srv.name}")
         elif isinstance(ev, LinkFlap):
             port = self._resolve_port(ev.node)
             port.set_down()
@@ -142,6 +161,16 @@ class FaultInjector:
         self.stats.counter("fault.server_restarts").add()
         self.sim.trace.complete(
             "faults", "inject", "server_down", "fault.crash",
+            t0, self.sim.now, server=srv.name,
+        )
+
+    def _restore_speed_later(self, srv, delay: float):
+        t0 = self.sim.now
+        yield self.sim.timeout(delay)
+        srv.restore_speed()
+        self.stats.counter("fault.server_slow_restores").add()
+        self.sim.trace.complete(
+            "faults", "inject", "server_slow", "fault.slow",
             t0, self.sim.now, server=srv.name,
         )
 

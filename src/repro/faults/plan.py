@@ -20,6 +20,7 @@ from typing import Union
 
 __all__ = [
     "ServerCrash",
+    "ServerSlow",
     "LinkFlap",
     "LinkDegrade",
     "CreditStarve",
@@ -52,6 +53,36 @@ class ServerCrash:
             raise ValueError(f"crash time {self.at} < 0")
         if self.down_for is not None and self.down_for <= 0:
             raise ValueError(f"bad down_for {self.down_for}")
+
+
+@dataclass(frozen=True)
+class ServerSlow:
+    """Fail-slow (*limping*) HPBD server for ``duration`` usec.
+
+    Distinct from :class:`LinkDegrade`: the fabric stays healthy, the
+    daemon itself limps.  Its RamDisk memcpy cost is scaled by
+    ``service_mult`` and every request pays ``extra_rtt_usec`` of extra
+    in-handler latency while holding an RDMA slot, so queue depth creeps
+    up exactly like a production fail-slow node — the server never goes
+    down, it just drags every tenant's tail with it.
+    """
+
+    at: float
+    #: HPBD server index (fail-slow targets memory servers only).
+    server: int = 0
+    duration: float = 1.0
+    #: memcpy/CPU service-cost multiplier (>= 1).
+    service_mult: float = 4.0
+    #: flat extra per-request latency inside the handler, usec.
+    extra_rtt_usec: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.duration <= 0:
+            raise ValueError(f"bad slow window ({self.at}, {self.duration})")
+        if self.service_mult < 1.0:
+            raise ValueError(f"service_mult {self.service_mult} < 1")
+        if self.extra_rtt_usec < 0:
+            raise ValueError(f"extra_rtt_usec {self.extra_rtt_usec} < 0")
 
 
 @dataclass(frozen=True)
@@ -114,7 +145,7 @@ class CreditStarve:
             raise ValueError(f"bad ntokens {self.ntokens}")
 
 
-FaultEvent = Union[ServerCrash, LinkFlap, LinkDegrade, CreditStarve]
+FaultEvent = Union[ServerCrash, ServerSlow, LinkFlap, LinkDegrade, CreditStarve]
 
 
 @dataclass(frozen=True)

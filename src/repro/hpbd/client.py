@@ -39,6 +39,7 @@ from ..ib import HCA, CompletionQueue, RecvWR, SendWR, connect_endpoints
 from ..kernel.blockdev import Bio, BlockRequest, READ, RequestQueue, WRITE
 from ..kernel.node import Node
 from ..net.fabrics import IBParams, IB_DEFAULT, memcpy_cost
+from ..obs.sketch import EWMA
 from ..simulator import (
     Event,
     SimulationError,
@@ -46,6 +47,7 @@ from ..simulator import (
     StatsRegistry,
     TokenBucket,
     WaitQueue,
+    any_of,
 )
 from ..units import MiB, SECTOR_SIZE
 from .pool import PoolBuffer, RegisteredPool
@@ -64,6 +66,20 @@ __all__ = ["HPBDClient"]
 
 #: degraded-mode policies once a server is declared dead
 DEGRADED_MODES = ("none", "remap", "disk")
+
+#: TCP-RTO-style estimator gains for the per-server RTT EWMAs driving
+#: replica selection and the hedged-read deadline.
+RTT_ALPHA = 0.125
+RTTVAR_ALPHA = 0.25
+#: replica selection: both copies need this many RTT samples, and the
+#: replica must beat the primary by this margin, before reads steer.
+SELECT_MIN_SAMPLES = 8
+SELECT_MARGIN = 0.8
+#: every Nth steered read probes the avoided copy instead, so its EWMA
+#: keeps sampling and the steer can lift once it recovers.
+SELECT_PROBE_EVERY = 16
+#: hedged reads: no hedging until the estimator has this many samples.
+HEDGE_MIN_SAMPLES = 4
 
 
 @dataclass
@@ -98,6 +114,19 @@ class _Inflight:
     replica_server: int | None = None
     #: mirroring: True once this read was already retried on the replica
     failed_over: bool = False
+    #: semi-sync mirroring: acknowledgements that must arrive before the
+    #: segment counts *complete* (may be < copies_left under quarantine)
+    need_acks: int = 1
+    #: successful acknowledgements received so far
+    acked: int = 0
+    #: the block-level segment has been counted done (semi-sync writes
+    #: complete before their straggler ack; tied reads complete on the
+    #: first reply)
+    completed: bool = False
+    #: hedged reads: a tied request was already fired for this segment
+    hedged: bool = False
+    #: req_ids of this segment's attempts still awaiting a reply
+    live_rids: set = field(default_factory=set)
 
 
 @dataclass
@@ -110,6 +139,11 @@ class _Attempt:
     sent_at: float
     deadline: float | None = None
     retries: int = 0
+    #: when the watchdog should fire a tied request at the other copy
+    #: (None: hedging off, already fired, or not hedgeable)
+    hedge_at: float | None = None
+    #: this attempt *is* the tied request of a hedged read
+    is_hedge: bool = False
 
 
 class HPBDClient:
@@ -145,6 +179,10 @@ class HPBDClient:
         backoff_mult: float = 2.0,
         degraded_mode: str = "none",
         fallback_queue: RequestQueue | None = None,
+        ewma_select: bool = False,
+        hedge_reads: bool = False,
+        hedge_k: float = 4.0,
+        hedge_min_usec: float = 50.0,
         health=None,
     ) -> None:
         if not servers:
@@ -166,6 +204,12 @@ class HPBDClient:
             raise ValueError("disk degraded mode needs a fallback_queue")
         if request_timeout_usec is not None and request_timeout_usec <= 0:
             raise ValueError(f"bad request timeout {request_timeout_usec}")
+        if (ewma_select or hedge_reads) and not mirror:
+            raise ValueError(
+                "EWMA replica selection / hedged reads need mirror=True"
+            )
+        if hedge_k <= 0 or hedge_min_usec < 0:
+            raise ValueError(f"bad hedge parameters ({hedge_k}, {hedge_min_usec})")
         self.sim = sim
         self.node = node
         self.servers = servers
@@ -293,6 +337,24 @@ class HPBDClient:
         self._stale: set[int] = set()
         self._watch_wake = WaitQueue(sim, name=f"{name}.watchdog", latch=True)
         self._watchdog_spawned = False
+        # fail-slow countermeasures (mirror only): EWMA replica
+        # selection, hedged reads, quarantine-aware semi-sync writes
+        self.ewma_select = ewma_select
+        self.hedge_reads = hedge_reads
+        self.hedge_k = hedge_k
+        self.hedge_min_usec = hedge_min_usec
+        self._srtt = [EWMA(RTT_ALPHA) for _ in servers]
+        self._rttvar = [EWMA(RTTVAR_ALPHA) for _ in servers]
+        self._steer_count = 0
+        self._quarantined: set[int] = set()
+        #: req_id -> (server, sent_at) for cancelled tied attempts: the
+        #: loser's late reply still feeds the RTT estimators — a
+        #: steered-away server must keep sampling or the steer (and the
+        #: health hub's verdict) could never lift.
+        self._stale_rtt: dict[int, tuple[int, float]] = {}
+        #: deadline the sleeping watchdog currently targets (None while
+        #: idle or processing); posts that undercut it wake the watchdog.
+        self._watch_target: float | None = None
         # measurement
         self._t_req = self.stats.tally(f"{name}.request_usec")
         self._c_phys = self.stats.counter(f"{name}.physical_requests")
@@ -306,6 +368,12 @@ class HPBDClient:
         self._c_stale = self.stats.counter(f"{name}.stale_replies")
         self._c_nacks = self.stats.counter(f"{name}.nacks")
         self._c_dead = self.stats.counter(f"{name}.servers_dead")
+        self._c_hedges = self.stats.counter(f"{name}.hedges")
+        self._c_hedge_wins = self.stats.counter(f"{name}.hedge_wins")
+        self._c_steered = self.stats.counter(f"{name}.steered_reads")
+        self._c_quarantines = self.stats.counter(f"{name}.quarantines")
+        self._c_quarantine_lifts = self.stats.counter(f"{name}.quarantine_lifts")
+        self._c_semisync = self.stats.counter(f"{name}.semisync_writes")
         self.copy_usec = 0.0  # client-side memcpy (host overhead share)
         #: fleet health sink (repro.obs.health.HealthHub) — fed per-server
         #: RTTs, per-tenant request latencies, and failed attempts; the
@@ -367,7 +435,7 @@ class HPBDClient:
             )
         self.sim.spawn(self._sender(), name=f"{self.name}.sender")
         self.sim.spawn(self._receiver(), name=f"{self.name}.receiver")
-        if self.request_timeout_usec is not None:
+        if self.request_timeout_usec is not None or self.hedge_reads:
             self.sim.spawn(self._watchdog(), name=f"{self.name}.watchdog")
             self._watchdog_spawned = True
         self._connected = True
@@ -439,6 +507,21 @@ class HPBDClient:
         # Synchronous mirroring: the same buffer is RDMA-read by both
         # servers; the segment completes only when both acknowledge.
         entry.copies_left = len(targets)
+        entry.need_acks = len(targets)
+        if entry.op == WRITE and len(targets) > 1 and self.ewma_select:
+            limping = [
+                server
+                for server, _ in targets
+                if self._is_quarantined(server)
+            ]
+            if limping:
+                # Semi-sync mirroring: a quarantined copy's ack stops
+                # gating completion.  Both copies still land (reads
+                # after the quarantine lifts stay correct) and the pool
+                # buffer is held until every ack, so the straggler's
+                # RDMA read stays valid.
+                entry.need_acks = 1
+                self._c_semisync.add()
         for server, offset in targets:
             yield from self._post_attempt(entry, server, offset)
 
@@ -461,6 +544,12 @@ class HPBDClient:
                     (primary, seg.server_offset),
                     (replica, self.dist.share_of(replica) + seg.server_offset),
                 ]
+            if self.mirror and entry.op == READ and self.ewma_select:
+                target = self._pick_read_server(entry)
+                if target != primary:
+                    return [
+                        (target, self.dist.share_of(target) + seg.server_offset)
+                    ]
             return [(primary, seg.server_offset)]
         if self.mirror:
             replica = entry.replica_server
@@ -486,6 +575,81 @@ class HPBDClient:
             f"is configured"
         )
 
+    def _pick_read_server(self, entry: _Inflight) -> int:
+        """EWMA replica selection for a mirror read: steer to the copy
+        whose server answers faster, with quarantine verdicts taking
+        precedence and a deterministic probe keeping the avoided copy
+        sampled (so a recovered server wins its traffic back)."""
+        primary = entry.seg.server
+        replica = entry.replica_server
+        if replica is None or replica in self._dead:
+            return primary
+        primary_q = self._is_quarantined(primary)
+        replica_q = self._is_quarantined(replica)
+        if replica_q and not primary_q:
+            return primary
+        if primary_q and not replica_q:
+            steer = True
+        else:
+            srtt_p = self._srtt[primary]
+            srtt_r = self._srtt[replica]
+            steer = (
+                srtt_p.count >= SELECT_MIN_SAMPLES
+                and srtt_r.count >= SELECT_MIN_SAMPLES
+                and srtt_r.value < SELECT_MARGIN * srtt_p.value
+            )
+        if not steer:
+            return primary
+        self._steer_count += 1
+        if self._steer_count % SELECT_PROBE_EVERY == 0:
+            return primary
+        self._c_steered.add()
+        return replica
+
+    def _is_quarantined(self, server: int) -> bool:
+        """Health-hub fail-slow verdict, with per-client edge tracking
+        so quarantine entry/lift show up in counters and the trace."""
+        if self.health is None:
+            return False
+        flagged = self.health.server_is_slow(server)
+        if flagged and server not in self._quarantined:
+            self._quarantined.add(server)
+            self._c_quarantines.add()
+            self.sim.trace.instant(
+                self.name, "recovery", "quarantine", server=server,
+            )
+        elif not flagged and server in self._quarantined:
+            self._quarantined.discard(server)
+            self._c_quarantine_lifts.add()
+            self.sim.trace.instant(
+                self.name, "recovery", "quarantine_lift", server=server,
+            )
+        return flagged
+
+    def _observe_rtt(self, server: int, rtt: float) -> None:
+        """Fold one post-to-ack round trip into the per-server
+        estimators (and the fleet health hub's own detector)."""
+        srtt = self._srtt[server]
+        if srtt.count:
+            self._rttvar[server].update(abs(rtt - srtt.value))
+        else:
+            self._rttvar[server].update(rtt / 2.0)
+        srtt.update(rtt)
+        if self.health is not None:
+            self.health.record_server_rtt(server, rtt)
+
+    def _hedge_delay(self, server: int) -> float | None:
+        """EWMA-derived percentile deadline (TCP-RTO shape): srtt +
+        hedge_k * rttvar, floored at hedge_min_usec; ``None`` until the
+        estimator has enough samples to trust."""
+        srtt = self._srtt[server]
+        if srtt.count < HEDGE_MIN_SAMPLES:
+            return None
+        return max(
+            self.hedge_min_usec,
+            srtt.value + self.hedge_k * self._rttvar[server].value,
+        )
+
     def _remap_target(self) -> int:
         """The survivor adopting the dead server's chunk: its successor
         (mod n), hosting it behind its own area — the same layout math
@@ -505,10 +669,13 @@ class HPBDClient:
         server: int,
         offset: int,
         retries: int = 0,
+        is_hedge: bool = False,
     ):
         """Take a credit and post one control message; generator."""
         sim = self.sim
         trace = sim.trace
+        if entry.completed:
+            return  # a tied attempt already won while this one queued
         blk_req_id = entry.pending.req.req_id
         t_credit = sim.now
         yield self._credits[server].acquire()
@@ -518,9 +685,15 @@ class HPBDClient:
                 t_credit, sim.now,
                 req_id=blk_req_id, server=server,
             )
+        if entry.completed:
+            # Lost the tie while waiting for a credit.
+            self._credits[server].release()
+            return
         if server in self._dead:
             # Lost a race: the target died while we waited for a credit.
             self._credits[server].release()
+            if entry.op == READ and entry.live_rids:
+                return  # a tied attempt on the other copy carries the read
             self._reroute(entry, server)
             return
         preq = PageRequest(
@@ -538,6 +711,23 @@ class HPBDClient:
         deadline = None
         if self.request_timeout_usec is not None:
             deadline = now + self.request_timeout_usec
+        hedge_at = None
+        if (
+            self.hedge_reads
+            and not is_hedge
+            and entry.op == READ
+            and not entry.hedged
+            and entry.replica_server is not None
+        ):
+            other = (
+                entry.replica_server
+                if server == entry.seg.server
+                else entry.seg.server
+            )
+            if other not in self._dead:
+                delay = self._hedge_delay(server)
+                if delay is not None:
+                    hedge_at = now + delay
         self._inflight[preq.req_id] = _Attempt(
             entry=entry,
             server=server,
@@ -545,7 +735,10 @@ class HPBDClient:
             sent_at=now,
             deadline=deadline,
             retries=retries,
+            hedge_at=hedge_at,
+            is_hedge=is_hedge,
         )
+        entry.live_rids.add(preq.req_id)
         self._c_phys.add(entry.seg.nbytes)
         self._qps[server].post_send(
             SendWR(
@@ -556,7 +749,23 @@ class HPBDClient:
                 req_id=blk_req_id,
             )
         )
-        if self._watchdog_spawned:
+        self._arm_watchdog(deadline, hedge_at)
+
+    def _arm_watchdog(
+        self, deadline: float | None, hedge_at: float | None
+    ) -> None:
+        """Wake the watchdog if this attempt needs service before the
+        target it is currently sleeping to — hedge schedules undercut
+        the constant-timeout ladder, so "new attempts always deadline
+        later" no longer holds."""
+        if not self._watchdog_spawned:
+            return
+        need = deadline
+        if hedge_at is not None and (need is None or hedge_at < need):
+            need = hedge_at
+        if need is None:
+            return
+        if self._watch_target is None or need < self._watch_target:
             self._watch_wake.wake_one()
 
     def _entry_addr(self, entry: _Inflight) -> int:
@@ -603,17 +812,23 @@ class HPBDClient:
                 att = self._inflight.pop(reply.req_id, None)
                 if att is None:
                     if reply.req_id in self._stale:
-                        # The watchdog gave up on this attempt and its
-                        # credit was reclaimed; the answer showed up
-                        # after all.
+                        # The watchdog (or a winning tied attempt) gave
+                        # up on this attempt and its credit was
+                        # reclaimed; the answer showed up after all.
                         self._stale.discard(reply.req_id)
                         self._c_stale.add()
+                        meta = self._stale_rtt.pop(reply.req_id, None)
+                        if meta is not None and reply.ok:
+                            # A cancelled tie's late reply is still a
+                            # valid service-time sample for its server.
+                            self._observe_rtt(meta[0], sim.now - meta[1])
                         continue
                     raise SimulationError(
                         f"{self.name}: reply for unknown request {reply.req_id}"
                     )
                 self._credits[att.server].release()
                 entry = att.entry
+                entry.live_rids.discard(reply.req_id)
                 if not reply.ok:
                     if reply.nack:
                         # Typed back-pressure (pool exhaustion /
@@ -623,16 +838,36 @@ class HPBDClient:
                     else:
                         self._fail_attempt(att, cause="error")
                     continue
-                if self.health is not None:
-                    # Per-server service signal for the fail-slow
-                    # detector: this attempt's post-to-ack round trip.
-                    self.health.record_server_rtt(
-                        att.server, sim.now - att.sent_at
-                    )
+                # Per-server service signal for the EWMA selectors and
+                # the fail-slow detector: post-to-ack round trip.
+                self._observe_rtt(att.server, sim.now - att.sent_at)
+                entry.acked += 1
                 entry.copies_left -= 1
-                if entry.copies_left > 0:
-                    continue  # mirrored write: wait for the other copy
+                if entry.op == READ and entry.live_rids:
+                    # First reply wins a tied (hedged) read; cancel the
+                    # losers and reclaim their credits.
+                    self._cancel_losers(entry, att)
                 trace = sim.trace
+                if entry.copies_left > 0:
+                    if not entry.completed and entry.acked >= entry.need_acks:
+                        # Semi-sync mirrored write: the fast copy's ack
+                        # completes the block request; the quarantined
+                        # straggler only gates the buffer release.
+                        if trace.enabled:
+                            trace.complete(
+                                self.name, "receiver", "phys_rtt",
+                                "hpbd.rtt", att.sent_at, sim.now,
+                                req_id=entry.pending.req.req_id,
+                                op=entry.op, nbytes=entry.seg.nbytes,
+                                server=att.server,
+                            )
+                        self._complete_segment(entry)
+                    continue  # mirrored write: wait for the other copy
+                if entry.completed:
+                    # Straggler ack of a semi-sync write: release the
+                    # shared buffer, nothing left to complete.
+                    yield from self._release_buffers(entry, copy_out=False)
+                    continue
                 if trace.enabled:
                     # Physical request round trip: control message out
                     # to acknowledgement drained from the reply CQ —
@@ -646,8 +881,46 @@ class HPBDClient:
                     )
                 yield from self._finish_segment(entry)
 
+    def _cancel_losers(self, entry: _Inflight, winner: _Attempt) -> None:
+        """First reply of a tied read wins: reclaim the losers' credits
+        and mark their replies stale (counted and discarded on arrival —
+        the same convention the watchdog uses for timed-out attempts)."""
+        sim = self.sim
+        trace = sim.trace
+        for rid in list(entry.live_rids):
+            loser = self._inflight.pop(rid, None)
+            entry.live_rids.discard(rid)
+            if loser is None:
+                continue
+            self._credits[loser.server].release()
+            self._stale.add(rid)
+            self._stale_rtt[rid] = (loser.server, loser.sent_at)
+            if winner.is_hedge and not loser.is_hedge:
+                self._c_hedge_wins.add()
+                if trace.enabled:
+                    # The primary attempt's window the hedge rescued.
+                    trace.complete(
+                        self.name, "recovery", "hedge_win",
+                        "hpbd.hedge_win", loser.sent_at, sim.now,
+                        req_id=entry.pending.req.req_id,
+                        server=loser.server, hedge_server=winner.server,
+                    )
+            elif loser.is_hedge and trace.enabled:
+                # The hedge lost the race: its window was pure overhead.
+                trace.complete(
+                    self.name, "recovery", "hedge_waste",
+                    "hpbd.hedge_waste", loser.sent_at, sim.now,
+                    req_id=entry.pending.req.req_id,
+                    server=winner.server, hedge_server=loser.server,
+                )
+
     def _finish_segment(self, entry: _Inflight, copy_out: bool = True):
         """Release buffers and complete the block request; generator."""
+        yield from self._release_buffers(entry, copy_out)
+        self._complete_segment(entry)
+
+    def _release_buffers(self, entry: _Inflight, copy_out: bool = True):
+        """Return the segment's pool buffer / on-the-fly MR; generator."""
         sim = self.sim
         trace = sim.trace
         if entry.mr is not None:
@@ -671,6 +944,13 @@ class HPBDClient:
                         nbytes=entry.seg.nbytes,
                     )
             self.pool.free(entry.buf)
+
+    def _complete_segment(self, entry: _Inflight) -> None:
+        """Count the segment done; completes the block request when it
+        was the last outstanding segment."""
+        sim = self.sim
+        trace = sim.trace
+        entry.completed = True
         entry.pending.done_segs += 1
         if entry.pending.done_segs == entry.pending.nsegs:
             self._t_req.record(sim.now - entry.pending.submit_time)
@@ -694,27 +974,47 @@ class HPBDClient:
     # -- recovery state machine ----------------------------------------------
 
     def _watchdog(self):
-        """Expires overdue attempts; sleeps on a latch while idle so an
-        otherwise-drained simulation still runs to completion."""
+        """Expires overdue attempts and fires hedged reads; sleeps on a
+        latch while idle so an otherwise-drained simulation still runs
+        to completion."""
         sim = self.sim
         while True:
-            if not self._inflight:
+            target = None
+            for att in self._inflight.values():
+                for t in (att.deadline, att.hedge_at):
+                    if t is not None and (target is None or t < target):
+                        target = t
+            if target is None:
+                self._watch_target = None
                 yield self._watch_wake.wait()
                 continue
-            next_deadline = min(
-                att.deadline for att in self._inflight.values()
-            )
-            if next_deadline > sim.now:
-                # New attempts always deadline later than existing ones
-                # (deadline = post time + constant), so sleeping to the
-                # earliest one cannot overshoot a newer one.
-                yield sim.timeout(next_deadline - sim.now)
+            if target > sim.now:
+                # Race the sleep against the wake latch: a newly posted
+                # attempt may need service *before* this target (hedge
+                # schedules undercut the constant-timeout ladder, so the
+                # old sleep-to-minimum-deadline shortcut no longer
+                # holds); _arm_watchdog wakes us to re-aim.
+                self._watch_target = target
+                timer = sim.timeout(target - sim.now)
+                wake = self._watch_wake.wait()
+                idx, _value = yield any_of(sim, [timer, wake])
+                self._watch_target = None
+                if idx == 0:
+                    # Timer fired; the losing wait must not swallow a
+                    # future wake_one.
+                    wake.abandoned = True
+                else:
+                    timer.cancel()
                 continue
             now = sim.now
+            for att in list(self._inflight.values()):
+                if att.hedge_at is not None and att.hedge_at <= now:
+                    att.hedge_at = None
+                    self._fire_hedge(att)
             expired = [
                 rid
                 for rid, att in self._inflight.items()
-                if att.deadline <= now
+                if att.deadline is not None and att.deadline <= now
             ]
             for rid in expired:
                 att = self._inflight.pop(rid, None)
@@ -724,8 +1024,42 @@ class HPBDClient:
                 # and remember the id so a late reply is not "unknown".
                 self._credits[att.server].release()
                 self._stale.add(rid)
+                att.entry.live_rids.discard(rid)
                 self._c_timeouts.add()
+                if att.entry.op == READ and att.entry.live_rids:
+                    # A tied attempt on the other copy is still in
+                    # flight; it carries the read.
+                    self._mark_failed_span(att, "timeout")
+                    continue
                 self._fail_attempt(att, cause="timeout")
+
+    def _fire_hedge(self, att: _Attempt) -> None:
+        """The EWMA-derived hedge deadline passed without a reply: fire
+        a tied request at the other copy; first acknowledgement wins and
+        the loser is cancelled with its credit reclaimed."""
+        entry = att.entry
+        if entry.completed or entry.hedged or entry.op != READ:
+            return
+        primary = entry.seg.server
+        other = entry.replica_server if att.server == primary else primary
+        if other is None or other in self._dead:
+            return
+        entry.hedged = True
+        self._c_hedges.add()
+        self.sim.trace.instant(
+            self.name, "recovery", "hedge_fired",
+            req_id=entry.pending.req.req_id,
+            server=att.server, hedge_server=other,
+        )
+        offset = (
+            entry.seg.server_offset
+            if other == primary
+            else self.dist.share_of(other) + entry.seg.server_offset
+        )
+        self.sim.spawn(
+            self._post_attempt(entry, other, offset, is_hedge=True),
+            name=f"{self.name}.hedge",
+        )
 
     def _fail_attempt(self, att: _Attempt, cause: str) -> None:
         """One attempt came back bad (``error``) or never came back
@@ -739,6 +1073,11 @@ class HPBDClient:
         seg = entry.seg
         if self.health is not None:
             self.health.record_error(self.tenant or self.name, att.server)
+        if entry.op == READ and entry.live_rids:
+            # A tied (hedged) attempt on the other copy is still in
+            # flight — let it carry the read instead of spawning a third.
+            self._mark_failed_span(att, cause)
+            return
         retries_enabled = self.request_timeout_usec is not None
         # 1. Mirror read failover (works even with retries disabled —
         #    the original reliability extension).
@@ -848,6 +1187,10 @@ class HPBDClient:
             att = self._inflight.pop(rid)
             self._credits[server].release()
             self._stale.add(rid)
+            att.entry.live_rids.discard(rid)
+            if att.entry.op == READ and att.entry.live_rids:
+                # A tied attempt on the surviving copy carries the read.
+                continue
             self._reroute(att.entry, server)
 
     def _reroute(self, entry: _Inflight, failed_server: int) -> None:
@@ -947,6 +1290,20 @@ class HPBDClient:
 
     def credit_stalls(self) -> int:
         return sum(c.stall_count for c in self._credits)
+
+    def drain(self):
+        """Wait (bounded) for straggler acknowledgements; generator.
+
+        Semi-sync mirrored writes complete the block request before the
+        quarantined copy acks, so a run can reach teardown with those
+        straggler attempts still in flight.  Poll them out before the
+        audit; the bound keeps a genuinely wedged run failing loudly in
+        ``audit_teardown`` instead of hanging here.
+        """
+        for _ in range(50):
+            if not self._inflight:
+                return
+            yield self.sim.timeout(100.0)
 
     def audit_teardown(self) -> None:
         """Invariant monitors for a quiesced device (runner teardown).

@@ -111,6 +111,11 @@ class HPBDServer:
         #: replies — what a dead peer looks like from the client.
         self.alive = True
         self.crashes = 0
+        #: fail-slow state (repro.faults ServerSlow): memcpy cost scale
+        #: and flat per-request in-handler stall while limping.
+        self.slow_mult = 1.0
+        self.slow_extra_usec = 0.0
+        self.slowdowns = 0
         #: drop (and count) control messages that fail signature
         #: validation instead of raising — set by the fault injector
         #: when the plan corrupts messages on the wire.
@@ -196,6 +201,26 @@ class HPBDServer:
         """Bring the daemon back (the HCA and QPs survive — modelling a
         process restart on a warm node, not a reboot)."""
         self.alive = True
+
+    def slow(self, service_mult: float = 4.0, extra_usec: float = 0.0) -> None:
+        """Limp the daemon: scale every RamDisk memcpy cost by
+        ``service_mult`` and stall each request ``extra_usec`` while it
+        holds an RDMA slot (so queue depth creeps, like a real fail-slow
+        node).  The fabric is untouched — contrast ``LinkDegrade``."""
+        if service_mult < 1.0 or extra_usec < 0:
+            raise SimulationError(
+                f"{self.name}: bad slowdown ({service_mult}, {extra_usec})"
+            )
+        self.slow_mult = service_mult
+        self.slow_extra_usec = extra_usec
+        self.slowdowns += 1
+        self.stats.counter(f"{self.name}.slowdowns").add()
+
+    def restore_speed(self) -> None:
+        """Lift a :meth:`slow` injection; in-flight handlers finish at
+        whatever rate they already sampled."""
+        self.slow_mult = 1.0
+        self.slow_extra_usec = 0.0
 
     # -- daemon ---------------------------------------------------------------
 
@@ -353,6 +378,16 @@ class HPBDServer:
                 return
             yield self._rdma_slots.acquire()
             try:
+                if self.slow_extra_usec > 0.0:
+                    # Injected fail-slow stall: burned while holding the
+                    # RDMA slot, so a limping server's queue depth creeps.
+                    t_slow = self.sim.now
+                    yield self.sim.timeout(self.slow_extra_usec)
+                    if trace.enabled:
+                        trace.complete(
+                            self.name, "handlers", "failslow_stall",
+                            "srv.slow", t_slow, self.sim.now, **ident,
+                        )
                 buf = yield from self.pool.alloc(req.nbytes)
                 if req.op == OP_WRITE:
                     # Swap-out: pull the page(s) out of the client pool,
@@ -368,7 +403,7 @@ class HPBDServer:
                     )
                     cost = self.ramdisk.write(
                         offset, req.nbytes, token=req.data_token
-                    )
+                    ) * self.slow_mult
                     t_copy = self.sim.now
                     yield from self.cpus.run(cost)
                     if trace.enabled:
@@ -388,6 +423,7 @@ class HPBDServer:
                     # Swap-in: RamDisk -> staging, RDMA-write it into the
                     # client buffer, then the (ordered) reply.
                     token, cost = self.ramdisk.read(offset, req.nbytes)
+                    cost *= self.slow_mult
                     t_copy = self.sim.now
                     yield from self.cpus.run(cost)
                     if trace.enabled:

@@ -261,8 +261,30 @@ class HealthHub:
                 t.bad_total += 1
 
     def set_server_alive(self, server: int, alive: bool) -> None:
-        """Liveness edge from the registry heartbeat."""
-        self.servers[server].alive = alive
+        """Liveness edge from the registry heartbeat.
+
+        A dead→alive transition resets the detector state: the restarted
+        daemon's service profile owes nothing to its pre-crash samples —
+        a stale high EWMA would instantly re-flag (or mask) it.  The
+        lifetime sketch and sticky ``flagged_at``/``peak_score`` history
+        survive; the online detector restarts cold.
+        """
+        s = self.servers[server]
+        if alive and not s.alive:
+            s.ewma = EWMA(self.cfg.ewma_alpha)
+            s.samples = 0
+            s.streak = 0
+        s.alive = alive
+
+    def server_is_slow(self, server: int) -> bool:
+        """Current fail-slow verdict for quarantine decisions.
+
+        True while the detector's status is ``slow``; clears as soon as
+        the score recovers (quarantine lift) — unlike ``flagged_at``,
+        which is sticky history.
+        """
+        s = self.servers[server]
+        return s.alive and s.status == "slow"
 
     # -- evaluation -----------------------------------------------------
 

@@ -138,6 +138,10 @@ class _Scenario:
                     retry_backoff_usec=faults.retry_backoff_usec,
                     backoff_mult=faults.backoff_mult,
                     degraded_mode=faults.degraded_mode,
+                    ewma_select=faults.ewma_select,
+                    hedge_reads=faults.hedge_reads,
+                    hedge_k=faults.hedge_k,
+                    hedge_min_usec=faults.hedge_min_usec,
                 )
             self.hpbd_client = HPBDClient(
                 self.sim,
@@ -241,6 +245,10 @@ class _Scenario:
             if self.metrics is not None:
                 self.metrics.stop()
             yield from self.node.vmm.quiesce()
+            if self.hpbd_client is not None:
+                # Semi-sync mirrored writes may still have straggler
+                # acks in flight; let them land before the audits.
+                yield from self.hpbd_client.drain()
             # Post-run integrity: ledgers must balance.
             self.node.vmm.check_frame_accounting()
             if self.hpbd_client is not None and self.hpbd_client.pool is not None:
