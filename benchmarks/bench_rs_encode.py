@@ -1,0 +1,44 @@
+"""GF(256) Reed-Solomon codec throughput (the real data-plane math).
+
+The simulator only models the *cost* of erasure coding (``rs_encode_
+usec``/``rs_decode_usec`` in :mod:`repro.redundancy.policy`); this
+benchmark runs the actual numpy codec those cost models stand in for —
+encode k data shards into m parity rows, then reconstruct m erased
+shards from any k survivors — and asserts a conservative throughput
+floor so a vectorization regression (say, a per-byte Python loop
+sneaking into ``gf_matmul``) fails fast.  ``repro bench`` records the
+same numbers into ``BENCH_simulator.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record
+
+from repro.bench import bench_rs_encode
+
+np = pytest.importorskip("numpy")
+
+# This host measures ~50 MB/s encode on one CPU; the table-lookup
+# construction should never fall below 10 MB/s anywhere unless the
+# vectorization breaks (a per-byte loop lands in the kB/s range).
+MIN_ENCODE_MB_S = 10.0
+
+
+def test_rs_encode_throughput(benchmark):
+    """Encode + reconstruct 4 MiB of data through rs(4,2)."""
+
+    def run():
+        return bench_rs_encode(k=4, m=2, shard_bytes=1 << 20, rounds=3)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result is not None
+    record(
+        benchmark,
+        encode_mb_s=result["encode_mb_s"],
+        reconstruct_mb_s=result["reconstruct_mb_s"],
+        roundtrip_ok=result["roundtrip_ok"],
+    )
+    assert result["roundtrip_ok"], "RS reconstruct did not round-trip"
+    assert result["encode_mb_s"] >= MIN_ENCODE_MB_S

@@ -64,6 +64,11 @@ _BLAME_PRECEDENCE: tuple[tuple[str, frozenset[str]], ...] = (
     # unanswered remainder lands here instead of inflating "other".
     ("fault", frozenset({"hpbd.timeout", "hpbd.failover"})),
     ("retry", frozenset({"hpbd.retry"})),
+    # Erasure-coded degraded reads (repro.redundancy): the window from
+    # the k-survivor fan-out to the GF(256) reconstruct.  Ranked below
+    # wire/ctrl so each shard fetch's wire time stays billed to the
+    # wire and the fan-out/decode remainder lands here.
+    ("degraded_read", frozenset({"hpbd.degraded"})),
     # Hedged mirror reads (fail-slow mitigation): time the original
     # attempt kept limping before its hedge won the race (hedge_win),
     # and the losing hedge's own window when the primary answered first
@@ -72,7 +77,9 @@ _BLAME_PRECEDENCE: tuple[tuple[str, frozenset[str]], ...] = (
     ("hedge_win", frozenset({"hpbd.hedge_win"})),
     ("hedge_waste", frozenset({"hpbd.hedge_waste"})),
     ("disk", frozenset({"disk.service"})),
-    ("copy", frozenset({"hpbd.copy"})),
+    # Parity encode (GF(256) multiply-XOR passes) is client CPU work on
+    # the write path, same class as the pool memcpy it sits beside.
+    ("copy", frozenset({"hpbd.copy", "hpbd.parity"})),
     ("registration", frozenset({"reg"})),
     # Cluster QoS: time a request sat in the server's weighted-fair
     # queue waiting for a handler slot (repro.cluster.qos).
@@ -129,6 +136,8 @@ REQUEST_PATH_CATS: frozenset[str] = frozenset(
         "hpbd.retry",
         "hpbd.hedge_win",
         "hpbd.hedge_waste",
+        "hpbd.degraded",
+        "hpbd.parity",
         "reg",
         "net.wait",
         "wire",

@@ -27,6 +27,7 @@ from .simulator import Simulator
 __all__ = [
     "bench_timeout_churn",
     "bench_relay_resume",
+    "bench_rs_encode",
     "bench_obs_overhead",
     "bench_fluid_bulk",
     "bench_blame_split",
@@ -184,6 +185,60 @@ def bench_fluid_bulk(
         "wall_speedup": discrete_wall / fluid_wall if fluid_wall else None,
         "identical_results": fluid_times == discrete_times,
         "final_usec": fluid_times[-1] if fluid_times else None,
+    }
+
+
+def bench_rs_encode(
+    k: int = 4,
+    m: int = 2,
+    shard_bytes: int = 1 << 20,
+    rounds: int = 3,
+) -> "dict[str, Any] | None":
+    """GF(256) Reed-Solomon codec throughput (host MB/s).
+
+    Encodes ``k`` random 1 MiB shards into ``m`` parity rows and then
+    reconstructs ``m`` erased shards from the survivors — the real
+    numpy codec the redundancy subsystem's cost model stands in for.
+    Throughput is data bytes (``k * shard_bytes``) over the best of
+    ``rounds`` wall-clock passes.  Returns ``None`` when numpy is
+    unavailable (the simulator itself runs without it).
+    """
+    try:
+        from .redundancy.gf256 import rs_encode, rs_matrix, rs_reconstruct
+        import numpy as np
+    except ImportError:  # pragma: no cover — numpy-less env
+        return None
+
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 256, size=(k, shard_bytes), dtype=np.uint8)
+    matrix = rs_matrix(k, m)
+    nbytes = k * shard_bytes
+
+    best_enc = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        parity = rs_encode(matrix, data)
+        best_enc = min(best_enc, time.perf_counter() - t0)
+
+    shards: list = [None] * m + [data[i] for i in range(m, k)]
+    shards += [parity[j] for j in range(m)]
+    best_rec = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        out = rs_reconstruct(matrix, list(shards))
+        best_rec = min(best_rec, time.perf_counter() - t0)
+    ok = all(
+        np.array_equal(out[i], data[i]) for i in range(k)
+    )
+
+    return {
+        "k": k,
+        "m": m,
+        "shard_bytes": shard_bytes,
+        "rounds": rounds,
+        "encode_mb_s": nbytes / best_enc / 1e6,
+        "reconstruct_mb_s": nbytes / best_rec / 1e6,
+        "roundtrip_ok": bool(ok),
     }
 
 
@@ -390,6 +445,7 @@ def run_bench(
         },
         "obs_overhead": bench_obs_overhead(nevents, rounds),
         "fluid_bulk": bench_fluid_bulk(rounds=rounds),
+        "rs_encode": bench_rs_encode(rounds=rounds),
     }
     if not skip_sweep:
         payload["sweep"] = bench_figure_sweep(sweep_scale, workers)

@@ -496,6 +496,179 @@ def _run_faults(args) -> int:
     return status
 
 
+def _redundancy_default_crashes(pol, ncrashes: int):
+    """Crash schedule aimed at the quicksort read frontier (see
+    :func:`~repro.experiments.cluster_redundancy_config`): each outage
+    lands on the shard being swept at that moment, so the degraded
+    path is provably exercised, not just the rebuild."""
+    if pol.kind == "nway":
+        picks = ((90_000.0, 2), (200_000.0, 4))
+    elif pol.k == 2:  # two wide data shards: the frontier crosses late
+        picks = ((140_000.0, 1), (60_000.0, 0))
+    else:
+        picks = ((120_000.0, 2), (200_000.0, 3))
+    return picks[:ncrashes]
+
+
+def _run_redundancy(args) -> int:
+    """``repro redundancy``: crash erasure-coded members mid-run, audit
+    degraded reads and background repair.
+
+    Runs one quicksort tenant whose swap area is protected by
+    ``--policy``, with ``--crashes`` mid-run server crashes (wipe +
+    40 ms outage + restart).  Exit status is nonzero on any invariant
+    violation, or — under ``--expect-recovery`` — when the run did not
+    actually exercise the machinery: every lost member rebuilt and
+    nothing left pending, degraded service observed while members were
+    down (rs reads reconstruct; nway reads fail over), repair traffic
+    within 10% of lost x (k+m)/k, memory overhead within 0.05 of the
+    policy's nominal, and the throttle contended — or, under
+    ``--replay-check``, when a second run of the same seed diverges.
+    """
+    from .experiments import cluster_redundancy_config
+    from .redundancy.policy import parse_policy
+    from .runner import run_scenario
+    from .units import fmt_bytes
+
+    try:
+        pol = parse_policy(args.policy)
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
+    if pol.kind == "none":
+        print("ERROR: pick a redundant policy (nway(r) or rs(k,m))",
+              file=sys.stderr)
+        return 2
+    if args.crashes > pol.m:
+        # Staggered outages heal in between, but keep the gate honest:
+        # the schedule never exceeds the policy's concurrent tolerance,
+        # so > m crashes only make sense with a wider policy.
+        print(
+            f"ERROR: {pol.label} tolerates {pol.m} concurrent "
+            f"failures; --crashes {args.crashes} exceeds that",
+            file=sys.stderr,
+        )
+        return 2
+    crashes = _redundancy_default_crashes(pol, args.crashes)
+
+    def run_once():
+        cfg = cluster_redundancy_config(
+            redundancy=args.policy,
+            nservers=args.nservers,
+            crashes=crashes,
+            throttle_mib_s=args.throttle_mib_s,
+        )
+        cfg.seed = args.seed
+        return run_scenario(cfg)
+
+    when = ", ".join(f"mem{s}@{at / 1000:g}ms" for at, s in crashes)
+    print(
+        f"redundancy run: quicksort over {args.policy}, "
+        f"{args.nservers} servers, crashes [{when}], "
+        f"throttle {args.throttle_mib_s:g} MiB/s (seed={args.seed})..."
+    )
+    result = run_once()
+    report = result.redundancy
+    repair = report.get("repair", {})
+    print(result.summary())
+    print()
+    print(f"policy {pol.label}: demand {fmt_bytes(report['demand_bytes'])}, "
+          f"reserved {fmt_bytes(report['reserved_bytes'])} "
+          f"(overhead {report['overhead']:.2f}x, nominal {pol.overhead:.2f}x)")
+    print(f"degraded service: {report['degraded_reads']} degraded reads, "
+          f"{report['reconstructs']} reconstructs, "
+          f"{report['read_failovers']} read failovers, "
+          f"{report['write_failovers']} write failovers")
+    print(f"repair: {repair.get('rebuilds', 0)} rebuilds "
+          f"({repair.get('spare_rebuilds', 0)} onto spares, "
+          f"{repair.get('aborts', 0)} aborted), "
+          f"{fmt_bytes(repair.get('bytes_moved', 0))} moved for "
+          f"{fmt_bytes(repair.get('lost_bytes', 0))} lost, "
+          f"{repair.get('pending', 0)} pending, "
+          f"{repair.get('throttle_waits', 0)} throttle waits")
+    status = 0
+    violations = list(result.invariant_violations)
+    if violations:
+        print(
+            f"ERROR: {len(violations)} invariant violations:",
+            file=sys.stderr,
+        )
+        for v in violations[:20]:
+            print(
+                f"  t={v['t_usec']:.1f} {v['monitor']} "
+                f"[{v['component']}]: {v['message']}",
+                file=sys.stderr,
+            )
+        status = 1
+    else:
+        print("invariant monitors: clean (0 violations)")
+    if args.expect_recovery:
+        problems = []
+        if repair.get("rebuilds", 0) < len(crashes):
+            problems.append(
+                f"{repair.get('rebuilds', 0)} rebuilds for "
+                f"{len(crashes)} crashes"
+            )
+        if repair.get("pending", 0):
+            problems.append(f"{repair['pending']} members still pending")
+        degraded = (
+            report["read_failovers"]
+            if pol.kind == "nway"
+            else report["degraded_reads"]
+        )
+        if degraded == 0:
+            problems.append("no degraded service observed during outages")
+        lost = repair.get("lost_bytes", 0)
+        moved = repair.get("bytes_moved", 0)
+        expect = pol.repair_traffic_bytes(lost)
+        if lost and abs(moved - expect) > 0.10 * expect:
+            problems.append(
+                f"repair moved {moved} B, expected ~{expect} B "
+                f"(lost x {(pol.k + pol.m)}/{pol.k})"
+            )
+        if report["overhead"] > pol.overhead + 0.05:
+            problems.append(
+                f"overhead {report['overhead']:.3f}x exceeds "
+                f"{pol.overhead + 0.05:.2f}x"
+            )
+        if not repair.get("throttle_waits", 0):
+            problems.append("migration throttle never contended")
+        if problems:
+            for p in problems:
+                print(f"ERROR: expected recovery: {p}", file=sys.stderr)
+            status = 1
+        else:
+            print("recovery gate: rebuilt, degraded service observed, "
+                  "traffic and overhead within bounds")
+    if args.replay_check:
+        second = run_once()
+        if second.fairness_report() != result.fairness_report():
+            print(
+                "ERROR: replay diverged for the same seed",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print("replay check: second run identical (full report)")
+    if args.json:
+        payload = {
+            "policy": pol.label,
+            "nservers": args.nservers,
+            "seed": args.seed,
+            "crashes": [
+                {"at_usec": at, "server": s} for at, s in crashes
+            ],
+            "throttle_mib_s": args.throttle_mib_s,
+            "elapsed_usec": result.elapsed_usec,
+            "report": report,
+            "violations": violations,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return status
+
+
 def _run_cluster(args) -> int:
     """``repro cluster``: multi-tenant fairness scenario + report.
 
@@ -1123,6 +1296,20 @@ def _run_bench(args) -> int:
         print("ERROR: fluid fast path diverged from discrete stepping",
               file=sys.stderr)
         return 1
+    rs = payload.get("rs_encode")
+    if rs is not None:
+        print(
+            f"rs({rs['k']},{rs['m']}) GF(256) codec: encode "
+            f"{rs['encode_mb_s']:,.0f} MB/s, reconstruct "
+            f"{rs['reconstruct_mb_s']:,.0f} MB/s, roundtrip "
+            f"{'ok' if rs['roundtrip_ok'] else 'CORRUPT'}"
+        )
+        if not rs["roundtrip_ok"]:
+            print("ERROR: RS reconstruct did not round-trip",
+                  file=sys.stderr)
+            return 1
+    else:
+        print("rs encode: skipped (numpy unavailable)")
     if "sweep" in payload:
         sw = payload["sweep"]
         print(
@@ -1170,6 +1357,14 @@ def _run_bench(args) -> int:
         print(
             f"ERROR: timeout churn {loop['timeout_events_per_sec']:,.0f} ev/s "
             f"below floor {floor:,.0f}",
+            file=sys.stderr,
+        )
+        return 1
+    rs_floor = args.min_rs_encode_mb_s
+    if rs_floor and rs is not None and rs["encode_mb_s"] < rs_floor:
+        print(
+            f"ERROR: rs encode {rs['encode_mb_s']:,.0f} MB/s below "
+            f"floor {rs_floor:,.0f}",
             file=sys.stderr,
         )
         return 1
@@ -1485,6 +1680,43 @@ def main(argv: Sequence[str] | None = None) -> int:
     fa.add_argument(
         "--json", metavar="PATH", help="dump the fault report as JSON"
     )
+    rd = sub.add_parser(
+        "redundancy",
+        help="crash erasure-coded members mid-run; audit degraded "
+        "reads and background repair (nonzero exit on violations or "
+        "failed recovery gates)",
+    )
+    rd.add_argument(
+        "--policy", default="rs(4,2)",
+        help="redundancy policy: nway(r) or rs(k,m) (default: rs(4,2))",
+    )
+    rd.add_argument(
+        "--crashes", type=int, default=1,
+        help="staggered mid-run server crashes, at most the policy's "
+        "tolerance m (default: 1)",
+    )
+    rd.add_argument(
+        "--nservers", type=int, default=8,
+        help="memory servers in the fleet (default: 8)",
+    )
+    rd.add_argument(
+        "--throttle-mib-s", type=float, default=400.0,
+        help="repair/migration bandwidth cap in MiB/s (default: 400)",
+    )
+    rd.add_argument("--seed", type=int, default=42)
+    rd.add_argument(
+        "--expect-recovery", action="store_true",
+        help="fail unless every lost member rebuilt, degraded service "
+        "was observed, and repair traffic/overhead are within bounds",
+    )
+    rd.add_argument(
+        "--replay-check", action="store_true",
+        help="run twice; fail if the reports diverge",
+    )
+    rd.add_argument(
+        "--json", metavar="PATH",
+        help="dump the redundancy report as JSON",
+    )
     cl = sub.add_parser(
         "cluster",
         help="run the multi-tenant fairness scenario (+ QoS-off "
@@ -1743,6 +1975,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="fail (exit 1) if timeout churn drops below this floor",
     )
     be.add_argument(
+        "--min-rs-encode-mb-s", type=float, default=0.0,
+        help="fail (exit 1) if GF(256) RS encode throughput drops "
+        "below this floor (skipped when numpy is absent)",
+    )
+    be.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and print the top 25 functions by "
         "cumulative time",
@@ -1792,6 +2029,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.scale < 1:
             parser.error("--scale must be >= 1")
         return _run_faults(args)
+    if args.command == "redundancy":
+        return _run_redundancy(args)
     if args.command == "cluster":
         if args.scale < 1:
             parser.error("--scale must be >= 1")

@@ -14,9 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..hpbd.striping import BlockingDistribution, Chunk
+from ..hpbd.striping import Chunk
+from ..redundancy.policy import RedundancyPolicy, ShardGroup, parse_policy
 from ..simulator import SimulationError, StatsRegistry
-from .placement import plan_placement
+from .placement import plan_group, plan_placement
 from .registry import CapacityError, FleetRegistry
 
 __all__ = ["Admission", "AdmissionController", "AdmissionNack"]
@@ -45,6 +46,11 @@ class Admission:
     #: the policy that actually produced the map ("least_loaded" after
     #: a remap retry may differ from the configured one)
     policy: str = "blocking"
+    #: redundancy copies' store extents (rs parity shards / nway
+    #: replicas); empty for unprotected tenants
+    parity_chunks: list[Chunk] = field(default_factory=list)
+    #: the shard-role-to-server map for a redundant tenant
+    group: ShardGroup | None = None
 
 
 class AdmissionController:
@@ -64,14 +70,27 @@ class AdmissionController:
         self._c_nacked = self.stats.counter("cluster.admission_nacks")
 
     def admit(
-        self, tenant: str, total_bytes: int, mirror: bool = False
+        self,
+        tenant: str,
+        total_bytes: int,
+        mirror: bool = False,
+        redundancy: str | RedundancyPolicy | None = None,
     ) -> Admission:
         """Plan and reserve ``total_bytes`` for ``tenant``.
 
+        ``redundancy`` selects policy-driven group admission (``nway(r)``
+        replica rings or ``rs(k,m)`` stripe groups); ``mirror`` is the
+        legacy 2-way ring, admitted through the same group path.
         Raises :class:`AdmissionNack` when no placement fits.
         """
+        if mirror and redundancy is not None:
+            raise ValueError("pass mirror or redundancy, not both")
         if mirror:
             return self._admit_mirrored(tenant, total_bytes)
+        if redundancy is not None:
+            policy = parse_policy(redundancy)
+            if policy.kind != "none":
+                return self._admit_group(tenant, total_bytes, policy)
         registry = self.registry
         policy = self.policy
         try:
@@ -105,45 +124,67 @@ class AdmissionController:
         )
 
     def _admit_mirrored(self, tenant: str, total_bytes: int) -> Admission:
-        """Mirrored tenants use the paper's blocking layout over the
-        *whole* fleet — the driver addresses the replica of server i's
-        chunk on server i+1 (mod n) behind that server's own share, so
-        every server must be alive and each reserves its own share plus
-        its predecessor's replica area.  ``chunks`` stays empty: the
-        driver's default :class:`BlockingDistribution` already encodes
-        the map."""
+        """The legacy mirror path: a 2-way replica ring over the whole
+        fleet, admitted through the generalized group machinery.  The
+        layout is bit-identical to the original ad-hoc pair scheme (the
+        replica of server i's chunk on server i+1 behind its own share),
+        but ``chunks`` stays empty and the policy label stays "mirror":
+        the driver's default :class:`~repro.hpbd.striping.
+        BlockingDistribution` already encodes the map."""
+        adm = self._admit_group(
+            tenant, total_bytes, RedundancyPolicy("nway", k=1, m=1)
+        )
+        return Admission(
+            tenant=tenant,
+            chunks=[],
+            area_bases=adm.area_bases,
+            share_bytes=adm.share_bytes,
+            policy="mirror",
+        )
+
+    def _admit_group(
+        self, tenant: str, total_bytes: int, policy: RedundancyPolicy
+    ) -> Admission:
+        """Policy-driven group admission: plan the replica ring or
+        stripe group, then reserve each member's shard area (rs: one
+        shard; nway: own chunk plus its predecessors' replica areas,
+        all behind one contiguous base)."""
         registry = self.registry
-        n = len(registry.servers)
-        if n < 2:
-            self._c_nacked.add()
-            raise AdmissionNack(tenant, "mirroring needs at least two servers")
-        if not all(registry.alive):
-            self._c_nacked.add()
-            raise AdmissionNack(
-                tenant, "mirrored placement needs every server alive"
-            )
         try:
-            dist = BlockingDistribution(total_bytes, n)
-        except ValueError as err:
+            data_chunks, parity_chunks, group = plan_group(
+                policy, tenant, total_bytes, registry
+            )
+        except (CapacityError, ValueError) as err:
             self._c_nacked.add()
             raise AdmissionNack(tenant, str(err)) from err
-        shares = [dist.share_of(i) for i in range(n)]
-        need = [shares[i] + shares[(i - 1) % n] for i in range(n)]
-        short = [i for i in range(n) if need[i] > registry.free_bytes(i)]
+        n = len(registry.servers)
+        shares = [0] * n
+        need = group.member_need_bytes()
+        for server in group.servers:
+            shares[server] = need
+        short = [
+            s for s in group.servers if need > registry.free_bytes(s)
+        ]
         if short:
             self._c_nacked.add()
             raise AdmissionNack(
                 tenant,
-                f"mirrored shares do not fit servers {short}",
+                f"{policy.label} shares of {need} B do not fit "
+                f"servers {short}",
             )
-        bases = [registry.reserve(tenant, i, need[i]) for i in range(n)]
+        bases = [0] * n
+        for server in group.servers:
+            bases[server] = registry.reserve(tenant, server, need)
+        group.area_bases = [bases[s] for s in group.servers]
         self._c_admitted.add()
         return Admission(
             tenant=tenant,
-            chunks=[],
+            chunks=data_chunks,
             area_bases=bases,
-            share_bytes=need,
-            policy="mirror",
+            share_bytes=shares,
+            policy=policy.label,
+            parity_chunks=parity_chunks,
+            group=group,
         )
 
     def evict(self, admission: Admission) -> None:

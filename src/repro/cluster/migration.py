@@ -35,6 +35,13 @@ class ChunkMigrator:
     ~800 MB/s, a conservative share of one IB SDR link so migrations do
     not shadow the request path).  Concurrent migrations share the
     channel fairly; each one is a :class:`BulkFlow` under the hood.
+
+    ``throttle_mib_s`` caps the *aggregate* background-copy bandwidth
+    below the channel rate: transfers are paced against a shared budget
+    cursor, so concurrent copies queue behind one another instead of
+    bursting at link speed (``mig.throttle_waits`` counts the stalls).
+    Background repair and elastic migration share this knob — recovery
+    traffic must never be modelled as free (INDIGO's point).
     """
 
     def __init__(
@@ -45,7 +52,10 @@ class ChunkMigrator:
         page_bytes: int = 4096,
         name: str = "mig",
         stats: StatsRegistry | None = None,
+        throttle_mib_s: float | None = None,
     ) -> None:
+        if throttle_mib_s is not None and throttle_mib_s <= 0:
+            raise ValueError(f"bad migration throttle {throttle_mib_s}")
         self.sim = sim
         self.registry = registry
         self.name = name
@@ -57,9 +67,42 @@ class ChunkMigrator:
             name=f"{name}.chan",
             stats=self.stats,
         )
+        #: MiB/s -> bytes/usec (both are 2^20-per-10^6 scaled)
+        self.throttle_bytes_per_usec = (
+            throttle_mib_s * (1024 * 1024) / 1e6
+            if throttle_mib_s is not None
+            else None
+        )
+        #: simulation time up to which the throttle budget is spoken for
+        self._throttle_cursor = 0.0
         self._c_migrations = self.stats.counter(f"{name}.migrations")
         self._c_bytes = self.stats.counter(f"{name}.bytes")
         self._c_failed = self.stats.counter(f"{name}.failed")
+        self._c_throttle_waits = self.stats.counter(f"{name}.throttle_waits")
+
+    def _paced_transfer(self, nbytes: int, name: str):
+        """One bulk copy through the shared channel, paced against the
+        throttle budget; generator, returns the bytes moved."""
+        sim = self.sim
+        rate = self.throttle_bytes_per_usec
+        if rate is not None:
+            start = self._throttle_cursor
+            duration = nbytes / rate
+            self._throttle_cursor = max(start, sim.now) + duration
+            if start > sim.now:
+                # Budget already spoken for by an earlier copy: stall.
+                self._c_throttle_waits.add()
+                yield sim.timeout(start - sim.now)
+        t0 = sim.now
+        done = yield self.channel.transfer(nbytes, name=name)
+        if rate is not None:
+            # The channel may run faster than the throttle; pad the
+            # copy out to its paced duration so the modelled bandwidth
+            # never exceeds the cap.
+            remaining = (t0 + nbytes / rate) - sim.now
+            if remaining > 0:
+                yield sim.timeout(remaining)
+        return done
 
     def migrate(
         self, tenant: str, src: int, dst: int, nbytes: int
@@ -86,10 +129,24 @@ class ChunkMigrator:
             name=f"{self.name}.move",
         )
 
+    def bulk_copy(self, tenant: str, nbytes: int, label: str = "copy"):
+        """A raw throttled copy with no reservation movement; generator,
+        returns the bytes moved.  The repair path uses this — repair
+        restores data into space the tenant already holds (or reserves
+        explicitly for a spare rebuild), so only the fabric cost and the
+        throttle budget apply."""
+        done = yield from self._paced_transfer(
+            nbytes, name=f"{self.name}.{tenant}.{label}"
+        )
+        self._c_bytes.add(int(done))
+        return done
+
     def _run(self, tenant: str, src: int, dst: int, nbytes: int, offset: int):
         sim = self.sim
         t0 = sim.now
-        done = yield self.channel.transfer(nbytes, name=f"{self.name}.{tenant}")
+        done = yield from self._paced_transfer(
+            nbytes, name=f"{self.name}.{tenant}"
+        )
         self.registry.release(tenant, src, nbytes)
         self._c_migrations.add()
         self._c_bytes.add(int(done))

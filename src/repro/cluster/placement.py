@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import zlib
 
-from ..hpbd.striping import Chunk
+from ..hpbd.striping import Chunk, group_chunk_maps
+from ..redundancy.policy import RedundancyPolicy, ShardGroup
 from ..units import MiB, PAGE_SIZE
 from .registry import CapacityError, FleetRegistry
 
-__all__ = ["plan_placement", "DEFAULT_GRANULE_BYTES"]
+__all__ = ["plan_placement", "plan_group", "DEFAULT_GRANULE_BYTES"]
 
 #: granule for the interleaving policies; falls back to a page when the
 #: area is not MiB-aligned.
@@ -156,6 +157,94 @@ def _hash(
         assignment.append((server, g))
         free[server] -= g
     return _coalesce(assignment)
+
+
+def plan_group(
+    policy: RedundancyPolicy,
+    tenant: str,
+    total_bytes: int,
+    registry: FleetRegistry,
+) -> tuple[list[Chunk], list[Chunk], ShardGroup]:
+    """Plan a redundancy group: which servers hold which shard role.
+
+    Returns ``(data_chunks, parity_chunks, group)`` — the data chunks
+    cover the device exactly (what :class:`~repro.hpbd.striping.
+    ChunkMapDistribution` routes requests by), the parity chunks are the
+    redundancy copies' store extents, and the group records the
+    role-to-server map the driver and the repair manager share.
+
+    Pure planning, like :func:`plan_placement`: nothing is reserved.
+    ``rs(k,m)`` picks the first k+m alive servers with room (healthy
+    before quarantined, index order — deterministic); ``nway(r)``
+    replicates over the whole alive fleet as a ring, generalizing the
+    mirror layout (copy j of server i's chunk on server i+j at store
+    offset ``j * share``).
+    """
+    if total_bytes <= 0 or total_bytes % PAGE_SIZE:
+        raise ValueError(f"bad area size {total_bytes}")
+    if policy.kind == "rs":
+        width = policy.width
+        if total_bytes % policy.k:
+            raise CapacityError(
+                f"area of {total_bytes} B does not stripe over "
+                f"k={policy.k} data shards"
+            )
+        share = total_bytes // policy.k
+        if share % PAGE_SIZE:
+            raise CapacityError(
+                f"rs({policy.k},{policy.m}) shard of {share} B is not "
+                f"page-aligned"
+            )
+        candidates = [
+            i for i in _alive_with_room(registry)
+            if registry.free_bytes(i) >= share
+        ]
+        if len(candidates) < width:
+            # Quarantined-but-alive servers still beat a NACK.
+            candidates = [
+                i
+                for i in range(len(registry.servers))
+                if registry.alive[i] and registry.free_bytes(i) >= share
+            ]
+        if len(candidates) < width:
+            raise CapacityError(
+                f"rs({policy.k},{policy.m}) group needs {width} servers "
+                f"with {share} B free; only {len(candidates)} qualify"
+            )
+        members = candidates[:width]
+        group = ShardGroup(policy=policy, servers=members, share_bytes=share)
+        data_chunks, parity_chunks = group_chunk_maps(group, total_bytes)
+        return data_chunks, parity_chunks, group
+    if policy.kind == "nway":
+        n = len(registry.servers)
+        r = policy.m + 1
+        if n < r:
+            raise CapacityError(
+                f"nway({r}) ring needs at least {r} servers, fleet has {n}"
+            )
+        if not all(registry.alive):
+            raise CapacityError("nway placement needs every server alive")
+        if total_bytes % n:
+            raise CapacityError(
+                f"area of {total_bytes} B does not divide over the "
+                f"{n}-server ring"
+            )
+        share = total_bytes // n
+        if share % PAGE_SIZE:
+            raise CapacityError(
+                f"nway({r}) chunk of {share} B is not page-aligned"
+            )
+        need = share * r
+        short = [i for i in range(n) if registry.free_bytes(i) < need]
+        if short:
+            raise CapacityError(
+                f"nway({r}) shares of {need} B do not fit servers {short}"
+            )
+        ring = list(range(n))
+        group = ShardGroup(policy=policy, servers=ring, share_bytes=share)
+        data_chunks, parity_chunks = group_chunk_maps(group, total_bytes)
+        return data_chunks, parity_chunks, group
+    raise ValueError(f"plan_group got non-redundant policy {policy.label}")
 
 
 def plan_placement(

@@ -43,6 +43,10 @@ class ClusterResult(ScenarioResult):
     qos: bool = True
     nservers: int = 0
     admission_nacks: int = 0
+    #: redundancy/repair summary (empty when no tenant is redundant):
+    #: per-tenant policies, memory overhead, degraded-read and repair
+    #: counters — what the durability sweep and the CI gate consume.
+    redundancy: dict = field(default_factory=dict)
 
     def _admitted(self) -> list[TenantResult]:
         return [t for t in self.tenants if not t.disk_fallback]
@@ -86,6 +90,7 @@ class ClusterResult(ScenarioResult):
             "spread": self.spread,
             "jain_index": self.jain_index,
             "admission_nacks": self.admission_nacks,
+            "redundancy": self.redundancy,
             "tenants": [
                 {
                     "name": t.name,

@@ -27,7 +27,9 @@ from ..results import InstanceResult
 from ..simulator import Simulator, StatsRegistry, all_of
 from ..units import MiB, PAGE_SIZE
 from ..workloads.base import execute
+from ..redundancy.repair import RepairManager
 from .admission import AdmissionController, AdmissionNack
+from .migration import ChunkMigrator
 from .qos import WeightedFairScheduler, partition_credits
 from .registry import FleetRegistry
 from .results import ClusterResult, TenantResult
@@ -37,13 +39,31 @@ __all__ = ["run_cluster_scenario", "build_cluster_scenario"]
 
 def _default_capacity(cfg: ClusterScenarioConfig) -> int:
     """Advertised per-server capacity when the config leaves it out:
-    an even split of total demand, rounded up to MiB, plus a MiB of
-    slack for allocator rounding."""
-    demand = sum(t.swap_bytes for t in cfg.tenants)
-    if cfg.mirror:
-        # Every byte lands twice (share + predecessor's replica area).
-        demand *= 2
-    share = -(-demand // cfg.nservers)
+    an even split of total demand — scaled by each tenant's redundancy
+    overhead (mirror 2x, nway(r) rx, rs(k,m) (k+m)/k) — rounded up to
+    MiB, plus a MiB of slack for allocator rounding.
+
+    Redundant groups concentrate on k+m members rather than spreading
+    fleet-wide, so the even split is a floor; explicit capacity is the
+    knob for tight-packing experiments."""
+    demand = 0.0
+    for t in cfg.tenants:
+        overhead = 2.0 if cfg.mirror else t.redundancy_policy.overhead
+        demand += t.swap_bytes * overhead
+    pol_max = max(
+        (t.redundancy_policy for t in cfg.tenants),
+        key=lambda p: p.width if p.kind == "rs" else 0,
+    )
+    if pol_max.kind == "rs":
+        # An rs group packs each member's whole share onto k+m servers;
+        # every member must fit the largest single share.
+        biggest_share = max(
+            t.swap_bytes // t.redundancy_policy.k
+            for t in cfg.tenants
+            if t.redundancy_policy.kind == "rs"
+        )
+        demand = max(demand, float(biggest_share * cfg.nservers))
+    share = -(-int(demand) // cfg.nservers)
     return -(-share // MiB) * MiB + MiB
 
 
@@ -136,6 +156,31 @@ class _ClusterScenario:
         self.tenants: list[_Tenant] = []
         for spec in cfg.tenants:
             self.tenants.append(self._build_tenant(spec, credits[spec.name]))
+        self.migrator: ChunkMigrator | None = None
+        self.repair: RepairManager | None = None
+        redundant = [
+            t
+            for t in self.tenants
+            if t.admission is not None and t.admission.group is not None
+        ]
+        if redundant and cfg.repair:
+            self.migrator = ChunkMigrator(
+                self.sim,
+                self.registry,
+                stats=self.stats,
+                throttle_mib_s=cfg.migration_throttle_mib_s,
+            )
+            self.repair = RepairManager(
+                self.sim,
+                self.registry,
+                self.migrator,
+                self.servers,
+                interval_usec=cfg.repair_interval_usec,
+                spare_after_usec=cfg.repair_spare_after_usec,
+                stats=self.stats,
+            )
+            for t in redundant:
+                self.repair.watch(t.spec.name, t.client, t.admission.group)
         self.fault_injector: FaultInjector | None = None
         if cfg.faults is not None and cfg.faults.plan is not None:
             self.fault_injector = FaultInjector(
@@ -160,7 +205,12 @@ class _ClusterScenario:
         )
         try:
             tenant.admission = self.admission.admit(
-                spec.name, spec.swap_bytes, mirror=cfg.mirror
+                spec.name,
+                spec.swap_bytes,
+                mirror=cfg.mirror,
+                redundancy=(
+                    spec.redundancy if spec.redundancy != "none" else None
+                ),
             )
         except AdmissionNack:
             if cfg.admission_fallback != "disk":
@@ -219,15 +269,20 @@ class _ClusterScenario:
             tenant=spec.name,
             qos_weight=spec.weight,
             # Mirrored tenants use the driver's default blocking layout
-            # (the admission grant carries no chunk map).
+            # (the admission grant carries no chunk map); redundant
+            # tenants route by the group's data map + parity extents.
             distribution=(
                 None
                 if cfg.mirror
                 else ChunkMapDistribution(
-                    spec.swap_bytes, cfg.nservers, tenant.admission.chunks
+                    spec.swap_bytes,
+                    cfg.nservers,
+                    tenant.admission.chunks,
+                    tenant.admission.parity_chunks or None,
                 )
             ),
             mirror=cfg.mirror,
+            redundancy=tenant.admission.group,
             health=self.health,
             **recovery,
         )
@@ -330,6 +385,8 @@ class _ClusterScenario:
                     tenant.metrics.start()
             if self.fault_injector is not None:
                 self.fault_injector.start()
+            if self.repair is not None:
+                self.repair.start()
             t_start = sim.now
             procs = [
                 sim.spawn(tenant_main(tenant), name=tenant.spec.name)
@@ -340,6 +397,11 @@ class _ClusterScenario:
             for tenant in self.tenants:
                 if tenant.metrics is not None:
                     tenant.metrics.stop()
+            if self.repair is not None:
+                # Finish (or give up on) outstanding rebuilds before the
+                # drains: repair's catch-up posts ride the data path.
+                yield from self.repair.drain()
+                self.repair.stop()
             for tenant in self.tenants:
                 yield from tenant.node.vmm.quiesce()
                 if tenant.client is not None:
@@ -418,6 +480,7 @@ class _ClusterScenario:
             from ..analysis.critpath import aggregate_blame, request_paths
 
             blame_usec = aggregate_blame(request_paths(self.sim.trace))
+        redundancy = self._redundancy_report(counter_total)
         tenant_results = []
         for tenant in self.tenants:
             spec = tenant.spec
@@ -479,7 +542,69 @@ class _ClusterScenario:
             qos=cfg.qos,
             nservers=cfg.nservers,
             admission_nacks=counter_total("cluster.admission_nacks"),
+            redundancy=redundancy,
         )
+
+    def _redundancy_report(self, counter_total) -> dict:
+        """Durability summary: policies, memory overhead vs demand, the
+        degraded-read/reconstruct counters and the repair ledger."""
+        redundant = [
+            t
+            for t in self.tenants
+            if t.admission is not None and t.admission.group is not None
+        ]
+        if not redundant:
+            return {}
+        stats = self.stats
+
+        def counter_count(name: str) -> int:
+            c = stats.get(name)
+            return int(c.count) if c is not None else 0
+
+        demand = sum(t.spec.swap_bytes for t in redundant)
+        reserved = sum(sum(t.admission.share_bytes) for t in redundant)
+        degraded = sum(
+            counter_count(f"{t.spec.name}-hpbd.degraded_reads")
+            for t in redundant
+        )
+        reconstructs = sum(
+            counter_count(f"{t.spec.name}-hpbd.reconstructs")
+            for t in redundant
+        )
+        write_failovers = sum(
+            counter_count(f"{t.spec.name}-hpbd.write_failovers")
+            for t in redundant
+        )
+        # nway reads don't reconstruct — they fail over to a ring
+        # replica; that's its "degraded read" equivalent.
+        read_failovers = sum(
+            counter_count(f"{t.spec.name}-hpbd.failovers")
+            for t in redundant
+        )
+        report = {
+            "policies": {
+                t.spec.name: t.admission.group.policy.label
+                for t in redundant
+            },
+            "demand_bytes": demand,
+            "reserved_bytes": reserved,
+            "overhead": reserved / demand if demand else 0.0,
+            "degraded_reads": degraded,
+            "reconstructs": reconstructs,
+            "read_failovers": read_failovers,
+            "write_failovers": write_failovers,
+        }
+        if self.repair is not None:
+            report["repair"] = {
+                "rebuilds": counter_count("repair.rebuilds"),
+                "spare_rebuilds": counter_count("repair.spare_rebuilds"),
+                "aborts": counter_count("repair.aborts"),
+                "bytes_moved": counter_total("repair.bytes_moved"),
+                "lost_bytes": counter_total("repair.lost_bytes"),
+                "pending": self.repair.pending,
+                "throttle_waits": counter_count("mig.throttle_waits"),
+            }
+        return report
 
 
 def build_cluster_scenario(

@@ -25,6 +25,7 @@ from .net.fabrics import (
     IBParams,
     TCPParams,
 )
+from .redundancy.policy import parse_policy
 from .units import GiB, MiB
 from .workloads.base import Workload
 
@@ -215,6 +216,9 @@ class TenantSpec:
     swap_bytes: int
     weight: float = 1.0
     ncpus: int = 2
+    #: redundancy policy for this tenant's swap area: "none", "nway(r)"
+    #: or "rs(k,m)" (see :mod:`repro.redundancy.policy`)
+    redundancy: str = "none"
 
     def __post_init__(self) -> None:
         if not self.name or any(c in self.name for c in ". /"):
@@ -223,6 +227,11 @@ class TenantSpec:
             raise ValueError(f"tenant {self.name}: bad weight {self.weight}")
         if self.swap_bytes <= 0:
             raise ValueError(f"tenant {self.name}: needs swap_bytes > 0")
+        parse_policy(self.redundancy)  # fail fast on a bad spec
+
+    @property
+    def redundancy_policy(self):
+        return parse_policy(self.redundancy)
 
 
 @dataclass
@@ -271,6 +280,16 @@ class ClusterScenarioConfig:
     vm_params: VMParams = DEFAULT_VM_PARAMS
     mem_reserved_bytes: int = 24 * MiB
     heartbeat_interval_usec: float = 1_000.0
+    #: aggregate background-copy bandwidth cap (migration + repair) in
+    #: MiB/s; ``None`` leaves the bulk channel unthrottled
+    migration_throttle_mib_s: float | None = None
+    #: background shard repair for redundant tenants (crash -> rebuild)
+    repair: bool = True
+    #: repair manager scan period (liveness edges + rebuild triggers)
+    repair_interval_usec: float = 500.0
+    #: rebuild a still-down member onto a spare after this long down
+    #: (``None`` = in-place only: wait for the daemon to restart)
+    repair_spare_after_usec: float | None = None
     seed: int = 42
     faults: FaultConfig | None = None
     #: always-on fleet health model (SLO engine + fail-slow detector);
@@ -299,6 +318,52 @@ class ClusterScenarioConfig:
         if self.placement not in PLACEMENT_POLICIES:
             raise ValueError(
                 f"placement {self.placement!r} not in {PLACEMENT_POLICIES}"
+            )
+        for t in self.tenants:
+            pol = t.redundancy_policy
+            if pol.kind == "none":
+                continue
+            if self.mirror:
+                raise ValueError(
+                    f"tenant {t.name}: per-tenant redundancy and the "
+                    f"fleet-wide mirror flag are exclusive"
+                )
+            if self.faults is not None and self.faults.degraded_mode != "none":
+                raise ValueError(
+                    f"tenant {t.name}: redundancy supplies its own "
+                    f"degraded path; degraded_mode must stay 'none'"
+                )
+            if pol.kind == "rs":
+                if self.nservers < pol.width:
+                    raise ValueError(
+                        f"tenant {t.name}: {pol.label} needs "
+                        f"{pol.width} servers, fleet has {self.nservers}"
+                    )
+                if t.swap_bytes % pol.k:
+                    raise ValueError(
+                        f"tenant {t.name}: swap area {t.swap_bytes} B "
+                        f"does not stripe over k={pol.k} data shards"
+                    )
+            else:  # nway ring over the whole fleet
+                if self.nservers < pol.m + 1:
+                    raise ValueError(
+                        f"tenant {t.name}: {pol.label} needs "
+                        f"{pol.m + 1} servers, fleet has {self.nservers}"
+                    )
+                if t.swap_bytes % self.nservers:
+                    raise ValueError(
+                        f"tenant {t.name}: swap area {t.swap_bytes} B "
+                        f"must divide across the {self.nservers}-server "
+                        f"ring"
+                    )
+        if self.migration_throttle_mib_s is not None:
+            if self.migration_throttle_mib_s <= 0:
+                raise ValueError(
+                    f"bad migration throttle {self.migration_throttle_mib_s}"
+                )
+        if self.repair_interval_usec <= 0:
+            raise ValueError(
+                f"bad repair interval {self.repair_interval_usec}"
             )
         if self.overcommit < 1.0:
             raise ValueError(f"overcommit must be >= 1, got {self.overcommit}")

@@ -67,6 +67,8 @@ __all__ = [
     "cluster_points",
     "campaign_points",
     "cluster_fair_config",
+    "cluster_redundancy_config",
+    "redundancy_points",
     "cluster_failslow_config",
     "cluster_failslow_mitigated_config",
     "failslow_points",
@@ -576,6 +578,101 @@ def cluster_unfair_config(
     )
 
 
+def cluster_redundancy_config(
+    scale: int = DEFAULT_SCALE,
+    redundancy: str = "rs(4,2)",
+    *,
+    nservers: int = 8,
+    crashes: "tuple[tuple[float, int], ...]" = ((120_000.0, 2),),
+    down_for: float = 40_000.0,
+    throttle_mib_s: "float | None" = 400.0,
+    spare_after_usec: "float | None" = None,
+    label: "str | None" = None,
+) -> ClusterScenarioConfig:
+    """The durability acceptance run: one quicksort tenant whose swap
+    area is protected by ``redundancy``, with mid-run server crashes
+    (wipe + 40 ms outage + restart) the repair manager must absorb —
+    degraded reads while a member is down, a rebuild once it restarts,
+    and zero invariant violations end to end.
+
+    Sizes are fixed (not paper-scaled): the point is durability
+    mechanics, not figure timing, and the fixed 8 MiB swap area keeps
+    the stripe-divisibility constraints valid for every policy in the
+    grid at any ``scale``.  ``crashes`` is a tuple of ``(at_usec,
+    server)`` pairs; the defaults aim each outage at the shard the
+    quicksort read frontier is sweeping at that moment (the ~420 ms
+    run walks its address space roughly linearly), so the crash
+    provably intersects live reads and the degraded path gets
+    exercised, not just the rebuild.
+    """
+    del scale  # fixed-size run; accepted for SWEEPS uniformity
+    events = tuple(
+        ServerCrash(at=at, server=server, down_for=down_for)
+        for at, server in crashes
+    )
+    faults = FaultConfig(plan=FaultPlan(events=events)) if events else None
+    return ClusterScenarioConfig(
+        tenants=[
+            TenantSpec(
+                name="t0",
+                workload=QuicksortWorkload(nelems=768 * 1024, seed=7),
+                mem_bytes=3 * MiB,
+                swap_bytes=8 * MiB,
+                redundancy=redundancy,
+            )
+        ],
+        nservers=nservers,
+        qos=True,
+        mem_reserved_bytes=MiB,
+        faults=faults,
+        migration_throttle_mib_s=throttle_mib_s,
+        repair_spare_after_usec=spare_after_usec,
+        label=label or f"redundancy-{redundancy}",
+    )
+
+
+def redundancy_points(scale: int = DEFAULT_SCALE) -> list[SweepPoint]:
+    """The durability/overhead grid ``repro sweep redundancy`` runs:
+    an unprotected baseline, 2-way mirroring and RS(4,2) each absorbing
+    a mid-run crash, RS(4,2) under *two* staggered crashes (its full
+    fault tolerance), and RS(2,1) rebuilding under a deliberately tight
+    migration throttle (``mig.throttle_waits`` must fire).  Together
+    the points show the headline trade: RS(4,2) survives the same
+    double fault as 3-way replication at 1.5x memory instead of 3x.
+    """
+    return [
+        SweepPoint(
+            "redundancy/none",
+            cluster_redundancy_config(scale, "none", crashes=()),
+        ),
+        SweepPoint(
+            "redundancy/nway2-crash",
+            cluster_redundancy_config(
+                scale, "nway(2)", crashes=((90_000.0, 2),)
+            ),
+        ),
+        SweepPoint(
+            "redundancy/rs42-crash",
+            cluster_redundancy_config(scale, "rs(4,2)"),
+        ),
+        SweepPoint(
+            "redundancy/rs42-crash2",
+            cluster_redundancy_config(
+                scale, "rs(4,2)",
+                crashes=((120_000.0, 2), (200_000.0, 3)),
+            ),
+        ),
+        SweepPoint(
+            "redundancy/rs21-tight-throttle",
+            cluster_redundancy_config(
+                scale, "rs(2,1)",
+                crashes=((140_000.0, 1),),
+                throttle_mib_s=128.0,
+            ),
+        ),
+    ]
+
+
 def cluster_points(scale: int = DEFAULT_SCALE) -> list[SweepPoint]:
     """Cluster grid: clients x servers x placement policy, all under
     QoS, plus the QoS-off unfair baseline."""
@@ -617,6 +714,7 @@ def campaign_points(scale: int = DEFAULT_SCALE) -> list[SweepPoint]:
             "campaign/fair-3s", cluster_fair_config(scale, nservers=3)
         ),
         SweepPoint("campaign/failslow", cluster_failslow_config(scale)),
+        SweepPoint("campaign/redundancy", cluster_redundancy_config(scale)),
     ]
 
 
@@ -648,4 +746,6 @@ SWEEPS: dict = {
                  "limping server: healthy / unmitigated / mitigated"),
     "campaign": (campaign_points,
                  "campaign preset: fair cluster points + fail-slow outlier"),
+    "redundancy": (redundancy_points,
+                   "erasure-coded durability: crash survival vs overhead"),
 }

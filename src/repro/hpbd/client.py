@@ -40,6 +40,13 @@ from ..kernel.blockdev import Bio, BlockRequest, READ, RequestQueue, WRITE
 from ..kernel.node import Node
 from ..net.fabrics import IBParams, IB_DEFAULT, memcpy_cost
 from ..obs.sketch import EWMA
+from ..redundancy.policy import (
+    ShardGroup,
+    parity_row_entry,
+    parity_token,
+    rs_decode_usec,
+    rs_encode_usec,
+)
 from ..simulator import (
     Event,
     SimulationError,
@@ -49,7 +56,7 @@ from ..simulator import (
     WaitQueue,
     any_of,
 )
-from ..units import MiB, SECTOR_SIZE
+from ..units import MiB, PAGE_SIZE, SECTOR_SIZE
 from .pool import PoolBuffer, RegisteredPool
 from .protocol import (
     CTRL_MSG_BYTES,
@@ -92,10 +99,11 @@ class _Pending:
     submit_time: float = 0.0
 
 
-@dataclass
+@dataclass(eq=False)
 class _Inflight:
     """One physical request (segment x direction), however many attempts
-    it takes to get acknowledged."""
+    it takes to get acknowledged; identity-hashed (the catch-up registry
+    keys entries by object)."""
 
     pending: _Pending
     seg: Segment
@@ -127,6 +135,28 @@ class _Inflight:
     hedged: bool = False
     #: req_ids of this segment's attempts still awaiting a reply
     live_rids: set = field(default_factory=set)
+    # -- erasure-coded (rs) state --
+    #: parity data-token carried by this write's parity-shard attempts
+    parity_token: object = None
+    #: stripe-row interval this write holds the parity write gate for
+    row_interval: tuple | None = None
+    #: degraded read: the data shard is dead, k survivors are fetched
+    #: and the lost shard is reconstructed from their replies
+    degraded: bool = False
+    #: shard index (within the group) being reconstructed
+    lost_shard: int = 0
+    #: servers currently assigned a degraded fetch
+    degraded_servers: set = field(default_factory=set)
+    #: parity-shard reply tokens collected for reconstruction
+    parity_replies: list = field(default_factory=list)
+    #: when the degraded fetch fan-out started (latency accounting)
+    degraded_at: float = 0.0
+    #: role index of ``seg.server`` within the redundancy group at issue
+    #: time (stable across spare rebuilds, unlike the server id)
+    shard_idx: int = 0
+    #: servers that failed an attempt of this segment (legacy no-timeout
+    #: runs have no dead-set to exclude repeat offenders by)
+    failed_servers: set = field(default_factory=set)
 
 
 @dataclass
@@ -173,6 +203,7 @@ class HPBDClient:
         qos_weight: float = 1.0,
         distribution=None,
         mirror: bool = False,
+        redundancy: ShardGroup | None = None,
         request_timeout_usec: float | None = None,
         max_retries: int = 2,
         retry_backoff_usec: float = 200.0,
@@ -208,6 +239,29 @@ class HPBDClient:
             raise ValueError(
                 "EWMA replica selection / hedged reads need mirror=True"
             )
+        if redundancy is not None and redundancy.policy.kind == "none":
+            redundancy = None
+        if redundancy is not None:
+            if mirror:
+                raise ValueError(
+                    "pass mirror or redundancy, not both (mirror is "
+                    "nway(2) under the policy layer)"
+                )
+            if degraded_mode != "none":
+                raise ValueError(
+                    "redundancy subsumes the degraded modes: rs reads "
+                    "reconstruct, nway reads fail over"
+                )
+            bad = [
+                s
+                for s in redundancy.servers
+                if not 0 <= s < len(servers)
+            ]
+            if bad:
+                raise ValueError(
+                    f"redundancy group names servers {bad}, fleet has "
+                    f"{len(servers)}"
+                )
         if hedge_k <= 0 or hedge_min_usec < 0:
             raise ValueError(f"bad hedge parameters ({hedge_k}, {hedge_min_usec})")
         self.sim = sim
@@ -243,6 +297,17 @@ class HPBDClient:
         if qos_weight <= 0:
             raise ValueError(f"bad qos weight {qos_weight}")
         self.qos_weight = qos_weight
+        if redundancy is not None and distribution is None:
+            # Standalone (non-cluster) construction: derive the chunk
+            # map from the group so driver unit tests need no planner.
+            from .striping import ChunkMapDistribution, group_chunk_maps
+
+            data_chunks, parity_chunks = group_chunk_maps(
+                redundancy, total_bytes
+            )
+            distribution = ChunkMapDistribution(
+                total_bytes, len(servers), data_chunks, parity_chunks
+            )
         if distribution is not None:
             # Custom layout (e.g. the cooperative WeightedDistribution).
             if distribution.total_bytes != total_bytes:
@@ -275,13 +340,22 @@ class HPBDClient:
         #: replica if the primary errors.  The replica of server i's
         #: chunk lives on server i+1 (mod n) at base ``share_of(i+1)``.
         self.mirror = mirror
+        #: erasure-coded / replicated remote memory: the ShardGroup maps
+        #: group members to shard roles (rs: k data + m parity; nway:
+        #: every member data, r-1 ring replicas each).
+        self.redundancy = redundancy
         for i, srv in enumerate(servers):
             share = self.dist.share_of(i)
-            if share == 0 and not mirror and degraded_mode != "remap":
+            pshare = (
+                self.dist.parity_share_of(i)
+                if hasattr(self.dist, "parity_share_of")
+                else 0
+            )
+            if share == 0 and pshare == 0 and not mirror and degraded_mode != "remap":
                 # Chunk-map layouts may leave a fleet server unused by
                 # this tenant; nothing to size against.
                 continue
-            need = self.server_area_bases[i] + share
+            need = self.server_area_bases[i] + share + pshare
             if mirror:
                 # room for the predecessor's replica behind its own area
                 prev = (i - 1) % len(servers)
@@ -316,6 +390,7 @@ class HPBDClient:
         self.credits_per_server = credits_per_server
         self.pool: RegisteredPool | None = None
         self._qps: list = []
+        self._server_qps: list = []  # the servers' ends, index-aligned
         self._qp_index: dict[int, int] = {}  # qp_num -> server index
         self._credits: list[TokenBucket] = []
         self._inflight: dict[int, _Attempt] = {}
@@ -355,6 +430,20 @@ class HPBDClient:
         #: deadline the sleeping watchdog currently targets (None while
         #: idle or processing); posts that undercut it wake the watchdog.
         self._watch_target: float | None = None
+        # erasure-coded (rs) write path: the parity token of a stripe
+        # row must reflect every data shard's current token, so the
+        # client keeps the per-row k-tuple cache and serializes parity
+        # updates of overlapping rows through an interval write gate
+        # (the server may apply concurrent requests out of order).
+        self._rows: dict[int, list] = {}
+        self._locked_rows: list[tuple[int, int]] = []
+        self._row_gate = WaitQueue(sim, name=f"{name}.row_gate")
+        #: rs writes whose dead data shard was skipped, awaiting a
+        #: catch-up post once repair brings the shard back
+        self._open_writes: set = set()
+        #: test hook: set to a list to log (server, row_offset, entries)
+        #: per reconstructed degraded read
+        self.recovered_log: list | None = None
         # measurement
         self._t_req = self.stats.tally(f"{name}.request_usec")
         self._c_phys = self.stats.counter(f"{name}.physical_requests")
@@ -374,6 +463,10 @@ class HPBDClient:
         self._c_quarantines = self.stats.counter(f"{name}.quarantines")
         self._c_quarantine_lifts = self.stats.counter(f"{name}.quarantine_lifts")
         self._c_semisync = self.stats.counter(f"{name}.semisync_writes")
+        self._c_degraded = self.stats.counter(f"{name}.degraded_reads")
+        self._c_reconstructs = self.stats.counter(f"{name}.reconstructs")
+        self._c_row_gate = self.stats.counter(f"{name}.row_gate_waits")
+        self._t_degraded = self.stats.tally(f"{name}.degraded_read_usec")
         self.copy_usec = 0.0  # client-side memcpy (host overhead share)
         #: fleet health sink (repro.obs.health.HealthHub) — fed per-server
         #: RTTs, per-tenant request latencies, and failed attempts; the
@@ -411,6 +504,7 @@ class HPBDClient:
                 max_recv_wr=max(256, self.credits_per_server),
             )
             self._qps.append(qp_c)
+            self._server_qps.append(qp_s)
             self._qp_index[qp_c.qp_num] = i
             self._credits.append(
                 TokenBucket(
@@ -468,6 +562,22 @@ class HPBDClient:
             token=token,
             replica_server=replica,
         )
+        if self.redundancy is not None and req.op == WRITE:
+            # Open-writes registry: any copy of this write may still be
+            # unapplied somewhere until the last ack, so repair's
+            # notify_* hooks post catch-up copies against it.
+            entry.shard_idx = self.redundancy.shard_index(seg.server)
+            self._open_writes.add(entry)
+        if (
+            self.redundancy is not None
+            and self.redundancy.policy.kind == "rs"
+            and req.op == WRITE
+        ):
+            # Parity updates of one stripe row must be strictly ordered:
+            # take the row-interval gate, then fold this write into the
+            # per-row cache and build the parity token under it.
+            yield from self._acquire_rows(entry)
+            self._update_parity_cache(entry)
         targets = self._fresh_targets(entry)
         if not targets:
             # Disk degraded mode with the primary already dead: the
@@ -504,6 +614,18 @@ class HPBDClient:
                         t_copy, sim.now,
                         req_id=req.req_id, nbytes=seg.nbytes,
                     )
+        if entry.parity_token is not None:
+            # GF(256) encode: m multiply-XOR passes over the extent
+            # produce the parity deltas the parity shards apply.
+            cost = rs_encode_usec(seg.nbytes, self.redundancy.policy)
+            t_enc = sim.now
+            yield from self.node.cpus.run(cost)
+            if trace.enabled:
+                trace.complete(
+                    self.name, "sender", "parity_encode", "hpbd.parity",
+                    t_enc, sim.now,
+                    req_id=req.req_id, nbytes=seg.nbytes,
+                )
         # Synchronous mirroring: the same buffer is RDMA-read by both
         # servers; the segment completes only when both acknowledge.
         entry.copies_left = len(targets)
@@ -531,6 +653,8 @@ class HPBDClient:
         Returns ``(server, store_offset)`` pairs — two for a mirrored
         write, one otherwise, empty for straight-to-disk fallback.
         """
+        if self.redundancy is not None:
+            return self._fresh_targets_redundant(entry)
         seg = entry.seg
         primary = seg.server
         if primary not in self._dead:
@@ -574,6 +698,210 @@ class HPBDClient:
             f"{self.name}: server {primary} is dead and no degraded mode "
             f"is configured"
         )
+
+    # -- redundancy (rs / nway) data path -----------------------------------
+
+    def _fresh_targets_redundant(
+        self, entry: _Inflight
+    ) -> list[tuple[int, int]]:
+        """Targets for a brand-new segment under a redundancy group.
+
+        rs(k,m): a write lands on its data shard plus every alive parity
+        shard (all at the same stripe-row offset); with the data shard
+        dead the write goes parity-only and repair posts a catch-up
+        later.  A read goes to the data shard, or fans out degraded.
+        nway(r): a write lands on every alive ring copy, a read on the
+        first alive copy in ring order.
+        """
+        group = self.redundancy
+        pol = group.policy
+        seg = entry.seg
+        if pol.kind == "rs":
+            row = seg.server_offset
+            if entry.op == WRITE:
+                targets = []
+                if seg.server not in self._dead:
+                    targets.append((seg.server, row))
+                else:
+                    # Parity-only write: the parity token still encodes
+                    # the update, so nothing is lost — the data shard
+                    # catches up when repair brings it back.
+                    self._c_write_failovers.add()
+                alive_parity = [
+                    s for s in group.parity_servers if s not in self._dead
+                ]
+                targets += [(s, row) for s in alive_parity]
+                if not targets:
+                    raise SimulationError(
+                        f"{self.name}: write segment {seg} has no alive "
+                        f"shard left ({pol.label} beyond tolerance)"
+                    )
+                return targets
+            if seg.server not in self._dead:
+                return [(seg.server, row)]
+            return self._degraded_target_list(entry)
+        # nway ring: copy j of member i's chunk on member (i+j) at
+        # store offset j * share.
+        pos = group.shard_index(seg.server)
+        g = len(group.servers)
+        share = group.share_bytes
+        copies = [
+            (
+                group.servers[(pos + j) % g],
+                j * share + seg.server_offset,
+            )
+            for j in range(pol.m + 1)
+        ]
+        if entry.op == WRITE:
+            targets = [(s, o) for s, o in copies if s not in self._dead]
+            if not targets:
+                raise SimulationError(
+                    f"{self.name}: write segment {seg} lost all "
+                    f"{pol.m + 1} copies"
+                )
+            if len(targets) < pol.m + 1:
+                self._c_write_failovers.add()
+            return targets
+        for s, off in copies:
+            if s not in self._dead:
+                if s != seg.server:
+                    self._c_failovers.add()
+                    entry.failed_over = True
+                return [(s, off)]
+        raise SimulationError(
+            f"{self.name}: segment {seg} lost all {pol.m + 1} copies"
+        )
+
+    def _degraded_target_list(
+        self, entry: _Inflight
+    ) -> list[tuple[int, int]]:
+        """Set up a degraded rs read: pick k survivors (parity first —
+        reconstruction needs at least one parity token) and mark the
+        entry so the receiver collects shard replies."""
+        group = self.redundancy
+        pol = group.policy
+        seg = entry.seg
+        avoid = self._dead | entry.failed_servers
+        parity = [s for s in group.parity_servers if s not in avoid]
+        data = [
+            s
+            for s in group.data_servers
+            if s not in avoid and s != seg.server
+        ]
+        cands = parity + data
+        if len(cands) < pol.k or not parity:
+            raise SimulationError(
+                f"{self.name}: segment {seg} unrecoverable — {pol.label} "
+                f"stripe has {len(cands)} survivors "
+                f"({len(parity)} parity), needs {pol.k} incl. parity"
+            )
+        chosen = cands[: pol.k]
+        entry.degraded = True
+        entry.lost_shard = group.shard_index(seg.server)
+        entry.degraded_servers = set(chosen)
+        entry.degraded_at = self.sim.now
+        self._c_degraded.add()
+        self.sim.trace.instant(
+            self.name, "recovery", "degraded_read",
+            req_id=entry.pending.req.req_id,
+            server=seg.server, shard=entry.lost_shard,
+        )
+        return [(s, seg.server_offset) for s in chosen]
+
+    def _start_degraded(self, entry: _Inflight) -> None:
+        """A plain rs read failed against its (now dead) data shard:
+        restart the entry as a degraded fan-out."""
+        targets = self._degraded_target_list(entry)
+        entry.acked = 0
+        entry.copies_left = len(targets)
+        entry.need_acks = len(targets)
+        for s, off in targets:
+            self.sim.spawn(
+                self._post_attempt(entry, s, off),
+                name=f"{self.name}.degraded",
+            )
+
+    def _acquire_rows(self, entry: _Inflight):
+        """Block until no in-flight rs write overlaps this write's
+        stripe rows; generator.  Server-side service is not FIFO (fair
+        scheduling, RDMA slot contention), so without this gate two
+        overlapping writes could land their parity updates in opposite
+        order on different parity shards."""
+        seg = entry.seg
+        lo, hi = seg.server_offset, seg.server_offset + seg.nbytes
+        while any(lo < h and l < hi for l, h in self._locked_rows):
+            self._c_row_gate.add()
+            yield self._row_gate.wait()
+        entry.row_interval = (lo, hi)
+        self._locked_rows.append(entry.row_interval)
+
+    def _release_rows(self, entry: _Inflight) -> None:
+        if entry.row_interval is None:
+            return
+        self._locked_rows.remove(entry.row_interval)
+        entry.row_interval = None
+        self._row_gate.wake_all()
+
+    def _update_parity_cache(self, entry: _Inflight) -> None:
+        """Fold this write into the per-row data-token cache and build
+        the parity token its parity-shard attempts carry (the token-level
+        image of the GF(256) parity over the stripe)."""
+        group = self.redundancy
+        pol = group.policy
+        seg = entry.seg
+        shard = group.shard_index(seg.server)
+        row0 = seg.server_offset // PAGE_SIZE
+        rows_payload = []
+        for p in range(seg.nbytes // PAGE_SIZE):
+            row = row0 + p
+            cur = self._rows.get(row)
+            if cur is None:
+                cur = [None] * pol.k
+                self._rows[row] = cur
+            cur[shard] = (entry.token, p)
+            rows_payload.append((row, tuple(cur)))
+        entry.parity_token = parity_token(tuple(rows_payload))
+
+    def _reconstruct_segment(self, entry: _Inflight):
+        """All k degraded fetches acked: charge the GF(256) decode and
+        recover the lost shard's per-page entries from a surviving
+        parity token; generator."""
+        sim = self.sim
+        pol = self.redundancy.policy
+        seg = entry.seg
+        if not entry.parity_replies:
+            raise SimulationError(
+                f"{self.name}: degraded read of segment {seg} got no "
+                f"parity reply — stripe lost beyond tolerance"
+            )
+        yield from self.node.cpus.run(rs_decode_usec(seg.nbytes, pol))
+        row0 = seg.server_offset // PAGE_SIZE
+        recovered = []
+        for p in range(seg.nbytes // PAGE_SIZE):
+            got = None
+            for ptok_entries in entry.parity_replies:
+                got = parity_row_entry(
+                    ptok_entries[p], row0 + p, entry.lost_shard
+                )
+                if got is not None:
+                    break
+            # None is legitimate: the row (or the lost shard's column)
+            # was never written, i.e. a zero page.
+            recovered.append(got)
+        self._c_reconstructs.add()
+        self._t_degraded.record(sim.now - entry.degraded_at)
+        if self.recovered_log is not None:
+            self.recovered_log.append(
+                (seg.server, seg.server_offset, tuple(recovered))
+            )
+        if sim.trace.enabled:
+            sim.trace.complete(
+                self.name, "recovery", "degraded_read", "hpbd.degraded",
+                entry.degraded_at, sim.now,
+                req_id=entry.pending.req.req_id,
+                server=seg.server, shard=entry.lost_shard,
+                nbytes=seg.nbytes,
+            )
 
     def _pick_read_server(self, entry: _Inflight) -> int:
         """EWMA replica selection for a mirror read: steer to the copy
@@ -692,17 +1020,25 @@ class HPBDClient:
         if server in self._dead:
             # Lost a race: the target died while we waited for a credit.
             self._credits[server].release()
-            if entry.op == READ and entry.live_rids:
+            if entry.op == READ and entry.live_rids and not entry.degraded:
                 return  # a tied attempt on the other copy carries the read
             self._reroute(entry, server)
             return
+        data_token = entry.token
+        if (
+            entry.parity_token is not None
+            and server in self.redundancy.parity_servers
+        ):
+            # A parity shard stores the stripe's parity token, not the
+            # write's own payload token.
+            data_token = entry.parity_token
         preq = PageRequest(
             op=OP_WRITE if entry.op == WRITE else OP_READ,
             offset=offset,
             nbytes=entry.seg.nbytes,
             buf_addr=self._entry_addr(entry),
             buf_rkey=self._entry_rkey(entry),
-            data_token=entry.token,
+            data_token=data_token,
             blk_req_id=blk_req_id,
         )
         now = sim.now
@@ -843,7 +1179,16 @@ class HPBDClient:
                 self._observe_rtt(att.server, sim.now - att.sent_at)
                 entry.acked += 1
                 entry.copies_left -= 1
-                if entry.op == READ and entry.live_rids:
+                if (
+                    entry.degraded
+                    and self.redundancy is not None
+                    and att.server in self.redundancy.parity_servers
+                ):
+                    # A parity shard's reply carries the stripe's parity
+                    # token; reconstruction reads the lost column out of
+                    # it once all k fetches are in.
+                    entry.parity_replies.append(reply.data_token)
+                if entry.op == READ and entry.live_rids and not entry.degraded:
                     # First reply wins a tied (hedged) read; cancel the
                     # losers and reclaim their credits.
                     self._cancel_losers(entry, att)
@@ -916,6 +1261,8 @@ class HPBDClient:
 
     def _finish_segment(self, entry: _Inflight, copy_out: bool = True):
         """Release buffers and complete the block request; generator."""
+        if entry.degraded:
+            yield from self._reconstruct_segment(entry)
         yield from self._release_buffers(entry, copy_out)
         self._complete_segment(entry)
 
@@ -944,6 +1291,11 @@ class HPBDClient:
                         nbytes=entry.seg.nbytes,
                     )
             self.pool.free(entry.buf)
+        # All acks are in: every surviving copy of the write is applied,
+        # so the catch-up registry and the row gate let go (a later
+        # restore reads the update from the survivors instead).
+        self._release_rows(entry)
+        self._open_writes.discard(entry)
 
     def _complete_segment(self, entry: _Inflight) -> None:
         """Count the segment done; completes the block request when it
@@ -1026,7 +1378,11 @@ class HPBDClient:
                 self._stale.add(rid)
                 att.entry.live_rids.discard(rid)
                 self._c_timeouts.add()
-                if att.entry.op == READ and att.entry.live_rids:
+                if (
+                    att.entry.op == READ
+                    and att.entry.live_rids
+                    and not att.entry.degraded
+                ):
                     # A tied attempt on the other copy is still in
                     # flight; it carries the read.
                     self._mark_failed_span(att, "timeout")
@@ -1073,10 +1429,13 @@ class HPBDClient:
         seg = entry.seg
         if self.health is not None:
             self.health.record_error(self.tenant or self.name, att.server)
-        if entry.op == READ and entry.live_rids:
+        if entry.op == READ and entry.live_rids and not entry.degraded:
             # A tied (hedged) attempt on the other copy is still in
             # flight — let it carry the read instead of spawning a third.
             self._mark_failed_span(att, cause)
+            return
+        if self.redundancy is not None:
+            self._fail_attempt_redundant(att, cause)
             return
         retries_enabled = self.request_timeout_usec is not None
         # 1. Mirror read failover (works even with retries disabled —
@@ -1129,6 +1488,131 @@ class HPBDClient:
         raise SimulationError(
             f"{self.name}: server {cause} on request "
             f"{entry.pending.req.req_id}"
+        )
+
+    def _fail_attempt_redundant(self, att: _Attempt, cause: str) -> None:
+        """The redundancy-group failure ladder: bounded retry against
+        the same server first, then declare it dead (timeouts on) or
+        remember it failed (legacy) and lean on the group — drop a write
+        copy, fail a read over / degrade it."""
+        entry = att.entry
+        retries_enabled = self.request_timeout_usec is not None
+        if (
+            retries_enabled
+            and att.retries < self.max_retries
+            and att.server not in self._dead
+        ):
+            self._c_retries.add()
+            self._mark_failed_span(att, cause)
+            backoff = self.retry_backoff_usec * (
+                self.backoff_mult ** att.retries
+            )
+            self.sim.spawn(
+                self._backoff_resend(
+                    entry, att.server, att.offset, backoff, att.retries + 1
+                ),
+                name=f"{self.name}.retry",
+            )
+            return
+        self._mark_failed_span(att, cause)
+        if retries_enabled:
+            # _mark_dead reroutes every *other* doomed in-flight attempt
+            # aimed at the server; this one was already popped by the
+            # caller, so route it explicitly.
+            self._mark_dead(att.server)
+        self._redundant_reroute(entry, att.server)
+
+    def _drop_write_copy(self, entry: _Inflight, failed_server: int) -> None:
+        """One copy of a redundant write is gone: stop expecting its
+        ack.  The surviving copies (rs: parity; nway: replicas) carry
+        the data; the write stays on the open-writes registry until its
+        last ack, so repair can post the lost copy back."""
+        self._c_write_failovers.add()
+        entry.copies_left -= 1
+        entry.need_acks -= 1
+        if entry.copies_left > 0:
+            return
+        if entry.acked == 0:
+            raise SimulationError(
+                f"{self.name}: write segment {entry.seg} lost every copy"
+            )
+        # Off the catch-up registry before the finisher frees the buffer
+        # — a notify in the gap must not post against a dead entry; the
+        # acked surviving copies cover the restore instead.
+        self._open_writes.discard(entry)
+        if entry.completed:
+            # The drop was the straggler: just release the buffers.
+            self.sim.spawn(
+                self._release_buffers(entry, copy_out=False),
+                name=f"{self.name}.release",
+            )
+        else:
+            self.sim.spawn(
+                self._finish_segment(entry), name=f"{self.name}.finish"
+            )
+
+    def _redundant_reroute(self, entry: _Inflight, failed_server: int) -> None:
+        """Replace one failed attempt using the redundancy group."""
+        group = self.redundancy
+        pol = group.policy
+        seg = entry.seg
+        entry.failed_servers.add(failed_server)
+        if entry.op == WRITE:
+            self._drop_write_copy(entry, failed_server)
+            return
+        if pol.kind == "rs":
+            if not entry.degraded:
+                self._start_degraded(entry)
+                return
+            # One degraded fetch failed: swap in another survivor,
+            # keeping at least one parity source in the fetch set.
+            entry.degraded_servers.discard(failed_server)
+            avoid = (
+                self._dead
+                | entry.failed_servers
+                | entry.degraded_servers
+                | {seg.server}
+            )
+            has_parity = bool(entry.parity_replies) or any(
+                s in group.parity_servers for s in entry.degraded_servers
+            )
+            pick = None
+            for s in group.parity_servers + group.data_servers:
+                if s in avoid:
+                    continue
+                if has_parity or s in group.parity_servers:
+                    pick = s
+                    break
+            if pick is None:
+                raise SimulationError(
+                    f"{self.name}: segment {seg} unrecoverable — "
+                    f"{pol.label} stripe lost beyond tolerance"
+                )
+            entry.degraded_servers.add(pick)
+            self.sim.spawn(
+                self._post_attempt(entry, pick, seg.server_offset),
+                name=f"{self.name}.degraded",
+            )
+            return
+        # nway read: next alive copy in ring order not yet tried.
+        pos = group.shard_index(seg.server)
+        g = len(group.servers)
+        for j in range(pol.m + 1):
+            s = group.servers[(pos + j) % g]
+            if s in self._dead or s in entry.failed_servers:
+                continue
+            if s != seg.server:
+                self._c_failovers.add()
+                entry.failed_over = True
+            self.sim.spawn(
+                self._post_attempt(
+                    entry, s, j * group.share_bytes + seg.server_offset
+                ),
+                name=f"{self.name}.failover",
+            )
+            return
+        raise SimulationError(
+            f"{self.name}: segment {seg} lost all {pol.m + 1} copies"
         )
 
     def _mark_failed_span(self, att: _Attempt, cause: str) -> None:
@@ -1188,7 +1672,11 @@ class HPBDClient:
             self._credits[server].release()
             self._stale.add(rid)
             att.entry.live_rids.discard(rid)
-            if att.entry.op == READ and att.entry.live_rids:
+            if (
+                att.entry.op == READ
+                and att.entry.live_rids
+                and not att.entry.degraded
+            ):
                 # A tied attempt on the surviving copy carries the read.
                 continue
             self._reroute(att.entry, server)
@@ -1196,6 +1684,9 @@ class HPBDClient:
     def _reroute(self, entry: _Inflight, failed_server: int) -> None:
         """Schedule exactly one replacement attempt for one that failed
         against a now-dead server — or raise if nowhere is left."""
+        if self.redundancy is not None:
+            self._redundant_reroute(entry, failed_server)
+            return
         seg = entry.seg
         primary = seg.server
         if self.mirror:
@@ -1278,6 +1769,95 @@ class HPBDClient:
         # left behind must still be released.
         yield from self._finish_segment(entry, copy_out=False)
 
+    # -- repair notifications ------------------------------------------------
+
+    def notify_server_down(self, server: int) -> None:
+        """Control-plane liveness verdict (registry heartbeat edge):
+        declare the server dead without waiting for a request timeout,
+        shrinking the window where reads hit a restarted-but-wiped
+        store.  No-op when the driver already noticed."""
+        self._mark_dead(server)
+
+    def notify_repaired(self, server: int) -> None:
+        """Background repair restored ``server``'s shard in place: lift
+        the dead verdict and post this member's copy of every write
+        still in flight.
+
+        Must be called at the same instant the repair manager restores
+        the store content — a fully-acked write's surviving copies are
+        applied before the restore reads them, and everything still in
+        flight gets a catch-up post here, so no update can fall between
+        the two.
+        """
+        if server in self._dead:
+            self._dead.discard(server)
+            # Fresh RTT estimators: pre-crash samples say nothing about
+            # the restarted daemon.
+            self._srtt[server] = EWMA(RTT_ALPHA)
+            self._rttvar[server] = EWMA(RTTVAR_ALPHA)
+            self.sim.trace.instant(
+                self.name, "recovery", "server_repaired", server=server,
+            )
+        if self.redundancy is not None:
+            self._catch_up_writes(
+                self.redundancy.shard_index(server), server
+            )
+
+    def notify_rebuilt(self, old: int, new: int, new_base: int) -> None:
+        """Background repair rebuilt ``old``'s shard onto spare ``new``
+        (at store offset ``new_base``): rewrite the group membership,
+        the chunk map and the area bases, then catch up open writes."""
+        if self.redundancy is None:
+            raise SimulationError(f"{self.name}: no redundancy group")
+        idx = self.redundancy.shard_index(old)
+        self.redundancy.replace_server(old, new, new_base)
+        self.server_area_bases[new] = new_base
+        if self._server_qps:
+            self.servers[new].set_client_area_base(
+                self._server_qps[new], new_base
+            )
+        self.dist.remap_server(old, new)
+        self._dead.discard(new)
+        self.sim.trace.instant(
+            self.name, "recovery", "shard_rebuilt",
+            old=old, new=new, base=new_base,
+        )
+        self._catch_up_writes(idx, new)
+
+    def _catch_up_writes(self, shard_idx: int, target: int) -> None:
+        """Re-post the repaired member's copy of every still-open
+        redundant write.  The restore read only covers updates whose
+        surviving copies were applied before it ran; anything not yet
+        fully acknowledged gets an explicit post (idempotent — same
+        token), so the rebuilt shard converges with the survivors.
+        ``shard_idx`` is the repaired member's role index (stable across
+        a spare rebuild); ``target`` the server now playing it."""
+        group = self.redundancy
+        pol = group.policy
+        for entry in list(self._open_writes):
+            if entry.completed and entry.copies_left <= 0:
+                self._open_writes.discard(entry)
+                continue
+            if pol.kind == "rs":
+                # The member holds a copy iff it is the write's own data
+                # shard or any parity shard (which all see every row).
+                if shard_idx < pol.k and shard_idx != entry.shard_idx:
+                    continue
+                off = entry.seg.server_offset
+            else:
+                # nway ring: member holds copy j of the write's chunk
+                # when it sits j <= m places after the owner.
+                j = (shard_idx - entry.shard_idx) % len(group.servers)
+                if j > pol.m:
+                    continue
+                off = j * group.share_bytes + entry.seg.server_offset
+            entry.copies_left += 1
+            entry.need_acks += 1
+            self.sim.spawn(
+                self._post_attempt(entry, target, off),
+                name=f"{self.name}.catchup",
+            )
+
     # -- introspection ------------------------------------------------------
 
     @property
@@ -1319,6 +1899,12 @@ class HPBDClient:
             "hpbd.inflight_drained", self.name,
             "physical requests still awaiting acknowledgement at teardown",
             outstanding=len(self._inflight),
+        )
+        monitors.check(
+            not self._locked_rows,
+            "hpbd.rows_unlocked", self.name,
+            "parity write gate still held at teardown",
+            locked=len(self._locked_rows),
         )
         for i, bucket in enumerate(self._credits):
             monitors.check(

@@ -138,6 +138,33 @@ class RamDisk:
                 tokens.append(self._pages.get(p))
         return tuple(tokens), MEMCPY.cost(nbytes)
 
+    def peek(self, offset: int, nbytes: int) -> tuple:
+        """Control-plane read: the extent's per-page entries with no
+        cost accounting and no spill/residency side effects.  The
+        repair manager reconstructs lost shards from surviving stores
+        this way — its fabric and CPU costs are modelled separately
+        (throttled bulk copies + re-encode time), not as data-path
+        RamDisk traffic.
+        """
+        pages = self._check(offset, nbytes)
+        return tuple(
+            self._pages.get(p, self._spilled.get(p)) for p in pages
+        )
+
+    def restore(self, offset: int, entries: tuple) -> None:
+        """Control-plane write: install exact per-page ``(token, idx)``
+        entries (repair rebuilding a lost shard).  ``None`` entries are
+        never-written pages and stay absent; unlike :meth:`write`, the
+        stored page index comes from the entry, so a rebuilt shard is
+        byte-identical to the lost one."""
+        pages = self._check(offset, len(entries) * PAGE_SIZE)
+        for page, entry in zip(pages, entries):
+            self._spilled.pop(page, None)
+            if entry is None:
+                self._pages.pop(page, None)
+                continue
+            self._insert_resident(page, entry)
+
     def drain_spill_usec(self) -> float:
         """Return and reset the accumulated spill-disk latency owed."""
         usec, self.pending_spill_usec = self.pending_spill_usec, 0.0

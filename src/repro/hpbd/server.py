@@ -179,6 +179,21 @@ class HPBDServer:
         for _ in range(depth):
             server_qp.post_recv(RecvWR(capacity=CTRL_MSG_BYTES))
 
+    def set_client_area_base(self, server_qp, area_base: int) -> None:
+        """Relocate a registered client's swap area inside the store —
+        background repair rebuilding a lost shard onto this server as a
+        spare lands the area wherever the registry reserved it."""
+        if server_qp.qp_num not in self._area_base:
+            raise SimulationError(
+                f"{self.name}: QP {server_qp.qp_num} is not a registered "
+                f"client"
+            )
+        if not (0 <= area_base < self.ramdisk.size):
+            raise SimulationError(
+                f"{self.name}: client area base {area_base} outside store"
+            )
+        self._area_base[server_qp.qp_num] = area_base
+
     @property
     def started(self) -> bool:
         return self._proc is not None

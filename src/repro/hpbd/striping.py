@@ -22,6 +22,7 @@ __all__ = [
     "BlockingDistribution",
     "StripedDistribution",
     "ChunkMapDistribution",
+    "group_chunk_maps",
 ]
 
 
@@ -192,9 +193,24 @@ class ChunkMapDistribution:
     (least-loaded bin-packing, consistent-hash sharding).  The chunks
     must cover ``[0, total_bytes)`` exactly, in device order, and each
     server's chunks must be disjoint in its store space.
+
+    ``parity_chunks`` are the redundancy layer's extra copies: they do
+    not map device offsets (``locate``/``split`` never return them) but
+    they occupy server store space, so they participate in the per-server
+    overlap validation and in store sizing (:meth:`parity_share_of`).
+    For an ``rs(k,m)`` stripe group a parity chunk's ``start`` is the
+    stripe *row* range it covers (the same store-offset space as the
+    data shards); for ``nway(r)`` replica chunks ``start`` is the device
+    extent the copy protects.
     """
 
-    def __init__(self, total_bytes: int, nservers: int, chunks: list[Chunk]) -> None:
+    def __init__(
+        self,
+        total_bytes: int,
+        nservers: int,
+        chunks: list[Chunk],
+        parity_chunks: list[Chunk] | None = None,
+    ) -> None:
         if nservers < 1:
             raise ValueError(f"need at least one server, got {nservers}")
         if not chunks:
@@ -219,6 +235,18 @@ class ChunkMapDistribution:
             raise ValueError(
                 f"chunk map covers {pos} bytes, device is {total_bytes}"
             )
+        parity_share: dict[int, int] = {}
+        for c in parity_chunks or []:
+            if c.nbytes <= 0:
+                raise ValueError(f"empty parity chunk at {c.start}")
+            if not (0 <= c.server < nservers):
+                raise ValueError(
+                    f"parity chunk at {c.start} names server {c.server}"
+                )
+            per_server.setdefault(c.server, []).append(
+                (c.server_offset, c.nbytes)
+            )
+            parity_share[c.server] = parity_share.get(c.server, 0) + c.nbytes
         for server, extents in per_server.items():
             extents.sort()
             for (o1, n1), (o2, _n2) in zip(extents, extents[1:]):
@@ -229,21 +257,63 @@ class ChunkMapDistribution:
         self.total_bytes = total_bytes
         self.nservers = nservers
         self.chunks = list(chunks)
+        self.parity_chunks = list(parity_chunks or [])
         self._starts = [c.start for c in self.chunks]
         self._share = {
             server: sum(n for _o, n in extents)
             for server, extents in per_server.items()
         }
+        self._parity_share = parity_share
+        for server, extra in parity_share.items():
+            # _share above counted parity extents too (they share the
+            # overlap validation); split the two views back apart.
+            self._share[server] -= extra
+            if not self._share[server]:
+                del self._share[server]
 
     def share_of(self, server: int) -> int:
-        """Bytes of the device stored by ``server`` (0 if unused)."""
+        """Data bytes of the device stored by ``server`` (0 if unused)."""
         if not (0 <= server < self.nservers):
             raise ValueError(f"no server {server}")
         return self._share.get(server, 0)
 
+    def parity_share_of(self, server: int) -> int:
+        """Redundancy bytes (parity / replica copies) on ``server``."""
+        if not (0 <= server < self.nservers):
+            raise ValueError(f"no server {server}")
+        return self._parity_share.get(server, 0)
+
     @property
     def servers_used(self) -> list[int]:
-        return sorted(self._share)
+        return sorted(set(self._share) | set(self._parity_share))
+
+    def remap_server(self, old: int, new: int) -> None:
+        """Background repair rebuilt ``old``'s extents onto ``new``:
+        rewrite every chunk (data and parity) that named the lost
+        server.  Store offsets are preserved — the rebuilt area uses
+        the same compact layout behind the spare's own area base."""
+        if not (0 <= new < self.nservers):
+            raise ValueError(f"no server {new}")
+        if new in self._share or new in self._parity_share:
+            raise ValueError(
+                f"server {new} already holds extents of this map"
+            )
+        self.chunks = [
+            Chunk(c.start, c.nbytes, new, c.server_offset)
+            if c.server == old
+            else c
+            for c in self.chunks
+        ]
+        self.parity_chunks = [
+            Chunk(c.start, c.nbytes, new, c.server_offset)
+            if c.server == old
+            else c
+            for c in self.parity_chunks
+        ]
+        if old in self._share:
+            self._share[new] = self._share.pop(old)
+        if old in self._parity_share:
+            self._parity_share[new] = self._parity_share.pop(old)
 
     def _chunk_at(self, offset: int) -> Chunk:
         return self.chunks[bisect.bisect_right(self._starts, offset) - 1]
@@ -302,3 +372,45 @@ class ChunkMapDistribution:
             pos += take
             remaining -= take
         return out
+
+
+def group_chunk_maps(group, total_bytes: int) -> tuple[list[Chunk], list[Chunk]]:
+    """Data/parity chunk maps for a redundancy ``ShardGroup``.
+
+    The single source of layout truth shared by the cluster placement
+    planner and a standalone driver: rs(k,m) stripes the device over the
+    first k members (one shard each, parity members mirror the same row
+    space), nway(r) lays a blocking ring with copy j of member i's chunk
+    on member (i+j) at store offset ``j * share``.
+    """
+    pol = group.policy
+    share = group.share_bytes
+    if pol.kind == "rs":
+        if share * pol.k != total_bytes:
+            raise ValueError(
+                f"rs({pol.k},{pol.m}) shards of {share} B do not cover "
+                f"a {total_bytes} B device"
+            )
+        data = [
+            Chunk(i * share, share, group.servers[i], 0)
+            for i in range(pol.k)
+        ]
+        parity = [Chunk(0, share, s, 0) for s in group.parity_servers]
+        return data, parity
+    if pol.kind == "nway":
+        g = len(group.servers)
+        if share * g != total_bytes:
+            raise ValueError(
+                f"nway ring chunks of {share} B do not cover "
+                f"a {total_bytes} B device"
+            )
+        data = [
+            Chunk(i * share, share, group.servers[i], 0) for i in range(g)
+        ]
+        parity = [
+            Chunk(i * share, share, group.servers[(i + j) % g], j * share)
+            for j in range(1, pol.m + 1)
+            for i in range(g)
+        ]
+        return data, parity
+    raise ValueError(f"no chunk maps for policy kind {pol.kind!r}")

@@ -1,0 +1,39 @@
+"""Pluggable redundancy for remote memory: policies, codec, repair.
+
+``repro.redundancy`` answers the ROADMAP's fault-tolerance item beyond
+mirroring: a tenant's swap area can be replicated (``nway(r)``) or
+Reed-Solomon striped (``rs(k,m)``, GF(256)) across the fleet, served
+degraded while shards are lost, and healed by a background
+:class:`RepairManager` at a modelled regeneration cost.
+"""
+
+try:
+    from .gf256 import rs_encode, rs_matrix, rs_reconstruct
+except ImportError:  # pragma: no cover — numpy-less env: sim still works
+    rs_encode = rs_matrix = rs_reconstruct = None
+from .policy import (
+    PARITY_TOKEN_TAG,
+    RedundancyPolicy,
+    ShardGroup,
+    parity_row_entry,
+    parity_token,
+    parse_policy,
+    rs_decode_usec,
+    rs_encode_usec,
+)
+from .repair import RepairManager
+
+__all__ = [
+    "PARITY_TOKEN_TAG",
+    "RedundancyPolicy",
+    "RepairManager",
+    "ShardGroup",
+    "parity_row_entry",
+    "parity_token",
+    "parse_policy",
+    "rs_decode_usec",
+    "rs_encode_usec",
+    "rs_encode",
+    "rs_matrix",
+    "rs_reconstruct",
+]

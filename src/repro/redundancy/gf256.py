@@ -1,0 +1,199 @@
+"""GF(256) arithmetic and a systematic Reed-Solomon codec.
+
+Numpy-vectorized over log/antilog tables (the classic software-RS
+construction): multiplication is two table lookups and an addition mod
+255, so encoding a stripe is ``m`` scalar-vector multiply-XOR passes
+over the data shards — no per-byte Python.  The field is GF(2^8) with
+the primitive polynomial ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11d, the
+common RS-255 choice) and generator 2.
+
+The encoding matrix is a systematic Vandermonde: build the (k+m) x k
+Vandermonde over distinct field points, Gauss-Jordan the top k rows to
+the identity, and keep the bottom m rows as parity coefficients.  Any k
+of the k+m shards then carry an invertible submatrix, which is what
+:func:`rs_reconstruct` inverts to recover missing shards.
+
+This module is pure data-plane math: the simulator's request path only
+models the *cost* of these operations (see :mod:`repro.redundancy.
+policy`), while the benchmark (``benchmarks/bench_rs_encode.py``) and
+the tests run the real codec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "GF_EXP",
+    "GF_LOG",
+    "gf_mul",
+    "gf_matmul",
+    "gf_inv_matrix",
+    "rs_matrix",
+    "rs_encode",
+    "rs_reconstruct",
+]
+
+#: primitive polynomial x^8+x^4+x^3+x^2+1 (0x11d), generator alpha=2
+_POLY = 0x11D
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _POLY
+    # Doubled antilog table: EXP[log a + log b] needs no mod in the
+    # hot loop (indices stay < 510).
+    exp[255:510] = exp[:255]
+    return exp, log
+
+
+GF_EXP, GF_LOG = _build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Scalar product in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return int(GF_EXP[GF_LOG[a] + GF_LOG[b]])
+
+
+def _gf_scale_xor(acc: np.ndarray, coef: int, v: np.ndarray) -> None:
+    """``acc ^= coef * v`` vectorized (the RS inner loop)."""
+    if coef == 0:
+        return
+    if coef == 1:
+        np.bitwise_xor(acc, v, out=acc)
+        return
+    log_c = int(GF_LOG[coef])
+    nz = v != 0
+    prod = np.zeros_like(v)
+    prod[nz] = GF_EXP[log_c + GF_LOG[v[nz]]]
+    np.bitwise_xor(acc, prod, out=acc)
+
+
+def gf_matmul(mat: np.ndarray, shards: np.ndarray) -> np.ndarray:
+    """Multiply an (r x k) GF matrix by k shard rows of L bytes each."""
+    r, k = mat.shape
+    if shards.shape[0] != k:
+        raise ValueError(f"matrix is {r}x{k}, got {shards.shape[0]} shards")
+    out = np.zeros((r, shards.shape[1]), dtype=np.uint8)
+    for i in range(r):
+        for j in range(k):
+            _gf_scale_xor(out[i], int(mat[i, j]), shards[j])
+    return out
+
+
+def gf_inv_matrix(mat: np.ndarray) -> np.ndarray:
+    """Invert a square GF(256) matrix by Gauss-Jordan elimination."""
+    n = mat.shape[0]
+    if mat.shape != (n, n):
+        raise ValueError(f"matrix {mat.shape} is not square")
+    aug = np.zeros((n, 2 * n), dtype=np.uint8)
+    aug[:, :n] = mat
+    aug[:, n:] = np.eye(n, dtype=np.uint8)
+    for col in range(n):
+        pivot = None
+        for row in range(col, n):
+            if aug[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            raise ValueError("singular matrix (shard set not decodable)")
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        # Scale the pivot row to 1: multiply by the pivot's inverse.
+        inv = int(GF_EXP[255 - GF_LOG[aug[col, col]]])
+        for j in range(2 * n):
+            aug[col, j] = gf_mul(int(aug[col, j]), inv)
+        for row in range(n):
+            if row == col or not aug[row, col]:
+                continue
+            coef = int(aug[row, col])
+            _gf_scale_xor(aug[row], coef, aug[col])
+    return aug[:, n:].copy()
+
+
+def rs_matrix(k: int, m: int) -> np.ndarray:
+    """The systematic (k+m) x k encoding matrix: identity on top, m
+    Vandermonde-derived parity rows below."""
+    if k < 1 or m < 1:
+        raise ValueError(f"bad RS geometry k={k} m={m}")
+    if k + m > 255:
+        raise ValueError(f"k+m={k + m} exceeds the GF(256) shard bound")
+    vand = np.zeros((k + m, k), dtype=np.uint8)
+    for r in range(k + m):
+        x = 1
+        for c in range(k):
+            vand[r, c] = x
+            x = gf_mul(x, r + 1)  # distinct evaluation points 1..k+m
+    # Right-multiplying by the inverse of the top k rows turns them
+    # into the identity (systematic form); the bottom m rows become the
+    # parity coefficients.
+    return _systematize(vand, k)
+
+
+def _systematize(vand: np.ndarray, k: int) -> np.ndarray:
+    """Right-multiply the Vandermonde by the inverse of its top k rows."""
+    top_inv = gf_inv_matrix(vand[:k].copy())
+    out = np.zeros_like(vand)
+    rows, _ = vand.shape
+    for r in range(rows):
+        for c in range(k):
+            acc = 0
+            for t in range(k):
+                acc ^= gf_mul(int(vand[r, t]), int(top_inv[t, c]))
+            out[r, c] = acc
+    return out
+
+
+def rs_encode(matrix: np.ndarray, data: np.ndarray) -> np.ndarray:
+    """Encode k data shards into m parity shards.
+
+    ``matrix`` is the full systematic matrix from :func:`rs_matrix`;
+    ``data`` is a (k, L) uint8 array.  Returns the (m, L) parity rows.
+    """
+    k = data.shape[0]
+    if matrix.shape[1] != k:
+        raise ValueError(
+            f"matrix encodes {matrix.shape[1]} data shards, got {k}"
+        )
+    return gf_matmul(matrix[k:], data)
+
+
+def rs_reconstruct(
+    matrix: np.ndarray, shards: list[np.ndarray | None]
+) -> list[np.ndarray]:
+    """Recover every missing shard from any k survivors.
+
+    ``shards`` lists all k+m shard rows in matrix order with ``None``
+    for the missing ones; returns the full shard list, reconstructed.
+    """
+    total, k = matrix.shape
+    if len(shards) != total:
+        raise ValueError(f"expected {total} shard slots, got {len(shards)}")
+    present = [i for i, s in enumerate(shards) if s is not None]
+    if len(present) < k:
+        raise ValueError(
+            f"only {len(present)} of {total} shards survive; need {k}"
+        )
+    use = present[:k]
+    sub = matrix[use]
+    dec = gf_inv_matrix(sub)
+    stack = np.vstack([shards[i] for i in use])
+    data = gf_matmul(dec, stack)
+    out: list[np.ndarray] = []
+    for i in range(total):
+        if shards[i] is not None:
+            out.append(shards[i])
+        elif i < k:
+            out.append(data[i])
+        else:
+            out.append(gf_matmul(matrix[i : i + 1], data)[0])
+    return out

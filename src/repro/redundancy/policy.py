@@ -1,0 +1,256 @@
+"""Redundancy policies: how a tenant's remote pages survive server loss.
+
+A policy string parses into a :class:`RedundancyPolicy`:
+
+* ``none``      — no redundancy (the paper's baseline);
+* ``nway(r)``   — r-way replication: every chunk lives on r ring
+  successors, overhead r.0x, tolerates r-1 failures (``nway(2)`` is the
+  paper's NRD/RRMP-style mirroring, generalized);
+* ``rs(k,m)``   — Reed-Solomon striping over GF(256): k data shards +
+  m parity shards on k+m distinct servers, overhead (k+m)/k, tolerates
+  any m failures — the cheaper answer the ROADMAP's erasure-coding item
+  asks for.
+
+The placement layer turns a policy into a :class:`ShardGroup` (which
+fleet servers hold which shard), admission reserves the group, and the
+driver + :class:`~repro.redundancy.repair.RepairManager` consume it on
+the data path.  Encode/decode *costs* on the simulated request path are
+modelled from the measured GF(256) codec throughput (see
+``benchmarks/bench_rs_encode.py``); the real codec lives in
+:mod:`repro.redundancy.gf256`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = [
+    "RedundancyPolicy",
+    "ShardGroup",
+    "parse_policy",
+    "PARITY_TOKEN_TAG",
+    "parity_token",
+    "parity_row_entry",
+    "rs_encode_usec",
+    "rs_decode_usec",
+]
+
+#: modelled GF(256) encode/decode throughput on the client CPU, in
+#: bytes per microsecond (~1.2 GB/s — conservative against the measured
+#: numpy codec, see the ``rs_encode_mb_s`` floor in
+#: BENCH_simulator.json).  The repair path re-encodes at the same rate.
+GF_THROUGHPUT_BYTES_PER_USEC = 1200.0
+
+#: first element of every parity data-token (see :func:`parity_token`)
+PARITY_TOKEN_TAG = "rsP"
+
+
+@dataclass(frozen=True)
+class RedundancyPolicy:
+    """One parsed redundancy policy."""
+
+    kind: str  # "none" | "nway" | "rs"
+    k: int = 1  # data shards per stripe (nway: ring size is group-wide)
+    m: int = 0  # redundancy shards (nway: extra copies = r-1)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("none", "nway", "rs"):
+            raise ValueError(f"unknown redundancy kind {self.kind!r}")
+        if self.kind == "rs" and (self.k < 2 or self.m < 1):
+            raise ValueError(f"rs needs k>=2 and m>=1, got ({self.k},{self.m})")
+        if self.kind == "nway" and self.m < 1:
+            raise ValueError(f"nway needs r>=2 copies, got r={self.m + 1}")
+
+    @property
+    def width(self) -> int:
+        """Distinct servers one stripe/replica-set touches."""
+        if self.kind == "rs":
+            return self.k + self.m
+        if self.kind == "nway":
+            return self.m + 1
+        return 1
+
+    @property
+    def fault_tolerance(self) -> int:
+        """Simultaneous server losses survived without data loss."""
+        return self.m
+
+    @property
+    def overhead(self) -> float:
+        """Stored bytes per byte of tenant data."""
+        if self.kind == "rs":
+            return (self.k + self.m) / self.k
+        if self.kind == "nway":
+            return float(self.m + 1)
+        return 1.0
+
+    def repair_traffic_bytes(self, lost_bytes: int) -> int:
+        """Modelled fabric bytes to regenerate ``lost_bytes`` of shard.
+
+        n-way repair is a plain re-copy from a surviving replica (1x).
+        RS repair uses aggregated partial-sum regeneration: each of the
+        surviving shards ships its coded contribution combined in-network
+        (INDIGO-style bandwidth-aware recovery), which amortizes to
+        (k+m)/k bytes moved per lost byte instead of a naive k+1.
+        """
+        if self.kind == "rs":
+            return -(-lost_bytes * (self.k + self.m) // self.k)
+        return lost_bytes
+
+    @property
+    def label(self) -> str:
+        if self.kind == "rs":
+            return f"rs({self.k},{self.m})"
+        if self.kind == "nway":
+            return f"nway({self.m + 1})"
+        return "none"
+
+
+_POLICY_RE = re.compile(
+    r"^\s*(?:(none)|nway\(\s*(\d+)\s*\)|rs\(\s*(\d+)\s*,\s*(\d+)\s*\))\s*$"
+)
+
+
+def parse_policy(spec: str | RedundancyPolicy) -> RedundancyPolicy:
+    """Parse ``"none"`` / ``"nway(r)"`` / ``"rs(k,m)"``."""
+    if isinstance(spec, RedundancyPolicy):
+        return spec
+    m = _POLICY_RE.match(spec)
+    if m is None:
+        raise ValueError(
+            f"bad redundancy policy {spec!r} "
+            "(want 'none', 'nway(r)' or 'rs(k,m)')"
+        )
+    if m.group(1):
+        return RedundancyPolicy("none")
+    if m.group(2):
+        r = int(m.group(2))
+        if r < 2:
+            raise ValueError(f"nway needs r>=2, got {r}")
+        return RedundancyPolicy("nway", k=1, m=r - 1)
+    return RedundancyPolicy("rs", k=int(m.group(3)), m=int(m.group(4)))
+
+
+@dataclass
+class ShardGroup:
+    """One tenant's redundancy group: which fleet server holds which
+    shard role, plus the per-shard store size.
+
+    For ``rs(k,m)`` the first k members hold the data shards (device
+    bytes ``[i*share, (i+1)*share)`` on member i) and the last m hold
+    parity; every member stores exactly ``share_bytes`` and a stripe
+    *row* is the same store offset on every member.  For ``nway(r)``
+    all members hold data (blocking layout over the ring) and member
+    ``(i+j) % g`` stores copy j of member i's chunk at store offset
+    ``j * share_bytes``.
+
+    ``servers`` is mutable: background repair may rebuild a lost shard
+    onto a spare, swapping the member in place (the shard *role* keeps
+    its index).
+    """
+
+    policy: RedundancyPolicy
+    servers: list[int]
+    share_bytes: int
+    #: per-member store offset of the group area on that server
+    area_bases: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(set(self.servers)) != len(self.servers):
+            raise ValueError(f"duplicate servers in group {self.servers}")
+        if self.policy.kind == "rs" and len(self.servers) != self.policy.width:
+            raise ValueError(
+                f"rs({self.policy.k},{self.policy.m}) group needs "
+                f"{self.policy.width} servers, got {len(self.servers)}"
+            )
+        if self.policy.kind == "nway" and len(self.servers) < self.policy.width:
+            raise ValueError(
+                f"nway({self.policy.m + 1}) ring needs at least "
+                f"{self.policy.width} servers, got {len(self.servers)}"
+            )
+        if not self.area_bases:
+            self.area_bases = [0] * len(self.servers)
+
+    @property
+    def data_servers(self) -> list[int]:
+        if self.policy.kind == "rs":
+            return self.servers[: self.policy.k]
+        return list(self.servers)
+
+    @property
+    def parity_servers(self) -> list[int]:
+        if self.policy.kind == "rs":
+            return self.servers[self.policy.k :]
+        return []
+
+    def shard_index(self, server: int) -> int:
+        """Position of a fleet server inside the group."""
+        return self.servers.index(server)
+
+    def member_need_bytes(self) -> int:
+        """Store bytes each member reserves (rs: one shard; nway: own
+        chunk plus r-1 predecessors' replicas)."""
+        if self.policy.kind == "nway":
+            return self.share_bytes * (self.policy.m + 1)
+        return self.share_bytes
+
+    def replace_server(self, old: int, new: int, new_base: int) -> int:
+        """Swap a lost member for a rebuilt spare; returns the shard
+        index that moved."""
+        idx = self.servers.index(old)
+        if new in self.servers:
+            raise ValueError(f"server {new} is already a group member")
+        self.servers[idx] = new
+        self.area_bases[idx] = new_base
+        return idx
+
+
+# -- parity data-tokens -------------------------------------------------------
+#
+# The simulator's RamDisk stores an opaque *token* per page instead of
+# bytes; data loss is observable as a token that cannot be produced.  A
+# parity shard's token therefore carries, per stripe row it covers, the
+# full k-tuple of (token, page_index) entries current on the data
+# shards when the parity update was issued — exactly the information
+# GF(256) parity carries about its stripe, in token form.  Degraded
+# reads and background repair recover a lost shard's entries from any
+# surviving parity token (the per-row write gate in the client keeps
+# parity updates of one row strictly serialized, so last-write-wins at
+# the server is sound).
+
+
+def parity_token(rows: tuple) -> tuple:
+    """Build a parity data-token from ``((row, row_tuple), ...)``."""
+    return (PARITY_TOKEN_TAG, rows)
+
+
+def parity_row_entry(entry: object, row: int, shard: int):
+    """Extract shard ``shard``'s (token, idx) for stripe ``row`` from a
+    stored parity page entry ``(parity_token, page_idx)``; ``None`` if
+    the parity page does not cover that row (never written)."""
+    if entry is None:
+        return None
+    ptok, _pidx = entry
+    if not (isinstance(ptok, tuple) and ptok and ptok[0] == PARITY_TOKEN_TAG):
+        return None
+    for r, row_tuple in ptok[1]:
+        if r == row:
+            return row_tuple[shard]
+    return None
+
+
+def rs_encode_usec(nbytes: int, policy: RedundancyPolicy) -> float:
+    """Modelled client CPU time to compute parity for ``nbytes`` of
+    data: m GF multiply-XOR passes over the written extent."""
+    if policy.kind != "rs":
+        return 0.0
+    return policy.m * nbytes / GF_THROUGHPUT_BYTES_PER_USEC
+
+
+def rs_decode_usec(nbytes: int, policy: RedundancyPolicy) -> float:
+    """Modelled client CPU time to reconstruct ``nbytes`` of a lost
+    shard from k survivors: one k-term GF matrix-vector pass."""
+    if policy.kind != "rs":
+        return 0.0
+    return policy.k * nbytes / GF_THROUGHPUT_BYTES_PER_USEC

@@ -1,0 +1,411 @@
+"""Background repair: re-encode lost shards after a server loss.
+
+The :class:`RepairManager` is the control-plane half of the redundancy
+subsystem.  It watches daemon liveness (the same ``alive`` flag the
+fault injector flips and the registry heartbeats), and when a group
+member comes back wiped — or stays down long enough that a spare is
+warranted — it rebuilds the lost shard from the surviving ones:
+
+* ``rs(k,m)`` data shard: decode the lost column out of any clean
+  parity shard's row tokens;
+* ``rs(k,m)`` parity shard: re-encode rows from the k data shards;
+* ``nway(r)`` member: copy each of its extents from a surviving ring
+  replica.
+
+Repair traffic is charged through the migrator's throttled bulk
+channel (:meth:`~repro.cluster.migration.ChunkMigrator.bulk_copy`) at
+the policy's regeneration cost — rs moves ``(k+m)/k`` bytes per lost
+byte, replication moves ``1x`` — plus a GF(256) re-encode delay, so
+recovery is never modelled as free (INDIGO's point).  The store-level
+restore itself is exact: :meth:`~repro.hpbd.ramdisk.RamDisk.peek` the
+survivors, reconstruct per-page entries, :meth:`~repro.hpbd.ramdisk.
+RamDisk.restore` them, then tell the driver at the *same instant*
+(:meth:`~repro.hpbd.client.HPBDClient.notify_repaired` /
+``notify_rebuilt``) so in-flight writes get their catch-up posts and
+no update can fall between restore and resumption.
+
+A member that has been down at any point is *dirty* until its rebuild
+completes, and only clean members serve as reconstruction sources;
+data shards rebuild before parity shards so a two-loss ``rs(4,2)``
+incident drains in dependency order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simulator import SimulationError, Simulator, StatsRegistry
+from ..units import PAGE_SIZE
+from .policy import ShardGroup, parity_row_entry, parity_token, rs_decode_usec
+
+__all__ = ["RepairManager"]
+
+
+@dataclass
+class _Watch:
+    """One (tenant, driver, group) under repair supervision."""
+
+    tenant: str
+    client: object  # HPBDClient (duck-typed: notify_* + server_area_bases)
+    group: ShardGroup
+    #: role indices lost (down at some point) since their last rebuild —
+    #: a dirty member's store is wiped/stale and never a rebuild source
+    dirty: set = field(default_factory=set)
+    #: when each dirty role's server went down (spare-promotion clock)
+    down_at: dict = field(default_factory=dict)
+
+
+class RepairManager:
+    """Watches group liveness and rebuilds lost shards in background.
+
+    ``interval_usec`` paces the scan loop; ``spare_after_usec`` (off by
+    default) promotes a rebuild onto a spare server when the lost
+    member stays down longer than that — otherwise repair waits for the
+    daemon to restart and rebuilds in place.  Rebuilds run one at a
+    time (one repair pipeline per fleet), data shards first.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        registry,
+        migrator,
+        servers: list,
+        interval_usec: float = 500.0,
+        spare_after_usec: float | None = None,
+        name: str = "repair",
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        if interval_usec <= 0:
+            raise ValueError(f"bad repair interval {interval_usec}")
+        if spare_after_usec is not None and spare_after_usec < 0:
+            raise ValueError(f"bad spare delay {spare_after_usec}")
+        self.sim = sim
+        self.registry = registry
+        self.migrator = migrator
+        self.servers = servers
+        self.interval_usec = interval_usec
+        self.spare_after_usec = spare_after_usec
+        self.name = name
+        self.stats = stats if stats is not None else registry.stats
+        self.watches: list[_Watch] = []
+        self._prev_alive = [srv.alive for srv in servers]
+        self._proc = None
+        self._stopped = False
+        self._rebuilding = False
+        self._c_rebuilds = self.stats.counter(f"{name}.rebuilds")
+        self._c_spare = self.stats.counter(f"{name}.spare_rebuilds")
+        self._c_bytes = self.stats.counter(f"{name}.bytes_moved")
+        self._c_lost = self.stats.counter(f"{name}.lost_bytes")
+        self._c_aborts = self.stats.counter(f"{name}.aborts")
+        self._t_rebuild = self.stats.tally(f"{name}.rebuild_usec")
+
+    # -- supervision ---------------------------------------------------------
+
+    def watch(self, tenant: str, client, group: ShardGroup) -> None:
+        """Put one tenant's redundancy group under repair supervision."""
+        if group.policy.kind == "none":
+            raise ValueError(f"{tenant}: nothing to repair under 'none'")
+        self.watches.append(_Watch(tenant=tenant, client=client, group=group))
+
+    def start(self) -> None:
+        """Spawn the scan loop (idempotent)."""
+        if self._proc is None:
+            self._proc = self.sim.spawn(self._run(), name=f"{self.name}.scan")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Dirty shards across every watched group (0 == fully healed)."""
+        return sum(len(w.dirty) for w in self.watches)
+
+    def drain(self):
+        """Wait (bounded) for in-progress and still-repairable rebuilds;
+        generator.  A shard whose server never comes back (and no spare
+        path is configured) stays dirty — that is a degraded steady
+        state, not a hang, so the bound gives up on it quietly."""
+        for _ in range(200):
+            if not self._rebuilding and not self._any_repairable():
+                return
+            yield self.sim.timeout(self.interval_usec)
+
+    # -- scan loop -----------------------------------------------------------
+
+    def _run(self):
+        sim = self.sim
+        while not self._stopped:
+            yield sim.timeout(self.interval_usec)
+            self._detect_edges()
+            yield from self._repair_pass()
+
+    def _detect_edges(self) -> None:
+        """Down edges dirty the member's role in every watching group
+        and tell the driver immediately (control-plane dead verdict
+        beats waiting out a request timeout)."""
+        for s, srv in enumerate(self.servers):
+            was, now_alive = self._prev_alive[s], srv.alive
+            self._prev_alive[s] = now_alive
+            if not was or now_alive:
+                continue
+            for w in self.watches:
+                if s not in w.group.servers:
+                    continue
+                idx = w.group.shard_index(s)
+                if idx not in w.dirty:
+                    w.dirty.add(idx)
+                    w.down_at[idx] = self.sim.now
+                    self.sim.trace.instant(
+                        self.name, "scan", "shard_lost",
+                        tenant=w.tenant, server=s, shard=idx,
+                    )
+                w.client.notify_server_down(s)
+
+    def _any_repairable(self) -> bool:
+        for w in self.watches:
+            for idx in w.dirty:
+                if self.servers[w.group.servers[idx]].alive:
+                    return True
+        return False
+
+    def _repair_order(self, w: _Watch) -> list[int]:
+        """Dirty roles in rebuild order: data shards before parity (a
+        data rebuild decodes from clean parity; once every data shard
+        is clean, parity re-encodes from them)."""
+        return sorted(w.dirty)
+
+    def _sources_clean(self, w: _Watch, idx: int) -> bool:
+        pol = w.group.policy
+        if pol.kind == "rs":
+            if idx < pol.k:
+                return any(
+                    j not in w.dirty
+                    for j in range(pol.k, pol.k + pol.m)
+                )
+            return all(i not in w.dirty for i in range(pol.k))
+        g = len(w.group.servers)
+        r = pol.m + 1
+        for j in range(r):
+            owner = (idx - j) % g
+            if not any(
+                (owner + j2) % g != idx and (owner + j2) % g not in w.dirty
+                for j2 in range(r)
+            ):
+                return False
+        return True
+
+    def _repair_pass(self):
+        """One serial sweep: rebuild every repairable dirty shard."""
+        for w in self.watches:
+            progressed = True
+            while progressed:
+                progressed = False
+                for idx in self._repair_order(w):
+                    server = w.group.servers[idx]
+                    if self.servers[server].alive:
+                        if not self._sources_clean(w, idx):
+                            continue
+                        ok = yield from self._rebuild(w, idx, server, None)
+                    elif (
+                        self.spare_after_usec is not None
+                        and self.sim.now - w.down_at.get(idx, self.sim.now)
+                        >= self.spare_after_usec
+                    ):
+                        spare = self._pick_spare(w)
+                        if spare is None or not self._sources_clean(w, idx):
+                            continue
+                        ok = yield from self._rebuild(w, idx, server, spare)
+                    else:
+                        continue
+                    if ok:
+                        progressed = True
+                        break  # membership may have changed; re-sort
+
+    def _pick_spare(self, w: _Watch) -> int | None:
+        """Lowest-index alive non-member with room for the lost share;
+        healthy servers beat quarantined ones (fail-slow advisory)."""
+        need = w.group.member_need_bytes()
+        cands = [
+            s
+            for s in range(len(self.servers))
+            if self.servers[s].alive
+            and s not in w.group.servers
+            and self.registry.free_bytes(s) >= need
+        ]
+        healthy = [s for s in cands if not self.registry.quarantined[s]]
+        pool = healthy or cands
+        return pool[0] if pool else None
+
+    # -- one rebuild ---------------------------------------------------------
+
+    def _rebuild(self, w: _Watch, idx: int, old_server: int, spare):
+        """Rebuild role ``idx`` in place (``spare is None``) or onto
+        ``spare``; generator, returns True when the shard healed."""
+        sim = self.sim
+        group = w.group
+        pol = group.policy
+        lost = group.member_need_bytes()
+        traffic = pol.repair_traffic_bytes(lost)
+        self._rebuilding = True
+        t0 = sim.now
+        try:
+            if spare is not None:
+                # Reserve-before-copy, like migration: the spare extent
+                # must fit before any simulated bytes move.
+                new_base = self.registry.reserve(w.tenant, spare, lost)
+            # One stream per source member (k surviving shards for rs,
+            # one per replicated extent for nway): the reads genuinely
+            # happen in parallel, and the concurrency is what makes a
+            # tight migration throttle observable — later streams queue
+            # behind the shared budget cursor (``mig.throttle_waits``).
+            nstreams = pol.k if pol.kind == "rs" else pol.m + 1
+            base, rem = divmod(traffic, nstreams)
+            streams = [
+                sim.spawn(
+                    self.migrator.bulk_copy(
+                        w.tenant, base + (1 if i < rem else 0),
+                        label=f"rebuild{idx}.s{i}",
+                    ),
+                    name=f"{self.name}.rebuild{idx}.s{i}",
+                )
+                for i in range(nstreams)
+                if base + (1 if i < rem else 0) > 0
+            ]
+            for proc in streams:
+                yield proc
+            if pol.kind == "rs":
+                # Regenerating one shard is a k-column GF(256) solve.
+                yield sim.timeout(rs_decode_usec(lost, pol))
+            # The fleet may have moved under the copy: re-check edges,
+            # then the target and every source, before touching stores.
+            self._detect_edges()
+            target = spare if spare is not None else old_server
+            if not self.servers[target].alive or not self._sources_clean(
+                w, idx
+            ):
+                if spare is not None:
+                    self.registry.release(w.tenant, spare, lost)
+                self._c_aborts.add()
+                return False
+            if spare is None:
+                new_base = w.client.server_area_bases[old_server]
+            self._restore(w, idx, target, new_base)
+            w.dirty.discard(idx)
+            w.down_at.pop(idx, None)
+            if spare is not None:
+                # The dead member's extent returns to the books; its
+                # address space dies with the daemon (bump allocator).
+                self.registry.release(w.tenant, old_server, lost)
+                self._c_spare.add()
+                w.client.notify_rebuilt(old_server, spare, new_base)
+            else:
+                w.client.notify_repaired(old_server)
+            self._c_rebuilds.add()
+            self._c_bytes.add(traffic)
+            self._c_lost.add(lost)
+            self._t_rebuild.record(sim.now - t0)
+            sim.trace.complete(
+                self.name, "rebuild", f"{w.tenant}/shard{idx}",
+                "repair.rebuild", t0, sim.now,
+                tenant=w.tenant, shard=idx, server=target,
+                nbytes=lost, moved=traffic,
+                spare=spare is not None,
+            )
+            return True
+        finally:
+            self._rebuilding = False
+
+    # -- store reconstruction ------------------------------------------------
+
+    def _restore(
+        self, w: _Watch, idx: int, target: int, target_base: int
+    ) -> None:
+        pol = w.group.policy
+        if pol.kind == "rs":
+            if idx < pol.k:
+                self._restore_rs_data(w, idx, target, target_base)
+            else:
+                self._restore_rs_parity(w, idx, target, target_base)
+        else:
+            self._restore_nway(w, idx, target, target_base)
+
+    def _peek_member(self, w: _Watch, idx: int, offset: int, nbytes: int):
+        server = w.group.servers[idx]
+        base = w.client.server_area_bases[server]
+        return self.servers[server].ramdisk.peek(base + offset, nbytes)
+
+    def _restore_rs_data(
+        self, w: _Watch, idx: int, target: int, target_base: int
+    ) -> None:
+        """Decode the lost data column out of the surviving parity row
+        tokens.  Every clean parity shard is consulted per row: a write
+        whose copy to one parity server was dropped mid-crash can leave
+        that server's row stale, but some clean parity saw the last
+        acknowledged update (the driver never completes a write with
+        zero acks)."""
+        group = w.group
+        pol = group.policy
+        share = group.share_bytes
+        peeks = [
+            self._peek_member(w, j, 0, share)
+            for j in range(pol.k, pol.k + pol.m)
+            if j not in w.dirty
+        ]
+        if not peeks:
+            raise SimulationError(
+                f"{self.name}: no clean parity to rebuild shard {idx}"
+            )
+        entries = []
+        for row in range(share // PAGE_SIZE):
+            got = None
+            for peek in peeks:
+                got = parity_row_entry(peek[row], row, idx)
+                if got is not None:
+                    break
+            entries.append(got)
+        self.servers[target].ramdisk.restore(target_base, tuple(entries))
+
+    def _restore_rs_parity(
+        self, w: _Watch, idx: int, target: int, target_base: int
+    ) -> None:
+        """Re-encode parity rows from the k (clean) data shards."""
+        group = w.group
+        pol = group.policy
+        share = group.share_bytes
+        peeks = [self._peek_member(w, i, 0, share) for i in range(pol.k)]
+        entries = []
+        for row in range(share // PAGE_SIZE):
+            row_tuple = tuple(peek[row] for peek in peeks)
+            if all(e is None for e in row_tuple):
+                entries.append(None)  # never-written stripe row
+            else:
+                entries.append((parity_token(((row, row_tuple),)), 0))
+        self.servers[target].ramdisk.restore(target_base, tuple(entries))
+
+    def _restore_nway(
+        self, w: _Watch, idx: int, target: int, target_base: int
+    ) -> None:
+        """Copy each of the member's r extents (its own chunk plus the
+        replicas it hosts) from a surviving clean ring copy."""
+        group = w.group
+        pol = group.policy
+        share = group.share_bytes
+        g = len(group.servers)
+        for j in range(pol.m + 1):
+            owner = (idx - j) % g
+            src = None
+            for j2 in range(pol.m + 1):
+                holder = (owner + j2) % g
+                if holder != idx and holder not in w.dirty:
+                    src = (holder, j2)
+                    break
+            if src is None:
+                raise SimulationError(
+                    f"{self.name}: chunk of member {owner} has no clean "
+                    f"copy left (nway({pol.m + 1}) beyond tolerance)"
+                )
+            entries = self._peek_member(w, src[0], src[1] * share, share)
+            self.servers[target].ramdisk.restore(
+                target_base + j * share, entries
+            )

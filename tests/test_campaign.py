@@ -279,10 +279,11 @@ def campaign(tmp_path_factory):
 class TestCampaignRun:
     def test_one_record_per_point_seed(self, campaign):
         records = campaign.store.load()
-        assert len(records) == 3 * len(SEEDS)
+        assert len(records) == 4 * len(SEEDS)
         assert {r.seed for r in records} == set(SEEDS)
         assert {r.point for r in records} == {
             "campaign/fair-2s", "campaign/fair-3s", "campaign/failslow",
+            "campaign/redundancy",
         }
         for r in records:
             assert r.schema == SCHEMA
@@ -300,6 +301,12 @@ class TestCampaignRun:
             assert stats.halfwidth > 0.0
             p99s = [m for m in summary.metrics(point) if m.endswith(".p99")]
             assert p99s
+            if point == "campaign/redundancy":
+                # single tenant, tail = the fixed RDMA service time: every
+                # seed's p99 lands in the same 1% sketch bucket, so a zero
+                # halfwidth is the *correct* outcome here, not frozen data
+                # (elapsed_usec above already proved the seeds moved).
+                continue
             assert any(summary.get(point, m).halfwidth > 0 for m in p99s)
 
     def test_merged_sketch_matches_pooled_exact_tally(self, campaign):
